@@ -1,0 +1,60 @@
+// Ablation reproducing a textual claim of the paper (Section 6): the
+// DIR-tree variant "showed little improvement in query processing
+// performance but took much longer time to build the index". Compares
+// IR-tree vs DIR-tree construction time and query latency on the
+// Twitter5M-scale dataset.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+
+using namespace i3;
+using namespace i3::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  std::printf(
+      "== Ablation: IR-tree vs DIR-tree, Twitter5M (scale=%.2f, k=%u, "
+      "alpha=%.1f, FREQ_%u) ==\n",
+      cfg.scale, cfg.default_k, cfg.default_alpha, cfg.default_qn);
+
+  const Dataset ds = MakeTwitter(cfg, 1);
+  const QueryGenerator qgen(ds);
+
+  auto build = [&](IrInsertionPolicy policy, double* build_s) {
+    IrTreeOptions opt;
+    opt.space = ds.space;
+    opt.policy = policy;
+    auto idx = std::make_unique<IrTreeIndex>(opt);
+    ScopedIoLatency latency(cfg.io_latency_us);
+    Timer t;
+    for (const auto& d : ds.docs) {
+      auto st = idx->Insert(d);
+      if (!st.ok()) std::abort();
+    }
+    *build_s = t.ElapsedSeconds();
+    return idx;
+  };
+
+  double ir_build = 0, dir_build = 0;
+  auto ir = build(IrInsertionPolicy::kSpatialOnly, &ir_build);
+  auto dir = build(IrInsertionPolicy::kDir, &dir_build);
+
+  std::printf("\nconstruction: IR-tree %.2fs, DIR-tree %.2fs (%.1fx)\n\n",
+              ir_build, dir_build, dir_build / ir_build);
+
+  PrintRow({"semantics", "IR(ms)", "DIR(ms)", "IR(io)", "DIR(io)"});
+  PrintRule(5);
+  for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
+    auto queries = qgen.Freq(cfg.default_qn, cfg.num_queries, cfg.default_k,
+                             sem, /*seed=*/1700);
+    const auto c_ir =
+        RunQuerySet(ir.get(), queries, cfg.default_alpha, cfg.io_latency_us);
+    const auto c_dir = RunQuerySet(dir.get(), queries, cfg.default_alpha,
+                                   cfg.io_latency_us);
+    PrintRow({SemanticsName(sem), Fmt(c_ir.avg_ms, 3), Fmt(c_dir.avg_ms, 3),
+              Fmt(c_ir.avg_io_reads, 1), Fmt(c_dir.avg_io_reads, 1)});
+  }
+  return 0;
+}

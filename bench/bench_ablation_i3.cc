@@ -1,0 +1,75 @@
+// Ablation of I3's two pruning devices (DESIGN.md, Section 4-5 of the
+// paper): signature-intersection pruning for AND semantics, and the
+// summary screen that prunes child cells with the parent node's summaries
+// before fetching their data pages. Reports query time, per-query page
+// reads, and the search-statistics counters.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace i3;
+using namespace i3::bench;
+
+namespace {
+
+std::unique_ptr<I3Index> Build(const Dataset& ds, uint32_t eta,
+                               bool signatures, bool screen) {
+  I3Options opt;
+  opt.space = ds.space;
+  opt.signature_bits = eta;
+  opt.signature_pruning = signatures;
+  opt.summary_screen = screen;
+  auto idx = std::make_unique<I3Index>(opt);
+  for (const auto& d : ds.docs) {
+    auto st = idx->Insert(d);
+    if (!st.ok()) std::abort();
+  }
+  return idx;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  std::printf(
+      "== Ablation: I3 pruning devices, FREQ_%u, Twitter5M (scale=%.2f, "
+      "k=%u, alpha=%.1f) ==\n",
+      cfg.default_qn, cfg.scale, cfg.default_k, cfg.default_alpha);
+
+  const Dataset ds = MakeTwitter(cfg, 1);
+  const QueryGenerator qgen(ds);
+
+  struct Config {
+    const char* name;
+    bool signatures;
+    bool screen;
+  };
+  const Config configs[] = {
+      {"full", true, true},
+      {"no-signatures", false, true},
+      {"no-screen", true, false},
+      {"neither", false, false},
+  };
+
+  for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
+    std::printf("\n-- %s --\n", SemanticsName(sem));
+    PrintRow({"config", "time(ms)", "io/query", "popped", "sig-pruned"},
+             14);
+    PrintRule(5, 14);
+    auto queries = qgen.Freq(cfg.default_qn, cfg.num_queries, cfg.default_k,
+                             sem, /*seed=*/1600);
+    for (const Config& c : configs) {
+      auto idx = Build(ds, cfg.eta, c.signatures, c.screen);
+      const auto cost =
+          RunQuerySet(idx.get(), queries, cfg.default_alpha,
+                      cfg.io_latency_us);
+      const auto& stats = idx->last_search_stats();
+      PrintRow({c.name, Fmt(cost.avg_ms, 3), Fmt(cost.avg_io_reads, 1),
+                std::to_string(stats.candidates_popped),
+                std::to_string(stats.cells_pruned_signature)},
+               14);
+    }
+  }
+  return 0;
+}

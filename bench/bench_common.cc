@@ -1,0 +1,165 @@
+#include "bench_common.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace i3 {
+namespace bench {
+
+BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--scale=", 8) == 0) {
+      cfg.scale = std::atof(a + 8);
+    } else if (std::strncmp(a, "--queries=", 10) == 0) {
+      cfg.num_queries = static_cast<uint32_t>(std::atoi(a + 10));
+    } else if (std::strcmp(a, "--skip-irtree") == 0) {
+      cfg.skip_irtree = true;
+    } else if (std::strncmp(a, "--eta=", 6) == 0) {
+      cfg.eta = static_cast<uint32_t>(std::atoi(a + 6));
+    } else if (std::strncmp(a, "--iolat=", 8) == 0) {
+      cfg.io_latency_us = static_cast<uint32_t>(std::atoi(a + 8));
+    } else if (std::strcmp(a, "--help") == 0) {
+      std::printf(
+          "flags: --scale=X (dataset scale, default 1) --queries=N "
+          "--skip-irtree --eta=N --iolat=US (simulated page latency)\n");
+      std::exit(0);
+    }
+  }
+  return cfg;
+}
+
+Dataset MakeTwitter(const BenchConfig& cfg, int tier) {
+  const uint32_t n = static_cast<uint32_t>(kTwitterBase[tier] * cfg.scale);
+  GeneratorSpec spec = TwitterSpec(n, /*seed=*/100 + tier);
+  spec.name = kTwitterNames[tier];
+  return Generate(spec);
+}
+
+Dataset MakeWikipedia(const BenchConfig& cfg) {
+  const uint32_t n = static_cast<uint32_t>(kWikipediaBase * cfg.scale);
+  GeneratorSpec spec = WikipediaSpec(n, /*seed=*/200);
+  spec.name = "Wikipedia";
+  return Generate(spec);
+}
+
+std::unique_ptr<I3Index> BuildI3(const Dataset& ds, uint32_t eta) {
+  I3Options opt;
+  opt.space = ds.space;
+  opt.signature_bits = eta;
+  auto index = std::make_unique<I3Index>(opt);
+  for (const auto& d : ds.docs) {
+    auto st = index->Insert(d);
+    if (!st.ok()) {
+      std::fprintf(stderr, "I3 insert failed: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  }
+  return index;
+}
+
+std::unique_ptr<S2IIndex> BuildS2I(const Dataset& ds) {
+  S2IOptions opt;
+  opt.space = ds.space;
+  auto index = std::make_unique<S2IIndex>(opt);
+  for (const auto& d : ds.docs) {
+    auto st = index->Insert(d);
+    if (!st.ok()) {
+      std::fprintf(stderr, "S2I insert failed: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  }
+  return index;
+}
+
+std::unique_ptr<IrTreeIndex> BuildIrTree(const Dataset& ds, bool bulk) {
+  IrTreeOptions opt;
+  opt.space = ds.space;
+  if (bulk) {
+    auto res = IrTreeIndex::BulkLoad(opt, ds.docs);
+    if (!res.ok()) {
+      std::fprintf(stderr, "IR-tree bulk load failed: %s\n",
+                   res.status().ToString().c_str());
+      std::abort();
+    }
+    return res.MoveValue();
+  }
+  auto index = std::make_unique<IrTreeIndex>(opt);
+  for (const auto& d : ds.docs) {
+    auto st = index->Insert(d);
+    if (!st.ok()) {
+      std::fprintf(stderr, "IR-tree insert failed: %s\n",
+                   st.ToString().c_str());
+      std::abort();
+    }
+  }
+  return index;
+}
+
+QuerySetCost RunQuerySet(SpatialKeywordIndex* index,
+                         const std::vector<Query>& queries, double alpha,
+                         uint32_t io_latency_us) {
+  QuerySetCost cost;
+  if (queries.empty()) return cost;
+  index->ClearCache();  // cold cache per query set, as in Section 6.3
+  index->ResetIoStats();
+  ScopedIoLatency latency(io_latency_us);
+  Timer timer;
+  for (const Query& q : queries) {
+    auto res = index->Search(q, alpha);
+    if (!res.ok()) {
+      std::fprintf(stderr, "%s search failed: %s\n", index->Name().c_str(),
+                   res.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  cost.avg_ms = timer.ElapsedMillis() / queries.size();
+  const IoStats& io = index->io_stats();
+  cost.avg_io_reads =
+      static_cast<double>(io.TotalReads()) / queries.size();
+  for (int c = 0; c < kNumIoCategories; ++c) {
+    cost.avg_reads_by_cat[c] =
+        static_cast<double>(io.reads(static_cast<IoCategory>(c))) /
+        queries.size();
+  }
+  return cost;
+}
+
+void PrintRow(const std::vector<std::string>& cells, int width) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+void PrintRule(size_t cells, int width) {
+  std::string rule(cells * static_cast<size_t>(width), '-');
+  std::printf("%s\n", rule.c_str());
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FmtBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= (uint64_t{1} << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2fGB",
+                  static_cast<double>(bytes) / (uint64_t{1} << 30));
+  } else if (bytes >= (uint64_t{1} << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB",
+                  static_cast<double>(bytes) / (uint64_t{1} << 20));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2fKB",
+                  static_cast<double>(bytes) / 1024);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 "B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace i3

@@ -1,0 +1,98 @@
+// Shared infrastructure for the per-figure benchmark harnesses: scaled
+// dataset construction, index builders, query-set measurement, and
+// paper-style table printing.
+//
+// Scaling: the paper's datasets are Twitter 1M/5M/10M/15M and Wikipedia
+// 400K. The default --scale=1 maps those to 20K/100K/200K/300K and 8K so
+// every figure regenerates in minutes on a laptop; pass a larger --scale to
+// approach the paper's cardinalities (shape, not absolute time, is the
+// reproduction target -- see EXPERIMENTS.md).
+
+#ifndef I3_BENCH_BENCH_COMMON_H_
+#define I3_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "datagen/dataset.h"
+#include "datagen/query_gen.h"
+#include "i3/i3_index.h"
+#include "irtree/irtree_index.h"
+#include "model/index.h"
+#include "s2i/s2i_index.h"
+
+namespace i3 {
+namespace bench {
+
+/// \brief Command-line configuration shared by all harnesses.
+struct BenchConfig {
+  /// Dataset scale multiplier (1.0 = the laptop defaults above).
+  double scale = 1.0;
+  /// Queries per query set (the paper uses 100; we default to 20 to keep
+  /// the full suite of harnesses tractable at scale 1 -- pass
+  /// --queries=100 for the paper's setting).
+  uint32_t num_queries = 20;
+  /// Skip the IR-tree baseline (it is by far the slowest to build).
+  bool skip_irtree = false;
+  /// Signature length eta for I3.
+  uint32_t eta = 300;
+  /// Simulated per-page device latency (microseconds) armed around the
+  /// measured phases, so wall-clock follows the I/O profile of the paper's
+  /// disk-resident setup. 0 = pure CPU timing.
+  uint32_t io_latency_us = 2;
+  /// Default parameters (bold in Table 4).
+  uint32_t default_k = 50;
+  double default_alpha = 0.5;
+  uint32_t default_qn = 3;
+
+  /// Parses --scale=X --queries=N --skip-irtree --eta=N --iolat=US.
+  static BenchConfig FromArgs(int argc, char** argv);
+};
+
+/// Base cardinalities at scale 1 standing in for the paper's datasets.
+constexpr uint32_t kTwitterBase[] = {20000, 100000, 200000, 300000};
+constexpr const char* kTwitterNames[] = {"Twitter1M", "Twitter5M",
+                                         "Twitter10M", "Twitter15M"};
+constexpr uint32_t kWikipediaBase = 8000;
+
+/// \brief Builds the scaled Twitter-like dataset standing in for
+/// kTwitterNames[tier].
+Dataset MakeTwitter(const BenchConfig& cfg, int tier);
+/// \brief Builds the scaled Wikipedia-like dataset.
+Dataset MakeWikipedia(const BenchConfig& cfg);
+
+/// \brief Index builders (timed by the caller where construction time is
+/// the measurement).
+std::unique_ptr<I3Index> BuildI3(const Dataset& ds, uint32_t eta);
+std::unique_ptr<S2IIndex> BuildS2I(const Dataset& ds);
+/// \param bulk use STR bulk loading (the paper's static Wikipedia build).
+std::unique_ptr<IrTreeIndex> BuildIrTree(const Dataset& ds, bool bulk);
+
+/// \brief Cost of running one query set: mean latency and mean per-query
+/// I/O, split by category.
+struct QuerySetCost {
+  double avg_ms = 0.0;
+  double avg_io_reads = 0.0;
+  /// Per-category mean reads, indexed by IoCategory.
+  double avg_reads_by_cat[kNumIoCategories] = {};
+};
+
+/// \brief Runs `queries` against `index` with cold caches and averaged
+/// timing/IO, under the configured simulated device latency.
+QuerySetCost RunQuerySet(SpatialKeywordIndex* index,
+                         const std::vector<Query>& queries, double alpha,
+                         uint32_t io_latency_us = 20);
+
+/// \brief Fixed-width table printing.
+void PrintRow(const std::vector<std::string>& cells, int width = 14);
+void PrintRule(size_t cells, int width = 14);
+std::string Fmt(double v, int precision = 2);
+std::string FmtBytes(uint64_t bytes);
+
+}  // namespace bench
+}  // namespace i3
+
+#endif  // I3_BENCH_BENCH_COMMON_H_

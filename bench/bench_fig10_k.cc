@@ -1,0 +1,60 @@
+// Figure 10: query running time vs the number of results k in
+// {10, 50, 100, 150, 200} -- eight panels spanning {AND, OR} x
+// {Twitter5M, Wikipedia} x {REST, FREQ_3}.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace i3;
+using namespace i3::bench;
+
+namespace {
+
+void Panels(const BenchConfig& cfg, const Dataset& ds, bool irtree_bulk) {
+  auto i3x = BuildI3(ds, cfg.eta);
+  auto s2i = BuildS2I(ds);
+  std::unique_ptr<IrTreeIndex> ir;
+  if (!cfg.skip_irtree) ir = BuildIrTree(ds, irtree_bulk);
+  const QueryGenerator qgen(ds);
+
+  for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
+    for (const char* qtype : {"REST", "FREQ"}) {
+      std::printf("\n-- %s / %s / %s --\n", SemanticsName(sem),
+                  ds.name.c_str(), qtype);
+      PrintRow({"k", "I3(ms)", "S2I(ms)", "IR-tree(ms)"});
+      PrintRule(4);
+      for (uint32_t k : {10u, 50u, 100u, 150u, 200u}) {
+        std::vector<Query> queries =
+            qtype[0] == 'R'
+                ? qgen.Rest(cfg.num_queries, k, sem, /*seed=*/1000 + k)
+                : qgen.Freq(cfg.default_qn, cfg.num_queries, k, sem,
+                            /*seed=*/1000 + k);
+        const auto c_i3 =
+            RunQuerySet(i3x.get(), queries, cfg.default_alpha, cfg.io_latency_us);
+        const auto c_s2i =
+            RunQuerySet(s2i.get(), queries, cfg.default_alpha, cfg.io_latency_us);
+        std::string ir_ms = "skipped";
+        if (ir != nullptr) {
+          ir_ms = Fmt(
+              RunQuerySet(ir.get(), queries, cfg.default_alpha, cfg.io_latency_us).avg_ms, 3);
+        }
+        PrintRow({std::to_string(k), Fmt(c_i3.avg_ms, 3),
+                  Fmt(c_s2i.avg_ms, 3), ir_ms});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  std::printf(
+      "== Figure 10: running time vs number of results k (scale=%.2f, "
+      "alpha=%.1f) ==\n",
+      cfg.scale, cfg.default_alpha);
+  Panels(cfg, MakeTwitter(cfg, 1), /*irtree_bulk=*/false);
+  Panels(cfg, MakeWikipedia(cfg), /*irtree_bulk=*/true);
+  return 0;
+}

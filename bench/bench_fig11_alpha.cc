@@ -1,0 +1,55 @@
+// Figure 11: query running time vs the spatial weight alpha in
+// {0.1, 0.3, 0.5, 0.7, 0.9} under OR semantics -- four panels:
+// {Twitter5M, Wikipedia} x {REST, FREQ_3}.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace i3;
+using namespace i3::bench;
+
+namespace {
+
+void Panels(const BenchConfig& cfg, const Dataset& ds, bool irtree_bulk) {
+  auto i3x = BuildI3(ds, cfg.eta);
+  auto s2i = BuildS2I(ds);
+  std::unique_ptr<IrTreeIndex> ir;
+  if (!cfg.skip_irtree) ir = BuildIrTree(ds, irtree_bulk);
+  const QueryGenerator qgen(ds);
+
+  for (const char* qtype : {"REST", "FREQ"}) {
+    std::printf("\n-- OR / %s / %s --\n", ds.name.c_str(), qtype);
+    PrintRow({"alpha", "I3(ms)", "S2I(ms)", "IR-tree(ms)"});
+    PrintRule(4);
+    std::vector<Query> queries =
+        qtype[0] == 'R'
+            ? qgen.Rest(cfg.num_queries, cfg.default_k, Semantics::kOr,
+                        /*seed=*/1100)
+            : qgen.Freq(cfg.default_qn, cfg.num_queries, cfg.default_k,
+                        Semantics::kOr, /*seed=*/1100);
+    for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      const auto c_i3 = RunQuerySet(i3x.get(), queries, alpha, cfg.io_latency_us);
+      const auto c_s2i = RunQuerySet(s2i.get(), queries, alpha, cfg.io_latency_us);
+      std::string ir_ms = "skipped";
+      if (ir != nullptr) {
+        ir_ms = Fmt(RunQuerySet(ir.get(), queries, alpha, cfg.io_latency_us).avg_ms, 3);
+      }
+      PrintRow({Fmt(alpha, 1), Fmt(c_i3.avg_ms, 3), Fmt(c_s2i.avg_ms, 3),
+                ir_ms});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  std::printf(
+      "== Figure 11: running time vs alpha, OR semantics (scale=%.2f, "
+      "k=%u) ==\n",
+      cfg.scale, cfg.default_k);
+  Panels(cfg, MakeTwitter(cfg, 1), /*irtree_bulk=*/false);
+  Panels(cfg, MakeWikipedia(cfg), /*irtree_bulk=*/true);
+  return 0;
+}

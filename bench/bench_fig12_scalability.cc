@@ -1,0 +1,63 @@
+// Figure 12: query running time vs Twitter cardinality (the 1M/5M/10M/15M
+// tiers, scaled) -- four panels: {AND, OR} x {REST, FREQ_3}.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace i3;
+using namespace i3::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  std::printf(
+      "== Figure 12: running time vs Twitter cardinality (scale=%.2f, k=%u, "
+      "alpha=%.1f) ==\n",
+      cfg.scale, cfg.default_k, cfg.default_alpha);
+
+  struct Built {
+    Dataset ds;
+    std::unique_ptr<I3Index> i3;
+    std::unique_ptr<S2IIndex> s2i;
+    std::unique_ptr<IrTreeIndex> ir;
+  };
+  std::vector<Built> tiers;
+  for (int tier = 0; tier < 4; ++tier) {
+    Built b;
+    b.ds = MakeTwitter(cfg, tier);
+    b.i3 = BuildI3(b.ds, cfg.eta);
+    b.s2i = BuildS2I(b.ds);
+    if (!cfg.skip_irtree) b.ir = BuildIrTree(b.ds, /*bulk=*/false);
+    tiers.push_back(std::move(b));
+  }
+
+  for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
+    for (const char* qtype : {"REST", "FREQ"}) {
+      std::printf("\n-- %s using %s --\n", SemanticsName(sem), qtype);
+      PrintRow({"Dataset", "I3(ms)", "S2I(ms)", "IR-tree(ms)"});
+      PrintRule(4);
+      for (auto& b : tiers) {
+        const QueryGenerator qgen(b.ds);
+        std::vector<Query> queries =
+            qtype[0] == 'R'
+                ? qgen.Rest(cfg.num_queries, cfg.default_k, sem,
+                            /*seed=*/1200)
+                : qgen.Freq(cfg.default_qn, cfg.num_queries, cfg.default_k,
+                            sem, /*seed=*/1200);
+        const auto c_i3 =
+            RunQuerySet(b.i3.get(), queries, cfg.default_alpha, cfg.io_latency_us);
+        const auto c_s2i =
+            RunQuerySet(b.s2i.get(), queries, cfg.default_alpha, cfg.io_latency_us);
+        std::string ir_ms = "skipped";
+        if (b.ir != nullptr) {
+          ir_ms = Fmt(
+              RunQuerySet(b.ir.get(), queries, cfg.default_alpha, cfg.io_latency_us).avg_ms,
+              3);
+        }
+        PrintRow({b.ds.name, Fmt(c_i3.avg_ms, 3), Fmt(c_s2i.avg_ms, 3),
+                  ir_ms});
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Figure 13: index update time -- build each index to a moderate size, then
+// execute 4000 random data operations (document insertions and deletions)
+// and report the total time, for I3 vs S2I on growing Twitter and Wikipedia
+// datasets. (The paper omits IR-tree here because its update implementation
+// was not provided; ours supports updates, so pass --with-irtree via
+// --skip-irtree=false semantics is the default off to match the paper.)
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+using namespace i3;
+using namespace i3::bench;
+
+namespace {
+
+constexpr int kOps = 4000;
+
+/// Runs the 4000-op workload: ~half deletions of random live documents,
+/// half insertions of fresh documents (drawn from the same generator
+/// distribution).
+double RunUpdates(SpatialKeywordIndex* index, const Dataset& ds,
+                  const std::vector<SpatialDocument>& fresh, uint64_t seed,
+                  uint32_t io_latency_us) {
+  Rng rng(seed);
+  std::vector<size_t> live(ds.docs.size());
+  for (size_t i = 0; i < live.size(); ++i) live[i] = i;
+  size_t next_fresh = 0;
+
+  index->ResetIoStats();
+  ScopedIoLatency latency(io_latency_us);
+  Timer timer;
+  for (int op = 0; op < kOps; ++op) {
+    const bool do_insert =
+        next_fresh < fresh.size() && (live.empty() || rng.Chance(0.5));
+    if (do_insert) {
+      auto st = index->Insert(fresh[next_fresh++]);
+      if (!st.ok()) {
+        std::fprintf(stderr, "insert failed: %s\n", st.ToString().c_str());
+        std::abort();
+      }
+    } else {
+      const size_t pick = rng.UniformInt(0, live.size() - 1);
+      auto st = index->Delete(ds.docs[live[pick]]);
+      if (!st.ok()) {
+        std::fprintf(stderr, "delete failed: %s\n", st.ToString().c_str());
+        std::abort();
+      }
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  return timer.ElapsedSeconds();
+}
+
+void Panel(const BenchConfig& cfg, bool wikipedia, bool with_irtree) {
+  std::printf("\n-- %s --\n", wikipedia ? "Wikipedia" : "Twitter");
+  PrintRow({"DatasetSize", "I3(s)", "S2I(s)",
+            with_irtree ? "IR-tree(s)" : ""});
+  PrintRule(with_irtree ? 4 : 3);
+
+  // The paper grows the base index: Twitter 0.5M..2M, Wikipedia 100K..400K;
+  // we use the same 4-step ramp at the configured scale.
+  const uint32_t twitter_sizes[] = {10000, 20000, 30000, 40000};
+  const uint32_t wiki_sizes[] = {2000, 4000, 6000, 8000};
+  for (int step = 0; step < 4; ++step) {
+    const uint32_t n = static_cast<uint32_t>(
+        (wikipedia ? wiki_sizes[step] : twitter_sizes[step]) * cfg.scale);
+    GeneratorSpec spec = wikipedia ? WikipediaSpec(n, 300 + step)
+                                   : TwitterSpec(n, 300 + step);
+    Dataset ds = Generate(spec);
+    // Fresh documents to insert during the update phase.
+    GeneratorSpec fresh_spec = spec;
+    fresh_spec.num_docs = kOps;
+    fresh_spec.seed = 999 + step;
+    Dataset fresh = Generate(fresh_spec);
+    for (auto& d : fresh.docs) d.id += 10000000;  // disjoint id space
+
+    auto i3x = BuildI3(ds, cfg.eta);
+    const double t_i3 =
+        RunUpdates(i3x.get(), ds, fresh.docs, 17, cfg.io_latency_us);
+
+    auto s2i = BuildS2I(ds);
+    const double t_s2i =
+        RunUpdates(s2i.get(), ds, fresh.docs, 17, cfg.io_latency_us);
+
+    std::string t_ir;
+    if (with_irtree) {
+      auto ir = BuildIrTree(ds, /*bulk=*/false);
+      t_ir =
+          Fmt(RunUpdates(ir.get(), ds, fresh.docs, 17, cfg.io_latency_us), 3);
+    }
+    PrintRow({std::to_string(n), Fmt(t_i3, 3), Fmt(t_s2i, 3), t_ir});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  bool with_irtree = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--with-irtree") == 0) with_irtree = true;
+  }
+  std::printf(
+      "== Figure 13: index update time, %d random insert/delete ops "
+      "(scale=%.2f) ==\n",
+      kOps, cfg.scale);
+  Panel(cfg, /*wikipedia=*/false, with_irtree);
+  Panel(cfg, /*wikipedia=*/true, with_irtree);
+  return 0;
+}

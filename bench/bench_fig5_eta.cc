@@ -1,0 +1,37 @@
+// Figure 5: tuning the signature length eta on the Twitter1M-scale dataset
+// with the REST (AOL-style) query set. Reports top-k query time under AND
+// and OR semantics (the two lines) and the head-file size (the histogram).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace i3;
+using namespace i3::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  std::printf("== Figure 5: performance tuning for eta (scale=%.2f) ==\n",
+              cfg.scale);
+
+  const Dataset ds = MakeTwitter(cfg, 0);
+  const QueryGenerator qgen(ds);
+  auto and_queries = qgen.Rest(cfg.num_queries, cfg.default_k,
+                               Semantics::kAnd, /*seed=*/500);
+  auto or_queries = qgen.Rest(cfg.num_queries, cfg.default_k,
+                              Semantics::kOr, /*seed=*/500);
+
+  PrintRow({"eta", "AND(ms)", "OR(ms)", "HeadFile"});
+  PrintRule(4);
+  for (uint32_t eta : {50u, 100u, 150u, 200u, 300u, 400u, 500u}) {
+    auto index = BuildI3(ds, eta);
+    const auto and_cost = RunQuerySet(index.get(), and_queries,
+                                      cfg.default_alpha, cfg.io_latency_us);
+    const auto or_cost = RunQuerySet(index.get(), or_queries,
+                                     cfg.default_alpha, cfg.io_latency_us);
+    PrintRow({std::to_string(eta), Fmt(and_cost.avg_ms, 3),
+              Fmt(or_cost.avg_ms, 3),
+              FmtBytes(index->SizeInfo().components[0].second)});
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 6: index construction time for I3, S2I and IR-tree on the four
+// Twitter datasets and Wikipedia.
+//
+// As in the paper, the IR-tree is built incrementally on the Twitter
+// datasets (repeated insertion with node splits re-organizing the per-node
+// inverted files) and bulk-loaded (STR) on Wikipedia, where the authors'
+// implementation "is based on a static dataset".
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+
+using namespace i3;
+using namespace i3::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  std::printf("== Figure 6: index construction time (scale=%.2f) ==\n",
+              cfg.scale);
+  PrintRow({"Dataset", "I3(s)", "S2I(s)", "IR-tree(s)"});
+  PrintRule(4);
+
+  auto run = [&](const Dataset& ds, bool irtree_bulk) {
+    // Construction in the paper's setup is disk-bound: arm the simulated
+    // device latency so build times follow the I/O profile.
+    ScopedIoLatency latency(cfg.io_latency_us);
+    Timer t1;
+    auto i3x = BuildI3(ds, cfg.eta);
+    const double t_i3 = t1.ElapsedSeconds();
+
+    Timer t2;
+    auto s2i = BuildS2I(ds);
+    const double t_s2i = t2.ElapsedSeconds();
+
+    double t_ir = -1.0;
+    if (!cfg.skip_irtree) {
+      Timer t3;
+      auto ir = BuildIrTree(ds, irtree_bulk);
+      t_ir = t3.ElapsedSeconds();
+    }
+    PrintRow({ds.name, Fmt(t_i3), Fmt(t_s2i),
+              t_ir < 0 ? "skipped" : Fmt(t_ir)});
+  };
+
+  for (int tier = 0; tier < 4; ++tier) {
+    run(MakeTwitter(cfg, tier), /*irtree_bulk=*/false);
+  }
+  run(MakeWikipedia(cfg), /*irtree_bulk=*/true);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 7: query running time vs the number of query keywords qn (FREQ_2
+// .. FREQ_5) under AND and OR semantics, on Twitter5M-scale and Wikipedia.
+// Four panels: (a) AND/Twitter5M (b) OR/Twitter5M (c) AND/Wikipedia
+// (d) OR/Wikipedia.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace i3;
+using namespace i3::bench;
+
+namespace {
+
+void Panel(const BenchConfig& cfg, const Dataset& ds, bool irtree_bulk) {
+  auto i3x = BuildI3(ds, cfg.eta);
+  auto s2i = BuildS2I(ds);
+  std::unique_ptr<IrTreeIndex> ir;
+  if (!cfg.skip_irtree) ir = BuildIrTree(ds, irtree_bulk);
+  const QueryGenerator qgen(ds);
+
+  for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
+    std::printf("\n-- %s in %s --\n", SemanticsName(sem), ds.name.c_str());
+    PrintRow({"qn", "I3(ms)", "S2I(ms)", "IR-tree(ms)"});
+    PrintRule(4);
+    for (uint32_t qn = 2; qn <= 5; ++qn) {
+      auto queries = qgen.Freq(qn, cfg.num_queries, cfg.default_k, sem,
+                               /*seed=*/700 + qn);
+      const auto c_i3 =
+          RunQuerySet(i3x.get(), queries, cfg.default_alpha, cfg.io_latency_us);
+      const auto c_s2i =
+          RunQuerySet(s2i.get(), queries, cfg.default_alpha, cfg.io_latency_us);
+      std::string ir_ms = "skipped";
+      if (ir != nullptr) {
+        ir_ms = Fmt(RunQuerySet(ir.get(), queries, cfg.default_alpha, cfg.io_latency_us).avg_ms,
+                    3);
+      }
+      PrintRow({std::to_string(qn), Fmt(c_i3.avg_ms, 3),
+                Fmt(c_s2i.avg_ms, 3), ir_ms});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  std::printf(
+      "== Figure 7: running time vs number of query keywords (scale=%.2f, "
+      "k=%u, alpha=%.1f, FREQ) ==\n",
+      cfg.scale, cfg.default_k, cfg.default_alpha);
+  Panel(cfg, MakeTwitter(cfg, 1), /*irtree_bulk=*/false);
+  Panel(cfg, MakeWikipedia(cfg), /*irtree_bulk=*/true);
+  return 0;
+}

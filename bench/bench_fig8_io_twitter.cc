@@ -1,0 +1,66 @@
+// Figure 8: I/O cost of increasing qn under OR semantics on the
+// Twitter5M-scale dataset, split by file type: I3 head file vs data file,
+// S2I tree nodes, IR-tree tree nodes vs inverted files (the stacked
+// histograms of the paper).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace i3;
+using namespace i3::bench;
+
+namespace {
+
+void RunPanel(const BenchConfig& cfg, const Dataset& ds, bool irtree_bulk) {
+  auto i3x = BuildI3(ds, cfg.eta);
+  auto s2i = BuildS2I(ds);
+  std::unique_ptr<IrTreeIndex> ir;
+  if (!cfg.skip_irtree) ir = BuildIrTree(ds, irtree_bulk);
+  const QueryGenerator qgen(ds);
+
+  PrintRow({"qn", "I3.head", "I3.data", "S2I.tree", "S2I.flat", "IR.tree",
+            "IR.inv"},
+           12);
+  PrintRule(7, 12);
+  for (uint32_t qn = 2; qn <= 5; ++qn) {
+    auto queries = qgen.Freq(qn, cfg.num_queries, cfg.default_k,
+                             Semantics::kOr, /*seed=*/800 + qn);
+    const auto c_i3 = RunQuerySet(i3x.get(), queries, cfg.default_alpha, cfg.io_latency_us);
+    const auto c_s2i = RunQuerySet(s2i.get(), queries, cfg.default_alpha, cfg.io_latency_us);
+    std::string ir_tree = "skipped", ir_inv = "skipped";
+    if (ir != nullptr) {
+      const auto c_ir = RunQuerySet(ir.get(), queries, cfg.default_alpha, cfg.io_latency_us);
+      ir_tree = Fmt(
+          c_ir.avg_reads_by_cat[static_cast<int>(IoCategory::kRTreeNode)],
+          1);
+      ir_inv = Fmt(
+          c_ir.avg_reads_by_cat[static_cast<int>(IoCategory::kInvertedFile)],
+          1);
+    }
+    PrintRow(
+        {std::to_string(qn),
+         Fmt(c_i3.avg_reads_by_cat[static_cast<int>(IoCategory::kI3HeadFile)],
+             1),
+         Fmt(c_i3.avg_reads_by_cat[static_cast<int>(IoCategory::kI3DataFile)],
+             1),
+         Fmt(c_s2i.avg_reads_by_cat[static_cast<int>(IoCategory::kRTreeNode)],
+             1),
+         Fmt(c_s2i.avg_reads_by_cat[static_cast<int>(IoCategory::kFlatFile)],
+             1),
+         ir_tree, ir_inv},
+        12);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  std::printf(
+      "== Figure 8: I/O cost (avg page reads / query) of increasing qn, OR "
+      "semantics, Twitter5M (scale=%.2f) ==\n",
+      cfg.scale);
+  RunPanel(cfg, MakeTwitter(cfg, 1), /*irtree_bulk=*/false);
+  return 0;
+}

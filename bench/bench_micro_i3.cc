@@ -1,0 +1,125 @@
+// Microbenchmarks (google-benchmark) of the I3 building blocks: tuple
+// insertion, deletion, top-k search under both semantics, signature
+// operations, and quadtree cell arithmetic.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/dataset.h"
+#include "datagen/query_gen.h"
+#include "i3/i3_index.h"
+#include "i3/signature.h"
+#include "quadtree/cell.h"
+
+namespace i3 {
+namespace {
+
+Dataset& SharedDataset() {
+  static Dataset ds = Generate(TwitterSpec(20000, /*seed=*/42));
+  return ds;
+}
+
+I3Index& SharedIndex() {
+  static I3Index* index = [] {
+    I3Options opt;
+    opt.space = SharedDataset().space;
+    auto* idx = new I3Index(opt);
+    for (const auto& d : SharedDataset().docs) {
+      auto st = idx->Insert(d);
+      if (!st.ok()) std::abort();
+    }
+    return idx;
+  }();
+  return *index;
+}
+
+void BM_I3Insert(benchmark::State& state) {
+  const Dataset& ds = SharedDataset();
+  I3Options opt;
+  opt.space = ds.space;
+  I3Index index(opt);
+  size_t i = 0;
+  DocId next_id = 1u << 28;
+  for (auto _ : state) {
+    SpatialDocument d = ds.docs[i % ds.docs.size()];
+    d.id = next_id++;
+    benchmark::DoNotOptimize(index.Insert(d));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_I3Insert);
+
+void BM_I3InsertDelete(benchmark::State& state) {
+  const Dataset& ds = SharedDataset();
+  I3Options opt;
+  opt.space = ds.space;
+  I3Index index(opt);
+  size_t i = 0;
+  for (auto _ : state) {
+    SpatialDocument d = ds.docs[i % ds.docs.size()];
+    d.id = 1u << 28;
+    benchmark::DoNotOptimize(index.Insert(d));
+    benchmark::DoNotOptimize(index.Delete(d));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_I3InsertDelete);
+
+void BM_I3SearchAnd(benchmark::State& state) {
+  I3Index& index = SharedIndex();
+  const QueryGenerator qgen(SharedDataset());
+  auto queries = qgen.Freq(static_cast<uint32_t>(state.range(0)), 64, 10,
+                           Semantics::kAnd, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search(queries[i % queries.size()], 0.5));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_I3SearchAnd)->Arg(2)->Arg(3)->Arg(5);
+
+void BM_I3SearchOr(benchmark::State& state) {
+  I3Index& index = SharedIndex();
+  const QueryGenerator qgen(SharedDataset());
+  auto queries = qgen.Freq(static_cast<uint32_t>(state.range(0)), 64, 10,
+                           Semantics::kOr, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search(queries[i % queries.size()], 0.5));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_I3SearchOr)->Arg(2)->Arg(3)->Arg(5);
+
+void BM_SignatureIntersect(benchmark::State& state) {
+  Signature a(static_cast<uint32_t>(state.range(0)));
+  Signature b(static_cast<uint32_t>(state.range(0)));
+  for (DocId d = 0; d < 64; ++d) {
+    a.Add(d * 3);
+    b.Add(d * 7);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Intersects(b));
+  }
+}
+BENCHMARK(BM_SignatureIntersect)->Arg(64)->Arg(300)->Arg(1024);
+
+void BM_CellLocate(benchmark::State& state) {
+  const CellSpace space(Rect{-180, -90, 180, 90});
+  double x = -180;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        space.Locate({x, x / 2}, static_cast<uint8_t>(state.range(0))));
+    x += 0.37;
+    if (x > 180) x = -180;
+  }
+}
+BENCHMARK(BM_CellLocate)->Arg(8)->Arg(16)->Arg(24);
+
+}  // namespace
+}  // namespace i3
+
+BENCHMARK_MAIN();

@@ -1,0 +1,29 @@
+// Table 2: dataset description -- cardinality, number of unique keywords,
+// average keywords per document, for the five (scaled) datasets.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace i3;
+using namespace i3::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  std::printf("== Table 2: dataset description (scale=%.2f) ==\n", cfg.scale);
+  PrintRow({"DataSets", "NumTuples", "UniqueKeywords", "AvgKwPerDoc"}, 18);
+  PrintRule(4, 18);
+
+  auto report = [](const Dataset& ds) {
+    PrintRow({ds.name, std::to_string(ds.NumDocs()),
+              std::to_string(ds.UniqueKeywords()),
+              Fmt(ds.AvgKeywordsPerDoc(), 4)},
+             18);
+  };
+
+  for (int tier = 0; tier < 4; ++tier) {
+    report(MakeTwitter(cfg, tier));
+  }
+  report(MakeWikipedia(cfg));
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table 5: index size, per component -- I3 head/data file, S2I trees + flat
+// file (and its tree-file count), IR-tree inverted files + R-tree.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace i3;
+using namespace i3::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  std::printf("== Table 5: index size (scale=%.2f) ==\n", cfg.scale);
+  PrintRow({"Dataset", "I3-Head", "I3-Data", "S2I-Index", "S2I-files",
+            "IR-InvIdx", "IR-Rtree"},
+           13);
+  PrintRule(7, 13);
+
+  auto run = [&](const Dataset& ds, bool irtree_bulk) {
+    auto i3x = BuildI3(ds, cfg.eta);
+    auto s2i = BuildS2I(ds);
+    const auto i3_info = i3x->SizeInfo();
+    const auto s2_info = s2i->SizeInfo();
+
+    std::string ir_inv = "skipped";
+    std::string ir_rt = "skipped";
+    if (!cfg.skip_irtree) {
+      auto ir = BuildIrTree(ds, irtree_bulk);
+      const auto info = ir->SizeInfo();
+      ir_rt = FmtBytes(info.components[0].second);   // "R-tree"
+      ir_inv = FmtBytes(info.components[1].second);  // "inverted files"
+    }
+
+    PrintRow({ds.name, FmtBytes(i3_info.components[0].second),
+              FmtBytes(i3_info.components[1].second),
+              FmtBytes(s2_info.TotalBytes()),
+              std::to_string(s2i->TreeFileCount()), ir_inv, ir_rt},
+             13);
+  };
+
+  for (int tier = 0; tier < 4; ++tier) {
+    run(MakeTwitter(cfg, tier), false);
+  }
+  run(MakeWikipedia(cfg), true);
+  return 0;
+}

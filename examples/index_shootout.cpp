@@ -1,0 +1,121 @@
+// Index shootout: builds all four SpatialKeywordIndex implementations (I3,
+// IR-tree, S2I, brute force) over the same synthetic corpus, verifies that
+// they return identical rankings, and prints a small comparison table --
+// a miniature of the paper's evaluation, through the public API only.
+//
+//   build/examples/index_shootout [num_docs]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "common/timer.h"
+#include "datagen/dataset.h"
+#include "datagen/query_gen.h"
+#include "i3/i3_index.h"
+#include "irtree/irtree_index.h"
+#include "model/brute_force.h"
+#include "s2i/s2i_index.h"
+
+using namespace i3;
+
+int main(int argc, char** argv) {
+  uint32_t num_docs = 20000;
+  if (argc >= 2) num_docs = static_cast<uint32_t>(std::atoi(argv[1]));
+
+  std::printf("generating %u tweet-like documents...\n", num_docs);
+  const Dataset ds = Generate(TwitterSpec(num_docs, /*seed=*/11));
+  const QueryGenerator qgen(ds);
+
+  // Assemble the contenders behind the common interface.
+  std::vector<std::unique_ptr<SpatialKeywordIndex>> indexes;
+  {
+    I3Options opt;
+    opt.space = ds.space;
+    indexes.push_back(std::make_unique<I3Index>(opt));
+  }
+  {
+    IrTreeOptions opt;
+    opt.space = ds.space;
+    indexes.push_back(std::make_unique<IrTreeIndex>(opt));
+  }
+  {
+    S2IOptions opt;
+    opt.space = ds.space;
+    indexes.push_back(std::make_unique<S2IIndex>(opt));
+  }
+  indexes.push_back(std::make_unique<BruteForceIndex>(ds.space));
+
+  std::printf("\n%-12s %12s %14s %14s %14s\n", "index", "build(s)",
+              "size", "AND ms/query", "OR ms/query");
+  std::printf("%s\n", std::string(70, '-').c_str());
+
+  auto and_queries =
+      qgen.Freq(/*qn=*/3, /*num=*/20, /*k=*/10, Semantics::kAnd, 21);
+  auto or_queries =
+      qgen.Freq(/*qn=*/3, /*num=*/20, /*k=*/10, Semantics::kOr, 21);
+
+  // Reference answers from the oracle (last index).
+  std::vector<std::vector<ScoredDoc>> want_and, want_or;
+
+  for (auto it = indexes.rbegin(); it != indexes.rend(); ++it) {
+    SpatialKeywordIndex& index = **it;
+    Timer build;
+    for (const auto& d : ds.docs) {
+      auto st = index.Insert(d);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s insert failed: %s\n", index.Name().c_str(),
+                     st.ToString().c_str());
+        return 1;
+      }
+    }
+    const double build_s = build.ElapsedSeconds();
+
+    auto run = [&](const std::vector<Query>& queries,
+                   std::vector<std::vector<ScoredDoc>>* want) {
+      Timer t;
+      bool all_match = true;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        auto res = index.Search(queries[i], 0.5);
+        if (!res.ok()) {
+          std::fprintf(stderr, "%s search failed: %s\n",
+                       index.Name().c_str(),
+                       res.status().ToString().c_str());
+          std::exit(1);
+        }
+        if (want->size() <= i) {
+          want->push_back(res.ValueOrDie());
+        } else {
+          const auto& w = (*want)[i];
+          const auto& g = res.ValueOrDie();
+          if (g.size() != w.size()) all_match = false;
+          for (size_t j = 0; all_match && j < g.size(); ++j) {
+            if (std::abs(g[j].score - w[j].score) > 1e-9) all_match = false;
+          }
+        }
+      }
+      if (!all_match) {
+        std::fprintf(stderr, "%s DISAGREES with the oracle!\n",
+                     index.Name().c_str());
+        std::exit(1);
+      }
+      return t.ElapsedMillis() / queries.size();
+    };
+
+    const double and_ms = run(and_queries, &want_and);
+    const double or_ms = run(or_queries, &want_or);
+
+    char size_buf[32];
+    const double mb =
+        static_cast<double>(index.SizeInfo().TotalBytes()) / (1 << 20);
+    std::snprintf(size_buf, sizeof(size_buf), "%.1fMB", mb);
+    std::printf("%-12s %12.2f %14s %14.3f %14.3f\n", index.Name().c_str(),
+                build_s, size_buf, and_ms, or_ms);
+  }
+
+  std::printf(
+      "\nall indexes returned identical rankings on %zu queries.\n",
+      and_queries.size() + or_queries.size());
+  return 0;
+}

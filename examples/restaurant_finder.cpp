@@ -1,0 +1,153 @@
+// Restaurant finder: the location-based-service scenario from the paper's
+// introduction. Ingests free-text point-of-interest descriptions through
+// the full text pipeline (tokenizer -> vocabulary -> tf-idf), indexes them
+// with I3, and answers text queries at a user location.
+//
+//   build/examples/restaurant_finder [lng lat k alpha "query words..."]
+//   e.g. build/examples/restaurant_finder 3.2 7.4 5 0.5 "spicy noodle bar"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "i3/i3_index.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+using namespace i3;
+
+namespace {
+
+struct Poi {
+  std::string name;
+  std::string description;
+  Point loc;
+};
+
+// A synthetic downtown: a few handcrafted anchors plus generated venues.
+std::vector<Poi> MakeCity() {
+  std::vector<Poi> pois = {
+      {"Dragon Palace", "spicy sichuan chinese restaurant with hotpot",
+       {3.1, 7.2}},
+      {"Golden Wok", "cantonese chinese restaurant dim sum", {3.4, 7.6}},
+      {"Seoul Garden", "korean barbecue restaurant spicy kimchi",
+       {2.8, 7.0}},
+      {"Noodle Express", "quick noodle bar spicy ramen", {3.3, 7.1}},
+      {"Bella Italia", "italian restaurant pasta pizza wine", {6.2, 2.4}},
+      {"Taco Loco", "mexican street food spicy tacos", {6.5, 2.9}},
+      {"Green Bowl", "vegan salad bar smoothie healthy", {5.0, 5.0}},
+      {"Cafe Central", "coffee espresso pastry breakfast", {5.2, 5.3}},
+      {"Burger Hub", "smash burger fries milkshake", {7.8, 8.1}},
+      {"Sushi Zen", "japanese sushi omakase sake bar", {2.2, 2.2}},
+  };
+  // Plus 300 generated venues spread over the city.
+  const char* kCuisines[] = {"chinese", "korean",  "italian", "mexican",
+                             "thai",    "indian",  "french",  "greek"};
+  const char* kTypes[] = {"restaurant", "bar", "cafe", "diner", "bistro"};
+  const char* kTraits[] = {"spicy", "cozy", "cheap", "fancy", "organic",
+                           "noodle", "grill", "vegan"};
+  Rng rng(4);
+  for (int i = 0; i < 300; ++i) {
+    Poi p;
+    p.name = "Venue #" + std::to_string(i);
+    p.description = std::string(kTraits[rng.UniformInt(0, 7)]) + " " +
+                    kCuisines[rng.UniformInt(0, 7)] + " " +
+                    kTypes[rng.UniformInt(0, 4)];
+    p.loc = {rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)};
+    pois.push_back(std::move(p));
+  }
+  return pois;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Point qloc{3.0, 7.0};
+  uint32_t k = 5;
+  double alpha = 0.5;
+  std::string query_text = "spicy chinese restaurant";
+  if (argc >= 5) {
+    qloc.x = std::atof(argv[1]);
+    qloc.y = std::atof(argv[2]);
+    k = static_cast<uint32_t>(std::atoi(argv[3]));
+    alpha = std::atof(argv[4]);
+  }
+  if (argc >= 6) query_text = argv[5];
+
+  const std::vector<Poi> city = MakeCity();
+
+  // Pass 1: document frequencies for tf-idf.
+  Tokenizer tokenizer;
+  Vocabulary vocab;
+  for (const Poi& p : city) {
+    std::unordered_set<TermId> seen;
+    for (const auto& tok : tokenizer.Tokenize(p.description)) {
+      seen.insert(vocab.GetOrAdd(tok));
+    }
+    for (TermId t : seen) vocab.AddDocumentOccurrence(t);
+  }
+
+  // Pass 2: weigh and index.
+  I3Options options;
+  options.space = {0.0, 0.0, 10.0, 10.0};
+  options.page_size = 512;
+  I3Index index(options);
+  TfIdfWeighter weighter(&vocab, city.size());
+  for (size_t i = 0; i < city.size(); ++i) {
+    std::vector<TermId> tokens;
+    for (const auto& tok : tokenizer.Tokenize(city[i].description)) {
+      tokens.push_back(vocab.Lookup(tok));
+    }
+    SpatialDocument d;
+    d.id = static_cast<DocId>(i);
+    d.location = city[i].loc;
+    d.terms = weighter.Weigh(tokens);
+    auto st = index.Insert(d);
+    if (!st.ok()) {
+      std::fprintf(stderr, "insert failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Build the query from free text.
+  Query q;
+  q.location = qloc;
+  q.k = k;
+  for (const auto& tok : tokenizer.Tokenize(query_text)) {
+    const TermId t = vocab.Lookup(tok);
+    if (t != kInvalidTermId) q.terms.push_back(t);
+  }
+  if (q.terms.empty()) {
+    std::fprintf(stderr, "no query keyword is in the vocabulary\n");
+    return 1;
+  }
+
+  std::printf("query \"%s\" at (%.1f, %.1f), k=%u, alpha=%.2f over %zu "
+              "venues\n\n",
+              query_text.c_str(), qloc.x, qloc.y, k, alpha, city.size());
+  for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
+    q.semantics = sem;
+    index.ResetIoStats();
+    auto res = index.Search(q, alpha);
+    if (!res.ok()) {
+      std::fprintf(stderr, "search failed: %s\n",
+                   res.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s semantics (%llu page reads):\n", SemanticsName(sem),
+                static_cast<unsigned long long>(
+                    index.io_stats().TotalReads()));
+    for (const ScoredDoc& sd : res.ValueOrDie()) {
+      const Poi& p = city[sd.doc];
+      std::printf("  %-16s score=%.4f  at (%.1f, %.1f)  \"%s\"\n",
+                  p.name.c_str(), sd.score, p.loc.x, p.loc.y,
+                  p.description.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

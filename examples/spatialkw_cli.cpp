@@ -1,0 +1,288 @@
+// spatialkw_cli: build, persist, and query I3 indexes over TSV corpora --
+// the end-to-end command-line workflow a downstream user starts from.
+//
+// Input corpus format (tab-separated, one document per line):
+//   id <TAB> lng <TAB> lat <TAB> free text...
+//
+// Usage:
+//   spatialkw_cli build  <corpus.tsv> <index-prefix> [minlng minlat maxlng maxlat]
+//   spatialkw_cli stats  <index-prefix>
+//   spatialkw_cli query  <index-prefix> <lng> <lat> <k> <alpha> <and|or> <text...>
+//   spatialkw_cli range  <index-prefix> <minlng> <minlat> <maxlng> <maxlat> <and|or> <text...>
+//
+// `build` writes <prefix>.i3 (the index) and <prefix>.vocab (the term
+// dictionary with document frequencies, needed to interpret query text).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/timer.h"
+#include "i3/i3_index.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+using namespace i3;
+
+namespace {
+
+struct RawDoc {
+  DocId id;
+  Point loc;
+  std::string text;
+};
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  return 1;
+}
+
+bool ParseCorpus(const std::string& path, std::vector<RawDoc>* out) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    RawDoc d;
+    std::string id_s, lng_s, lat_s;
+    if (!std::getline(ls, id_s, '\t') || !std::getline(ls, lng_s, '\t') ||
+        !std::getline(ls, lat_s, '\t') || !std::getline(ls, d.text)) {
+      std::fprintf(stderr, "skipping malformed line %zu\n", lineno);
+      continue;
+    }
+    d.id = static_cast<DocId>(std::strtoul(id_s.c_str(), nullptr, 10));
+    d.loc = {std::atof(lng_s.c_str()), std::atof(lat_s.c_str())};
+    out->push_back(std::move(d));
+  }
+  return true;
+}
+
+bool SaveVocab(const std::string& path, const Vocabulary& vocab,
+               uint64_t total_docs) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << total_docs << "\n";
+  for (TermId t = 0; t < vocab.size(); ++t) {
+    os << vocab.TermString(t) << "\t" << vocab.DocumentFrequency(t) << "\n";
+  }
+  return static_cast<bool>(os);
+}
+
+bool LoadVocab(const std::string& path, Vocabulary* vocab,
+               uint64_t* total_docs) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::string line;
+  if (!std::getline(is, line)) return false;
+  *total_docs = std::strtoull(line.c_str(), nullptr, 10);
+  while (std::getline(is, line)) {
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) continue;
+    const TermId id = vocab->GetOrAdd(line.substr(0, tab));
+    const uint64_t df =
+        std::strtoull(line.c_str() + tab + 1, nullptr, 10);
+    for (uint64_t i = 0; i < df; ++i) vocab->AddDocumentOccurrence(id);
+  }
+  return true;
+}
+
+std::vector<TermId> QueryTerms(const std::string& text,
+                               const Vocabulary& vocab) {
+  Tokenizer tokenizer;
+  std::vector<TermId> terms;
+  for (const auto& tok : tokenizer.Tokenize(text)) {
+    const TermId t = vocab.Lookup(tok);
+    if (t != kInvalidTermId) {
+      terms.push_back(t);
+    } else {
+      std::fprintf(stderr, "note: \"%s\" is not in the vocabulary\n",
+                   tok.c_str());
+    }
+  }
+  return terms;
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc < 4) return Fail("build needs <corpus.tsv> <index-prefix>");
+  const std::string corpus = argv[2];
+  const std::string prefix = argv[3];
+
+  std::vector<RawDoc> raw;
+  if (!ParseCorpus(corpus, &raw)) return Fail("cannot read " + corpus);
+  if (raw.empty()) return Fail("corpus is empty");
+  std::printf("read %zu documents\n", raw.size());
+
+  I3Options opt;
+  if (argc >= 8) {
+    opt.space = {std::atof(argv[4]), std::atof(argv[5]),
+                 std::atof(argv[6]), std::atof(argv[7])};
+  } else {
+    Rect bounds = Rect::Empty();
+    for (const RawDoc& d : raw) bounds.Expand(d.loc);
+    // A small margin keeps boundary points strictly inside.
+    const double mx = std::max(1e-9, bounds.Width() * 0.01);
+    const double my = std::max(1e-9, bounds.Height() * 0.01);
+    opt.space = {bounds.min_x - mx, bounds.min_y - my, bounds.max_x + mx,
+                 bounds.max_y + my};
+  }
+
+  // Pass 1: document frequencies.
+  Tokenizer tokenizer;
+  Vocabulary vocab;
+  std::vector<std::vector<TermId>> tokenized(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    std::unordered_set<TermId> seen;
+    for (const auto& tok : tokenizer.Tokenize(raw[i].text)) {
+      const TermId t = vocab.GetOrAdd(tok);
+      tokenized[i].push_back(t);
+      seen.insert(t);
+    }
+    for (TermId t : seen) vocab.AddDocumentOccurrence(t);
+  }
+
+  // Pass 2: weigh and index.
+  I3Index index(opt);
+  TfIdfWeighter weighter(&vocab, raw.size());
+  Timer timer;
+  size_t skipped = 0;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    SpatialDocument d;
+    d.id = raw[i].id;
+    d.location = raw[i].loc;
+    d.terms = weighter.Weigh(tokenized[i]);
+    auto st = index.Insert(d);
+    if (!st.ok()) {
+      std::fprintf(stderr, "doc %u skipped: %s\n", raw[i].id,
+                   st.ToString().c_str());
+      ++skipped;
+    }
+  }
+  std::printf("indexed %zu documents in %.2fs (%zu skipped)\n",
+              raw.size() - skipped, timer.ElapsedSeconds(), skipped);
+
+  auto st = index.SaveTo(prefix + ".i3");
+  if (!st.ok()) return Fail(st.ToString());
+  if (!SaveVocab(prefix + ".vocab", vocab, raw.size())) {
+    return Fail("cannot write " + prefix + ".vocab");
+  }
+  std::printf("wrote %s.i3 and %s.vocab\n", prefix.c_str(), prefix.c_str());
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 3) return Fail("stats needs <index-prefix>");
+  auto res = I3Index::LoadFrom(std::string(argv[2]) + ".i3");
+  if (!res.ok()) return Fail(res.status().ToString());
+  auto& index = *res.ValueOrDie();
+  std::printf("documents:      %llu\n",
+              static_cast<unsigned long long>(index.DocumentCount()));
+  std::printf("keywords:       %zu\n", index.KeywordCount());
+  std::printf("summary nodes:  %zu\n", index.SummaryNodeCount());
+  std::printf("data pages:     %u\n", index.DataPageCount());
+  std::printf("storage:        %s\n", index.SizeInfo().ToString().c_str());
+  auto check = index.CheckInvariants();
+  if (!check.ok()) return Fail(check.status().ToString());
+  std::printf("invariants OK (%llu tuples)\n",
+              static_cast<unsigned long long>(check.ValueOrDie()));
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 9) {
+    return Fail("query needs <prefix> <lng> <lat> <k> <alpha> <and|or> "
+                "<text...>");
+  }
+  const std::string prefix = argv[2];
+  auto res = I3Index::LoadFrom(prefix + ".i3");
+  if (!res.ok()) return Fail(res.status().ToString());
+  Vocabulary vocab;
+  uint64_t total_docs = 0;
+  if (!LoadVocab(prefix + ".vocab", &vocab, &total_docs)) {
+    return Fail("cannot read " + prefix + ".vocab");
+  }
+
+  Query q;
+  q.location = {std::atof(argv[3]), std::atof(argv[4])};
+  q.k = static_cast<uint32_t>(std::atoi(argv[5]));
+  const double alpha = std::atof(argv[6]);
+  q.semantics =
+      std::strcmp(argv[7], "and") == 0 ? Semantics::kAnd : Semantics::kOr;
+  std::string text;
+  for (int i = 8; i < argc; ++i) {
+    if (!text.empty()) text += ' ';
+    text += argv[i];
+  }
+  q.terms = QueryTerms(text, vocab);
+  if (q.terms.empty()) return Fail("no known query keyword");
+
+  Timer timer;
+  auto out = res.ValueOrDie()->Search(q, alpha);
+  if (!out.ok()) return Fail(out.status().ToString());
+  std::printf("%zu results in %.3f ms:\n", out.ValueOrDie().size(),
+              timer.ElapsedMillis());
+  for (const ScoredDoc& sd : out.ValueOrDie()) {
+    std::printf("  doc %-10u score %.4f at (%.5f, %.5f)\n", sd.doc,
+                sd.score, sd.location.x, sd.location.y);
+  }
+  return 0;
+}
+
+int CmdRange(int argc, char** argv) {
+  if (argc < 9) {
+    return Fail("range needs <prefix> <minlng> <minlat> <maxlng> <maxlat> "
+                "<and|or> <text...>");
+  }
+  const std::string prefix = argv[2];
+  auto res = I3Index::LoadFrom(prefix + ".i3");
+  if (!res.ok()) return Fail(res.status().ToString());
+  Vocabulary vocab;
+  uint64_t total_docs = 0;
+  if (!LoadVocab(prefix + ".vocab", &vocab, &total_docs)) {
+    return Fail("cannot read " + prefix + ".vocab");
+  }
+  const Rect range{std::atof(argv[3]), std::atof(argv[4]),
+                   std::atof(argv[5]), std::atof(argv[6])};
+  const Semantics sem =
+      std::strcmp(argv[7], "and") == 0 ? Semantics::kAnd : Semantics::kOr;
+  std::string text;
+  for (int i = 8; i < argc; ++i) {
+    if (!text.empty()) text += ' ';
+    text += argv[i];
+  }
+  const auto terms = QueryTerms(text, vocab);
+  if (terms.empty()) return Fail("no known query keyword");
+
+  auto out = res.ValueOrDie()->SearchRange(range, terms, sem, /*limit=*/50);
+  if (!out.ok()) return Fail(out.status().ToString());
+  std::printf("%zu matches in the region (top 50 by textual score):\n",
+              out.ValueOrDie().size());
+  for (const ScoredDoc& sd : out.ValueOrDie()) {
+    std::printf("  doc %-10u text-score %.4f\n", sd.doc, sd.score);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf(
+        "usage: %s build|stats|query|range ... (see the file header)\n",
+        argv[0]);
+    return 1;
+  }
+  if (std::strcmp(argv[1], "build") == 0) return CmdBuild(argc, argv);
+  if (std::strcmp(argv[1], "stats") == 0) return CmdStats(argc, argv);
+  if (std::strcmp(argv[1], "query") == 0) return CmdQuery(argc, argv);
+  if (std::strcmp(argv[1], "range") == 0) return CmdRange(argc, argv);
+  return Fail(std::string("unknown command: ") + argv[1]);
+}

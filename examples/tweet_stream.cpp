@@ -1,0 +1,124 @@
+// Update-intensive scenario: a live stream of geo-tweets with a sliding
+// retention window -- the "big data" workload that motivates I3's cheap
+// maintenance (Section 1). Continuously inserts fresh tweets, expires old
+// ones, and answers trending top-k queries in between.
+//
+//   build/examples/tweet_stream [num_batches batch_size window_batches]
+
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <vector>
+
+#include "common/timer.h"
+#include "datagen/dataset.h"
+#include "datagen/query_gen.h"
+#include "i3/i3_index.h"
+
+using namespace i3;
+
+int main(int argc, char** argv) {
+  uint32_t num_batches = 40;
+  uint32_t batch_size = 2000;
+  uint32_t window_batches = 10;  // retention window
+  if (argc >= 4) {
+    num_batches = static_cast<uint32_t>(std::atoi(argv[1]));
+    batch_size = static_cast<uint32_t>(std::atoi(argv[2]));
+    window_batches = static_cast<uint32_t>(std::atoi(argv[3]));
+  }
+
+  // One generator invocation supplies the whole stream; batches are
+  // consecutive slices.
+  GeneratorSpec spec = TwitterSpec(num_batches * batch_size, /*seed=*/77);
+  const Dataset stream = Generate(spec);
+  const QueryGenerator qgen(stream);
+  auto queries = qgen.Freq(/*qn=*/2, /*num_queries=*/5, /*k=*/10,
+                           Semantics::kOr, /*seed=*/3);
+
+  I3Options options;
+  options.space = stream.space;
+  I3Index index(options);
+
+  std::deque<std::pair<size_t, size_t>> window;  // [begin, end) doc ranges
+  double total_insert_s = 0.0, total_delete_s = 0.0, total_query_s = 0.0;
+  uint64_t inserted = 0, deleted = 0;
+
+  for (uint32_t b = 0; b < num_batches; ++b) {
+    const size_t begin = static_cast<size_t>(b) * batch_size;
+    const size_t end = begin + batch_size;
+
+    Timer t_ins;
+    for (size_t i = begin; i < end; ++i) {
+      auto st = index.Insert(stream.docs[i]);
+      if (!st.ok()) {
+        std::fprintf(stderr, "insert failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    total_insert_s += t_ins.ElapsedSeconds();
+    inserted += batch_size;
+    window.emplace_back(begin, end);
+
+    // Expire the oldest batch once the window is full.
+    if (window.size() > window_batches) {
+      const auto [ob, oe] = window.front();
+      window.pop_front();
+      Timer t_del;
+      for (size_t i = ob; i < oe; ++i) {
+        auto st = index.Delete(stream.docs[i]);
+        if (!st.ok()) {
+          std::fprintf(stderr, "delete failed: %s\n",
+                       st.ToString().c_str());
+          return 1;
+        }
+      }
+      total_delete_s += t_del.ElapsedSeconds();
+      deleted += batch_size;
+    }
+
+    // Trending queries between batches.
+    Timer t_q;
+    for (const Query& q : queries) {
+      auto res = index.Search(q, 0.5);
+      if (!res.ok()) {
+        std::fprintf(stderr, "search failed: %s\n",
+                     res.status().ToString().c_str());
+        return 1;
+      }
+    }
+    total_query_s += t_q.ElapsedSeconds();
+
+    if ((b + 1) % 10 == 0) {
+      std::printf(
+          "batch %3u: live docs %8llu, keywords %7zu, summary nodes %6zu, "
+          "data pages %6u\n",
+          b + 1, static_cast<unsigned long long>(index.DocumentCount()),
+          index.KeywordCount(), index.SummaryNodeCount(),
+          index.DataPageCount());
+    }
+  }
+
+  std::printf("\nstream finished:\n");
+  std::printf("  inserted %llu tweets at %.0f docs/s\n",
+              static_cast<unsigned long long>(inserted),
+              inserted / total_insert_s);
+  if (deleted > 0) {
+    std::printf("  expired  %llu tweets at %.0f docs/s\n",
+                static_cast<unsigned long long>(deleted),
+                deleted / total_delete_s);
+  }
+  std::printf("  %zu queries per batch, avg %.3f ms/query\n",
+              queries.size(),
+              total_query_s * 1000.0 / (queries.size() * num_batches));
+
+  // The invariant checker doubles as a post-run health check.
+  auto check = index.CheckInvariants();
+  if (!check.ok()) {
+    std::fprintf(stderr, "INVARIANT VIOLATION: %s\n",
+                 check.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  invariants OK (%llu live tuples)\n",
+              static_cast<unsigned long long>(check.ValueOrDie()));
+  return 0;
+}

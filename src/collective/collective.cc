@@ -1,0 +1,208 @@
+#include "collective/collective.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "model/scorer.h"
+
+namespace i3 {
+
+namespace {
+
+/// Exact cost of a chosen group under kMaxPlusDiameter.
+double MaxPlusDiameterCost(const Point& q,
+                           const std::vector<Point>& locations) {
+  double max_dist = 0.0;
+  double diameter = 0.0;
+  for (size_t i = 0; i < locations.size(); ++i) {
+    max_dist = std::max(max_dist, Distance(q, locations[i]));
+    for (size_t j = i + 1; j < locations.size(); ++j) {
+      diameter = std::max(diameter, Distance(locations[i], locations[j]));
+    }
+  }
+  return max_dist + diameter;
+}
+
+}  // namespace
+
+Result<std::vector<CollectiveSearcher::Candidate>>
+CollectiveSearcher::GatherCandidates(const Point& location,
+                                     const std::vector<TermId>& terms,
+                                     std::vector<bool>* keyword_covered) {
+  // One single-keyword nearest-documents probe per term: alpha = 1 ranks
+  // purely by spatial proximity, so score = phi_s and
+  // dist = (1 - phi_s) * diag.
+  const double diag = space_.Diagonal();
+  std::unordered_map<DocId, Candidate> by_doc;
+  keyword_covered->assign(terms.size(), false);
+
+  for (size_t i = 0; i < terms.size(); ++i) {
+    Query probe;
+    probe.location = location;
+    probe.terms = {terms[i]};
+    probe.k = options_.candidates_per_keyword;
+    probe.semantics = Semantics::kAnd;
+    auto res = index_->Search(probe, /*alpha=*/1.0);
+    if (!res.ok()) return res.status();
+    for (const ScoredDoc& sd : res.ValueOrDie()) {
+      (*keyword_covered)[i] = true;
+      Candidate& c = by_doc[sd.doc];
+      c.doc = sd.doc;
+      c.loc = sd.location;
+      c.dist = (1.0 - sd.score) * diag;
+      c.mask |= (1u << i);
+    }
+  }
+
+  std::vector<Candidate> out;
+  out.reserve(by_doc.size());
+  for (auto& [doc, c] : by_doc) out.push_back(c);
+  // Deterministic order: by distance, then doc id.
+  std::sort(out.begin(), out.end(), [](const Candidate& a,
+                                       const Candidate& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.doc < b.doc;
+  });
+  return out;
+}
+
+Result<CollectiveResult> CollectiveSearcher::Search(
+    const Point& location, std::vector<TermId> terms, CollectiveCost cost) {
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  if (terms.empty()) {
+    return Status::InvalidArgument("collective query has no keywords");
+  }
+  if (terms.size() > 32) {
+    return Status::InvalidArgument("more than 32 query keywords");
+  }
+  if (cost == CollectiveCost::kSumDistance) {
+    return SolveSum(location, terms);
+  }
+  return SolveMaxDiameter(location, terms);
+}
+
+// Greedy weighted set cover: repeatedly pick the candidate minimizing
+// distance per newly covered keyword (the classical ln-n approximation for
+// the sum-of-distances cost).
+Result<CollectiveResult> CollectiveSearcher::SolveSum(
+    const Point& location, const std::vector<TermId>& terms) {
+  std::vector<bool> keyword_covered;
+  auto cands_res = GatherCandidates(location, terms, &keyword_covered);
+  if (!cands_res.ok()) return cands_res.status();
+  const auto& cands = cands_res.ValueOrDie();
+
+  CollectiveResult result;
+  const uint32_t full_mask = terms.size() >= 32
+                                 ? 0xffffffffu
+                                 : ((1u << terms.size()) - 1);
+  uint32_t covered = 0;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (!keyword_covered[i]) {
+      result.covered = false;  // keyword absent from the whole corpus
+      covered |= (1u << i);    // exclude it from the goal
+    }
+  }
+
+  std::vector<bool> used(cands.size(), false);
+  while (covered != full_mask) {
+    double best_ratio = std::numeric_limits<double>::max();
+    int best = -1;
+    for (size_t i = 0; i < cands.size(); ++i) {
+      if (used[i]) continue;
+      const uint32_t gain_mask = cands[i].mask & ~covered;
+      const int gain = __builtin_popcount(gain_mask);
+      if (gain == 0) continue;
+      const double ratio = cands[i].dist / gain;
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;  // cannot make progress (shouldn't happen)
+    used[best] = true;
+    covered |= cands[best].mask;
+    result.docs.push_back(cands[best].doc);
+    result.locations.push_back(cands[best].loc);
+    result.cost += cands[best].dist;
+  }
+
+  // Canonical order.
+  std::vector<size_t> idx(result.docs.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(),
+            [&](size_t a, size_t b) { return result.docs[a] < result.docs[b]; });
+  CollectiveResult sorted = result;
+  for (size_t i = 0; i < idx.size(); ++i) {
+    sorted.docs[i] = result.docs[idx[i]];
+    sorted.locations[i] = result.locations[idx[i]];
+  }
+  return sorted;
+}
+
+// Greedy for the max-distance + diameter cost: grow the group by always
+// adding the candidate whose inclusion increases the cost least per newly
+// covered keyword.
+Result<CollectiveResult> CollectiveSearcher::SolveMaxDiameter(
+    const Point& location, const std::vector<TermId>& terms) {
+  std::vector<bool> keyword_covered;
+  auto cands_res = GatherCandidates(location, terms, &keyword_covered);
+  if (!cands_res.ok()) return cands_res.status();
+  const auto& cands = cands_res.ValueOrDie();
+
+  CollectiveResult result;
+  const uint32_t full_mask = terms.size() >= 32
+                                 ? 0xffffffffu
+                                 : ((1u << terms.size()) - 1);
+  uint32_t covered = 0;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (!keyword_covered[i]) {
+      result.covered = false;
+      covered |= (1u << i);
+    }
+  }
+
+  std::vector<bool> used(cands.size(), false);
+  std::vector<Point> chosen;
+  while (covered != full_mask) {
+    double best_ratio = std::numeric_limits<double>::max();
+    int best = -1;
+    for (size_t i = 0; i < cands.size(); ++i) {
+      if (used[i]) continue;
+      const uint32_t gain_mask = cands[i].mask & ~covered;
+      const int gain = __builtin_popcount(gain_mask);
+      if (gain == 0) continue;
+      std::vector<Point> trial = chosen;
+      trial.push_back(cands[i].loc);
+      const double delta =
+          MaxPlusDiameterCost(location, trial) -
+          (chosen.empty() ? 0.0 : MaxPlusDiameterCost(location, chosen));
+      const double ratio = delta / gain;
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    used[best] = true;
+    covered |= cands[best].mask;
+    chosen.push_back(cands[best].loc);
+    result.docs.push_back(cands[best].doc);
+    result.locations.push_back(cands[best].loc);
+  }
+  result.cost = MaxPlusDiameterCost(location, result.locations);
+
+  std::vector<size_t> idx(result.docs.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(),
+            [&](size_t a, size_t b) { return result.docs[a] < result.docs[b]; });
+  CollectiveResult sorted = result;
+  for (size_t i = 0; i < idx.size(); ++i) {
+    sorted.docs[i] = result.docs[idx[i]];
+    sorted.locations[i] = result.locations[idx[i]];
+  }
+  return sorted;
+}
+
+}  // namespace i3

@@ -1,0 +1,95 @@
+// Collective spatial keyword search (Cao, Cong, Jensen & Ooi, SIGMOD 2011)
+// -- the AND-semantics application the paper's introduction highlights:
+// instead of one document containing all query keywords, find a *group* of
+// documents that together cover them, close to the query location and (for
+// the MAX cost) close to each other.
+//
+// Implemented on top of any SpatialKeywordIndex via single-keyword top-k
+// probes, so it inherits I3's pruning when run over an I3Index.
+//
+// Cost functions (following the cited paper):
+//   kSumDistance:  cost(S) = sum over chosen documents of dist(q, d),
+//                  approximated by greedy weighted set cover (distance per
+//                  newly covered keyword);
+//   kMaxPlusDiameter: cost(S) = max_d dist(q, d) + max_{d1,d2} dist(d1,d2)
+//                  (NP-hard), approximated by a greedy marginal-cost rule.
+
+#ifndef I3_COLLECTIVE_COLLECTIVE_H_
+#define I3_COLLECTIVE_COLLECTIVE_H_
+
+#include <vector>
+
+#include "model/index.h"
+
+namespace i3 {
+
+/// \brief Cost function for a collective answer.
+enum class CollectiveCost {
+  kSumDistance,
+  kMaxPlusDiameter,
+};
+
+/// \brief A group of documents covering the query keywords.
+struct CollectiveResult {
+  /// Chosen documents (deduplicated, sorted by DocId).
+  std::vector<DocId> docs;
+  /// Locations of the chosen documents (parallel to `docs`).
+  std::vector<Point> locations;
+  /// Value of the requested cost function.
+  double cost = 0.0;
+  /// False when some query keyword has no matching document at all.
+  bool covered = true;
+};
+
+/// \brief Options for CollectiveSearcher.
+struct CollectiveOptions {
+  /// Candidate pool size per keyword: the searcher fetches this many
+  /// nearest documents per query keyword before optimizing group
+  /// membership. Larger pools improve the approximation for
+  /// kMaxPlusDiameter at higher probe cost.
+  uint32_t candidates_per_keyword = 8;
+};
+
+/// \brief Answers collective spatial keyword queries through a
+/// SpatialKeywordIndex.
+class CollectiveSearcher {
+ public:
+  /// \param index underlying index (not owned)
+  /// \param space the data space (distance normalization must match the
+  ///        index's)
+  CollectiveSearcher(SpatialKeywordIndex* index, const Rect& space,
+                     CollectiveOptions options = {})
+      : index_(index), space_(space), options_(options) {}
+
+  /// \brief Finds a covering group for `terms` near `location` under
+  /// `cost`. Duplicated terms are deduplicated.
+  Result<CollectiveResult> Search(const Point& location,
+                                  std::vector<TermId> terms,
+                                  CollectiveCost cost);
+
+ private:
+  struct Candidate {
+    DocId doc;
+    Point loc;
+    double dist;
+    uint32_t mask;  // which query keywords it contains
+  };
+
+  /// Per-keyword nearest candidates via single-keyword top-k probes.
+  Result<std::vector<Candidate>> GatherCandidates(
+      const Point& location, const std::vector<TermId>& terms,
+      std::vector<bool>* keyword_covered);
+
+  Result<CollectiveResult> SolveSum(const Point& location,
+                                    const std::vector<TermId>& terms);
+  Result<CollectiveResult> SolveMaxDiameter(
+      const Point& location, const std::vector<TermId>& terms);
+
+  SpatialKeywordIndex* index_;
+  Rect space_;
+  CollectiveOptions options_;
+};
+
+}  // namespace i3
+
+#endif  // I3_COLLECTIVE_COLLECTIVE_H_

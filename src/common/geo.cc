@@ -1,0 +1,67 @@
+#include "common/geo.h"
+
+#include <cstdio>
+#include <limits>
+
+namespace i3 {
+
+std::string Point::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.6f, %.6f)", x, y);
+  return buf;
+}
+
+double HaversineKm(const Point& a, const Point& b) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+  const double lat1 = a.y * kDegToRad;
+  const double lat2 = b.y * kDegToRad;
+  const double dlat = (b.y - a.y) * kDegToRad;
+  const double dlng = (b.x - a.x) * kDegToRad;
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlng / 2) *
+                       std::sin(dlng / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+Rect Rect::Empty() {
+  Rect r;
+  r.min_x = std::numeric_limits<double>::max();
+  r.min_y = std::numeric_limits<double>::max();
+  r.max_x = std::numeric_limits<double>::lowest();
+  r.max_y = std::numeric_limits<double>::lowest();
+  return r;
+}
+
+Rect Rect::Union(const Rect& o) const {
+  if (IsEmpty()) return o;
+  if (o.IsEmpty()) return *this;
+  return {std::min(min_x, o.min_x), std::min(min_y, o.min_y),
+          std::max(max_x, o.max_x), std::max(max_y, o.max_y)};
+}
+
+Rect Rect::Union(const Point& p) const { return Union(Rect::FromPoint(p)); }
+
+void Rect::Expand(const Rect& o) { *this = Union(o); }
+void Rect::Expand(const Point& p) { *this = Union(p); }
+
+double Rect::MinDistance(const Point& p) const {
+  const double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
+  const double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double Rect::MaxDistance(const Point& p) const {
+  const double dx = std::max(std::abs(p.x - min_x), std::abs(p.x - max_x));
+  const double dy = std::max(std::abs(p.y - min_y), std::abs(p.y - max_y));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::string Rect::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%.6f, %.6f] x [%.6f, %.6f]", min_x, max_x,
+                min_y, max_y);
+  return buf;
+}
+
+}  // namespace i3

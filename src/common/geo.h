@@ -1,0 +1,117 @@
+// Planar geometric primitives shared by every index in the library.
+//
+// The paper models a spatial document as a 2-D point (latitude/longitude).
+// Following common practice in the spatial-keyword indexing literature we
+// measure proximity with Euclidean distance in coordinate space; a haversine
+// helper is provided for applications that want great-circle distances.
+
+#ifndef I3_COMMON_GEO_H_
+#define I3_COMMON_GEO_H_
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace i3 {
+
+/// \brief A 2-D point. `x` is longitude-like, `y` is latitude-like.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+  std::string ToString() const;
+};
+
+/// \brief Euclidean distance between two points.
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// \brief Squared Euclidean distance (avoids the sqrt on hot paths).
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// \brief Great-circle distance in kilometers, treating (x, y) as
+/// (longitude, latitude) in degrees. Provided for applications; the index
+/// internals use Euclidean distance.
+double HaversineKm(const Point& a, const Point& b);
+
+/// \brief An axis-aligned rectangle, closed on all sides.
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  static Rect Empty();
+
+  /// Rectangle covering exactly one point.
+  static Rect FromPoint(const Point& p) { return {p.x, p.y, p.x, p.y}; }
+
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+
+  double Width() const { return std::max(0.0, max_x - min_x); }
+  double Height() const { return std::max(0.0, max_y - min_y); }
+  double Area() const { return Width() * Height(); }
+  /// Half-perimeter; the classic R-tree "margin" measure.
+  double Margin() const { return Width() + Height(); }
+
+  Point Center() const {
+    return {(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+
+  /// Length of the diagonal; used to normalize spatial proximity to [0, 1].
+  double Diagonal() const {
+    return std::sqrt(Width() * Width() + Height() * Height());
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool Contains(const Rect& o) const {
+    return o.min_x >= min_x && o.max_x <= max_x && o.min_y >= min_y &&
+           o.max_y <= max_y;
+  }
+
+  bool Intersects(const Rect& o) const {
+    return !(o.min_x > max_x || o.max_x < min_x || o.min_y > max_y ||
+             o.max_y < min_y);
+  }
+
+  /// Smallest rectangle containing both this and `o`.
+  Rect Union(const Rect& o) const;
+  /// Smallest rectangle containing this and `p`.
+  Rect Union(const Point& p) const;
+  /// Grows in place to contain `o` / `p`.
+  void Expand(const Rect& o);
+  void Expand(const Point& p);
+
+  /// Area increase required to include `o` (the Guttman insertion metric).
+  double Enlargement(const Rect& o) const {
+    return Union(o).Area() - Area();
+  }
+
+  /// Minimum Euclidean distance from `p` to any point of the rectangle
+  /// (zero when `p` is inside).
+  double MinDistance(const Point& p) const;
+  /// Maximum Euclidean distance from `p` to any point of the rectangle.
+  double MaxDistance(const Point& p) const;
+
+  bool operator==(const Rect& o) const {
+    return min_x == o.min_x && min_y == o.min_y && max_x == o.max_x &&
+           max_y == o.max_y;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace i3
+
+#endif  // I3_COMMON_GEO_H_

@@ -1,0 +1,33 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace i3 {
+
+ZipfSampler::ZipfSampler(size_t n, double theta) {
+  assert(n > 0);
+  cumulative_.resize(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cumulative_[r] = total;
+  }
+  for (size_t r = 0; r < n; ++r) cumulative_[r] /= total;
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->UniformDouble(0.0, 1.0);
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) return cumulative_.size() - 1;
+  return static_cast<size_t>(it - cumulative_.begin());
+}
+
+double ZipfSampler::Probability(size_t r) const {
+  if (r >= cumulative_.size()) return 0.0;
+  return r == 0 ? cumulative_[0] : cumulative_[r] - cumulative_[r - 1];
+}
+
+}  // namespace i3

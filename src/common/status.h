@@ -1,0 +1,178 @@
+// Status / Result error-handling primitives, in the style of Apache Arrow and
+// RocksDB: library code on hot paths never throws; fallible operations return
+// a Status (or Result<T> when they produce a value).
+
+#ifndef I3_COMMON_STATUS_H_
+#define I3_COMMON_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace i3 {
+
+/// \brief Machine-readable classification of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIOError = 5,
+  kCorruption = 6,
+  kNotSupported = 7,
+  kResourceExhausted = 8,
+  kInternal = 9,
+};
+
+/// \brief Human-readable name of a status code ("OK", "NotFound", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// message. Follows the Arrow/RocksDB idiom: check with `ok()`, propagate
+/// with the I3_RETURN_NOT_OK macro.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    assert(code != StatusCode::kOk);
+    state_ = std::make_shared<State>(State{code, std::move(msg)});
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// \brief True iff the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->msg;
+  }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out = StatusCodeToString(state_->code);
+    out += ": ";
+    out += state_->msg;
+    return out;
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // Shared (not unique) so Status is cheaply copyable; errors are cold.
+  std::shared_ptr<State> state_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. `ok()` / `status()` inspect; `ValueOrDie()` /
+/// `operator*` extract (must be ok); `MoveValue()` extracts by move.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : inner_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status. Must not be OK.
+  Result(Status status) : inner_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(inner_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(inner_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(inner_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(inner_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(inner_);
+  }
+  T MoveValue() {
+    assert(ok());
+    return std::move(std::get<T>(inner_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> inner_;
+};
+
+}  // namespace i3
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define I3_RETURN_NOT_OK(expr)               \
+  do {                                       \
+    ::i3::Status _st = (expr);               \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+/// Assigns the value of a Result to `lhs`, or propagates its error Status.
+#define I3_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = tmp.MoveValue();
+
+#define I3_ASSIGN_OR_RETURN(lhs, rexpr) \
+  I3_ASSIGN_OR_RETURN_IMPL(I3_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define I3_CONCAT_INNER(a, b) a##b
+#define I3_CONCAT(a, b) I3_CONCAT_INNER(a, b)
+
+#endif  // I3_COMMON_STATUS_H_

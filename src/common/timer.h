@@ -1,0 +1,30 @@
+// Lightweight wall-clock timing for the benchmark harnesses.
+
+#ifndef I3_COMMON_TIMER_H_
+#define I3_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace i3 {
+
+/// \brief A steady-clock stopwatch that starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace i3
+
+#endif  // I3_COMMON_TIMER_H_

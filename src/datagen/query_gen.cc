@@ -1,0 +1,91 @@
+#include "datagen/query_gen.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace i3 {
+
+QueryGenerator::QueryGenerator(const Dataset& dataset) : dataset_(&dataset) {
+  std::unordered_map<TermId, uint64_t> freq;
+  for (const auto& d : dataset.docs) {
+    for (const auto& wt : d.terms) ++freq[wt.term];
+  }
+  by_freq_.reserve(freq.size());
+  for (const auto& [t, f] : freq) by_freq_.push_back(t);
+  std::sort(by_freq_.begin(), by_freq_.end(),
+            [&](TermId a, TermId b) {
+              if (freq[a] != freq[b]) return freq[a] > freq[b];
+              return a < b;
+            });
+}
+
+Point QueryGenerator::SampleLocation(Rng* rng) const {
+  if (dataset_->docs.empty()) return dataset_->space.Center();
+  const size_t i = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(dataset_->docs.size()) - 1));
+  return dataset_->docs[i].location;
+}
+
+std::vector<Query> QueryGenerator::Freq(uint32_t qn, uint32_t num_queries,
+                                        uint32_t k, Semantics semantics,
+                                        uint64_t seed) const {
+  Rng rng(seed);
+  // Sample from the top of the ranking with a Zipf bias so the very
+  // frequent keywords dominate, like the AOL-derived FREQ sets.
+  const size_t pool =
+      std::min<size_t>(by_freq_.size(), std::max<size_t>(qn * 2, 100));
+  ZipfSampler pick(pool, 0.7);
+  std::vector<Query> out;
+  out.reserve(num_queries);
+  for (uint32_t i = 0; i < num_queries; ++i) {
+    Query q;
+    q.location = SampleLocation(&rng);
+    int guard = 0;
+    while (q.terms.size() < qn && guard++ < 1000) {
+      const TermId t = by_freq_[pick.Sample(&rng)];
+      if (std::find(q.terms.begin(), q.terms.end(), t) == q.terms.end()) {
+        q.terms.push_back(t);
+      }
+    }
+    q.k = k;
+    q.semantics = semantics;
+    q.Normalize();
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<Query> QueryGenerator::Rest(uint32_t num_queries, uint32_t k,
+                                        Semantics semantics,
+                                        uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<Query> out;
+  if (by_freq_.empty()) return out;
+  const TermId anchor = by_freq_[0];
+  const size_t pool = std::min<size_t>(by_freq_.size(), 200);
+  ZipfSampler pick(pool, 0.7);
+  out.reserve(num_queries);
+  for (uint32_t i = 0; i < num_queries; ++i) {
+    Query q;
+    q.location = SampleLocation(&rng);
+    q.terms.push_back(anchor);
+    const int companions = static_cast<int>(rng.UniformInt(0, 2));
+    int guard = 0;
+    while (q.terms.size() < 1 + static_cast<size_t>(companions) &&
+           guard++ < 1000) {
+      const TermId t = by_freq_[pick.Sample(&rng)];
+      if (std::find(q.terms.begin(), q.terms.end(), t) == q.terms.end()) {
+        q.terms.push_back(t);
+      }
+    }
+    q.k = k;
+    q.semantics = semantics;
+    q.Normalize();
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace i3

@@ -1,0 +1,48 @@
+// Query workload generators reproducing the paper's two query sets
+// (Section 6.2): FREQ (frequent-keyword queries of a fixed length qn) and
+// REST ("restaurant"-style queries: one very frequent anchor keyword plus
+// common companions). Query locations are sampled from the dataset's own
+// spatial distribution, as in the paper.
+
+#ifndef I3_DATAGEN_QUERY_GEN_H_
+#define I3_DATAGEN_QUERY_GEN_H_
+
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "model/query.h"
+
+namespace i3 {
+
+/// \brief Samples FREQ / REST workloads from a dataset's term statistics.
+class QueryGenerator {
+ public:
+  /// Precomputes the frequency ranking of the dataset's vocabulary.
+  explicit QueryGenerator(const Dataset& dataset);
+
+  /// \brief FREQ_qn: `num_queries` queries of `qn` distinct keywords drawn
+  /// from the most frequent terms (the paper sorts AOL queries by keyword
+  /// frequency and keeps the top 100; we sample qn-subsets of the top of
+  /// the ranking, biased toward the very top).
+  std::vector<Query> Freq(uint32_t qn, uint32_t num_queries, uint32_t k,
+                          Semantics semantics, uint64_t seed) const;
+
+  /// \brief REST: queries always containing the single most frequent
+  /// keyword (the "restaurant" anchor) plus zero to two companions from
+  /// the frequent tail, mirroring Table 3.
+  std::vector<Query> Rest(uint32_t num_queries, uint32_t k,
+                          Semantics semantics, uint64_t seed) const;
+
+  /// Most frequent terms, descending.
+  const std::vector<TermId>& ranking() const { return by_freq_; }
+
+ private:
+  Point SampleLocation(class Rng* rng) const;
+
+  const Dataset* dataset_;
+  std::vector<TermId> by_freq_;
+};
+
+}  // namespace i3
+
+#endif  // I3_DATAGEN_QUERY_GEN_H_

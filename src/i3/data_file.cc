@@ -1,0 +1,180 @@
+#include "i3/data_file.h"
+
+#include <cstring>
+
+namespace i3 {
+
+namespace {
+
+void EncodeSlot(uint8_t* dst, const StoredTuple& st) {
+  std::memcpy(dst + 0, &st.source, 4);
+  std::memcpy(dst + 4, &st.tuple.term, 4);
+  std::memcpy(dst + 8, &st.tuple.doc, 4);
+  std::memcpy(dst + 12, &st.tuple.location.x, 8);
+  std::memcpy(dst + 20, &st.tuple.location.y, 8);
+  std::memcpy(dst + 28, &st.tuple.weight, 4);
+}
+
+StoredTuple DecodeSlot(const uint8_t* src) {
+  StoredTuple st;
+  std::memcpy(&st.source, src + 0, 4);
+  std::memcpy(&st.tuple.term, src + 4, 4);
+  std::memcpy(&st.tuple.doc, src + 8, 4);
+  std::memcpy(&st.tuple.location.x, src + 12, 8);
+  std::memcpy(&st.tuple.location.y, src + 20, 8);
+  std::memcpy(&st.tuple.weight, src + 28, 4);
+  return st;
+}
+
+}  // namespace
+
+std::vector<SpatialTuple> TuplePage::OfSource(SourceId source) const {
+  std::vector<SpatialTuple> out;
+  for (const StoredTuple& st : slots) {
+    if (st.source == source) out.push_back(st.tuple);
+  }
+  return out;
+}
+
+uint32_t TuplePage::CountSource(SourceId source) const {
+  uint32_t n = 0;
+  for (const StoredTuple& st : slots) {
+    if (st.source == source) ++n;
+  }
+  return n;
+}
+
+bool TuplePage::AllFromSource(SourceId source) const {
+  for (const StoredTuple& st : slots) {
+    if (st.source != source) return false;
+  }
+  return !slots.empty();
+}
+
+DataFile::DataFile(size_t page_size, BufferPoolOptions pool_options)
+    : DataFile(std::make_unique<InMemoryPageFile>(page_size), pool_options) {}
+
+DataFile::DataFile(std::unique_ptr<PageFile> file,
+                   BufferPoolOptions pool_options)
+    : file_(std::move(file)),
+      pool_(file_.get(), pool_options),
+      fsm_(static_cast<uint32_t>(file_->page_size() / kTupleBytes)),
+      capacity_(static_cast<uint32_t>(file_->page_size() / kTupleBytes)),
+      scratch_(file_->page_size(), 0) {}
+
+Result<std::unique_ptr<DataFile>> DataFile::CreateOnDisk(
+    const std::string& path, size_t page_size,
+    BufferPoolOptions pool_options) {
+  auto file_res = OnDiskPageFile::Create(path, page_size);
+  if (!file_res.ok()) return file_res.status();
+  return std::unique_ptr<DataFile>(
+      new DataFile(std::move(file_res.ValueOrDie()), pool_options));
+}
+
+Result<PageId> DataFile::PageWithFreeSlots(uint32_t want) {
+  PageId id = fsm_.FindPageWithFreeSlots(want);
+  if (id != kInvalidPageId) return id;
+  return AllocatePage();
+}
+
+Result<PageId> DataFile::AllocatePage() {
+  auto alloc = pool_.AllocatePage();
+  if (!alloc.ok()) return alloc.status();
+  const PageId id = alloc.ValueOrDie();
+  fsm_.AddPage(id);
+  return id;
+}
+
+Result<TuplePage> DataFile::Read(PageId id) {
+  I3_RETURN_NOT_OK(pool_.ReadPage(id, scratch_.data(),
+                                  IoCategory::kI3DataFile));
+  TuplePage page;
+  page.slots.reserve(capacity_);
+  for (uint32_t s = 0; s < capacity_; ++s) {
+    StoredTuple st = DecodeSlot(scratch_.data() + s * kTupleBytes);
+    if (st.source != kFreeSlot) page.slots.push_back(st);
+  }
+  return page;
+}
+
+Status DataFile::Write(PageId id, const TuplePage& page) {
+  if (page.slots.size() > capacity_) {
+    return Status::InvalidArgument("page overflow: " +
+                                   std::to_string(page.slots.size()) +
+                                   " tuples");
+  }
+  std::memset(scratch_.data(), 0, scratch_.size());
+  for (size_t s = 0; s < page.slots.size(); ++s) {
+    EncodeSlot(scratch_.data() + s * kTupleBytes, page.slots[s]);
+  }
+  I3_RETURN_NOT_OK(pool_.WritePage(id, scratch_.data(),
+                                   IoCategory::kI3DataFile));
+  const uint32_t new_free =
+      capacity_ - static_cast<uint32_t>(page.slots.size());
+  const uint32_t prev_free = fsm_.FreeSlots(id);
+  fsm_.Consume(id, static_cast<int>(prev_free) - static_cast<int>(new_free));
+  return Status::OK();
+}
+
+Status DataFile::Insert(PageId id, SourceId source,
+                        const SpatialTuple& tuple) {
+  auto page_res = Read(id);
+  if (!page_res.ok()) return page_res.status();
+  TuplePage page = page_res.MoveValue();
+  if (page.slots.size() >= capacity_) {
+    return Status::ResourceExhausted("page " + std::to_string(id) +
+                                     " is full");
+  }
+  page.slots.push_back({source, tuple});
+  return Write(id, page);
+}
+
+Result<bool> DataFile::Remove(PageId id, SourceId source, DocId doc) {
+  auto page_res = Read(id);
+  if (!page_res.ok()) return page_res.status();
+  TuplePage page = page_res.MoveValue();
+  for (auto it = page.slots.begin(); it != page.slots.end(); ++it) {
+    if (it->source == source && it->tuple.doc == doc) {
+      page.slots.erase(it);
+      I3_RETURN_NOT_OK(Write(id, page));
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::vector<SpatialTuple>> DataFile::TakeSource(PageId id,
+                                                       SourceId source) {
+  auto page_res = Read(id);
+  if (!page_res.ok()) return page_res.status();
+  TuplePage page = page_res.MoveValue();
+  std::vector<SpatialTuple> taken;
+  std::vector<StoredTuple> kept;
+  for (const StoredTuple& st : page.slots) {
+    if (st.source == source) {
+      taken.push_back(st.tuple);
+    } else {
+      kept.push_back(st);
+    }
+  }
+  page.slots = std::move(kept);
+  I3_RETURN_NOT_OK(Write(id, page));
+  return taken;
+}
+
+Status DataFile::InsertAll(PageId id, SourceId source,
+                           const std::vector<SpatialTuple>& tuples) {
+  auto page_res = Read(id);
+  if (!page_res.ok()) return page_res.status();
+  TuplePage page = page_res.MoveValue();
+  if (page.slots.size() + tuples.size() > capacity_) {
+    return Status::ResourceExhausted("page " + std::to_string(id) +
+                                     " lacks " +
+                                     std::to_string(tuples.size()) +
+                                     " free slots");
+  }
+  for (const SpatialTuple& t : tuples) page.slots.push_back({source, t});
+  return Write(id, page);
+}
+
+}  // namespace i3

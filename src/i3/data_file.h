@@ -1,0 +1,129 @@
+// The I3 data file (Section 4.3.3).
+//
+// A sequence of fixed-size pages, each split into P/B fixed-width slots, one
+// slot per spatial tuple. Tuples carry a *source id* identifying the
+// keyword cell they belong to, so different keyword cells can share a page
+// (the index's storage-utilization advantage over S2I) and a page scan can
+// separate them. A slot whose source id is zero is free.
+//
+// Slot layout (B = 32 bytes, little-endian):
+//   [0..4)   source id   (uint32; 0 = free slot)
+//   [4..8)   term id     (uint32)
+//   [8..12)  doc id      (uint32)
+//   [12..20) x / lng     (float64)
+//   [20..28) y / lat     (float64)
+//   [28..32) term weight (float32)
+
+#ifndef I3_I3_DATA_FILE_H_
+#define I3_I3_DATA_FILE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "model/document.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace i3 {
+
+/// Identifier of a keyword cell within the data file. Zero marks a free
+/// slot and is never allocated.
+using SourceId = uint32_t;
+constexpr SourceId kFreeSlot = 0;
+
+/// Serialized tuple width B. The paper's setting (page capacity P/B = 128
+/// at P = 4KB).
+constexpr size_t kTupleBytes = 32;
+
+/// \brief One occupied slot: the tuple plus its keyword-cell tag.
+struct StoredTuple {
+  SourceId source = kFreeSlot;
+  SpatialTuple tuple;
+};
+
+/// \brief Decoded image of one data-file page.
+class TuplePage {
+ public:
+  /// Occupied slots in slot order.
+  std::vector<StoredTuple> slots;
+
+  /// Tuples belonging to `source`.
+  std::vector<SpatialTuple> OfSource(SourceId source) const;
+  /// Number of tuples belonging to `source`.
+  uint32_t CountSource(SourceId source) const;
+  /// True if every occupied slot belongs to `source` (the "all the tuples
+  /// in P are from the same source" test of Algorithms 2-3).
+  bool AllFromSource(SourceId source) const;
+};
+
+/// \brief Page-slot storage for spatial tuples with free-space tracking.
+class DataFile {
+ public:
+  /// In-memory backing.
+  explicit DataFile(size_t page_size = kDefaultPageSize,
+                    BufferPoolOptions pool_options = {});
+  /// Custom backing (disk files, fault injection, ...).
+  DataFile(std::unique_ptr<PageFile> file, BufferPoolOptions pool_options);
+  /// Disk backing at `path`.
+  static Result<std::unique_ptr<DataFile>> CreateOnDisk(
+      const std::string& path, size_t page_size = kDefaultPageSize,
+      BufferPoolOptions pool_options = {});
+
+  /// Tuples per page (P/B).
+  uint32_t capacity() const { return capacity_; }
+
+  /// \brief A page with at least `want` free slots, allocating a new page
+  /// if none qualifies.
+  Result<PageId> PageWithFreeSlots(uint32_t want);
+
+  /// \brief Unconditionally appends a fresh empty page (deserialization
+  /// path; normal insertion goes through PageWithFreeSlots).
+  Result<PageId> AllocatePage();
+
+  /// \brief Reads and decodes page `id` (one charged data-file read).
+  Result<TuplePage> Read(PageId id);
+
+  /// \brief Encodes and writes `page` to `id` (one charged write); updates
+  /// the free-space map.
+  Status Write(PageId id, const TuplePage& page);
+
+  /// \brief Inserts one tuple into a free slot of `id`; fails with
+  /// ResourceExhausted if the page is full.
+  Status Insert(PageId id, SourceId source, const SpatialTuple& tuple);
+
+  /// \brief Removes the tuple of `doc` tagged `source`; returns true if one
+  /// was removed.
+  Result<bool> Remove(PageId id, SourceId source, DocId doc);
+
+  /// \brief Removes and returns every tuple tagged `source` (the fetch step
+  /// of the relocation branch in Algorithms 2-3).
+  Result<std::vector<SpatialTuple>> TakeSource(PageId id, SourceId source);
+
+  /// \brief Inserts `tuples` under `source` into `id`; the page must have
+  /// enough free slots.
+  Status InsertAll(PageId id, SourceId source,
+                   const std::vector<SpatialTuple>& tuples);
+
+  /// Free slots currently on `id`.
+  uint32_t FreeSlots(PageId id) const { return fsm_.FreeSlots(id); }
+
+  PageId PageCount() const { return file_->PageCount(); }
+  uint64_t SizeBytes() const { return file_->SizeBytes(); }
+
+  const IoStats& io_stats() const { return file_->io_stats(); }
+  IoStats* mutable_io_stats() { return file_->mutable_io_stats(); }
+  void ClearCache() { pool_.Clear(); }
+
+ private:
+  std::unique_ptr<PageFile> file_;
+  BufferPool pool_;
+  FreeSpaceMap fsm_;
+  uint32_t capacity_;
+  std::vector<uint8_t> scratch_;  // page-size encode/decode buffer
+};
+
+}  // namespace i3
+
+#endif  // I3_I3_DATA_FILE_H_

@@ -1,0 +1,24 @@
+#include "i3/head_file.h"
+
+namespace i3 {
+
+NodeId HeadFile::Allocate() {
+  SummaryNode node;
+  node.self.sig = Signature(signature_bits_);
+  for (int q = 0; q < kQuadrants; ++q) {
+    node.child_summary[q].sig = Signature(signature_bits_);
+  }
+  nodes_.push_back(std::move(node));
+  io_stats_.RecordWrite(IoCategory::kI3HeadFile);
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+uint64_t HeadFile::NodeBytes() const {
+  const uint64_t sig_bytes = (signature_bits_ + 7) / 8;
+  const uint64_t entry_bytes = sig_bytes + sizeof(float);
+  // kind (1B) + page/node ref (4B) + source id (4B) per child pointer.
+  const uint64_t child_ptr_bytes = 9;
+  return 5 * entry_bytes + kQuadrants * child_ptr_bytes;
+}
+
+}  // namespace i3

@@ -1,0 +1,164 @@
+// The I3 head file (Section 4.3.2): summary nodes for dense keyword cells.
+//
+// A dense keyword cell <w, C> owns a summary node holding (a) its own
+// summary E = <signature, max_s>, (b) the summaries of its four child
+// keyword cells, and (c) four child pointers -- to another summary node if
+// the child is itself dense, to a data-file page otherwise, or nothing if
+// the child cell is empty. This mirrors the R-tree node layout the paper
+// describes ("each tree node has an MBR for itself as well as a list of
+// child MBRs").
+//
+// Nodes are held in memory but every access is charged as one head-file I/O,
+// so the I/O breakdowns of Figures 8-9 are reproduced; SizeBytes() accounts
+// for the serialized footprint (Table 5 / Figure 5 head-file bars).
+
+#ifndef I3_I3_HEAD_FILE_H_
+#define I3_I3_HEAD_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "i3/data_file.h"
+#include "i3/signature.h"
+#include "quadtree/cell.h"
+#include "storage/io_stats.h"
+
+namespace i3 {
+
+/// Index of a summary node within the head file.
+using NodeId = uint32_t;
+constexpr NodeId kInvalidNodeId = UINT32_MAX;
+
+/// \brief Summary information E of a keyword cell: a signature aggregating
+/// the document ids in the cell and the cell's maximum term weight.
+struct SummaryEntry {
+  Signature sig;
+  float max_s = 0.0f;
+
+  void Reset() {
+    sig.Clear();
+    max_s = 0.0f;
+  }
+
+  /// Incorporates one tuple (insert path; signatures only grow).
+  /// Returns true if the entry actually changed -- a clean entry needs no
+  /// write-back.
+  bool Add(DocId doc, float weight) {
+    bool changed = sig.Add(doc);
+    if (weight > max_s) {
+      max_s = weight;
+      changed = true;
+    }
+    return changed;
+  }
+
+  /// Incorporates a whole child summary (bottom-up rebuild).
+  void Merge(const SummaryEntry& child) {
+    sig.UnionWith(child.sig);
+    if (child.max_s > max_s) max_s = child.max_s;
+  }
+};
+
+/// \brief Pointer from a summary node to one child keyword cell.
+struct ChildRef {
+  enum class Kind : uint8_t {
+    kNone,     ///< the child cell holds no tuple of this keyword
+    kPage,     ///< non-dense child: tuples on data page `page`, tag `source`
+    kSummary,  ///< dense child: summary node `node`
+  };
+
+  Kind kind = Kind::kNone;
+  PageId page = kInvalidPageId;
+  SourceId source = kFreeSlot;
+  NodeId node = kInvalidNodeId;
+
+  /// Extra pages of a max-depth cell that outgrew one page (overflow
+  /// chain; empty in all but pathological duplicate-location workloads).
+  std::vector<PageId> overflow;
+
+  static ChildRef None() { return ChildRef{}; }
+  static ChildRef ToPage(PageId page, SourceId source) {
+    ChildRef r;
+    r.kind = Kind::kPage;
+    r.page = page;
+    r.source = source;
+    return r;
+  }
+  static ChildRef ToSummary(NodeId node) {
+    ChildRef r;
+    r.kind = Kind::kSummary;
+    r.node = node;
+    return r;
+  }
+};
+
+/// \brief A summary node S_i of a dense keyword cell.
+struct SummaryNode {
+  SummaryEntry self;
+  SummaryEntry child_summary[kQuadrants];
+  ChildRef child[kQuadrants];
+
+  /// Recomputes `self` from the four child summaries (delete path).
+  void RebuildSelf() {
+    self.Reset();
+    for (int q = 0; q < kQuadrants; ++q) self.Merge(child_summary[q]);
+  }
+};
+
+/// \brief Container of summary nodes with I/O accounting.
+class HeadFile {
+ public:
+  /// \param signature_bits eta; every entry's signature length.
+  explicit HeadFile(uint32_t signature_bits)
+      : signature_bits_(signature_bits) {}
+
+  /// \brief Allocates a node with empty summaries.
+  NodeId Allocate();
+
+  /// \brief Read access to a node; charges one head-file read.
+  const SummaryNode& Read(NodeId id) {
+    io_stats_.RecordRead(IoCategory::kI3HeadFile);
+    return nodes_[id];
+  }
+
+  /// \brief Write access to a node; charges one head-file write.
+  SummaryNode* Mutate(NodeId id) {
+    io_stats_.RecordWrite(IoCategory::kI3HeadFile);
+    return &nodes_[id];
+  }
+
+  /// \brief Write access without an upfront charge. The caller decides
+  /// whether the node actually changed and charges via ChargeWrite --
+  /// unchanged nodes (e.g. an insert whose signature bit is already set)
+  /// need no write-back.
+  SummaryNode* MutateDeferred(NodeId id) { return &nodes_[id]; }
+
+  /// One deferred write-back (see MutateDeferred).
+  void ChargeWrite(uint64_t n = 1) {
+    io_stats_.RecordWrite(IoCategory::kI3HeadFile, n);
+  }
+
+  size_t NodeCount() const { return nodes_.size(); }
+
+  /// \brief Serialized size of one node: five summary entries (signature +
+  /// max_s) plus four child pointers.
+  uint64_t NodeBytes() const;
+
+  /// \brief Total serialized head-file size (the Table 5 "head file"
+  /// column and Figure 5 histogram).
+  uint64_t SizeBytes() const { return NodeBytes() * nodes_.size(); }
+
+  uint32_t signature_bits() const { return signature_bits_; }
+
+  const IoStats& io_stats() const { return io_stats_; }
+  IoStats* mutable_io_stats() { return &io_stats_; }
+
+ private:
+  uint32_t signature_bits_;
+  std::vector<SummaryNode> nodes_;
+  IoStats io_stats_;
+};
+
+}  // namespace i3
+
+#endif  // I3_I3_HEAD_FILE_H_

@@ -1,0 +1,545 @@
+#include "i3/i3_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace i3 {
+
+I3Index::I3Index(I3Options options)
+    : options_(options),
+      cells_(options.space),
+      data_(options.page_file_factory
+                ? std::make_unique<DataFile>(
+                      options.page_file_factory(options.page_size),
+                      options.buffer_pool)
+                : std::make_unique<DataFile>(options.page_size,
+                                             options.buffer_pool)),
+      head_(options.signature_bits) {
+  assert(options_.max_split_level >= 1);
+  assert(options_.signature_bits >= 1);
+}
+
+Result<std::unique_ptr<I3Index>> I3Index::Create(I3Options options) {
+  auto index = std::make_unique<I3Index>(options);
+  if (!options.data_file_path.empty()) {
+    auto df = DataFile::CreateOnDisk(options.data_file_path,
+                                     options.page_size, options.buffer_pool);
+    if (!df.ok()) return df.status();
+    index->data_ = df.MoveValue();
+  }
+  return index;
+}
+
+Status I3Index::ValidateDocument(const SpatialDocument& doc) const {
+  if (doc.id == kInvalidDocId) {
+    return Status::InvalidArgument("invalid document id");
+  }
+  if (!options_.space.Contains(doc.location)) {
+    return Status::InvalidArgument("location " + doc.location.ToString() +
+                                   " outside the data space");
+  }
+  if (doc.terms.empty()) {
+    return Status::InvalidArgument("document has no keywords");
+  }
+  TermId prev = kInvalidTermId;
+  for (const WeightedTerm& wt : doc.terms) {
+    if (wt.term == kInvalidTermId) {
+      return Status::InvalidArgument("invalid term id");
+    }
+    if (prev != kInvalidTermId && wt.term <= prev) {
+      return Status::InvalidArgument(
+          "terms must be sorted and duplicate-free");
+    }
+    if (!(wt.weight > 0.0f) || wt.weight > 1.0f) {
+      return Status::InvalidArgument("term weight must be in (0, 1]");
+    }
+    prev = wt.term;
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ insert
+
+Status I3Index::Insert(const SpatialDocument& doc) {
+  I3_RETURN_NOT_OK(ValidateDocument(doc));
+  for (const SpatialTuple& t : PartitionDocument(doc)) {
+    I3_RETURN_NOT_OK(InsertTuple(t));
+  }
+  ++doc_count_;
+  return Status::OK();
+}
+
+Status I3Index::InsertTuple(const SpatialTuple& t) {
+  auto it = lookup_.find(t.term);
+  if (it == lookup_.end()) {
+    return InsertNewKeyword(t);  // Algorithm 1, lines 1-4
+  }
+  LookupEntry& entry = it->second;
+  if (!entry.dense) {
+    return InsertNonDenseRoot(t, &entry);  // Algorithm 1, lines 6-8
+  }
+  // Algorithm 1, lines 10-16.
+  return InsertDense(t, entry.node, CellId::Root(), options_.space);
+}
+
+Status I3Index::InsertNewKeyword(const SpatialTuple& t) {
+  auto page_res = data_->PageWithFreeSlots(1);
+  if (!page_res.ok()) return page_res.status();
+  const PageId page = page_res.ValueOrDie();
+  const SourceId source = next_source_++;
+  I3_RETURN_NOT_OK(data_->Insert(page, source, t));
+  LookupEntry entry;
+  entry.page = page;
+  entry.source = source;
+  lookup_.emplace(t.term, entry);
+  return Status::OK();
+}
+
+// Algorithm 2: insertNonDenseKwd.
+Status I3Index::InsertNonDenseRoot(const SpatialTuple& t,
+                                   LookupEntry* entry) {
+  auto page_res = data_->Read(entry->page);
+  if (!page_res.ok()) return page_res.status();
+  TuplePage page = page_res.MoveValue();
+
+  if (page.slots.size() < data_->capacity()) {
+    page.slots.push_back({entry->source, t});
+    return data_->Write(entry->page, page);
+  }
+
+  if (page.AllFromSource(entry->source)) {
+    // The keyword becomes dense in the root cell: split and re-insert.
+    auto node_res =
+        SplitCell(options_.space, entry->page, std::move(page),
+                  entry->source);
+    if (!node_res.ok()) return node_res.status();
+    entry->dense = true;
+    entry->node = node_res.ValueOrDie();
+    entry->page = kInvalidPageId;
+    entry->source = kFreeSlot;
+    return InsertDense(t, entry->node, CellId::Root(), options_.space);
+  }
+
+  // Mixed page: relocate this keyword cell to a roomier page.
+  auto new_page = RelocateCell(entry->page, &page, entry->source, {t});
+  if (!new_page.ok()) return new_page.status();
+  entry->page = new_page.ValueOrDie();
+  return Status::OK();
+}
+
+// Algorithm 3: insertDenseKwd, iteratively along the root-to-leaf path.
+Status I3Index::InsertDense(const SpatialTuple& t, NodeId node_id,
+                            CellId cell, Rect rect) {
+  while (true) {
+    // Line 1: fold the new tuple into the summaries on the path. Path
+    // nodes are pinned in the maintenance buffer (like B-tree internals),
+    // so the descent charges no reads; a node is written back only if a
+    // summary actually changed -- signatures only grow, so inserts into
+    // well-populated cells usually leave the node clean. Both effects are
+    // key reasons I3 updates are cheap.
+    SummaryNode* node = head_.MutateDeferred(node_id);
+    bool changed = node->self.Add(t.doc, t.weight);
+    const int q = CellSpace::QuadrantOf(rect, t.location);
+    changed |= node->child_summary[q].Add(t.doc, t.weight);
+    if (changed) head_.ChargeWrite();
+    rect = CellSpace::ChildRect(rect, q);
+    cell = cell.Child(q);
+
+    ChildRef& ref = node->child[q];
+    switch (ref.kind) {
+      case ChildRef::Kind::kSummary:
+        node_id = ref.node;
+        continue;
+
+      case ChildRef::Kind::kNone: {
+        // First tuple of this child keyword cell.
+        auto page_res = data_->PageWithFreeSlots(1);
+        if (!page_res.ok()) return page_res.status();
+        const PageId page = page_res.ValueOrDie();
+        const SourceId source = next_source_++;
+        I3_RETURN_NOT_OK(data_->Insert(page, source, t));
+        ref = ChildRef::ToPage(page, source);
+        return Status::OK();
+      }
+
+      case ChildRef::Kind::kPage: {
+        // Try the primary page first.
+        auto page_res = data_->Read(ref.page);
+        if (!page_res.ok()) return page_res.status();
+        TuplePage page = page_res.MoveValue();
+
+        if (page.slots.size() < data_->capacity()) {
+          page.slots.push_back({ref.source, t});
+          return data_->Write(ref.page, page);
+        }
+
+        if (page.AllFromSource(ref.source)) {
+          if (cell.level() >= options_.max_split_level) {
+            // Cannot split further: extend the overflow chain.
+            for (PageId op : ref.overflow) {
+              if (data_->FreeSlots(op) > 0) {
+                return data_->Insert(op, ref.source, t);
+              }
+            }
+            auto extra_res = data_->PageWithFreeSlots(1);
+            if (!extra_res.ok()) return extra_res.status();
+            const PageId extra = extra_res.ValueOrDie();
+            I3_RETURN_NOT_OK(data_->Insert(extra, ref.source, t));
+            ref.overflow.push_back(extra);
+            return Status::OK();
+          }
+          // Child keyword cell becomes dense (Algorithm 3, lines 5-10).
+          const PageId child_page = ref.page;
+          const SourceId child_source = ref.source;
+          auto child_node =
+              SplitCell(rect, child_page, std::move(page), child_source);
+          if (!child_node.ok()) return child_node.status();
+          // `node`/`ref` may dangle after head-file allocation; re-acquire.
+          head_.Mutate(node_id)->child[q] =
+              ChildRef::ToSummary(child_node.ValueOrDie());
+          node_id = child_node.ValueOrDie();
+          continue;
+        }
+
+        // Mixed full page (Algorithm 3, lines 12-16): move the cell.
+        auto new_page = RelocateCell(ref.page, &page, ref.source, {t});
+        if (!new_page.ok()) return new_page.status();
+        ref.page = new_page.ValueOrDie();
+        return Status::OK();
+      }
+    }
+  }
+}
+
+Result<NodeId> I3Index::SplitCell(const Rect& rect, PageId page,
+                                  TuplePage page_img, SourceId source) {
+  const NodeId node_id = head_.Allocate();
+  SummaryNode* node = head_.Mutate(node_id);
+
+  SourceId child_sources[kQuadrants] = {kFreeSlot, kFreeSlot, kFreeSlot,
+                                        kFreeSlot};
+  for (StoredTuple& st : page_img.slots) {
+    if (st.source != source) continue;
+    const int q = CellSpace::QuadrantOf(rect, st.tuple.location);
+    if (child_sources[q] == kFreeSlot) child_sources[q] = next_source_++;
+    st.source = child_sources[q];  // retag in place
+    node->child_summary[q].Add(st.tuple.doc, st.tuple.weight);
+  }
+  for (int q = 0; q < kQuadrants; ++q) {
+    if (child_sources[q] != kFreeSlot) {
+      node->child[q] = ChildRef::ToPage(page, child_sources[q]);
+    }
+  }
+  node->RebuildSelf();
+  I3_RETURN_NOT_OK(data_->Write(page, page_img));
+  return node_id;
+}
+
+Result<PageId> I3Index::RelocateCell(PageId page, TuplePage* image,
+                                     SourceId source,
+                                     const std::vector<SpatialTuple>& extra) {
+  std::vector<StoredTuple> kept;
+  std::vector<StoredTuple> moved;
+  for (const StoredTuple& st : image->slots) {
+    (st.source == source ? moved : kept).push_back(st);
+  }
+  for (const SpatialTuple& t : extra) moved.push_back({source, t});
+
+  auto target_res =
+      data_->PageWithFreeSlots(static_cast<uint32_t>(moved.size()));
+  if (!target_res.ok()) return target_res.status();
+  const PageId target = target_res.ValueOrDie();
+  if (target == page) {
+    return Status::Internal("relocation target equals the full source page");
+  }
+
+  image->slots = std::move(kept);
+  I3_RETURN_NOT_OK(data_->Write(page, *image));
+
+  auto target_img_res = data_->Read(target);
+  if (!target_img_res.ok()) return target_img_res.status();
+  TuplePage target_img = target_img_res.MoveValue();
+  for (StoredTuple& st : moved) target_img.slots.push_back(st);
+  I3_RETURN_NOT_OK(data_->Write(target, target_img));
+  return target;
+}
+
+// ------------------------------------------------------------------ delete
+
+Status I3Index::Delete(const SpatialDocument& doc) {
+  I3_RETURN_NOT_OK(ValidateDocument(doc));
+  for (const SpatialTuple& t : PartitionDocument(doc)) {
+    I3_RETURN_NOT_OK(DeleteTuple(t));
+  }
+  --doc_count_;
+  return Status::OK();
+}
+
+Status I3Index::DeleteTuple(const SpatialTuple& t) {
+  auto it = lookup_.find(t.term);
+  if (it == lookup_.end()) {
+    return Status::NotFound("keyword not in lookup table");
+  }
+  LookupEntry& entry = it->second;
+
+  if (!entry.dense) {
+    auto page_res = data_->Read(entry.page);
+    if (!page_res.ok()) return page_res.status();
+    TuplePage page = page_res.MoveValue();
+    bool removed = false;
+    uint32_t remaining = 0;
+    std::vector<StoredTuple> kept;
+    for (const StoredTuple& st : page.slots) {
+      if (!removed && st.source == entry.source && st.tuple.doc == t.doc) {
+        removed = true;
+        continue;
+      }
+      if (st.source == entry.source) ++remaining;
+      kept.push_back(st);
+    }
+    if (!removed) {
+      return Status::NotFound("tuple not found for deletion");
+    }
+    page.slots = std::move(kept);
+    I3_RETURN_NOT_OK(data_->Write(entry.page, page));
+    if (remaining == 0) {
+      lookup_.erase(it);  // last tuple of the keyword (Section 4.5)
+    }
+    return Status::OK();
+  }
+
+  // Dense keyword: descend to the leaf keyword cell, recording the path.
+  struct PathStep {
+    NodeId node;
+    int quadrant;
+  };
+  std::vector<PathStep> path;
+  NodeId node_id = entry.node;
+  Rect rect = options_.space;
+  ChildRef* leaf_ref = nullptr;
+  while (true) {
+    // Descent through buffered path nodes; the bottom-up rebuild below
+    // pays the writes.
+    SummaryNode* node = head_.MutateDeferred(node_id);
+    const int q = CellSpace::QuadrantOf(rect, t.location);
+    path.push_back({node_id, q});
+    rect = CellSpace::ChildRect(rect, q);
+    ChildRef& ref = node->child[q];
+    if (ref.kind == ChildRef::Kind::kNone) {
+      return Status::NotFound("tuple not found for deletion (empty cell)");
+    }
+    if (ref.kind == ChildRef::Kind::kSummary) {
+      node_id = ref.node;
+      continue;
+    }
+    leaf_ref = &ref;
+    break;
+  }
+
+  // Remove from the primary page or the overflow chain.
+  bool removed = false;
+  auto removed_res = data_->Remove(leaf_ref->page, leaf_ref->source, t.doc);
+  if (!removed_res.ok()) return removed_res.status();
+  removed = removed_res.ValueOrDie();
+  if (!removed) {
+    for (PageId op : leaf_ref->overflow) {
+      auto r = data_->Remove(op, leaf_ref->source, t.doc);
+      if (!r.ok()) return r.status();
+      if (r.ValueOrDie()) {
+        removed = true;
+        break;
+      }
+    }
+  }
+  if (!removed) {
+    return Status::NotFound("tuple not found for deletion (leaf page)");
+  }
+
+  // Rebuild the leaf cell's summary from its remaining tuples, then
+  // propagate the change bottom-up to the root node (Section 4.5).
+  auto entry_res = RebuildEntryFromPages(leaf_ref->page, leaf_ref->overflow,
+                                         leaf_ref->source);
+  if (!entry_res.ok()) return entry_res.status();
+  SummaryEntry rebuilt = entry_res.MoveValue();
+  const bool cell_now_empty = rebuilt.sig.IsZero();
+
+  for (size_t i = path.size(); i-- > 0;) {
+    SummaryNode* node = head_.Mutate(path[i].node);  // rebuild: real write
+    if (i == path.size() - 1) {
+      node->child_summary[path[i].quadrant] = rebuilt;
+      if (cell_now_empty) {
+        node->child[path[i].quadrant] = ChildRef::None();
+      }
+    } else {
+      node->child_summary[path[i].quadrant] = rebuilt;
+    }
+    node->RebuildSelf();
+    rebuilt = node->self;
+  }
+  return Status::OK();
+}
+
+Result<SummaryEntry> I3Index::RebuildEntryFromPages(
+    PageId page, const std::vector<PageId>& overflow, SourceId source) {
+  SummaryEntry entry;
+  entry.sig = Signature(options_.signature_bits);
+  auto fold = [&](PageId id) -> Status {
+    auto page_res = data_->Read(id);
+    if (!page_res.ok()) return page_res.status();
+    for (const SpatialTuple& t : page_res.ValueOrDie().OfSource(source)) {
+      entry.Add(t.doc, t.weight);
+    }
+    return Status::OK();
+  };
+  I3_RETURN_NOT_OK(fold(page));
+  for (PageId op : overflow) I3_RETURN_NOT_OK(fold(op));
+  return entry;
+}
+
+Result<std::vector<SpatialTuple>> I3Index::ReadCellTuples(
+    PageId page, const std::vector<PageId>& overflow, SourceId source) {
+  auto page_res = data_->Read(page);
+  if (!page_res.ok()) return page_res.status();
+  std::vector<SpatialTuple> out = page_res.ValueOrDie().OfSource(source);
+  for (PageId op : overflow) {
+    auto op_res = data_->Read(op);
+    if (!op_res.ok()) return op_res.status();
+    for (const SpatialTuple& t : op_res.ValueOrDie().OfSource(source)) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- stats
+
+IndexSizeInfo I3Index::SizeInfo() const {
+  IndexSizeInfo info;
+  info.components.push_back({"head file", head_.SizeBytes()});
+  info.components.push_back({"data file", data_->SizeBytes()});
+  // The in-memory lookup table ("quite small" -- Section 6.3): keyword id,
+  // dense flag, and a page-or-node reference per keyword.
+  info.components.push_back(
+      {"lookup table", static_cast<uint64_t>(lookup_.size()) * 13});
+  return info;
+}
+
+const IoStats& I3Index::io_stats() const {
+  merged_stats_.Reset();
+  merged_stats_.MergeFrom(data_->io_stats());
+  merged_stats_.MergeFrom(head_.io_stats());
+  return merged_stats_;
+}
+
+void I3Index::ResetIoStats() {
+  data_->mutable_io_stats()->Reset();
+  const_cast<HeadFile&>(head_).mutable_io_stats()->Reset();
+}
+
+// -------------------------------------------------------------- invariants
+
+Result<uint64_t> I3Index::CheckInvariants() {
+  uint64_t tuple_count = 0;
+  std::unordered_set<SourceId> seen_sources;
+
+  // Walk every keyword's cell tree.
+  for (const auto& [term, entry] : lookup_) {
+    if (!entry.dense) {
+      auto tuples_res = ReadCellTuples(entry.page, {}, entry.source);
+      if (!tuples_res.ok()) return tuples_res.status();
+      const auto& tuples = tuples_res.ValueOrDie();
+      if (tuples.empty()) {
+        return Status::Corruption("non-dense keyword with zero tuples");
+      }
+      if (tuples.size() > data_->capacity()) {
+        return Status::Corruption("non-dense root cell above capacity");
+      }
+      if (!seen_sources.insert(entry.source).second) {
+        return Status::Corruption("source id reused across cells");
+      }
+      for (const auto& t : tuples) {
+        if (t.term != term) {
+          return Status::Corruption("foreign term in keyword cell");
+        }
+      }
+      tuple_count += tuples.size();
+      continue;
+    }
+
+    // Dense: recursive check of the summary tree.
+    struct Frame {
+      NodeId node;
+      Rect rect;
+      uint8_t level;
+    };
+    std::vector<Frame> stack{{entry.node, options_.space, 0}};
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      const SummaryNode& node = head_.Read(f.node);
+      SummaryEntry expect_self;
+      expect_self.sig = Signature(options_.signature_bits);
+      for (int q = 0; q < kQuadrants; ++q) {
+        expect_self.Merge(node.child_summary[q]);
+        const ChildRef& ref = node.child[q];
+        const Rect child_rect = CellSpace::ChildRect(f.rect, q);
+        if (ref.kind == ChildRef::Kind::kNone) {
+          if (!node.child_summary[q].sig.IsZero()) {
+            return Status::Corruption("summary for empty child cell");
+          }
+          continue;
+        }
+        if (ref.kind == ChildRef::Kind::kSummary) {
+          stack.push_back({ref.node, child_rect,
+                           static_cast<uint8_t>(f.level + 1)});
+          // The child node's self summary must match the parent's child
+          // summary (both rebuilt on delete, grown on insert).
+          const SummaryNode& child = head_.Read(ref.node);
+          if (!(child.self.sig == node.child_summary[q].sig) ||
+              child.self.max_s != node.child_summary[q].max_s) {
+            return Status::Corruption("parent/child summary mismatch");
+          }
+          continue;
+        }
+        // Page-backed child cell.
+        if (!seen_sources.insert(ref.source).second) {
+          return Status::Corruption("source id reused across cells");
+        }
+        auto tuples_res = ReadCellTuples(ref.page, ref.overflow, ref.source);
+        if (!tuples_res.ok()) return tuples_res.status();
+        const auto& tuples = tuples_res.ValueOrDie();
+        if (tuples.empty()) {
+          return Status::Corruption("page-backed child cell with no tuples");
+        }
+        if (tuples.size() > data_->capacity() &&
+            static_cast<uint8_t>(f.level + 1) < options_.max_split_level) {
+          return Status::Corruption("splittable cell above capacity");
+        }
+        SummaryEntry expect;
+        expect.sig = Signature(options_.signature_bits);
+        for (const auto& t : tuples) {
+          if (t.term != term) {
+            return Status::Corruption("foreign term in keyword cell");
+          }
+          if (!child_rect.Contains(t.location)) {
+            return Status::Corruption("tuple outside its keyword cell");
+          }
+          expect.Add(t.doc, t.weight);
+        }
+        if (!(expect.sig == node.child_summary[q].sig) ||
+            expect.max_s != node.child_summary[q].max_s) {
+          return Status::Corruption("leaf summary does not match tuples");
+        }
+        tuple_count += tuples.size();
+      }
+      if (!(expect_self.sig == node.self.sig) ||
+          expect_self.max_s != node.self.max_s) {
+        return Status::Corruption("node self summary != union of children");
+      }
+    }
+  }
+  return tuple_count;
+}
+
+}  // namespace i3

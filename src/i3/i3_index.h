@@ -1,0 +1,165 @@
+// I3: the scalable integrated inverted index (Section 4) -- the paper's
+// primary contribution.
+//
+// Layout:
+//   lookup table (memory)  : keyword -> {dense in root?, page or node ref}
+//   head file              : summary nodes of dense keyword cells
+//   data file              : pages of spatial tuples tagged by source id
+//
+// Maintenance follows Algorithms 1-3 (insert, including dense splits and
+// keyword-cell relocation), Section 4.5 (delete with bottom-up summary
+// rebuild; update = delete + insert). Search follows Algorithms 4-6: a
+// best-first descent over quadtree cells with signature-intersection
+// pruning under AND semantics and an Apriori subset lattice for the OR
+// upper bound.
+
+#ifndef I3_I3_I3_INDEX_H_
+#define I3_I3_I3_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "i3/data_file.h"
+#include "i3/head_file.h"
+#include "i3/options.h"
+#include "model/index.h"
+#include "model/scorer.h"
+#include "quadtree/cell.h"
+
+namespace i3 {
+
+/// \brief Per-query search statistics (candidates examined, cells pruned);
+/// exposed for the ablation benchmarks.
+struct I3SearchStats {
+  uint64_t candidates_pushed = 0;
+  uint64_t candidates_popped = 0;
+  uint64_t cells_pruned_signature = 0;
+  uint64_t cells_pruned_coverage = 0;
+  uint64_t cells_pruned_score = 0;
+  uint64_t docs_scored = 0;
+};
+
+/// \brief The I3 index.
+class I3Index final : public SpatialKeywordIndex {
+ public:
+  /// Creates an in-memory-backed index. For a disk-backed data file set
+  /// I3Options::data_file_path and use Create().
+  explicit I3Index(I3Options options = {});
+
+  /// Factory honoring I3Options::data_file_path (fallible: disk I/O).
+  static Result<std::unique_ptr<I3Index>> Create(I3Options options);
+
+  std::string Name() const override { return "I3"; }
+
+  Status Insert(const SpatialDocument& doc) override;
+  Status Delete(const SpatialDocument& doc) override;
+  Result<std::vector<ScoredDoc>> Search(const Query& q,
+                                        double alpha) override;
+
+  /// \brief Range-constrained keyword search (the "query region" variant
+  /// of spatial keyword search surveyed in the paper's Section 2): returns
+  /// the documents located inside `range` that satisfy `semantics` over
+  /// `terms`, ranked by textual relevance. `limit` == 0 returns all
+  /// matches. Quadtree cells outside the range and (under AND) cells whose
+  /// signature intersection is empty are pruned without page reads.
+  Result<std::vector<ScoredDoc>> SearchRange(const Rect& range,
+                                             std::vector<TermId> terms,
+                                             Semantics semantics,
+                                             uint32_t limit = 0);
+
+  /// \brief Serializes the whole index (lookup table, head file, data
+  /// file) to `path`. See LoadFrom.
+  Status SaveTo(const std::string& path) const;
+
+  /// \brief Restores an index previously written by SaveTo. The loaded
+  /// index is fully functional (inserts, deletes, searches).
+  static Result<std::unique_ptr<I3Index>> LoadFrom(const std::string& path);
+
+  uint64_t DocumentCount() const override { return doc_count_; }
+  IndexSizeInfo SizeInfo() const override;
+
+  const IoStats& io_stats() const override;
+  void ResetIoStats() override;
+  void ClearCache() override { data_->ClearCache(); }
+
+  /// Statistics of the most recent Search call.
+  const I3SearchStats& last_search_stats() const {
+    return last_search_stats_;
+  }
+
+  /// Number of summary nodes in the head file.
+  size_t SummaryNodeCount() const { return head_.NodeCount(); }
+  /// Number of pages in the data file.
+  PageId DataPageCount() const { return data_->PageCount(); }
+  /// Number of distinct keywords in the lookup table.
+  size_t KeywordCount() const { return lookup_.size(); }
+
+  const I3Options& options() const { return options_; }
+
+  /// \brief Structural invariant checker used by the property tests:
+  /// verifies that every tuple is stored in the keyword cell containing its
+  /// location, that no non-dense cell exceeds capacity, that summaries
+  /// cover their subtrees (signature superset, max_s is a max), and that
+  /// the free-space map matches the pages. Returns the number of tuples.
+  Result<uint64_t> CheckInvariants();
+
+ private:
+  struct LookupEntry {
+    bool dense = false;
+    // Non-dense: the single data page holding <w, rootcell>.
+    PageId page = kInvalidPageId;
+    SourceId source = kFreeSlot;
+    // Dense: the root summary node.
+    NodeId node = kInvalidNodeId;
+  };
+
+  Status ValidateDocument(const SpatialDocument& doc) const;
+
+  // --- insert path (Algorithms 1-3) ---
+  Status InsertTuple(const SpatialTuple& t);
+  Status InsertNewKeyword(const SpatialTuple& t);
+  Status InsertNonDenseRoot(const SpatialTuple& t, LookupEntry* entry);
+  Status InsertDense(const SpatialTuple& t, NodeId node_id, CellId cell,
+                     Rect rect);
+  /// Splits the dense keyword cell whose tuples (tagged `source`) fill
+  /// `page`: allocates a summary node, partitions tuples by quadrant with
+  /// fresh source ids (retagged in place), and returns the new node.
+  Result<NodeId> SplitCell(const Rect& rect, PageId page, TuplePage page_img,
+                           SourceId source);
+  /// Moves the keyword cell `source` out of full page `page` (image given)
+  /// to a page with room for the cell plus `extra` tuples; returns the new
+  /// page. `*image` is updated for the old page and both pages are written.
+  Result<PageId> RelocateCell(PageId page, TuplePage* image, SourceId source,
+                              const std::vector<SpatialTuple>& extra);
+
+  // --- delete path (Section 4.5) ---
+  Status DeleteTuple(const SpatialTuple& t);
+  /// Rebuilds `entry` from the tuples of `source` on `page` + `overflow`.
+  Result<SummaryEntry> RebuildEntryFromPages(
+      PageId page, const std::vector<PageId>& overflow, SourceId source);
+
+  // --- search path (Algorithms 4-6): see i3_search.cc ---
+  struct Candidate;
+  class SearchContext;
+
+  /// Reads all tuples of the keyword cell referenced by (page, overflow,
+  /// source), charging data-file I/O.
+  Result<std::vector<SpatialTuple>> ReadCellTuples(
+      PageId page, const std::vector<PageId>& overflow, SourceId source);
+
+  I3Options options_;
+  CellSpace cells_;
+  std::unordered_map<TermId, LookupEntry> lookup_;
+  std::unique_ptr<DataFile> data_;
+  HeadFile head_;
+  SourceId next_source_ = 1;
+  uint64_t doc_count_ = 0;
+  I3SearchStats last_search_stats_;
+  mutable IoStats merged_stats_;  // scratch for io_stats()
+};
+
+}  // namespace i3
+
+#endif  // I3_I3_I3_INDEX_H_

@@ -1,0 +1,529 @@
+// Query processing over I3 (Section 5): best-first descent over quadtree
+// cells with AND-semantics signature pruning (Algorithms 5-6) and the
+// Apriori subset lattice for the OR-semantics upper bound (Section 5.3).
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+
+#include "i3/i3_index.h"
+#include "model/topk.h"
+
+namespace i3 {
+
+namespace {
+constexpr uint32_t kMaxQueryTerms = 32;     // mask width
+constexpr uint32_t kMaxLatticeTerms = 12;   // OR lattice enumeration cap
+}  // namespace
+
+/// One entry of PQ in Algorithm 4: a cell C with the four pruning fields
+/// <C.C, C.denseKwds, C.docs, C.upperScore>.
+struct I3Index::Candidate {
+  /// A query keyword that is dense in this cell, with its summary E and the
+  /// head-file node to expand it further.
+  struct DenseKwd {
+    uint8_t qidx;        ///< position of the keyword in the query
+    NodeId node;         ///< summary node of <w, C>
+    SummaryEntry entry;  ///< E = <sig, max_s> of <w, C>
+  };
+
+  /// A document discovered through keywords that stopped being dense on
+  /// the path to this cell, with the term weights fetched so far.
+  struct PartialDoc {
+    Point loc;
+    uint32_t mask = 0;  ///< query-term positions matched so far
+    std::vector<std::pair<uint8_t, float>> terms;
+
+    double TextSum() const {
+      double s = 0.0;
+      for (const auto& [qidx, w] : terms) s += w;
+      return s;
+    }
+  };
+
+  Rect rect;
+  double upper = 0.0;
+  std::vector<DenseKwd> dense;
+  std::unordered_map<DocId, PartialDoc> docs;
+
+  void MergeTuples(uint8_t qidx, const std::vector<SpatialTuple>& tuples) {
+    for (const SpatialTuple& t : tuples) {
+      PartialDoc& pd = docs[t.doc];
+      pd.loc = t.location;
+      pd.mask |= (1u << qidx);
+      pd.terms.emplace_back(qidx, t.weight);
+    }
+  }
+};
+
+/// Per-query state and the pruning/upper-bound routines.
+class I3Index::SearchContext {
+ public:
+  SearchContext(I3Index* index, const Query& q, double alpha)
+      : index_(index),
+        query_(q),
+        scorer_(index->options_.space, alpha),
+        heap_(q.k),
+        stats_(&index->last_search_stats_) {
+    for (size_t i = 0; i < q.terms.size(); ++i) {
+      full_mask_ |= (1u << i);
+    }
+  }
+
+  /// Algorithm 5 (AND) / Section 5.3 (OR). Returns true if the candidate
+  /// cell can be discarded; may shrink c->docs as a side effect (AND).
+  bool Prune(Candidate* c) {
+    if (query_.semantics == Semantics::kAnd) return PruneAnd(c);
+    return PruneOr(c);
+  }
+
+  /// Algorithm 6 (AND) / the Apriori lattice (OR).
+  double UpperBound(const Candidate& c) const {
+    const double phi_s =
+        scorer_.SpatialProximityUpper(query_.location, c.rect);
+    const double phi_t = query_.semantics == Semantics::kAnd
+                             ? TextualUpperAnd(c)
+                             : TextualUpperOr(c);
+    return scorer_.Combine(phi_s, phi_t);
+  }
+
+  /// Scores the documents of a fully resolved cell (Algorithm 4, 6-10).
+  void ScoreDocs(const Candidate& c) {
+    for (const auto& [doc, pd] : c.docs) {
+      if (query_.semantics == Semantics::kAnd && pd.mask != full_mask_) {
+        continue;
+      }
+      const double score =
+          scorer_.Combine(scorer_.SpatialProximity(query_.location, pd.loc),
+                          pd.TextSum());
+      heap_.Offer(doc, score, pd.loc);
+      ++stats_->docs_scored;
+    }
+  }
+
+  double Threshold() const { return heap_.Threshold(); }
+  TopKHeap* heap() { return &heap_; }
+  I3SearchStats* stats() { return stats_; }
+  const Query& query() const { return query_; }
+  uint32_t full_mask() const { return full_mask_; }
+
+ private:
+  bool PruneAnd(Candidate* c) {
+    // Lines 1-6: intersect the signatures of the dense keywords.
+    if (index_->options_.signature_pruning && !c->dense.empty()) {
+      Signature sig = c->dense[0].entry.sig;
+      for (size_t i = 1; i < c->dense.size(); ++i) {
+        sig.IntersectWith(c->dense[i].entry.sig);
+      }
+      if (sig.IsZero()) {
+        ++stats_->cells_pruned_signature;
+        return true;
+      }
+      // Lines 7-12: drop partial documents outside the intersection.
+      for (auto it = c->docs.begin(); it != c->docs.end();) {
+        if (!sig.MayContain(it->first)) {
+          it = c->docs.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Coverage: every query keyword must be dense in this cell or matched
+    // by some partial document; otherwise no document here can contain all
+    // keywords. (Generalizes lines 11-12 to empty C.docs.)
+    uint32_t covered = 0;
+    for (const auto& dk : c->dense) covered |= (1u << dk.qidx);
+    for (const auto& [doc, pd] : c->docs) covered |= pd.mask;
+    if (covered != full_mask_) {
+      ++stats_->cells_pruned_coverage;
+      return true;
+    }
+    return false;
+  }
+
+  bool PruneOr(Candidate* c) {
+    // A cell is prunable only if it holds no query keyword at all: no dense
+    // keyword (a dense cell is nonempty by definition) and no partial doc.
+    if (c->dense.empty() && c->docs.empty()) {
+      ++stats_->cells_pruned_coverage;
+      return true;
+    }
+    return false;
+  }
+
+  double TextualUpperAnd(const Candidate& c) const {
+    double dense_sum = 0.0;
+    for (const auto& dk : c.dense) dense_sum += dk.entry.max_s;
+    double nd_max = 0.0;
+    for (const auto& [doc, pd] : c.docs) {
+      nd_max = std::max(nd_max, pd.TextSum());
+    }
+    return dense_sum + nd_max;
+  }
+
+  /// Per-term evidence for the OR lattice: the best contribution m_t and a
+  /// signature of the documents that could supply it.
+  double TextualUpperOr(const Candidate& c) const {
+    const uint32_t eta = index_->options_.signature_bits;
+    struct TermEvidence {
+      double m = 0.0;
+      Signature sig;
+    };
+    std::vector<TermEvidence> ev;
+    for (const auto& dk : c.dense) {
+      ev.push_back({dk.entry.max_s, dk.entry.sig});
+    }
+    // Group the non-dense contributions by query term.
+    std::vector<TermEvidence> nd(query_.terms.size());
+    std::vector<bool> nd_present(query_.terms.size(), false);
+    for (const auto& [doc, pd] : c.docs) {
+      for (const auto& [qidx, w] : pd.terms) {
+        if (!nd_present[qidx]) {
+          nd[qidx].sig = Signature(eta);
+          nd_present[qidx] = true;
+        }
+        nd[qidx].m = std::max(nd[qidx].m, static_cast<double>(w));
+        nd[qidx].sig.Add(doc);
+      }
+    }
+    for (size_t i = 0; i < nd.size(); ++i) {
+      if (nd_present[i]) ev.push_back(std::move(nd[i]));
+    }
+    if (ev.empty()) return 0.0;
+
+    const size_t p = ev.size();
+    if (p > kMaxLatticeTerms) {
+      // Degenerate fallback: the plain sum is still a valid upper bound.
+      double sum = 0.0;
+      for (const auto& e : ev) sum += e.m;
+      return sum;
+    }
+
+    // Apriori over the 2^p - 1 keyword subsets: a subset is viable iff the
+    // intersection of its members' evidence is non-empty; monotonicity
+    // prunes supersets of dead subsets.
+    const size_t n_masks = size_t{1} << p;
+    std::vector<Signature> evidence(n_masks);
+    std::vector<double> score(n_masks, -1.0);  // -1 = dead subset
+    double best = 0.0;
+    for (size_t mask = 1; mask < n_masks; ++mask) {
+      const size_t low = mask & (~mask + 1);
+      const size_t low_idx = static_cast<size_t>(__builtin_ctzll(mask));
+      const size_t rest = mask ^ low;
+      if (rest == 0) {
+        evidence[mask] = ev[low_idx].sig;
+        score[mask] = ev[low_idx].m;
+      } else {
+        if (score[rest] < 0.0) continue;  // Apriori pruning
+        Signature sig = evidence[rest];
+        sig.IntersectWith(ev[low_idx].sig);
+        if (sig.IsZero()) continue;
+        evidence[mask] = std::move(sig);
+        score[mask] = score[rest] + ev[low_idx].m;
+      }
+      best = std::max(best, score[mask]);
+    }
+    return best;
+  }
+
+  I3Index* index_;
+  Query query_;
+  Scorer scorer_;
+  TopKHeap heap_;
+  I3SearchStats* stats_;
+  uint32_t full_mask_ = 0;
+};
+
+Result<std::vector<ScoredDoc>> I3Index::Search(const Query& q_in,
+                                               double alpha) {
+  Query q = q_in;
+  q.Normalize();
+  last_search_stats_ = I3SearchStats{};
+  if (q.terms.empty()) {
+    return Status::InvalidArgument("query has no keywords");
+  }
+  if (q.terms.size() > kMaxQueryTerms) {
+    return Status::InvalidArgument("more than 32 query keywords");
+  }
+  if (alpha < 0.0 || alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in [0, 1]");
+  }
+
+  SearchContext ctx(this, q, alpha);
+
+  // Build the root candidate (Algorithm 4, line 1).
+  auto root = std::make_unique<Candidate>();
+  root->rect = options_.space;
+  for (size_t i = 0; i < q.terms.size(); ++i) {
+    auto it = lookup_.find(q.terms[i]);
+    if (it == lookup_.end()) {
+      if (q.semantics == Semantics::kAnd) {
+        return std::vector<ScoredDoc>{};  // a required keyword is absent
+      }
+      continue;
+    }
+    const LookupEntry& entry = it->second;
+    if (entry.dense) {
+      const SummaryNode& node = head_.Read(entry.node);
+      root->dense.push_back(
+          {static_cast<uint8_t>(i), entry.node, node.self});
+    } else {
+      auto tuples = ReadCellTuples(entry.page, {}, entry.source);
+      if (!tuples.ok()) return tuples.status();
+      root->MergeTuples(static_cast<uint8_t>(i), tuples.ValueOrDie());
+    }
+  }
+
+  // Max-heap of candidates by upper bound.
+  auto cmp = [](const std::unique_ptr<Candidate>& a,
+                const std::unique_ptr<Candidate>& b) {
+    return a->upper < b->upper;
+  };
+  std::priority_queue<std::unique_ptr<Candidate>,
+                      std::vector<std::unique_ptr<Candidate>>, decltype(cmp)>
+      pq(cmp);
+
+  if (!ctx.Prune(root.get())) {
+    root->upper = ctx.UpperBound(*root);
+    ++ctx.stats()->candidates_pushed;
+    pq.push(std::move(root));
+  }
+
+  while (!pq.empty()) {
+    std::unique_ptr<Candidate> c =
+        std::move(const_cast<std::unique_ptr<Candidate>&>(pq.top()));
+    pq.pop();
+    ++ctx.stats()->candidates_popped;
+
+    // Lines 4-5: global termination.
+    if (c->upper <= ctx.Threshold()) break;
+
+    // Lines 6-10: fully resolved cell -- score its documents.
+    if (c->dense.empty()) {
+      ctx.ScoreDocs(*c);
+      continue;
+    }
+
+    // Lines 12-24: zoom into the four child cells.
+    // Snapshot the dense keywords' nodes (head-file reads, one per dense
+    // keyword; the node vector is stable during a search).
+    std::vector<const SummaryNode*> nodes;
+    nodes.reserve(c->dense.size());
+    for (const auto& dk : c->dense) nodes.push_back(&head_.Read(dk.node));
+
+    for (int quad = 0; quad < kQuadrants; ++quad) {
+      auto child = std::make_unique<Candidate>();
+      child->rect = CellSpace::ChildRect(c->rect, quad);
+
+      // Route each partial document to the unique child containing it.
+      for (const auto& [doc, pd] : c->docs) {
+        if (CellSpace::QuadrantOf(c->rect, pd.loc) == quad) {
+          child->docs.emplace(doc, pd);
+        }
+      }
+
+      // Keywords that stop being dense in this child are *not* fetched
+      // yet: their summaries E (stored in the parent's node, already in
+      // hand) stand in so the child can be pruned without touching the
+      // data file. Only survivors pay the page reads.
+      struct PendingFetch {
+        uint8_t qidx;
+        PageId page;
+        SourceId source;
+        const std::vector<PageId>* overflow;
+      };
+      std::vector<PendingFetch> pending;
+
+      for (size_t d = 0; d < c->dense.size(); ++d) {
+        const ChildRef& ref = nodes[d]->child[quad];
+        switch (ref.kind) {
+          case ChildRef::Kind::kNone:
+            break;
+          case ChildRef::Kind::kSummary:
+            child->dense.push_back({c->dense[d].qidx, ref.node,
+                                    nodes[d]->child_summary[quad]});
+            break;
+          case ChildRef::Kind::kPage:
+            if (options_.summary_screen) {
+              // Temporarily treat the page-backed cell like a dense one,
+              // carrying its exact summary from the parent node.
+              // kInvalidNodeId marks it as pending.
+              child->dense.push_back({c->dense[d].qidx, kInvalidNodeId,
+                                      nodes[d]->child_summary[quad]});
+              pending.push_back({c->dense[d].qidx, ref.page, ref.source,
+                                 &ref.overflow});
+            } else {
+              // Ablation / literal Algorithm 4: fetch eagerly.
+              auto tuples =
+                  ReadCellTuples(ref.page, ref.overflow, ref.source);
+              if (!tuples.ok()) return tuples.status();
+              child->MergeTuples(c->dense[d].qidx, tuples.ValueOrDie());
+            }
+            break;
+        }
+      }
+
+      if (child->dense.empty() && child->docs.empty()) continue;
+      if (ctx.Prune(child.get())) continue;
+      child->upper = ctx.UpperBound(*child);
+      if (child->upper <= ctx.Threshold()) {
+        ++ctx.stats()->cells_pruned_score;
+        continue;
+      }
+
+      if (!pending.empty()) {
+        // The child survived the summary-only screen: fetch the pages of
+        // its non-dense keyword cells and re-evaluate with exact tuples.
+        child->dense.erase(
+            std::remove_if(child->dense.begin(), child->dense.end(),
+                           [](const Candidate::DenseKwd& dk) {
+                             return dk.node == kInvalidNodeId;
+                           }),
+            child->dense.end());
+        for (const PendingFetch& pf : pending) {
+          auto tuples = ReadCellTuples(pf.page, *pf.overflow, pf.source);
+          if (!tuples.ok()) return tuples.status();
+          child->MergeTuples(pf.qidx, tuples.ValueOrDie());
+        }
+        if (child->dense.empty() && child->docs.empty()) continue;
+        if (ctx.Prune(child.get())) continue;
+        child->upper = ctx.UpperBound(*child);
+        if (child->upper <= ctx.Threshold()) {
+          ++ctx.stats()->cells_pruned_score;
+          continue;
+        }
+      }
+
+      ++ctx.stats()->candidates_pushed;
+      pq.push(std::move(child));
+    }
+  }
+
+  return ctx.heap()->Take();
+}
+
+Result<std::vector<ScoredDoc>> I3Index::SearchRange(const Rect& range,
+                                                    std::vector<TermId> terms,
+                                                    Semantics semantics,
+                                                    uint32_t limit) {
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  if (terms.empty()) {
+    return Status::InvalidArgument("range query has no keywords");
+  }
+  if (terms.size() > kMaxQueryTerms) {
+    return Status::InvalidArgument("more than 32 query keywords");
+  }
+
+  uint32_t full_mask = 0;
+  for (size_t i = 0; i < terms.size(); ++i) full_mask |= (1u << i);
+
+  struct RangeDoc {
+    uint32_t mask = 0;
+    double text = 0.0;
+    Point loc;
+  };
+  std::unordered_map<DocId, RangeDoc> docs;
+
+  auto merge_tuples = [&](uint8_t qidx,
+                          const std::vector<SpatialTuple>& tuples) {
+    for (const SpatialTuple& t : tuples) {
+      if (!range.Contains(t.location)) continue;
+      RangeDoc& rd = docs[t.doc];
+      rd.mask |= (1u << qidx);
+      rd.text += t.weight;
+      rd.loc = t.location;
+    }
+  };
+
+  // A frame is one cell with the query keywords still dense in it.
+  struct Frame {
+    Rect rect;
+    std::vector<std::pair<uint8_t, NodeId>> dense;
+  };
+  std::vector<Frame> stack;
+
+  Frame root;
+  root.rect = options_.space;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    auto it = lookup_.find(terms[i]);
+    if (it == lookup_.end()) {
+      if (semantics == Semantics::kAnd) return std::vector<ScoredDoc>{};
+      continue;
+    }
+    if (it->second.dense) {
+      root.dense.emplace_back(static_cast<uint8_t>(i), it->second.node);
+    } else {
+      auto tuples = ReadCellTuples(it->second.page, {}, it->second.source);
+      if (!tuples.ok()) return tuples.status();
+      merge_tuples(static_cast<uint8_t>(i), tuples.ValueOrDie());
+    }
+  }
+  if (!root.dense.empty()) stack.push_back(std::move(root));
+
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    std::vector<const SummaryNode*> nodes;
+    nodes.reserve(f.dense.size());
+    for (const auto& [qidx, node] : f.dense) {
+      nodes.push_back(&head_.Read(node));
+    }
+    for (int quad = 0; quad < kQuadrants; ++quad) {
+      const Rect child_rect = CellSpace::ChildRect(f.rect, quad);
+      if (!child_rect.Intersects(range)) continue;
+
+      // AND: the signatures of this cell's keyword cells (dense or not)
+      // must intersect for any document here to match.
+      if (semantics == Semantics::kAnd && options_.signature_pruning) {
+        Signature sig(options_.signature_bits);
+        bool first = true;
+        for (const SummaryNode* n : nodes) {
+          if (first) {
+            sig = n->child_summary[quad].sig;
+            first = false;
+          } else {
+            sig.IntersectWith(n->child_summary[quad].sig);
+          }
+          if (sig.IsZero()) break;
+        }
+        if (!first && sig.IsZero()) continue;
+      }
+
+      Frame child;
+      child.rect = child_rect;
+      for (size_t d = 0; d < f.dense.size(); ++d) {
+        const ChildRef& ref = nodes[d]->child[quad];
+        switch (ref.kind) {
+          case ChildRef::Kind::kNone:
+            break;
+          case ChildRef::Kind::kSummary:
+            child.dense.emplace_back(f.dense[d].first, ref.node);
+            break;
+          case ChildRef::Kind::kPage: {
+            auto tuples = ReadCellTuples(ref.page, ref.overflow, ref.source);
+            if (!tuples.ok()) return tuples.status();
+            merge_tuples(f.dense[d].first, tuples.ValueOrDie());
+            break;
+          }
+        }
+      }
+      if (!child.dense.empty()) stack.push_back(std::move(child));
+    }
+  }
+
+  std::vector<ScoredDoc> out;
+  for (const auto& [doc, rd] : docs) {
+    if (semantics == Semantics::kAnd && rd.mask != full_mask) continue;
+    out.push_back({doc, rd.text, rd.loc});
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredDoc& a,
+                                       const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  if (limit > 0 && out.size() > limit) out.resize(limit);
+  return out;
+}
+
+}  // namespace i3

@@ -1,0 +1,34 @@
+#include "i3/signature.h"
+
+#include <cassert>
+
+namespace i3 {
+
+void Signature::IntersectWith(const Signature& other) {
+  assert(bits_ == other.bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void Signature::UnionWith(const Signature& other) {
+  assert(bits_ == other.bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+bool Signature::Intersects(const Signature& other) const {
+  assert(bits_ == other.bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+std::string Signature::ToString() const {
+  std::string out;
+  out.reserve(bits_);
+  for (uint32_t i = 0; i < bits_; ++i) {
+    out += TestBit(i) ? '1' : '0';
+  }
+  return out;
+}
+
+}  // namespace i3

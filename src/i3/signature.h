@@ -1,0 +1,107 @@
+// Signature files (Faloutsos & Christodoulakis), the per-keyword-cell
+// document-id summaries of I3.
+//
+// A signature is a bitmap of length eta. Inserting a tuple sets bit
+// H(doc_id) with H(id) = id mod eta (the hash used in the paper's worked
+// example). Intersecting the signatures of several keywords in the same
+// cell conservatively tests whether any document could contain all of them
+// -- the core AND-semantics pruning device.
+
+#ifndef I3_I3_SIGNATURE_H_
+#define I3_I3_SIGNATURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/document.h"
+
+namespace i3 {
+
+/// \brief A fixed-length bitmap over hashed document ids.
+class Signature {
+ public:
+  /// An empty 0-bit signature (usable only after assignment).
+  Signature() = default;
+
+  /// \param bits eta, the signature length in bits (> 0).
+  explicit Signature(uint32_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  uint32_t bits() const { return bits_; }
+
+  /// Storage footprint when serialized.
+  uint32_t SizeBytes() const { return (bits_ + 7) / 8; }
+
+  /// H(id) = id mod eta.
+  uint32_t HashOf(DocId id) const { return id % bits_; }
+
+  /// Sets the bit for `id`; returns true if the bit was newly set.
+  bool Add(DocId id) {
+    const uint32_t bit = HashOf(id);
+    if (TestBit(bit)) return false;
+    SetBit(bit);
+    return true;
+  }
+
+  /// \brief True if `id`'s bit is set (i.e. the cell *may* contain `id`).
+  bool MayContain(DocId id) const { return TestBit(HashOf(id)); }
+
+  /// \brief True if no bit is set.
+  bool IsZero() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// Number of set bits.
+  uint32_t PopCount() const {
+    uint32_t n = 0;
+    for (uint64_t w : words_) n += static_cast<uint32_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// this &= other. Signatures must have equal length.
+  void IntersectWith(const Signature& other);
+  /// this |= other. Signatures must have equal length.
+  void UnionWith(const Signature& other);
+
+  /// \brief True if `a & b` has any set bit (without materializing it).
+  bool Intersects(const Signature& other) const;
+
+  void Clear() {
+    for (uint64_t& w : words_) w = 0;
+  }
+
+  bool operator==(const Signature& o) const {
+    return bits_ == o.bits_ && words_ == o.words_;
+  }
+
+  /// Bit string, e.g. "1001" -- for debugging and the doc examples.
+  std::string ToString() const;
+
+  /// Raw 64-bit words (serialization).
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Reconstructs a signature from serialized words. `words` must have
+  /// ceil(bits / 64) entries.
+  static Signature FromWords(uint32_t bits, std::vector<uint64_t> words) {
+    Signature sig(bits);
+    if (words.size() == sig.words_.size()) sig.words_ = std::move(words);
+    return sig;
+  }
+
+ private:
+  void SetBit(uint32_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  bool TestBit(uint32_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  uint32_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace i3
+
+#endif  // I3_I3_SIGNATURE_H_

@@ -1,0 +1,48 @@
+#include "model/brute_force.h"
+
+namespace i3 {
+
+Status BruteForceIndex::Insert(const SpatialDocument& doc) {
+  if (doc.id == kInvalidDocId) {
+    return Status::InvalidArgument("invalid document id");
+  }
+  auto [it, inserted] = docs_.emplace(doc.id, doc);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("document " + std::to_string(doc.id) +
+                                 " already indexed");
+  }
+  return Status::OK();
+}
+
+Status BruteForceIndex::Delete(const SpatialDocument& doc) {
+  if (docs_.erase(doc.id) == 0) {
+    return Status::NotFound("document " + std::to_string(doc.id) +
+                            " not indexed");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ScoredDoc>> BruteForceIndex::Search(const Query& q,
+                                                       double alpha) {
+  Query query = q;
+  query.Normalize();
+  const Scorer scorer(space_, alpha);
+  TopKHeap heap(query.k);
+  for (const auto& [id, doc] : docs_) {
+    if (!scorer.IsCandidate(query, doc)) continue;
+    heap.Offer(id, scorer.Score(query, doc), doc.location);
+  }
+  return heap.Take();
+}
+
+IndexSizeInfo BruteForceIndex::SizeInfo() const {
+  uint64_t bytes = 0;
+  for (const auto& [id, doc] : docs_) {
+    (void)id;
+    bytes += sizeof(SpatialDocument) + doc.terms.size() * sizeof(WeightedTerm);
+  }
+  return IndexSizeInfo{{{"documents", bytes}}};
+}
+
+}  // namespace i3

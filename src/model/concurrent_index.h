@@ -1,0 +1,106 @@
+// A thread-safety decorator for SpatialKeywordIndex.
+//
+// The index implementations are single-threaded by design (the paper's
+// setting). ConcurrentIndex makes any of them safe to share: writers
+// (Insert/Delete/Update) take an exclusive lock, readers (Search and the
+// stats accessors) a shared lock. Search is declared non-const on the
+// interface because implementations touch caches and I/O counters, so
+// readers serialize those side effects behind the same shared lock plus a
+// small internal mutex where needed; the coarse-grained design favours
+// obviousness over scalability, which is appropriate for an index whose
+// queries are millisecond-scale.
+//
+// Caveat: std::shared_mutex on glibc is reader-preferring. A reader pool
+// that re-acquires the shared lock in a tight loop can starve writers;
+// pace readers (or bound their work) in write-heavy deployments.
+
+#ifndef I3_MODEL_CONCURRENT_INDEX_H_
+#define I3_MODEL_CONCURRENT_INDEX_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+
+#include "model/index.h"
+
+namespace i3 {
+
+/// \brief Wraps an index with reader-writer locking.
+class ConcurrentIndex final : public SpatialKeywordIndex {
+ public:
+  explicit ConcurrentIndex(std::unique_ptr<SpatialKeywordIndex> base)
+      : base_(std::move(base)) {}
+
+  std::string Name() const override {
+    return base_->Name() + " (concurrent)";
+  }
+
+  Status Insert(const SpatialDocument& doc) override {
+    std::unique_lock lock(mutex_);
+    return base_->Insert(doc);
+  }
+
+  Status Delete(const SpatialDocument& doc) override {
+    std::unique_lock lock(mutex_);
+    return base_->Delete(doc);
+  }
+
+  Status Update(const SpatialDocument& old_doc,
+                const SpatialDocument& new_doc) override {
+    // One exclusive section for the whole update: readers never observe
+    // the document half-removed.
+    std::unique_lock lock(mutex_);
+    I3_RETURN_NOT_OK(base_->Delete(old_doc));
+    return base_->Insert(new_doc);
+  }
+
+  Result<std::vector<ScoredDoc>> Search(const Query& q,
+                                        double alpha) override {
+    // Queries mutate per-query statistics and cache state inside the
+    // implementations, so they serialize against each other with a second
+    // mutex while still excluding writers via the shared lock.
+    std::shared_lock lock(mutex_);
+    std::lock_guard<std::mutex> query_lock(query_mutex_);
+    return base_->Search(q, alpha);
+  }
+
+  uint64_t DocumentCount() const override {
+    std::shared_lock lock(mutex_);
+    return base_->DocumentCount();
+  }
+
+  IndexSizeInfo SizeInfo() const override {
+    std::shared_lock lock(mutex_);
+    return base_->SizeInfo();
+  }
+
+  const IoStats& io_stats() const override {
+    std::shared_lock lock(mutex_);
+    return base_->io_stats();
+  }
+
+  void ResetIoStats() override {
+    std::unique_lock lock(mutex_);
+    base_->ResetIoStats();
+  }
+
+  void ClearCache() override {
+    std::unique_lock lock(mutex_);
+    base_->ClearCache();
+  }
+
+  /// The wrapped index; synchronization is the caller's problem once this
+  /// escapes.
+  SpatialKeywordIndex* base() { return base_.get(); }
+
+ private:
+  std::unique_ptr<SpatialKeywordIndex> base_;
+  mutable std::shared_mutex mutex_;
+  mutable std::mutex query_mutex_;
+};
+
+}  // namespace i3
+
+#endif  // I3_MODEL_CONCURRENT_INDEX_H_

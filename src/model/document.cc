@@ -1,0 +1,24 @@
+#include "model/document.h"
+
+#include <algorithm>
+
+namespace i3 {
+
+float SpatialDocument::WeightOf(TermId term) const {
+  auto it = std::lower_bound(
+      terms.begin(), terms.end(), term,
+      [](const WeightedTerm& wt, TermId t) { return wt.term < t; });
+  if (it != terms.end() && it->term == term) return it->weight;
+  return 0.0f;
+}
+
+std::vector<SpatialTuple> PartitionDocument(const SpatialDocument& doc) {
+  std::vector<SpatialTuple> tuples;
+  tuples.reserve(doc.terms.size());
+  for (const WeightedTerm& wt : doc.terms) {
+    tuples.push_back({wt.term, doc.id, doc.location, wt.weight});
+  }
+  return tuples;
+}
+
+}  // namespace i3

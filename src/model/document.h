@@ -1,0 +1,56 @@
+// The data model of the paper (Section 3): spatial documents and the
+// one-keyword spatial tuples produced by textual-first partitioning.
+
+#ifndef I3_MODEL_DOCUMENT_H_
+#define I3_MODEL_DOCUMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geo.h"
+#include "text/tfidf.h"
+
+namespace i3 {
+
+/// Document identifier.
+using DocId = uint32_t;
+constexpr DocId kInvalidDocId = UINT32_MAX;
+
+/// \brief A spatial document: D = <id, lat, lng, {(w_i, s_i)}>.
+///
+/// `location.x` holds the longitude-like coordinate and `location.y` the
+/// latitude-like one. `terms` is sorted by TermId and contains no
+/// duplicates; every weight is in (0, 1].
+struct SpatialDocument {
+  DocId id = kInvalidDocId;
+  Point location;
+  std::vector<WeightedTerm> terms;
+
+  /// \brief Weight of `term` in this document, or 0 if absent.
+  /// O(log |terms|) via binary search on the sorted term vector.
+  float WeightOf(TermId term) const;
+
+  /// \brief True if the document contains `term`.
+  bool Contains(TermId term) const { return WeightOf(term) > 0.0f; }
+};
+
+/// \brief A spatial tuple: T = <w, doc_id, lat, lng, s> -- one keyword of
+/// one document, the unit of textual-first partitioning (Section 4.1).
+struct SpatialTuple {
+  TermId term = kInvalidTermId;
+  DocId doc = kInvalidDocId;
+  Point location;
+  float weight = 0.0f;
+
+  bool operator==(const SpatialTuple& o) const {
+    return term == o.term && doc == o.doc && location == o.location &&
+           weight == o.weight;
+  }
+};
+
+/// \brief Splits a document into its per-keyword tuples.
+std::vector<SpatialTuple> PartitionDocument(const SpatialDocument& doc);
+
+}  // namespace i3
+
+#endif  // I3_MODEL_DOCUMENT_H_

@@ -1,0 +1,57 @@
+// Top-k spatial keyword queries.
+
+#ifndef I3_MODEL_QUERY_H_
+#define I3_MODEL_QUERY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/geo.h"
+#include "model/document.h"
+#include "text/vocabulary.h"
+
+namespace i3 {
+
+/// \brief Textual matching semantics (Section 3).
+enum class Semantics {
+  /// Every query keyword must appear in a result document.
+  kAnd,
+  /// At least one query keyword must appear.
+  kOr,
+};
+
+inline const char* SemanticsName(Semantics s) {
+  return s == Semantics::kAnd ? "AND" : "OR";
+}
+
+/// \brief Q = <lat, lng, terms, k> plus the semantics under which it runs.
+struct Query {
+  Point location;
+  std::vector<TermId> terms;
+  uint32_t k = 10;
+  Semantics semantics = Semantics::kAnd;
+
+  /// \brief Sorts terms and drops duplicates (all query processors assume a
+  /// canonical term list).
+  void Normalize() {
+    std::sort(terms.begin(), terms.end());
+    terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  }
+};
+
+/// \brief One ranked answer.
+struct ScoredDoc {
+  DocId doc = kInvalidDocId;
+  double score = 0.0;
+  /// Location of the document (filled by every index).
+  Point location;
+
+  bool operator==(const ScoredDoc& o) const {
+    return doc == o.doc && score == o.score;
+  }
+};
+
+}  // namespace i3
+
+#endif  // I3_MODEL_QUERY_H_

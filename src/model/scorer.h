@@ -1,0 +1,90 @@
+// The ranking function of the paper (Section 3):
+//
+//   score(D) = alpha * phi_s(D) + (1 - alpha) * phi_t(D)
+//
+// phi_s is spatial proximity, inversely proportional to the distance from
+// the query location: phi_s = 1 - dist / diag(space), clamped to [0, 1].
+// phi_t is the sum of the document's tf-idf weights over the query keywords.
+// Upper-bound variants over rectangles (cells, MBRs) drive the pruning in
+// every index.
+
+#ifndef I3_MODEL_SCORER_H_
+#define I3_MODEL_SCORER_H_
+
+#include <algorithm>
+
+#include "common/geo.h"
+#include "model/document.h"
+#include "model/query.h"
+
+namespace i3 {
+
+/// \brief Evaluates the alpha-combined ranking function over a fixed data
+/// space. Cheap to copy; all methods are const.
+class Scorer {
+ public:
+  /// \param space the root data-space rectangle; its diagonal normalizes
+  ///        distances into [0, 1]
+  /// \param alpha weight of spatial proximity in [0, 1]
+  Scorer(const Rect& space, double alpha)
+      : alpha_(alpha),
+        inv_diag_(space.Diagonal() > 0 ? 1.0 / space.Diagonal() : 0.0) {}
+
+  double alpha() const { return alpha_; }
+
+  /// \brief phi_s for an exact point.
+  double SpatialProximity(const Point& query, const Point& p) const {
+    return ProximityFromDistance(Distance(query, p));
+  }
+
+  /// \brief Upper bound of phi_s over all points of `r`.
+  double SpatialProximityUpper(const Point& query, const Rect& r) const {
+    return ProximityFromDistance(r.MinDistance(query));
+  }
+
+  /// \brief phi_t of `doc` for the query terms; under AND semantics returns
+  /// 0 for non-matching documents (the caller filters candidacy
+  /// separately).
+  double TextualScore(const Query& q, const SpatialDocument& doc) const {
+    double sum = 0.0;
+    for (TermId t : q.terms) sum += doc.WeightOf(t);
+    return sum;
+  }
+
+  /// \brief Full score from its two components.
+  double Combine(double phi_s, double phi_t) const {
+    return alpha_ * phi_s + (1.0 - alpha_) * phi_t;
+  }
+
+  /// \brief Full score of a document.
+  double Score(const Query& q, const SpatialDocument& doc) const {
+    return Combine(SpatialProximity(q.location, doc.location),
+                   TextualScore(q, doc));
+  }
+
+  /// \brief True if `doc` satisfies the query's textual constraint.
+  bool IsCandidate(const Query& q, const SpatialDocument& doc) const {
+    if (q.semantics == Semantics::kAnd) {
+      for (TermId t : q.terms) {
+        if (!doc.Contains(t)) return false;
+      }
+      return !q.terms.empty();
+    }
+    for (TermId t : q.terms) {
+      if (doc.Contains(t)) return true;
+    }
+    return false;
+  }
+
+ private:
+  double ProximityFromDistance(double dist) const {
+    return std::clamp(1.0 - dist * inv_diag_, 0.0, 1.0);
+  }
+
+  double alpha_;
+  double inv_diag_;
+};
+
+}  // namespace i3
+
+#endif  // I3_MODEL_SCORER_H_

@@ -1,0 +1,84 @@
+// Bounded top-k result accumulator.
+
+#ifndef I3_MODEL_TOPK_H_
+#define I3_MODEL_TOPK_H_
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "model/query.h"
+
+namespace i3 {
+
+/// \brief Keeps the k highest-scoring documents seen so far and exposes the
+/// running k-th score delta (the pruning threshold of Algorithm 4).
+///
+/// Ties on score are broken by smaller DocId so results are deterministic
+/// across index implementations (needed for cross-index equivalence tests).
+class TopKHeap {
+ public:
+  explicit TopKHeap(uint32_t k) : k_(k) {}
+
+  /// \brief Offers a candidate; ignored if it cannot enter the top k or if
+  /// the doc is already present (documents may be scored once only --
+  /// callers ensure that; the set is a safety net).
+  void Offer(DocId doc, double score, const Point& location = {}) {
+    if (k_ == 0) return;
+    if (!seen_.insert(doc).second) return;
+    if (heap_.size() < k_) {
+      heap_.push({doc, score, location});
+      return;
+    }
+    if (Better({doc, score, location}, heap_.top())) {
+      heap_.pop();
+      heap_.push({doc, score, location});
+    }
+  }
+
+  /// \brief delta: the k-th best score, or -infinity while fewer than k
+  /// results are held. Cells/nodes with upper bound <= delta are prunable.
+  double Threshold() const {
+    if (heap_.size() < k_) return -std::numeric_limits<double>::infinity();
+    return heap_.top().score;
+  }
+
+  bool Full() const { return heap_.size() >= k_; }
+  size_t size() const { return heap_.size(); }
+
+  /// \brief Extracts results in decreasing score (ties: increasing DocId).
+  /// The heap is consumed.
+  std::vector<ScoredDoc> Take() {
+    std::vector<ScoredDoc> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  /// True if `a` ranks strictly higher than `b`.
+  static bool Better(const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  }
+
+  struct WorstFirst {
+    bool operator()(const ScoredDoc& a, const ScoredDoc& b) const {
+      return Better(a, b);  // priority_queue: top = worst-ranked
+    }
+  };
+
+  uint32_t k_;
+  std::priority_queue<ScoredDoc, std::vector<ScoredDoc>, WorstFirst> heap_;
+  std::unordered_set<DocId> seen_;
+};
+
+}  // namespace i3
+
+#endif  // I3_MODEL_TOPK_H_

@@ -1,0 +1,60 @@
+#include "quadtree/cell.h"
+
+namespace i3 {
+
+std::string CellId::ToString() const {
+  if (IsRoot()) return "/";
+  std::string out;
+  for (int d = 0; d < level_; ++d) {
+    out += '/';
+    out += static_cast<char>('0' + QuadrantAt(d));
+  }
+  return out;
+}
+
+Rect CellSpace::CellRect(const CellId& cell) const {
+  Rect r = root_;
+  for (int d = 0; d < cell.level(); ++d) {
+    r = ChildRect(r, cell.QuadrantAt(d));
+  }
+  return r;
+}
+
+Rect CellSpace::ChildRect(const Rect& parent_rect, int quadrant) {
+  const double mid_x = (parent_rect.min_x + parent_rect.max_x) / 2.0;
+  const double mid_y = (parent_rect.min_y + parent_rect.max_y) / 2.0;
+  Rect r = parent_rect;
+  if (quadrant & 0x1) {
+    r.min_x = mid_x;
+  } else {
+    r.max_x = mid_x;
+  }
+  if (quadrant & 0x2) {
+    r.min_y = mid_y;
+  } else {
+    r.max_y = mid_y;
+  }
+  return r;
+}
+
+int CellSpace::QuadrantOf(const Rect& parent_rect, const Point& p) {
+  const double mid_x = (parent_rect.min_x + parent_rect.max_x) / 2.0;
+  const double mid_y = (parent_rect.min_y + parent_rect.max_y) / 2.0;
+  int q = 0;
+  if (p.x >= mid_x) q |= 0x1;
+  if (p.y >= mid_y) q |= 0x2;
+  return q;
+}
+
+CellId CellSpace::Locate(const Point& p, uint8_t level) const {
+  CellId cell = CellId::Root();
+  Rect r = root_;
+  for (uint8_t d = 0; d < level; ++d) {
+    const int q = QuadrantOf(r, p);
+    cell = cell.Child(q);
+    r = ChildRect(r, q);
+  }
+  return cell;
+}
+
+}  // namespace i3

@@ -1,0 +1,135 @@
+// Linear quadtree cells.
+//
+// I3 decomposes the data space with a quadtree (Finkel & Bentley): the root
+// cell is the whole space and every cell splits into four equal quadrants.
+// Cells are identified by the path of quadrant choices from the root, packed
+// into a 64-bit code plus a level -- no tree nodes are materialized, which is
+// what makes the scheme "a uniform space decomposition mechanism for all the
+// keywords" (Section 4.2): the cell with a given id covers the same region
+// in every keyword's inverted list, so signatures of different keywords can
+// be intersected per cell.
+
+#ifndef I3_QUADTREE_CELL_H_
+#define I3_QUADTREE_CELL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/geo.h"
+
+namespace i3 {
+
+/// Quadrant numbering within a parent cell:
+///   0 = south-west, 1 = south-east, 2 = north-west, 3 = north-east
+/// (bit 0 = east half, bit 1 = north half).
+constexpr int kQuadrants = 4;
+
+/// \brief Identifier of a quadtree cell: a root-to-cell path of quadrant
+/// choices. Level 0 is the root (whole space).
+class CellId {
+ public:
+  /// Deepest representable level (2 bits of path per level).
+  static constexpr uint8_t kMaxLevel = 30;
+
+  CellId() = default;
+
+  static CellId Root() { return CellId(0, 0); }
+
+  /// \brief The `quadrant`-th child (0..3).
+  CellId Child(int quadrant) const {
+    return CellId((path_ << 2) | static_cast<uint64_t>(quadrant),
+                  static_cast<uint8_t>(level_ + 1));
+  }
+
+  /// \brief The enclosing cell. Undefined on the root.
+  CellId Parent() const {
+    return CellId(path_ >> 2, static_cast<uint8_t>(level_ - 1));
+  }
+
+  /// \brief Quadrant taken at descent step `depth` (0-based; depth 0 is the
+  /// step leaving the root). Requires depth < level().
+  int QuadrantAt(int depth) const {
+    const int shift = 2 * (level_ - 1 - depth);
+    return static_cast<int>((path_ >> shift) & 0x3u);
+  }
+
+  /// \brief Quadrant of this cell within its parent. Requires level() > 0.
+  int QuadrantInParent() const { return static_cast<int>(path_ & 0x3u); }
+
+  bool IsRoot() const { return level_ == 0; }
+  uint8_t level() const { return level_; }
+  uint64_t path() const { return path_; }
+
+  /// \brief True if this cell contains (or equals) `other`.
+  bool IsAncestorOf(const CellId& other) const {
+    if (other.level_ < level_) return false;
+    return (other.path_ >> (2 * (other.level_ - level_))) == path_;
+  }
+
+  /// \brief Packs level and path into one ordered 64-bit key (level-major).
+  uint64_t Packed() const {
+    return (static_cast<uint64_t>(level_) << 60) | path_;
+  }
+
+  bool operator==(const CellId& o) const {
+    return path_ == o.path_ && level_ == o.level_;
+  }
+  bool operator!=(const CellId& o) const { return !(*this == o); }
+
+  /// e.g. "/0/3/1" (root is "/").
+  std::string ToString() const;
+
+ private:
+  CellId(uint64_t path, uint8_t level) : path_(path), level_(level) {}
+
+  uint64_t path_ = 0;
+  uint8_t level_ = 0;
+};
+
+/// \brief Binds cell arithmetic to a concrete root rectangle.
+///
+/// All geometry questions the index algorithms ask -- the rectangle of a
+/// cell, which child holds a point, the minimum distance from a query point
+/// to a cell -- are answered here in O(level) or O(1).
+class CellSpace {
+ public:
+  explicit CellSpace(const Rect& root) : root_(root) {}
+
+  const Rect& root() const { return root_; }
+
+  /// \brief Rectangle covered by `cell` (derived by replaying its path).
+  Rect CellRect(const CellId& cell) const;
+
+  /// \brief Rectangle of child `quadrant` of a parent covering
+  /// `parent_rect`. O(1); use when descending with the rect in hand.
+  static Rect ChildRect(const Rect& parent_rect, int quadrant);
+
+  /// \brief Which quadrant of `parent_rect` contains `p`.
+  /// Boundary points go to the east/north side, matching ChildRect edges.
+  static int QuadrantOf(const Rect& parent_rect, const Point& p);
+
+  /// \brief The level-`level` cell containing `p`.
+  CellId Locate(const Point& p, uint8_t level) const;
+
+  /// \brief Minimum distance from `p` to `cell` (0 when inside).
+  double MinDistance(const CellId& cell, const Point& p) const {
+    return CellRect(cell).MinDistance(p);
+  }
+
+ private:
+  Rect root_;
+};
+
+}  // namespace i3
+
+namespace std {
+template <>
+struct hash<i3::CellId> {
+  size_t operator()(const i3::CellId& c) const noexcept {
+    return std::hash<uint64_t>{}(c.Packed());
+  }
+};
+}  // namespace std
+
+#endif  // I3_QUADTREE_CELL_H_

@@ -1,0 +1,184 @@
+// A generic in-memory bucket point-quadtree.
+//
+// This is the classic Finkel-Bentley structure the paper cites for space
+// decomposition. The I3 index itself stores *keyword cells* on pages rather
+// than quadtree nodes, so it does not use this class directly; it exists as
+// a reference implementation of the decomposition (the unit tests
+// cross-check I3's cell splits against it), as the spatial backbone of the
+// synthetic data generators, and as a user-facing utility.
+
+#ifndef I3_QUADTREE_POINT_QUADTREE_H_
+#define I3_QUADTREE_POINT_QUADTREE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/geo.h"
+#include "quadtree/cell.h"
+
+namespace i3 {
+
+/// \brief Bucket PR quadtree over (Point, V) pairs.
+///
+/// A leaf holds up to `bucket_capacity` points; an overflowing leaf splits
+/// into four quadrants. Points on quadrant boundaries go east/north,
+/// matching CellSpace::QuadrantOf.
+template <typename V>
+class PointQuadtree {
+ public:
+  /// \param space bounding rectangle of all inserted points
+  /// \param bucket_capacity leaf capacity before a split (>= 1)
+  /// \param max_depth hard split ceiling; leaves at max_depth overflow in
+  ///        place (guards against unbounded splitting of duplicate points)
+  explicit PointQuadtree(const Rect& space, size_t bucket_capacity = 32,
+                         int max_depth = CellId::kMaxLevel)
+      : space_(space),
+        bucket_capacity_(std::max<size_t>(1, bucket_capacity)),
+        max_depth_(max_depth),
+        root_(std::make_unique<Node>()) {}
+
+  size_t size() const { return size_; }
+
+  /// \brief Inserts `value` at `p`. Points outside the space are clamped to
+  /// its boundary cell.
+  void Insert(const Point& p, V value) {
+    InsertRec(root_.get(), space_, 0, p, std::move(value));
+    ++size_;
+  }
+
+  /// \brief Removes one entry equal to (p, value). Returns true if found.
+  bool Remove(const Point& p, const V& value) {
+    const bool removed = RemoveRec(root_.get(), space_, p, value);
+    if (removed) --size_;
+    return removed;
+  }
+
+  /// \brief Collects every (point, value) with point inside `range`.
+  std::vector<std::pair<Point, V>> RangeQuery(const Rect& range) const {
+    std::vector<std::pair<Point, V>> out;
+    RangeRec(root_.get(), space_, range, &out);
+    return out;
+  }
+
+  /// \brief The k entries nearest to `q` in non-decreasing distance
+  /// (classic best-first search).
+  std::vector<std::pair<Point, V>> NearestNeighbors(const Point& q,
+                                                    size_t k) const {
+    struct Entry {
+      double dist;
+      const Node* node;          // nullptr => leaf point
+      const std::pair<Point, V>* point;
+      Rect rect;
+      bool operator>(const Entry& o) const { return dist > o.dist; }
+    };
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+    pq.push({0.0, root_.get(), nullptr, space_});
+    std::vector<std::pair<Point, V>> out;
+    while (!pq.empty() && out.size() < k) {
+      Entry e = pq.top();
+      pq.pop();
+      if (e.node == nullptr) {
+        out.push_back(*e.point);
+        continue;
+      }
+      if (e.node->IsLeaf()) {
+        for (const auto& pv : e.node->bucket) {
+          pq.push({Distance(pv.first, q), nullptr, &pv, Rect{}});
+        }
+      } else {
+        for (int quad = 0; quad < kQuadrants; ++quad) {
+          const Rect cr = CellSpace::ChildRect(e.rect, quad);
+          pq.push({cr.MinDistance(q), e.node->children[quad].get(), nullptr,
+                   cr});
+        }
+      }
+    }
+    return out;
+  }
+
+  /// \brief Depth of the deepest leaf (root = depth 0).
+  int Depth() const { return DepthRec(root_.get()); }
+
+ private:
+  struct Node {
+    std::vector<std::pair<Point, V>> bucket;
+    std::unique_ptr<Node> children[kQuadrants];
+    bool IsLeaf() const { return children[0] == nullptr; }
+  };
+
+  void InsertRec(Node* node, const Rect& rect, int depth, const Point& p,
+                 V value) {
+    if (node->IsLeaf()) {
+      if (node->bucket.size() < bucket_capacity_ || depth >= max_depth_) {
+        node->bucket.emplace_back(p, std::move(value));
+        return;
+      }
+      // Split: push existing points one level down.
+      for (int quad = 0; quad < kQuadrants; ++quad) {
+        node->children[quad] = std::make_unique<Node>();
+      }
+      for (auto& pv : node->bucket) {
+        const int quad = CellSpace::QuadrantOf(rect, pv.first);
+        node->children[quad]->bucket.push_back(std::move(pv));
+      }
+      node->bucket.clear();
+    }
+    const int quad = CellSpace::QuadrantOf(rect, p);
+    InsertRec(node->children[quad].get(), CellSpace::ChildRect(rect, quad),
+              depth + 1, p, std::move(value));
+  }
+
+  bool RemoveRec(Node* node, const Rect& rect, const Point& p,
+                 const V& value) {
+    if (node->IsLeaf()) {
+      for (auto it = node->bucket.begin(); it != node->bucket.end(); ++it) {
+        if (it->first == p && it->second == value) {
+          node->bucket.erase(it);
+          return true;
+        }
+      }
+      return false;
+    }
+    const int quad = CellSpace::QuadrantOf(rect, p);
+    return RemoveRec(node->children[quad].get(),
+                     CellSpace::ChildRect(rect, quad), p, value);
+  }
+
+  void RangeRec(const Node* node, const Rect& rect, const Rect& range,
+                std::vector<std::pair<Point, V>>* out) const {
+    if (!rect.Intersects(range)) return;
+    if (node->IsLeaf()) {
+      for (const auto& pv : node->bucket) {
+        if (range.Contains(pv.first)) out->push_back(pv);
+      }
+      return;
+    }
+    for (int quad = 0; quad < kQuadrants; ++quad) {
+      RangeRec(node->children[quad].get(), CellSpace::ChildRect(rect, quad),
+               range, out);
+    }
+  }
+
+  int DepthRec(const Node* node) const {
+    if (node->IsLeaf()) return 0;
+    int d = 0;
+    for (int quad = 0; quad < kQuadrants; ++quad) {
+      d = std::max(d, DepthRec(node->children[quad].get()));
+    }
+    return d + 1;
+  }
+
+  const Rect space_;
+  const size_t bucket_capacity_;
+  const int max_depth_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace i3
+
+#endif  // I3_QUADTREE_POINT_QUADTREE_H_

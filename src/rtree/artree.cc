@@ -1,0 +1,368 @@
+#include "rtree/artree.h"
+
+#include <cassert>
+#include <limits>
+#include <string>
+
+#include "rtree/split.h"
+
+namespace i3 {
+
+ARTree::ARTree(ARTreeOptions options, IoStats* stats)
+    : options_(options), stats_(stats) {
+  assert(LeafCapacity() >= 4);
+  assert(InternalCapacity() >= 4);
+}
+
+uint32_t ARTree::NewNode(bool leaf) {
+  ++node_count_;
+  if (!free_nodes_.empty()) {
+    const uint32_t id = free_nodes_.back();
+    free_nodes_.pop_back();
+    nodes_[id] = Node{};
+    nodes_[id].leaf = leaf;
+    return id;
+  }
+  nodes_.push_back(Node{});
+  nodes_.back().leaf = leaf;
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+void ARTree::FreeNode(uint32_t id) {
+  --node_count_;
+  nodes_[id] = Node{};
+  free_nodes_.push_back(id);
+}
+
+void ARTree::RecomputeNode(uint32_t id) {
+  Node& n = nodes_[id];
+  n.mbr = Rect::Empty();
+  n.agg_max = 0.0f;
+  if (n.leaf) {
+    for (const AREntry& e : n.entries) {
+      n.mbr.Expand(e.point);
+      if (e.weight > n.agg_max) n.agg_max = e.weight;
+    }
+  } else {
+    for (uint32_t c : n.children) {
+      n.mbr.Expand(nodes_[c].mbr);
+      if (nodes_[c].agg_max > n.agg_max) n.agg_max = nodes_[c].agg_max;
+    }
+  }
+}
+
+void ARTree::Insert(const Point& p, DocId doc, float weight) {
+  const AREntry entry{p, doc, weight};
+  if (root_ == kNoNode) {
+    root_ = NewNode(/*leaf=*/true);
+  }
+  const uint32_t sibling = InsertRec(root_, entry, 0, 0);
+  if (sibling != kNoNode) {
+    // Root split: grow the tree by one level.
+    const uint32_t new_root = NewNode(/*leaf=*/false);
+    nodes_[new_root].children = {root_, sibling};
+    RecomputeNode(new_root);
+    ChargeWrite();
+    root_ = new_root;
+  }
+  ++size_;
+}
+
+uint32_t ARTree::InsertRec(uint32_t id, const AREntry& entry,
+                           int /*target_level*/, int /*level*/) {
+  ChargeRead();
+  Node& n = nodes_[id];
+  if (n.leaf) {
+    n.entries.push_back(entry);
+    n.mbr.Expand(entry.point);
+    if (entry.weight > n.agg_max) n.agg_max = entry.weight;
+    ChargeWrite();
+    if (n.entries.size() > LeafCapacity()) return SplitLeaf(id);
+    return kNoNode;
+  }
+
+  std::vector<Rect> child_mbrs;
+  child_mbrs.reserve(n.children.size());
+  for (uint32_t c : n.children) child_mbrs.push_back(nodes_[c].mbr);
+  const size_t pick =
+      ChooseSubtree(child_mbrs, Rect::FromPoint(entry.point));
+  const uint32_t child = n.children[pick];
+
+  const uint32_t split = InsertRec(child, entry, 0, 0);
+  // Re-borrow: the recursion may have invalidated `n` via NewNode.
+  Node& n2 = nodes_[id];
+  bool changed = false;
+  if (split != kNoNode) {
+    n2.children.push_back(split);
+    changed = true;
+  }
+  if (!n2.mbr.Contains(entry.point)) {
+    n2.mbr.Expand(entry.point);
+    changed = true;
+  }
+  if (entry.weight > n2.agg_max) {
+    n2.agg_max = entry.weight;
+    changed = true;
+  }
+  // Unchanged internal nodes (point inside the MBR, no new aggregate) need
+  // no write-back.
+  if (changed) ChargeWrite();
+  if (n2.children.size() > InternalCapacity()) return SplitInternal(id);
+  return kNoNode;
+}
+
+uint32_t ARTree::SplitLeaf(uint32_t id) {
+  std::vector<AREntry> entries = std::move(nodes_[id].entries);
+  std::vector<Rect> rects;
+  rects.reserve(entries.size());
+  for (const AREntry& e : entries) rects.push_back(Rect::FromPoint(e.point));
+  auto [g1, g2] = QuadraticSplit(rects, LeafMinFill());
+
+  const uint32_t sib = NewNode(/*leaf=*/true);
+  Node& a = nodes_[id];
+  Node& b = nodes_[sib];
+  a.entries.clear();
+  for (size_t i : g1) a.entries.push_back(entries[i]);
+  for (size_t i : g2) b.entries.push_back(entries[i]);
+  RecomputeNode(id);
+  RecomputeNode(sib);
+  ChargeWrite(2);
+  return sib;
+}
+
+uint32_t ARTree::SplitInternal(uint32_t id) {
+  std::vector<uint32_t> children = std::move(nodes_[id].children);
+  std::vector<Rect> rects;
+  rects.reserve(children.size());
+  for (uint32_t c : children) rects.push_back(nodes_[c].mbr);
+  auto [g1, g2] = QuadraticSplit(rects, InternalMinFill());
+
+  const uint32_t sib = NewNode(/*leaf=*/false);
+  Node& a = nodes_[id];
+  Node& b = nodes_[sib];
+  a.children.clear();
+  for (size_t i : g1) a.children.push_back(children[i]);
+  for (size_t i : g2) b.children.push_back(children[i]);
+  RecomputeNode(id);
+  RecomputeNode(sib);
+  ChargeWrite(2);
+  return sib;
+}
+
+bool ARTree::Delete(const Point& p, DocId doc) {
+  if (root_ == kNoNode) return false;
+  std::vector<AREntry> orphans;
+  if (!DeleteRec(root_, p, doc, &orphans)) return false;
+  --size_;
+
+  // Shrink the root: an internal root with one child, or an empty tree.
+  while (!nodes_[root_].leaf && nodes_[root_].children.size() == 1) {
+    const uint32_t old = root_;
+    root_ = nodes_[root_].children[0];
+    FreeNode(old);
+  }
+  if (nodes_[root_].leaf && nodes_[root_].entries.empty() &&
+      orphans.empty() && size_ == 0) {
+    FreeNode(root_);
+    root_ = kNoNode;
+  }
+
+  for (const AREntry& e : orphans) {
+    --size_;  // Insert() below re-increments
+    Insert(e.point, e.doc, e.weight);
+  }
+  return true;
+}
+
+bool ARTree::DeleteRec(uint32_t id, const Point& p, DocId doc,
+                       std::vector<AREntry>* orphans) {
+  ChargeRead();
+  Node& n = nodes_[id];
+  if (n.leaf) {
+    for (auto it = n.entries.begin(); it != n.entries.end(); ++it) {
+      if (it->doc == doc && it->point == p) {
+        n.entries.erase(it);
+        RecomputeNode(id);
+        ChargeWrite();
+        return true;
+      }
+    }
+    return false;
+  }
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    const uint32_t child = n.children[i];
+    if (!nodes_[child].mbr.Contains(p)) continue;
+    if (!DeleteRec(child, p, doc, orphans)) continue;
+    Node& n2 = nodes_[id];
+    const Node& cn = nodes_[child];
+    const size_t min_fill =
+        cn.leaf ? LeafMinFill() : InternalMinFill();
+    const size_t child_size =
+        cn.leaf ? cn.entries.size() : cn.children.size();
+    if (child_size < min_fill) {
+      // Condense: drop the child and reinsert its leaf entries.
+      CollectEntries(child, orphans);
+      FreeNode(child);
+      n2.children.erase(n2.children.begin() + i);
+    }
+    RecomputeNode(id);
+    ChargeWrite();
+    return true;
+  }
+  return false;
+}
+
+void ARTree::CollectEntries(uint32_t id, std::vector<AREntry>* out) {
+  const Node& n = nodes_[id];
+  if (n.leaf) {
+    out->insert(out->end(), n.entries.begin(), n.entries.end());
+    return;
+  }
+  for (uint32_t c : n.children) {
+    CollectEntries(c, out);
+    FreeNode(c);
+  }
+}
+
+std::optional<float> ARTree::Probe(const Point& p, DocId doc) const {
+  if (root_ == kNoNode) return std::nullopt;
+  float out = 0.0f;
+  if (ProbeRec(root_, p, doc, &out)) return out;
+  return std::nullopt;
+}
+
+bool ARTree::ProbeRec(uint32_t id, const Point& p, DocId doc,
+                      float* out) const {
+  ChargeRead();
+  const Node& n = nodes_[id];
+  if (n.leaf) {
+    for (const AREntry& e : n.entries) {
+      if (e.doc == doc && e.point == p) {
+        *out = e.weight;
+        return true;
+      }
+    }
+    return false;
+  }
+  for (uint32_t c : n.children) {
+    if (nodes_[c].mbr.Contains(p) && ProbeRec(c, p, doc, out)) return true;
+  }
+  return false;
+}
+
+int ARTree::Height() const {
+  if (root_ == kNoNode) return 0;
+  int h = 1;
+  uint32_t id = root_;
+  while (!nodes_[id].leaf) {
+    id = nodes_[id].children[0];
+    ++h;
+  }
+  return h;
+}
+
+// ------------------------------------------------------------------ iterator
+
+ARTree::Iterator::Iterator(const ARTree* tree, const Scorer& scorer,
+                           const Point& qloc)
+    : tree_(tree), scorer_(scorer), qloc_(qloc) {
+  if (tree_->root_ != kNoNode) {
+    const Node& root = tree_->nodes_[tree_->root_];
+    heap_.push(HeapItem{
+        scorer_.Combine(scorer_.SpatialProximityUpper(qloc_, root.mbr),
+                        root.agg_max),
+        false, tree_->root_, AREntry{}});
+  }
+  Advance();
+}
+
+void ARTree::Iterator::Advance() {
+  has_current_ = false;
+  while (!heap_.empty()) {
+    HeapItem top = heap_.top();
+    if (top.is_entry) {
+      heap_.pop();
+      current_ = top.entry;
+      current_key_ = top.key;
+      has_current_ = true;
+      return;
+    }
+    heap_.pop();
+    tree_->ChargeRead();
+    const Node& n = tree_->nodes_[top.node];
+    if (n.leaf) {
+      for (const AREntry& e : n.entries) {
+        heap_.push(HeapItem{
+            scorer_.Combine(scorer_.SpatialProximity(qloc_, e.point),
+                            e.weight),
+            true, 0, e});
+      }
+    } else {
+      for (uint32_t c : n.children) {
+        const Node& cn = tree_->nodes_[c];
+        heap_.push(HeapItem{
+            scorer_.Combine(scorer_.SpatialProximityUpper(qloc_, cn.mbr),
+                            cn.agg_max),
+            false, c, AREntry{}});
+      }
+    }
+  }
+}
+
+double ARTree::Iterator::UpperBound() const {
+  if (heap_.empty()) return -std::numeric_limits<double>::infinity();
+  return heap_.top().key;
+}
+
+void ARTree::Iterator::Next() { Advance(); }
+
+// ---------------------------------------------------------------- checking
+
+std::optional<std::string> ARTree::CheckInvariants() const {
+  if (root_ == kNoNode) {
+    return size_ == 0 ? std::nullopt
+                      : std::optional<std::string>("empty tree with size");
+  }
+  size_t count = 0;
+  std::string err;
+  // Iterative DFS with (node, is_root) frames.
+  struct Frame {
+    uint32_t id;
+    bool is_root;
+  };
+  std::vector<Frame> stack{{root_, true}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[f.id];
+    if (n.leaf) {
+      count += n.entries.size();
+      if (!f.is_root && n.entries.size() < LeafMinFill()) {
+        return "leaf underflow";
+      }
+      if (n.entries.size() > LeafCapacity()) return "leaf overflow";
+      float agg = 0.0f;
+      for (const AREntry& e : n.entries) {
+        if (!n.mbr.Contains(e.point)) return "entry outside leaf MBR";
+        agg = std::max(agg, e.weight);
+      }
+      if (agg != n.agg_max) return "leaf aggregate mismatch";
+      continue;
+    }
+    if (!f.is_root && n.children.size() < InternalMinFill()) {
+      return "internal underflow";
+    }
+    if (n.children.size() > InternalCapacity()) return "internal overflow";
+    float agg = 0.0f;
+    for (uint32_t c : n.children) {
+      if (!n.mbr.Contains(nodes_[c].mbr)) return "child outside MBR";
+      agg = std::max(agg, nodes_[c].agg_max);
+      stack.push_back({c, false});
+    }
+    if (agg != n.agg_max) return "internal aggregate mismatch";
+  }
+  if (count != size_) return "entry count mismatch";
+  return std::nullopt;
+}
+
+}  // namespace i3

@@ -1,0 +1,178 @@
+// Aggregated R-tree (Papadias et al., SSTD 2001) over weighted points.
+//
+// S2I builds one of these per frequent keyword: leaf entries are
+// (location, doc, term weight) and every node carries the maximum term
+// weight in its subtree, so a best-first search can emit documents in
+// non-increasing alpha * phi_s + (1 - alpha) * w order with a sound upper
+// bound at all times. Node accesses are charged to IoCategory::kRTreeNode
+// on a caller-supplied IoStats (S2I aggregates the counters of all its
+// trees there).
+
+#ifndef I3_RTREE_ARTREE_H_
+#define I3_RTREE_ARTREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/geo.h"
+#include "model/document.h"
+#include "model/scorer.h"
+#include "storage/io_stats.h"
+
+namespace i3 {
+
+/// \brief Sizing of aR-tree nodes. Fanout is derived from the page size:
+/// a leaf entry is 24 bytes (point + doc + weight), an internal entry is 40
+/// bytes (rect + child + aggregate).
+struct ARTreeOptions {
+  size_t page_size = 4096;
+  /// Minimum fill fraction after a split / before a condense.
+  double min_fill = 0.4;
+};
+
+/// \brief One weighted point.
+struct AREntry {
+  Point point;
+  DocId doc = kInvalidDocId;
+  float weight = 0.0f;
+};
+
+/// \brief Aggregate (max-weight) R-tree with Guttman insertion/deletion.
+class ARTree {
+ public:
+  /// \param stats sink for node-access accounting (not owned, may be
+  /// shared across trees); pass nullptr to disable accounting.
+  explicit ARTree(ARTreeOptions options = {}, IoStats* stats = nullptr);
+
+  void Insert(const Point& p, DocId doc, float weight);
+
+  /// Removes the entry for (p, doc); returns false if absent.
+  bool Delete(const Point& p, DocId doc);
+
+  /// \brief Random access: the weight of `doc` at `p`, if present. Charges
+  /// a node read per visited node (the expensive cross-tree aggregation the
+  /// paper attributes to S2I).
+  std::optional<float> Probe(const Point& p, DocId doc) const;
+
+  size_t size() const { return size_; }
+  size_t NodeCount() const { return node_count_; }
+  uint64_t SizeBytes() const {
+    return static_cast<uint64_t>(node_count_) * options_.page_size;
+  }
+
+  /// Height of the tree (leaf = 1); 0 when empty.
+  int Height() const;
+
+  /// Maximum term weight stored anywhere in the tree (the root aggregate);
+  /// 0 when empty.
+  float MaxWeight() const {
+    return root_ == kNoNode ? 0.0f : nodes_[root_].agg_max;
+  }
+
+  /// \brief Best-first scan in non-increasing key order, where
+  /// key = scorer.Combine(phi_s(point), weight).
+  ///
+  /// UpperBound() bounds the key of everything not yet emitted; it is
+  /// +inf before the first Next() only if the tree is non-empty.
+  class Iterator {
+   public:
+    Iterator(const ARTree* tree, const Scorer& scorer, const Point& qloc);
+
+    bool Valid() const { return has_current_; }
+    const AREntry& entry() const { return current_; }
+    double key() const { return current_key_; }
+
+    /// \brief Max key among all entries not yet emitted (excluding the
+    /// current one); -inf when exhausted.
+    double UpperBound() const;
+
+    void Next();
+
+   private:
+    struct HeapItem {
+      double key;
+      bool is_entry;
+      uint32_t node;  // when !is_entry
+      AREntry entry;  // when is_entry
+      bool operator<(const HeapItem& o) const { return key < o.key; }
+    };
+
+    void Advance();
+
+    const ARTree* tree_;
+    Scorer scorer_;
+    Point qloc_;
+    std::priority_queue<HeapItem> heap_;
+    AREntry current_;
+    double current_key_ = 0.0;
+    bool has_current_ = false;
+  };
+
+  Iterator NewIterator(const Scorer& scorer, const Point& qloc) const {
+    return Iterator(this, scorer, qloc);
+  }
+
+  /// Internal consistency check for tests: MBR containment, aggregate
+  /// correctness, fill invariants. Returns the number of entries.
+  std::optional<std::string> CheckInvariants() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    Rect mbr = Rect::Empty();
+    float agg_max = 0.0f;
+    std::vector<AREntry> entries;    // leaf
+    std::vector<uint32_t> children;  // internal
+  };
+
+  static constexpr uint32_t kNoNode = UINT32_MAX;
+
+  uint32_t NewNode(bool leaf);
+  void FreeNode(uint32_t id);
+  void ChargeRead(uint32_t n = 1) const {
+    if (stats_ != nullptr) stats_->RecordRead(IoCategory::kRTreeNode, n);
+  }
+  void ChargeWrite(uint32_t n = 1) const {
+    if (stats_ != nullptr) stats_->RecordWrite(IoCategory::kRTreeNode, n);
+  }
+
+  Rect NodeRect(uint32_t id) const { return nodes_[id].mbr; }
+  void RecomputeNode(uint32_t id);
+
+  /// Recursive insert; returns the id of a new sibling if `id` split.
+  uint32_t InsertRec(uint32_t id, const AREntry& entry, int target_level,
+                     int level);
+  uint32_t SplitLeaf(uint32_t id);
+  uint32_t SplitInternal(uint32_t id);
+
+  bool DeleteRec(uint32_t id, const Point& p, DocId doc,
+                 std::vector<AREntry>* orphans);
+  void CollectEntries(uint32_t id, std::vector<AREntry>* out);
+
+  bool ProbeRec(uint32_t id, const Point& p, DocId doc, float* out) const;
+
+  size_t LeafCapacity() const { return options_.page_size / 24; }
+  size_t InternalCapacity() const { return options_.page_size / 40; }
+  size_t LeafMinFill() const {
+    return std::max<size_t>(1, static_cast<size_t>(LeafCapacity() *
+                                                   options_.min_fill));
+  }
+  size_t InternalMinFill() const {
+    return std::max<size_t>(1, static_cast<size_t>(InternalCapacity() *
+                                                   options_.min_fill));
+  }
+
+  ARTreeOptions options_;
+  IoStats* stats_;
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> free_nodes_;
+  uint32_t root_ = kNoNode;
+  size_t size_ = 0;
+  size_t node_count_ = 0;
+};
+
+}  // namespace i3
+
+#endif  // I3_RTREE_ARTREE_H_

@@ -1,0 +1,130 @@
+#include "rtree/split.h"
+
+#include <cassert>
+#include <limits>
+
+namespace i3 {
+
+size_t ChooseSubtree(const std::vector<Rect>& child_mbrs, const Rect& item) {
+  assert(!child_mbrs.empty());
+  size_t best = 0;
+  double best_enlargement = std::numeric_limits<double>::max();
+  double best_area = std::numeric_limits<double>::max();
+  for (size_t i = 0; i < child_mbrs.size(); ++i) {
+    const double enlargement = child_mbrs[i].Enlargement(item);
+    const double area = child_mbrs[i].Area();
+    if (enlargement < best_enlargement ||
+        (enlargement == best_enlargement && area < best_area)) {
+      best = i;
+      best_enlargement = enlargement;
+      best_area = area;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// PickSeeds: the pair wasting the most area when grouped together.
+std::pair<size_t, size_t> PickSeeds(const std::vector<Rect>& rects) {
+  size_t s1 = 0, s2 = 1;
+  double worst = -std::numeric_limits<double>::max();
+  for (size_t i = 0; i < rects.size(); ++i) {
+    for (size_t j = i + 1; j < rects.size(); ++j) {
+      const double waste =
+          rects[i].Union(rects[j]).Area() - rects[i].Area() -
+          rects[j].Area();
+      if (waste > worst) {
+        worst = waste;
+        s1 = i;
+        s2 = j;
+      }
+    }
+  }
+  return {s1, s2};
+}
+
+}  // namespace
+
+std::pair<std::vector<size_t>, std::vector<size_t>> QuadraticSplit(
+    const std::vector<Rect>& rects, size_t min_fill) {
+  assert(rects.size() >= 2);
+  assert(min_fill >= 1 && 2 * min_fill <= rects.size());
+
+  auto [s1, s2] = PickSeeds(rects);
+  std::vector<size_t> g1{s1}, g2{s2};
+  Rect m1 = rects[s1], m2 = rects[s2];
+
+  std::vector<bool> assigned(rects.size(), false);
+  assigned[s1] = assigned[s2] = true;
+  size_t remaining = rects.size() - 2;
+
+  while (remaining > 0) {
+    // Force-assign when a group must take everything left to reach
+    // min_fill.
+    if (g1.size() + remaining == min_fill) {
+      for (size_t i = 0; i < rects.size(); ++i) {
+        if (!assigned[i]) {
+          g1.push_back(i);
+          m1.Expand(rects[i]);
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    if (g2.size() + remaining == min_fill) {
+      for (size_t i = 0; i < rects.size(); ++i) {
+        if (!assigned[i]) {
+          g2.push_back(i);
+          m2.Expand(rects[i]);
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+
+    // PickNext: the entry with the greatest preference for one group.
+    size_t pick = 0;
+    double best_diff = -1.0;
+    double d1_pick = 0.0, d2_pick = 0.0;
+    for (size_t i = 0; i < rects.size(); ++i) {
+      if (assigned[i]) continue;
+      const double d1 = m1.Enlargement(rects[i]);
+      const double d2 = m2.Enlargement(rects[i]);
+      const double diff = d1 > d2 ? d1 - d2 : d2 - d1;
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        d1_pick = d1;
+        d2_pick = d2;
+      }
+    }
+    bool to_g1;
+    if (d1_pick != d2_pick) {
+      to_g1 = d1_pick < d2_pick;
+    } else if (m1.Area() != m2.Area()) {
+      to_g1 = m1.Area() < m2.Area();
+    } else {
+      to_g1 = g1.size() <= g2.size();
+    }
+    if (to_g1) {
+      g1.push_back(pick);
+      m1.Expand(rects[pick]);
+    } else {
+      g2.push_back(pick);
+      m2.Expand(rects[pick]);
+    }
+    assigned[pick] = true;
+    --remaining;
+  }
+  return {std::move(g1), std::move(g2)};
+}
+
+Rect BoundingRect(const std::vector<Rect>& rects,
+                  const std::vector<size_t>& subset) {
+  Rect out = Rect::Empty();
+  for (size_t i : subset) out.Expand(rects[i]);
+  return out;
+}
+
+}  // namespace i3

@@ -1,0 +1,33 @@
+// Shared R-tree insertion heuristics (Guttman 1984): subtree choice by
+// minimum enlargement and the quadratic node-split algorithm. Used by both
+// the S2I aggregated R-tree and the IR-tree baseline.
+
+#ifndef I3_RTREE_SPLIT_H_
+#define I3_RTREE_SPLIT_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/geo.h"
+
+namespace i3 {
+
+/// \brief Index of the child whose MBR needs the least enlargement to cover
+/// `item` (ties: smaller area, then smaller index). `child_mbrs` must be
+/// non-empty.
+size_t ChooseSubtree(const std::vector<Rect>& child_mbrs, const Rect& item);
+
+/// \brief Guttman's quadratic split. Partitions indices [0, rects.size())
+/// into two groups, each with at least `min_fill` members.
+/// \return the two index groups.
+std::pair<std::vector<size_t>, std::vector<size_t>> QuadraticSplit(
+    const std::vector<Rect>& rects, size_t min_fill);
+
+/// \brief MBR of a subset of rectangles.
+Rect BoundingRect(const std::vector<Rect>& rects,
+                  const std::vector<size_t>& subset);
+
+}  // namespace i3
+
+#endif  // I3_RTREE_SPLIT_H_

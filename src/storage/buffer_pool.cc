@@ -1,0 +1,76 @@
+#include "storage/buffer_pool.h"
+
+#include <chrono>
+#include <cstring>
+
+namespace i3 {
+
+BufferPool::BufferPool(PageFile* file, BufferPoolOptions options)
+    : file_(file), options_(options) {}
+
+Status BufferPool::ReadPage(PageId id, void* buf, IoCategory category) {
+  if (options_.capacity_pages > 0) {
+    auto it = map_.find(id);
+    if (it != map_.end()) {
+      std::memcpy(buf, it->second->data.data(), page_size());
+      Touch(it->second);
+      ++hits_;
+      return Status::OK();
+    }
+  }
+  I3_RETURN_NOT_OK(file_->ReadPage(id, buf, category));
+  ++misses_;
+  SimulateMiss();
+  if (options_.capacity_pages > 0) InsertFrame(id, buf);
+  return Status::OK();
+}
+
+Status BufferPool::WritePage(PageId id, const void* buf,
+                             IoCategory category) {
+  I3_RETURN_NOT_OK(file_->WritePage(id, buf, category));
+  if (options_.capacity_pages > 0) {
+    auto it = map_.find(id);
+    if (it != map_.end()) {
+      std::memcpy(it->second->data.data(), buf, page_size());
+      Touch(it->second);
+    } else {
+      InsertFrame(id, buf);
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+void BufferPool::Touch(std::list<Frame>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void BufferPool::InsertFrame(PageId id, const void* buf) {
+  if (lru_.size() >= options_.capacity_pages) {
+    map_.erase(lru_.back().id);
+    lru_.pop_back();
+  }
+  Frame frame;
+  frame.id = id;
+  frame.data.assign(static_cast<const uint8_t*>(buf),
+                    static_cast<const uint8_t*>(buf) + page_size());
+  lru_.push_front(std::move(frame));
+  map_[id] = lru_.begin();
+}
+
+void BufferPool::SimulateMiss() const {
+  if (options_.simulated_miss_latency_us == 0) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(options_.simulated_miss_latency_us);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Busy-wait: sleep granularity on Linux is too coarse for microsecond
+    // device latencies.
+  }
+}
+
+}  // namespace i3

@@ -1,0 +1,90 @@
+// A PageFile decorator that injects I/O failures, for testing error
+// propagation: every storage error must surface as a clean Status, never a
+// crash or a torn in-memory state that later trips an invariant check.
+
+#ifndef I3_STORAGE_FAULT_INJECTION_H_
+#define I3_STORAGE_FAULT_INJECTION_H_
+
+#include <memory>
+
+#include "storage/page_file.h"
+
+namespace i3 {
+
+/// \brief Wraps a PageFile and fails operations on command.
+///
+/// Modes: fail every operation after `fail_after` successful ones
+/// (countdown), or fail all operations while `fail_all` is set.
+class FaultInjectionPageFile final : public PageFile {
+ public:
+  explicit FaultInjectionPageFile(std::unique_ptr<PageFile> base)
+      : PageFile(base->page_size()), base_(std::move(base)) {}
+
+  /// Fails every operation once `n` more operations have succeeded.
+  void FailAfter(uint64_t n) {
+    countdown_armed_ = true;
+    countdown_ = n;
+  }
+  /// Immediately fail everything (until cleared).
+  void set_fail_all(bool fail) { fail_all_ = fail; }
+  /// Disarms all failure modes.
+  void Heal() {
+    fail_all_ = false;
+    countdown_armed_ = false;
+  }
+
+  uint64_t operations() const { return operations_; }
+
+  PageId PageCount() const override { return base_->PageCount(); }
+
+  Result<PageId> AllocatePage() override {
+    if (ShouldFail()) return Injected();
+    auto r = base_->AllocatePage();
+    if (r.ok()) ++operations_;
+    return r;
+  }
+
+  Status ReadPage(PageId id, void* buf, IoCategory category) override {
+    if (ShouldFail()) return Injected();
+    Status st = base_->ReadPage(id, buf, category);
+    if (st.ok()) {
+      ++operations_;
+      io_stats_.RecordRead(category);
+    }
+    return st;
+  }
+
+  Status WritePage(PageId id, const void* buf,
+                   IoCategory category) override {
+    if (ShouldFail()) return Injected();
+    Status st = base_->WritePage(id, buf, category);
+    if (st.ok()) {
+      ++operations_;
+      io_stats_.RecordWrite(category);
+    }
+    return st;
+  }
+
+ private:
+  bool ShouldFail() {
+    if (fail_all_) return true;
+    if (!countdown_armed_) return false;
+    if (countdown_ == 0) return true;
+    --countdown_;
+    return false;
+  }
+
+  static Status Injected() {
+    return Status::IOError("injected fault");
+  }
+
+  std::unique_ptr<PageFile> base_;
+  bool fail_all_ = false;
+  bool countdown_armed_ = false;
+  uint64_t countdown_ = 0;
+  uint64_t operations_ = 0;
+};
+
+}  // namespace i3
+
+#endif  // I3_STORAGE_FAULT_INJECTION_H_

@@ -1,0 +1,72 @@
+#include "storage/io_stats.h"
+
+#include <chrono>
+#include <sstream>
+
+namespace i3 {
+
+namespace internal {
+std::atomic<uint32_t> g_sim_io_latency_us{0};
+
+void SpinForSimulatedIo(uint64_t pages) {
+  const uint32_t us = g_sim_io_latency_us.load(std::memory_order_relaxed);
+  if (us == 0) return;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(us * pages);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Busy-wait: microsecond sleep granularity is unreliable on Linux.
+  }
+}
+}  // namespace internal
+
+void SetSimulatedIoLatencyUs(uint32_t us) {
+  internal::g_sim_io_latency_us.store(us, std::memory_order_relaxed);
+}
+
+uint32_t GetSimulatedIoLatencyUs() {
+  return internal::g_sim_io_latency_us.load(std::memory_order_relaxed);
+}
+
+const char* IoCategoryName(IoCategory c) {
+  switch (c) {
+    case IoCategory::kI3HeadFile:
+      return "i3.head";
+    case IoCategory::kI3DataFile:
+      return "i3.data";
+    case IoCategory::kRTreeNode:
+      return "rtree.node";
+    case IoCategory::kInvertedFile:
+      return "inverted.file";
+    case IoCategory::kFlatFile:
+      return "flat.file";
+    case IoCategory::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+IoStats IoStats::Since(const IoStats& earlier) const {
+  IoStats out = *this;
+  for (int i = 0; i < kNumIoCategories; ++i) {
+    out.reads_[i] -= earlier.reads_[i];
+    out.writes_[i] -= earlier.writes_[i];
+  }
+  return out;
+}
+
+std::string IoStats::ToString() const {
+  std::ostringstream os;
+  os << "IoStats{";
+  bool first = true;
+  for (int i = 0; i < kNumIoCategories; ++i) {
+    if (reads_[i] == 0 && writes_[i] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << IoCategoryName(static_cast<IoCategory>(i)) << ": r=" << reads_[i]
+       << " w=" << writes_[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace i3

@@ -1,0 +1,38 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace i3 {
+
+std::vector<WeightedTerm> TfIdfWeighter::Weigh(
+    const std::vector<TermId>& tokens) const {
+  std::unordered_map<TermId, uint32_t> tf;
+  for (TermId t : tokens) ++tf[t];
+
+  std::vector<WeightedTerm> out;
+  out.reserve(tf.size());
+  double max_w = 0.0;
+  for (const auto& [term, freq] : tf) {
+    const double df =
+        std::max<uint64_t>(1, vocab_->DocumentFrequency(term));
+    const double n = std::max<uint64_t>(1, total_documents_);
+    const double w = (1.0 + std::log(static_cast<double>(freq))) *
+                     std::log(1.0 + n / df);
+    out.push_back({term, static_cast<float>(w)});
+    max_w = std::max(max_w, w);
+  }
+  if (max_w > 0.0) {
+    for (auto& wt : out) {
+      wt.weight = static_cast<float>(wt.weight / max_w);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WeightedTerm& a, const WeightedTerm& b) {
+              return a.term < b.term;
+            });
+  return out;
+}
+
+}  // namespace i3

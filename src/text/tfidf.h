@@ -1,0 +1,48 @@
+// tf-idf term weighting (Baeza-Yates & Ribeiro-Neto), the measure the paper
+// uses for textual relevance.
+
+#ifndef I3_TEXT_TFIDF_H_
+#define I3_TEXT_TFIDF_H_
+
+#include <string>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace i3 {
+
+/// \brief A keyword with its relevance weight inside one document -- the
+/// (w_i, s_i) pairs of the paper's data model.
+struct WeightedTerm {
+  TermId term = kInvalidTermId;
+  float weight = 0.0f;
+
+  bool operator==(const WeightedTerm& o) const {
+    return term == o.term && weight == o.weight;
+  }
+};
+
+/// \brief Computes per-document tf-idf weights, normalized to (0, 1].
+///
+/// weight(w, D) = (1 + ln tf) * ln(1 + N / df) followed by max-normalization
+/// within the document, so every stored weight s is in (0, 1] -- the range
+/// the index upper bounds assume.
+class TfIdfWeighter {
+ public:
+  /// \param total_documents N, the corpus size; pass the running count when
+  /// ingesting a stream.
+  explicit TfIdfWeighter(const Vocabulary* vocab, uint64_t total_documents)
+      : vocab_(vocab), total_documents_(total_documents) {}
+
+  /// \brief Weights a tokenized document. `tokens` may contain duplicates;
+  /// the result has one entry per distinct term, max-normalized.
+  std::vector<WeightedTerm> Weigh(const std::vector<TermId>& tokens) const;
+
+ private:
+  const Vocabulary* vocab_;
+  uint64_t total_documents_;
+};
+
+}  // namespace i3
+
+#endif  // I3_TEXT_TFIDF_H_

@@ -1,0 +1,52 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace i3 {
+
+namespace {
+// A compact English stopword list; enough to keep function words out of the
+// index in the examples.
+const char* const kStopwords[] = {
+    "a",    "an",   "and",  "are",  "as",   "at",   "be",   "but",  "by",
+    "for",  "from", "has",  "have", "he",   "her",  "his",  "i",    "in",
+    "is",   "it",   "its",  "my",   "no",   "not",  "of",   "on",   "or",
+    "our",  "she",  "so",   "that", "the",  "their", "them", "they", "this",
+    "to",   "was",  "we",   "were", "will", "with", "you",  "your",
+};
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {
+  if (options_.remove_stopwords) {
+    for (const char* w : kStopwords) stopwords_.insert(w);
+  }
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (current.size() >= options_.min_token_length && !IsStopword(current)) {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (char ch : text) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c)) {
+      current.push_back(options_.lowercase
+                            ? static_cast<char>(std::tolower(c))
+                            : ch);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+bool Tokenizer::IsStopword(const std::string& token) const {
+  return options_.remove_stopwords && stopwords_.count(token) > 0;
+}
+
+}  // namespace i3

@@ -1,0 +1,44 @@
+// Text analysis: turning raw strings into keyword tokens.
+
+#ifndef I3_TEXT_TOKENIZER_H_
+#define I3_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace i3 {
+
+/// \brief Options for Tokenizer.
+struct TokenizerOptions {
+  /// Lowercase all tokens.
+  bool lowercase = true;
+  /// Drop tokens shorter than this.
+  size_t min_token_length = 2;
+  /// Drop tokens on the built-in English stopword list.
+  bool remove_stopwords = true;
+};
+
+/// \brief Splits text into keyword tokens on non-alphanumeric boundaries.
+///
+/// This is the ingestion front end used by the examples and by applications
+/// indexing real documents; the synthetic generators emit term ids directly.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// \brief Tokenizes `text`. Duplicates are preserved (term frequency is
+  /// computed downstream by TfIdfWeighter).
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+ private:
+  bool IsStopword(const std::string& token) const;
+
+  TokenizerOptions options_;
+  std::unordered_set<std::string> stopwords_;
+};
+
+}  // namespace i3
+
+#endif  // I3_TEXT_TOKENIZER_H_

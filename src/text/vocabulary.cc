@@ -1,0 +1,25 @@
+#include "text/vocabulary.h"
+
+namespace i3 {
+
+TermId Vocabulary::GetOrAdd(const std::string& term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  const TermId id = static_cast<TermId>(terms_.size());
+  index_.emplace(term, id);
+  terms_.push_back(term);
+  doc_freq_.push_back(0);
+  return id;
+}
+
+TermId Vocabulary::Lookup(const std::string& term) const {
+  auto it = index_.find(term);
+  return it == index_.end() ? kInvalidTermId : it->second;
+}
+
+void Vocabulary::AddDocumentOccurrence(TermId id) {
+  if (id >= doc_freq_.size()) doc_freq_.resize(id + 1, 0);
+  ++doc_freq_[id];
+}
+
+}  // namespace i3

@@ -1,0 +1,50 @@
+// The term dictionary: string keywords <-> dense integer ids, plus the
+// corpus statistics (document frequency) needed for tf-idf weighting.
+
+#ifndef I3_TEXT_VOCABULARY_H_
+#define I3_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace i3 {
+
+/// Dense id of a keyword. Every index in the library operates on TermIds;
+/// strings appear only at the ingestion and presentation boundaries.
+using TermId = uint32_t;
+constexpr TermId kInvalidTermId = UINT32_MAX;
+
+/// \brief Bidirectional term dictionary with document-frequency counts.
+class Vocabulary {
+ public:
+  /// \brief Returns the id of `term`, interning it if new.
+  TermId GetOrAdd(const std::string& term);
+
+  /// \brief Returns the id of `term` or kInvalidTermId.
+  TermId Lookup(const std::string& term) const;
+
+  /// \brief The string for `id`. Requires a valid id.
+  const std::string& TermString(TermId id) const { return terms_[id]; }
+
+  /// \brief Bumps the document frequency of `id` by one. Call once per
+  /// (document, distinct term) pair during ingestion.
+  void AddDocumentOccurrence(TermId id);
+
+  /// \brief Number of documents containing `id`.
+  uint64_t DocumentFrequency(TermId id) const {
+    return id < doc_freq_.size() ? doc_freq_[id] : 0;
+  }
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+  std::vector<uint64_t> doc_freq_;
+};
+
+}  // namespace i3
+
+#endif  // I3_TEXT_VOCABULARY_H_

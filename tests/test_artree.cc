@@ -1,0 +1,258 @@
+// Tests of the Guttman split heuristics and the aggregated R-tree: structure
+// invariants, best-first iteration order, random-access probes, deletion.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "rtree/artree.h"
+#include "rtree/split.h"
+
+namespace i3 {
+namespace {
+
+TEST(SplitTest, ChooseSubtreePrefersMinimalEnlargement) {
+  std::vector<Rect> mbrs = {
+      {0, 0, 10, 10},
+      {20, 20, 30, 30},
+  };
+  EXPECT_EQ(ChooseSubtree(mbrs, Rect::FromPoint({5, 5})), 0u);
+  EXPECT_EQ(ChooseSubtree(mbrs, Rect::FromPoint({25, 25})), 1u);
+  // Ties on enlargement (inside neither): nearer rectangle needs less.
+  EXPECT_EQ(ChooseSubtree(mbrs, Rect::FromPoint({11, 11})), 0u);
+}
+
+TEST(SplitTest, QuadraticSplitRespectsMinFill) {
+  Rng rng(1);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 20; ++i) {
+    const double x = rng.UniformDouble(0, 100);
+    const double y = rng.UniformDouble(0, 100);
+    rects.push_back(Rect::FromPoint({x, y}));
+  }
+  auto [g1, g2] = QuadraticSplit(rects, 8);
+  EXPECT_GE(g1.size(), 8u);
+  EXPECT_GE(g2.size(), 8u);
+  EXPECT_EQ(g1.size() + g2.size(), rects.size());
+  // No index may appear twice.
+  std::vector<size_t> all = g1;
+  all.insert(all.end(), g2.begin(), g2.end());
+  std::sort(all.begin(), all.end());
+  for (size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(SplitTest, QuadraticSplitSeparatesClusters) {
+  // Two far-apart clusters should end up in different groups.
+  std::vector<Rect> rects;
+  for (int i = 0; i < 5; ++i) {
+    rects.push_back(Rect::FromPoint({double(i), double(i)}));
+  }
+  for (int i = 0; i < 5; ++i) {
+    rects.push_back(Rect::FromPoint({1000.0 + i, 1000.0 + i}));
+  }
+  auto [g1, g2] = QuadraticSplit(rects, 2);
+  auto side = [](size_t idx) { return idx < 5 ? 0 : 1; };
+  for (size_t i : g1) EXPECT_EQ(side(i), side(g1[0]));
+  for (size_t i : g2) EXPECT_EQ(side(i), side(g2[0]));
+}
+
+ARTreeOptions SmallTree() {
+  ARTreeOptions opt;
+  opt.page_size = 256;  // leaf fanout 10, internal 6
+  return opt;
+}
+
+TEST(ARTreeTest, InsertAndIterateInKeyOrder) {
+  const Rect space{0, 0, 100, 100};
+  ARTree tree(SmallTree());
+  Rng rng(7);
+  for (DocId d = 0; d < 300; ++d) {
+    tree.Insert({rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)}, d,
+                static_cast<float>(rng.UniformDouble(0.1, 1.0)));
+  }
+  EXPECT_EQ(tree.size(), 300u);
+  ASSERT_EQ(tree.CheckInvariants(), std::nullopt);
+
+  const Scorer scorer(space, 0.5);
+  const Point qloc{50, 50};
+  double prev = std::numeric_limits<double>::infinity();
+  size_t n = 0;
+  for (auto it = tree.NewIterator(scorer, qloc); it.Valid(); it.Next()) {
+    EXPECT_LE(it.key(), prev + 1e-12);
+    EXPECT_LE(it.UpperBound(), it.key() + 1e-12);
+    prev = it.key();
+    ++n;
+  }
+  EXPECT_EQ(n, 300u);
+}
+
+TEST(ARTreeTest, ProbeFindsExactEntries) {
+  ARTree tree(SmallTree());
+  Rng rng(11);
+  std::vector<AREntry> entries;
+  for (DocId d = 0; d < 200; ++d) {
+    AREntry e{{rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)}, d,
+              static_cast<float>(rng.UniformDouble(0.1, 1.0))};
+    entries.push_back(e);
+    tree.Insert(e.point, e.doc, e.weight);
+  }
+  for (const AREntry& e : entries) {
+    auto w = tree.Probe(e.point, e.doc);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_EQ(*w, e.weight);
+  }
+  EXPECT_FALSE(tree.Probe({50, 50}, 9999).has_value());
+}
+
+TEST(ARTreeTest, DeleteMaintainsInvariants) {
+  ARTree tree(SmallTree());
+  Rng rng(13);
+  std::vector<AREntry> entries;
+  for (DocId d = 0; d < 400; ++d) {
+    AREntry e{{rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)}, d,
+              static_cast<float>(rng.UniformDouble(0.1, 1.0))};
+    entries.push_back(e);
+    tree.Insert(e.point, e.doc, e.weight);
+  }
+  std::shuffle(entries.begin(), entries.end(), rng.engine());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    ASSERT_TRUE(tree.Delete(entries[i].point, entries[i].doc)) << i;
+    if (i % 50 == 0) {
+      auto err = tree.CheckInvariants();
+      ASSERT_EQ(err, std::nullopt) << *err << " after " << i;
+    }
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Delete({1, 1}, 0));
+}
+
+TEST(ARTreeTest, AggregateTracksMaxWeight) {
+  ARTree tree(SmallTree());
+  const Rect space{0, 0, 100, 100};
+  tree.Insert({10, 10}, 1, 0.3f);
+  tree.Insert({20, 20}, 2, 0.9f);
+  tree.Insert({30, 30}, 3, 0.5f);
+  // With alpha = 0 the iterator orders purely by weight.
+  const Scorer scorer(space, 0.0);
+  auto it = tree.NewIterator(scorer, {0, 0});
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.entry().doc, 2u);
+  it.Next();
+  EXPECT_EQ(it.entry().doc, 3u);
+  it.Next();
+  EXPECT_EQ(it.entry().doc, 1u);
+  it.Next();
+  EXPECT_FALSE(it.Valid());
+
+  // Deleting the heaviest entry must shrink aggregates (checked via the
+  // invariant checker and the new iteration order).
+  ASSERT_TRUE(tree.Delete({20, 20}, 2));
+  ASSERT_EQ(tree.CheckInvariants(), std::nullopt);
+  auto it2 = tree.NewIterator(scorer, {0, 0});
+  EXPECT_EQ(it2.entry().doc, 3u);
+}
+
+TEST(ARTreeTest, IoAccountingChargesNodeReads) {
+  IoStats stats;
+  ARTree tree(SmallTree(), &stats);
+  Rng rng(17);
+  for (DocId d = 0; d < 100; ++d) {
+    tree.Insert({rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)}, d,
+                0.5f);
+  }
+  stats.Reset();
+  const Scorer scorer(Rect{0, 0, 100, 100}, 0.5);
+  auto it = tree.NewIterator(scorer, {50, 50});
+  for (int i = 0; i < 10 && it.Valid(); ++i) it.Next();
+  EXPECT_GT(stats.reads(IoCategory::kRTreeNode), 0u);
+}
+
+TEST(ARTreeTest, HeightGrowsLogarithmically) {
+  ARTree tree(SmallTree());
+  EXPECT_EQ(tree.Height(), 0);
+  Rng rng(19);
+  for (DocId d = 0; d < 1000; ++d) {
+    tree.Insert({rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)}, d,
+                0.5f);
+  }
+  EXPECT_GE(tree.Height(), 3);
+  EXPECT_LE(tree.Height(), 6);
+}
+
+
+// Parameterized fanout sweep: structural invariants and iterator ordering
+// must hold at every node size, from minimal (page 192B) to paper-default
+// (4KB).
+class ARTreeFanoutTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ARTreeFanoutTest, InvariantsAndOrderingAcrossFanouts) {
+  ARTreeOptions opt;
+  opt.page_size = GetParam();
+  ARTree tree(opt);
+  Rng rng(101);
+  std::vector<AREntry> entries;
+  for (DocId d = 0; d < 500; ++d) {
+    AREntry e{{rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)}, d,
+              static_cast<float>(rng.UniformDouble(0.1, 1.0))};
+    entries.push_back(e);
+    tree.Insert(e.point, e.doc, e.weight);
+  }
+  auto err = tree.CheckInvariants();
+  ASSERT_EQ(err, std::nullopt) << *err;
+
+  const Scorer scorer(Rect{0, 0, 100, 100}, 0.5);
+  double prev = std::numeric_limits<double>::infinity();
+  size_t count = 0;
+  for (auto it = tree.NewIterator(scorer, {30, 60}); it.Valid(); it.Next()) {
+    ASSERT_LE(it.key(), prev + 1e-12);
+    prev = it.key();
+    ++count;
+  }
+  EXPECT_EQ(count, entries.size());
+
+  // Delete half, re-check.
+  for (size_t i = 0; i < entries.size(); i += 2) {
+    ASSERT_TRUE(tree.Delete(entries[i].point, entries[i].doc));
+  }
+  err = tree.CheckInvariants();
+  ASSERT_EQ(err, std::nullopt) << *err;
+  EXPECT_EQ(tree.size(), entries.size() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, ARTreeFanoutTest,
+                         ::testing::Values(size_t{192}, size_t{256},
+                                           size_t{512}, size_t{1024},
+                                           size_t{4096}));
+
+TEST(ARTreeTest, MixedChurnKeepsProbesExact) {
+  // Random interleaving of inserts and deletes; every surviving entry must
+  // remain probe-able with its exact weight.
+  ARTree tree(SmallTree());
+  Rng rng(31);
+  std::vector<AREntry> live;
+  DocId next = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.Chance(0.6)) {
+      AREntry e{{rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)},
+                next++, static_cast<float>(rng.UniformDouble(0.1, 1.0))};
+      tree.Insert(e.point, e.doc, e.weight);
+      live.push_back(e);
+    } else {
+      const size_t pick = rng.UniformInt(0, live.size() - 1);
+      ASSERT_TRUE(tree.Delete(live[pick].point, live[pick].doc));
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  ASSERT_EQ(tree.CheckInvariants(), std::nullopt);
+  EXPECT_EQ(tree.size(), live.size());
+  for (const AREntry& e : live) {
+    auto w = tree.Probe(e.point, e.doc);
+    ASSERT_TRUE(w.has_value()) << e.doc;
+    EXPECT_EQ(*w, e.weight);
+  }
+}
+
+}  // namespace
+}  // namespace i3

@@ -1,0 +1,161 @@
+// Unit tests of the common substrate: Status/Result, geometry, RNG/Zipf.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/geo.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace i3 {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("no such doc");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "no such doc");
+  EXPECT_EQ(st.ToString(), "NotFound: no such doc");
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status a = Status::IOError("disk gone");
+  Status b = a;
+  EXPECT_TRUE(b.IsIOError());
+  EXPECT_EQ(b.message(), "disk gone");
+}
+
+Status Fails() { return Status::InvalidArgument("bad"); }
+Status Propagates() {
+  I3_RETURN_NOT_OK(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Propagates().IsInvalidArgument());
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err(Status::OutOfRange("past end"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveValueTransfersOwnership) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = r.MoveValue();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(GeoTest, DistanceAndSquaredDistance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(GeoTest, RectBasics) {
+  Rect r{0, 0, 10, 20};
+  EXPECT_DOUBLE_EQ(r.Width(), 10.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 20.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 200.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 30.0);
+  EXPECT_EQ(r.Center(), (Point{5, 10}));
+  EXPECT_TRUE(r.Contains(Point{0, 0}));    // closed boundary
+  EXPECT_TRUE(r.Contains(Point{10, 20}));
+  EXPECT_FALSE(r.Contains(Point{10.001, 5}));
+}
+
+TEST(GeoTest, EmptyRectUnion) {
+  Rect e = Rect::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  const Rect r{1, 2, 3, 4};
+  EXPECT_EQ(e.Union(r), r);
+  EXPECT_EQ(r.Union(e), r);
+  e.Expand(Point{5, 6});
+  EXPECT_EQ(e, Rect::FromPoint({5, 6}));
+}
+
+TEST(GeoTest, IntersectsAndContains) {
+  const Rect a{0, 0, 10, 10};
+  const Rect b{5, 5, 15, 15};
+  const Rect c{11, 11, 12, 12};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Contains(Rect{1, 1, 9, 9}));
+  EXPECT_FALSE(a.Contains(b));
+}
+
+TEST(GeoTest, MinMaxDistance) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(r.MinDistance({5, 5}), 0.0);       // inside
+  EXPECT_DOUBLE_EQ(r.MinDistance({13, 14}), 5.0);     // corner 3-4-5
+  EXPECT_DOUBLE_EQ(r.MinDistance({-3, 5}), 3.0);      // edge
+  EXPECT_DOUBLE_EQ(r.MaxDistance({0, 0}), std::sqrt(200.0));
+}
+
+TEST(GeoTest, Enlargement) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(r.Enlargement(Rect::FromPoint({5, 5})), 0.0);
+  EXPECT_DOUBLE_EQ(r.Enlargement(Rect::FromPoint({20, 10})), 100.0);
+}
+
+TEST(GeoTest, HaversineKnownDistance) {
+  // London (-0.1276, 51.5072) to Paris (2.3522, 48.8566): ~344 km.
+  const double km =
+      HaversineKm({-0.1276, 51.5072}, {2.3522, 48.8566});
+  EXPECT_NEAR(km, 344.0, 5.0);
+  EXPECT_DOUBLE_EQ(HaversineKm({10, 20}, {10, 20}), 0.0);
+}
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(100, 1.0);
+  double total = 0.0;
+  for (size_t r = 0; r < 100; ++r) total += zipf.Probability(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  ZipfSampler zipf(1000, 1.0);
+  Rng rng(11);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[9] * 5);   // rank 0 ~10x rank 9
+  EXPECT_GT(counts[0], counts[99] * 50);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(zipf.Probability(r), 0.1, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace i3

@@ -1,0 +1,121 @@
+// Tests of the ConcurrentIndex wrapper: concurrent readers and writers on
+// an I3 index must neither crash nor corrupt the structure, and the final
+// state must match a sequential replay.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "i3/i3_index.h"
+#include "model/concurrent_index.h"
+#include "test_util.h"
+
+namespace i3 {
+namespace {
+
+using testutil::CorpusOptions;
+using testutil::MakeCorpus;
+using testutil::MakeQueries;
+
+I3Options SmallOptions() {
+  I3Options opt;
+  opt.space = {0.0, 0.0, 100.0, 100.0};
+  opt.page_size = 128;
+  opt.signature_bits = 64;
+  return opt;
+}
+
+TEST(ConcurrentIndexTest, SingleThreadedBehaviourUnchanged) {
+  ConcurrentIndex index(std::make_unique<I3Index>(SmallOptions()));
+  EXPECT_EQ(index.Name(), "I3 (concurrent)");
+  SpatialDocument d{1, {10, 10}, {{1, 0.5f}}};
+  ASSERT_TRUE(index.Insert(d).ok());
+  EXPECT_EQ(index.DocumentCount(), 1u);
+  Query q;
+  q.location = {10, 10};
+  q.terms = {1};
+  q.k = 5;
+  q.semantics = Semantics::kAnd;
+  auto res = index.Search(q, 0.5);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.ValueOrDie().size(), 1u);
+  SpatialDocument d2{1, {20, 20}, {{2, 0.7f}}};
+  ASSERT_TRUE(index.Update(d, d2).ok());
+  ASSERT_TRUE(index.Delete(d2).ok());
+  EXPECT_EQ(index.DocumentCount(), 0u);
+}
+
+TEST(ConcurrentIndexTest, ParallelWritersAndReaders) {
+  CorpusOptions copt;
+  copt.num_docs = 2000;
+  copt.vocab_size = 25;
+  const auto docs = MakeCorpus(copt, 404);
+  const auto queries =
+      MakeQueries(copt, 50, 2, 10, Semantics::kOr, 405);
+
+  ConcurrentIndex index(std::make_unique<I3Index>(SmallOptions()));
+
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  // Readers run a FIXED amount of work rather than spinning until the
+  // writers finish: glibc's shared_mutex is reader-preferring, so a
+  // spin-until-stopped reader pool can starve the writers indefinitely.
+  constexpr int kQueriesPerReader = 150;
+  std::atomic<uint64_t> searches{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> threads;
+  // Writers partition the corpus; each inserts its share, then deletes
+  // every other document of it.
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (size_t i = w; i < docs.size(); i += kWriters) {
+        if (!index.Insert(docs[i]).ok()) failed = true;
+      }
+      for (size_t i = w; i < docs.size(); i += 2 * kWriters) {
+        if (!index.Delete(docs[i]).ok()) failed = true;
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      for (int qi = 0; qi < kQueriesPerReader; ++qi) {
+        auto res = index.Search(queries[(r + qi) % queries.size()], 0.5);
+        if (!res.ok()) failed = true;
+        ++searches;
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(searches.load(),
+            static_cast<uint64_t>(kReaders) * kQueriesPerReader);
+
+  // Final state: exactly the non-deleted documents, structurally sound.
+  EXPECT_EQ(index.DocumentCount(), docs.size() / 2);
+  auto* i3 = static_cast<I3Index*>(index.base());
+  auto check = i3->CheckInvariants();
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+
+  // Spot check correctness against a sequential replay.
+  I3Index replay(SmallOptions());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    const size_t w = i % kWriters;
+    const bool deleted = (i - w) % (2 * kWriters) == 0;
+    if (!deleted) ASSERT_TRUE(replay.Insert(docs[i]).ok());
+  }
+  for (const Query& q : queries) {
+    auto a = index.Search(q, 0.5);
+    auto b = replay.Search(q, 0.5);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(
+        testutil::SameScores(a.ValueOrDie(), b.ValueOrDie()));
+  }
+}
+
+}  // namespace
+}  // namespace i3

@@ -1,0 +1,146 @@
+// Tests of the synthetic data and query generators: determinism, Table 2
+// statistical shape, and workload properties.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "datagen/dataset.h"
+#include "datagen/query_gen.h"
+
+namespace i3 {
+namespace {
+
+TEST(DatasetTest, DeterministicUnderSeed) {
+  GeneratorSpec spec = TwitterSpec(500, /*seed=*/9);
+  const Dataset a = Generate(spec);
+  const Dataset b = Generate(spec);
+  ASSERT_EQ(a.docs.size(), b.docs.size());
+  for (size_t i = 0; i < a.docs.size(); ++i) {
+    EXPECT_EQ(a.docs[i].location, b.docs[i].location);
+    EXPECT_EQ(a.docs[i].terms.size(), b.docs[i].terms.size());
+  }
+}
+
+TEST(DatasetTest, TwitterShapeMatchesTable2) {
+  const Dataset ds = Generate(TwitterSpec(20000));
+  EXPECT_EQ(ds.NumDocs(), 20000u);
+  // ~6.5 keywords per document.
+  EXPECT_NEAR(ds.AvgKeywordsPerDoc(), 6.5, 0.3);
+  // Unique keywords grow with the corpus (hapax-heavy tail): between 0.3x
+  // and 0.7x the document count at this scale.
+  EXPECT_GT(ds.UniqueKeywords(), ds.NumDocs() * 3 / 10);
+  EXPECT_LT(ds.UniqueKeywords(), ds.NumDocs() * 7 / 10);
+  // Near-constant term weights.
+  for (size_t i = 0; i < 100; ++i) {
+    for (const auto& wt : ds.docs[i].terms) {
+      EXPECT_GE(wt.weight, 0.45f);
+      EXPECT_LE(wt.weight, 0.55f);
+    }
+  }
+}
+
+TEST(DatasetTest, WikipediaShapeMatchesTable2) {
+  const Dataset ds = Generate(WikipediaSpec(2000));
+  // ~130 keywords per document, wide weight spread.
+  EXPECT_NEAR(ds.AvgKeywordsPerDoc(), 130.0, 10.0);
+  float min_w = 1.0f, max_w = 0.0f;
+  for (size_t i = 0; i < 50; ++i) {
+    for (const auto& wt : ds.docs[i].terms) {
+      min_w = std::min(min_w, wt.weight);
+      max_w = std::max(max_w, wt.weight);
+    }
+  }
+  EXPECT_LT(min_w, 0.2f);
+  EXPECT_GT(max_w, 0.8f);
+}
+
+TEST(DatasetTest, DocumentsAreValid) {
+  const Dataset ds = Generate(TwitterSpec(2000));
+  for (const auto& d : ds.docs) {
+    EXPECT_TRUE(ds.space.Contains(d.location));
+    EXPECT_FALSE(d.terms.empty());
+    TermId prev = kInvalidTermId;
+    for (const auto& wt : d.terms) {
+      if (prev != kInvalidTermId) {
+        EXPECT_GT(wt.term, prev);
+      }
+      EXPECT_GT(wt.weight, 0.0f);
+      EXPECT_LE(wt.weight, 1.0f);
+      prev = wt.term;
+    }
+  }
+}
+
+TEST(DatasetTest, LocationsAreClustered) {
+  const Dataset ds = Generate(TwitterSpec(5000));
+  // A clustered distribution concentrates mass: count the documents in the
+  // most popular cell of a 16x16 grid; uniform data would put ~19.5 there.
+  std::unordered_map<int, int> grid;
+  for (const auto& d : ds.docs) {
+    const int gx = static_cast<int>((d.location.x - ds.space.min_x) /
+                                    ds.space.Width() * 16);
+    const int gy = static_cast<int>((d.location.y - ds.space.min_y) /
+                                    ds.space.Height() * 16);
+    ++grid[gx * 100 + gy];
+  }
+  int max_cell = 0;
+  for (const auto& [k, v] : grid) max_cell = std::max(max_cell, v);
+  EXPECT_GT(max_cell, 5000 / 256 * 10);  // >10x uniform expectation
+}
+
+TEST(QueryGenTest, FreqUsesFrequentTerms) {
+  const Dataset ds = Generate(TwitterSpec(5000));
+  const QueryGenerator qgen(ds);
+  ASSERT_FALSE(qgen.ranking().empty());
+
+  std::unordered_map<TermId, uint64_t> freq;
+  for (const auto& d : ds.docs) {
+    for (const auto& wt : d.terms) ++freq[wt.term];
+  }
+  // The ranking is sorted by frequency.
+  for (size_t i = 1; i < std::min<size_t>(50, qgen.ranking().size()); ++i) {
+    EXPECT_GE(freq[qgen.ranking()[i - 1]], freq[qgen.ranking()[i]]);
+  }
+
+  auto queries = qgen.Freq(3, 50, 10, Semantics::kAnd, 1);
+  ASSERT_EQ(queries.size(), 50u);
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.terms.size(), 3u);
+    EXPECT_EQ(q.k, 10u);
+    EXPECT_EQ(q.semantics, Semantics::kAnd);
+    EXPECT_TRUE(ds.space.Contains(q.location));
+    for (TermId t : q.terms) {
+      // Every FREQ term is within the top 100 of the ranking.
+      EXPECT_GE(freq[t], freq[qgen.ranking()[std::min<size_t>(
+                              99, qgen.ranking().size() - 1)]]);
+    }
+  }
+}
+
+TEST(QueryGenTest, RestAnchorsOnTopTerm) {
+  const Dataset ds = Generate(TwitterSpec(5000));
+  const QueryGenerator qgen(ds);
+  const TermId anchor = qgen.ranking()[0];
+  auto queries = qgen.Rest(50, 10, Semantics::kOr, 2);
+  for (const auto& q : queries) {
+    EXPECT_GE(q.terms.size(), 1u);
+    EXPECT_LE(q.terms.size(), 3u);
+    EXPECT_NE(std::find(q.terms.begin(), q.terms.end(), anchor),
+              q.terms.end());
+  }
+}
+
+TEST(QueryGenTest, Deterministic) {
+  const Dataset ds = Generate(TwitterSpec(2000));
+  const QueryGenerator qgen(ds);
+  auto a = qgen.Freq(2, 10, 5, Semantics::kOr, 3);
+  auto b = qgen.Freq(2, 10, 5, Semantics::kOr, 3);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].terms, b[i].terms);
+    EXPECT_EQ(a[i].location, b[i].location);
+  }
+}
+
+}  // namespace
+}  // namespace i3

@@ -1,0 +1,260 @@
+// Cross-index integration tests: I3, IR-tree, S2I and the brute-force
+// oracle must return identical ranked score sequences for every query, on
+// shared randomized corpora, across semantics, alpha, k and query length.
+// This is the strongest end-to-end guarantee in the suite: all four
+// implementations realize the same ranking function of Section 3.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "i3/i3_index.h"
+#include "irtree/irtree_index.h"
+#include "model/brute_force.h"
+#include "s2i/s2i_index.h"
+#include "test_util.h"
+
+namespace i3 {
+namespace {
+
+using testutil::CorpusOptions;
+using testutil::MakeCorpus;
+using testutil::MakeQueries;
+using testutil::SameScores;
+
+struct Fixture {
+  std::unique_ptr<I3Index> i3;
+  std::unique_ptr<IrTreeIndex> irtree;
+  std::unique_ptr<S2IIndex> s2i;
+  std::unique_ptr<BruteForceIndex> oracle;
+  std::vector<SpatialDocument> docs;
+
+  std::vector<SpatialKeywordIndex*> All() {
+    return {i3.get(), irtree.get(), s2i.get(), oracle.get()};
+  }
+};
+
+Fixture BuildFixture(const CorpusOptions& copt, uint64_t seed) {
+  Fixture f;
+  I3Options i3opt;
+  i3opt.space = copt.space;
+  i3opt.page_size = 256;  // capacity 8: forces deep cell trees
+  i3opt.signature_bits = 128;
+  f.i3 = std::make_unique<I3Index>(i3opt);
+
+  IrTreeOptions iropt;
+  iropt.space = copt.space;
+  iropt.page_size = 256;
+  f.irtree = std::make_unique<IrTreeIndex>(iropt);
+
+  S2IOptions s2opt;
+  s2opt.space = copt.space;
+  s2opt.page_size = 256;
+  s2opt.frequency_threshold = 16;  // exercise both flat and tree paths
+  f.s2i = std::make_unique<S2IIndex>(s2opt);
+
+  f.oracle = std::make_unique<BruteForceIndex>(copt.space);
+
+  f.docs = MakeCorpus(copt, seed);
+  for (const auto& d : f.docs) {
+    EXPECT_TRUE(f.i3->Insert(d).ok());
+    EXPECT_TRUE(f.irtree->Insert(d).ok());
+    EXPECT_TRUE(f.s2i->Insert(d).ok());
+    EXPECT_TRUE(f.oracle->Insert(d).ok());
+  }
+  return f;
+}
+
+struct EquivCase {
+  Semantics semantics;
+  double alpha;
+  uint32_t k;
+  uint32_t qn;
+};
+
+class AllIndexEquivalenceTest : public ::testing::TestWithParam<EquivCase> {
+ protected:
+  static void SetUpTestSuite() {
+    CorpusOptions copt;
+    copt.num_docs = 700;
+    copt.vocab_size = 35;
+    copt.max_terms = 6;
+    fixture_ = new Fixture(BuildFixture(copt, 2024));
+    copt_ = new CorpusOptions(copt);
+  }
+  static void TearDownTestSuite() {
+    delete fixture_;
+    delete copt_;
+    fixture_ = nullptr;
+    copt_ = nullptr;
+  }
+  static Fixture* fixture_;
+  static CorpusOptions* copt_;
+};
+
+Fixture* AllIndexEquivalenceTest::fixture_ = nullptr;
+CorpusOptions* AllIndexEquivalenceTest::copt_ = nullptr;
+
+TEST_P(AllIndexEquivalenceTest, AllIndexesAgree) {
+  const EquivCase p = GetParam();
+  auto queries = MakeQueries(*copt_, /*num_queries=*/20, p.qn, p.k,
+                             p.semantics, /*seed=*/p.qn * 100 + p.k);
+  for (const Query& q : queries) {
+    auto want = fixture_->oracle->Search(q, p.alpha);
+    ASSERT_TRUE(want.ok());
+    for (SpatialKeywordIndex* idx : fixture_->All()) {
+      auto got = idx->Search(q, p.alpha);
+      ASSERT_TRUE(got.ok()) << idx->Name() << ": "
+                            << got.status().ToString();
+      EXPECT_TRUE(SameScores(got.ValueOrDie(), want.ValueOrDie()))
+          << idx->Name() << " semantics=" << SemanticsName(p.semantics)
+          << " alpha=" << p.alpha << " k=" << p.k << " qn=" << p.qn
+          << " got.size=" << got.ValueOrDie().size()
+          << " want.size=" << want.ValueOrDie().size();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllIndexEquivalenceTest,
+    ::testing::Values(EquivCase{Semantics::kAnd, 0.5, 10, 2},
+                      EquivCase{Semantics::kOr, 0.5, 10, 2},
+                      EquivCase{Semantics::kAnd, 0.5, 10, 3},
+                      EquivCase{Semantics::kOr, 0.5, 10, 3},
+                      EquivCase{Semantics::kAnd, 0.1, 20, 4},
+                      EquivCase{Semantics::kOr, 0.1, 20, 4},
+                      EquivCase{Semantics::kAnd, 0.9, 20, 5},
+                      EquivCase{Semantics::kOr, 0.9, 20, 5},
+                      EquivCase{Semantics::kAnd, 0.0, 5, 2},
+                      EquivCase{Semantics::kOr, 0.0, 5, 2},
+                      EquivCase{Semantics::kAnd, 1.0, 5, 3},
+                      EquivCase{Semantics::kOr, 1.0, 5, 3},
+                      EquivCase{Semantics::kAnd, 0.5, 100, 3},
+                      EquivCase{Semantics::kOr, 0.5, 100, 3},
+                      EquivCase{Semantics::kAnd, 0.3, 1, 2},
+                      EquivCase{Semantics::kOr, 0.7, 1, 2}));
+
+TEST(EquivalenceAfterUpdates, AllIndexesAgreeAfterChurn) {
+  CorpusOptions copt;
+  copt.num_docs = 500;
+  copt.vocab_size = 25;
+  Fixture f = BuildFixture(copt, 31);
+
+  // Delete a third of the documents, re-insert some with new ids.
+  Rng rng(77);
+  std::vector<SpatialDocument> extra =
+      MakeCorpus([&] {
+        CorpusOptions o = copt;
+        o.num_docs = 150;
+        o.first_id = 10000;
+        return o;
+      }(), 32);
+  size_t ei = 0;
+  for (size_t i = 0; i < f.docs.size(); i += 3) {
+    for (SpatialKeywordIndex* idx : f.All()) {
+      ASSERT_TRUE(idx->Delete(f.docs[i]).ok()) << idx->Name();
+    }
+    if (ei < extra.size()) {
+      for (SpatialKeywordIndex* idx : f.All()) {
+        ASSERT_TRUE(idx->Insert(extra[ei]).ok()) << idx->Name();
+      }
+      ++ei;
+    }
+  }
+
+  auto i3check = f.i3->CheckInvariants();
+  ASSERT_TRUE(i3check.ok()) << i3check.status().ToString();
+  auto ircheck = f.irtree->CheckInvariants();
+  ASSERT_TRUE(ircheck.ok()) << ircheck.status().ToString();
+
+  for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
+    for (const Query& q : MakeQueries(copt, 15, 3, 10, sem, 55)) {
+      auto want = f.oracle->Search(q, 0.5);
+      ASSERT_TRUE(want.ok());
+      for (SpatialKeywordIndex* idx : f.All()) {
+        auto got = idx->Search(q, 0.5);
+        ASSERT_TRUE(got.ok()) << idx->Name();
+        EXPECT_TRUE(SameScores(got.ValueOrDie(), want.ValueOrDie()))
+            << idx->Name() << " " << SemanticsName(sem);
+      }
+    }
+  }
+}
+
+TEST(EquivalenceBulkLoad, StrBulkLoadMatchesIncrementalBuild) {
+  CorpusOptions copt;
+  copt.num_docs = 400;
+  copt.vocab_size = 20;
+  auto docs = MakeCorpus(copt, 3);
+
+  IrTreeOptions opt;
+  opt.space = copt.space;
+  opt.page_size = 256;
+  IrTreeIndex incremental(opt);
+  for (const auto& d : docs) ASSERT_TRUE(incremental.Insert(d).ok());
+  auto bulk_res = IrTreeIndex::BulkLoad(opt, docs);
+  ASSERT_TRUE(bulk_res.ok());
+  auto& bulk = *bulk_res.ValueOrDie();
+  auto check = bulk.CheckInvariants();
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_EQ(check.ValueOrDie(), docs.size());
+
+  for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
+    for (const Query& q : MakeQueries(copt, 15, 2, 10, sem, 9)) {
+      auto a = incremental.Search(q, 0.5);
+      auto b = bulk.Search(q, 0.5);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_TRUE(SameScores(a.ValueOrDie(), b.ValueOrDie()));
+    }
+  }
+  // Bulk loading is strictly cheaper in node writes than one-by-one
+  // insertion (no splits).
+  EXPECT_LT(bulk.io_stats().TotalWrites(),
+            incremental.io_stats().TotalWrites());
+}
+
+
+TEST(EquivalenceWikipediaStyle, KeywordRichDocumentsAndLongQueries) {
+  // Wikipedia-like documents carry dozens of keywords; long OR queries
+  // (qn > 12) additionally exercise the I3 lattice's sum fallback.
+  CorpusOptions copt;
+  copt.num_docs = 250;
+  copt.vocab_size = 60;
+  copt.min_terms = 20;
+  copt.max_terms = 40;
+  Fixture f = BuildFixture(copt, 777);
+
+  for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
+    for (uint32_t qn : {3u, 8u, 15u}) {
+      for (const Query& q : MakeQueries(copt, 8, qn, 10, sem, qn * 7)) {
+        auto want = f.oracle->Search(q, 0.5);
+        ASSERT_TRUE(want.ok());
+        for (SpatialKeywordIndex* idx : f.All()) {
+          auto got = idx->Search(q, 0.5);
+          ASSERT_TRUE(got.ok()) << idx->Name();
+          EXPECT_TRUE(SameScores(got.ValueOrDie(), want.ValueOrDie()))
+              << idx->Name() << " qn=" << qn << " "
+              << SemanticsName(sem);
+        }
+      }
+    }
+  }
+}
+
+TEST(EquivalenceQueryLimits, MoreThan32KeywordsRejected) {
+  CorpusOptions copt;
+  copt.num_docs = 50;
+  Fixture f = BuildFixture(copt, 88);
+  Query q;
+  q.location = {50, 50};
+  for (TermId t = 0; t < 40; ++t) q.terms.push_back(t);
+  q.k = 5;
+  q.semantics = Semantics::kOr;
+  // I3 enforces the 32-term mask limit explicitly.
+  EXPECT_TRUE(f.i3->Search(q, 0.5).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace i3

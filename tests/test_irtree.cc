@@ -1,0 +1,210 @@
+// Tests of the IR-tree baseline: pseudo-document maintenance, search
+// pruning, deletion with condensation, bulk loading, and I/O accounting.
+
+#include <gtest/gtest.h>
+
+#include "irtree/irtree_index.h"
+#include "model/brute_force.h"
+#include "test_util.h"
+
+namespace i3 {
+namespace {
+
+using testutil::CorpusOptions;
+using testutil::MakeCorpus;
+using testutil::MakeQueries;
+using testutil::SameScores;
+
+IrTreeOptions SmallOptions() {
+  IrTreeOptions opt;
+  opt.space = {0.0, 0.0, 100.0, 100.0};
+  opt.page_size = 256;  // leaf fanout 10
+  return opt;
+}
+
+SpatialDocument Doc(DocId id, double x, double y,
+                    std::vector<WeightedTerm> terms) {
+  return {id, {x, y}, std::move(terms)};
+}
+
+TEST(IrTreeTest, EmptyIndex) {
+  IrTreeIndex index(SmallOptions());
+  Query q;
+  q.location = {1, 1};
+  q.terms = {1};
+  q.k = 5;
+  q.semantics = Semantics::kOr;
+  auto res = index.Search(q, 0.5);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.ValueOrDie().empty());
+  EXPECT_EQ(index.Height(), 0);
+}
+
+TEST(IrTreeTest, DuplicateInsertRejected) {
+  IrTreeIndex index(SmallOptions());
+  ASSERT_TRUE(index.Insert(Doc(1, 10, 10, {{1, 0.5f}})).ok());
+  EXPECT_EQ(index.Insert(Doc(1, 20, 20, {{1, 0.5f}})).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(IrTreeTest, PseudoDocumentPrunesAndSemantics) {
+  IrTreeIndex index(SmallOptions());
+  // Cluster A (keyword 1 only) far from cluster B (keywords 1+2).
+  for (DocId d = 0; d < 30; ++d) {
+    ASSERT_TRUE(index.Insert(Doc(d, 5 + (d % 5), 5 + (d / 5),
+                                 {{1, 0.5f}}))
+                    .ok());
+  }
+  for (DocId d = 100; d < 110; ++d) {
+    ASSERT_TRUE(index.Insert(Doc(d, 90 + (d % 5) * 0.1,
+                                 90 + (d % 10) * 0.1,
+                                 {{1, 0.5f}, {2, 0.5f}}))
+                    .ok());
+  }
+  auto check = index.CheckInvariants();
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+
+  Query q;
+  q.location = {5, 5};  // near cluster A, but AND requires both keywords
+  q.terms = {1, 2};
+  q.k = 5;
+  q.semantics = Semantics::kAnd;
+  index.ResetIoStats();
+  auto res = index.Search(q, 0.5);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.ValueOrDie().size(), 5u);
+  for (const auto& sd : res.ValueOrDie()) {
+    EXPECT_GE(sd.doc, 100u);  // only cluster B qualifies
+  }
+}
+
+TEST(IrTreeTest, DeleteCondensesAndStaysConsistent) {
+  IrTreeIndex index(SmallOptions());
+  CorpusOptions copt;
+  copt.num_docs = 300;
+  copt.vocab_size = 20;
+  auto docs = MakeCorpus(copt, 5);
+  for (const auto& d : docs) ASSERT_TRUE(index.Insert(d).ok());
+  // Delete two thirds.
+  for (size_t i = 0; i < docs.size(); ++i) {
+    if (i % 3 != 0) {
+      ASSERT_TRUE(index.Delete(docs[i]).ok()) << i;
+    }
+  }
+  auto check = index.CheckInvariants();
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_EQ(check.ValueOrDie(), (docs.size() + 2) / 3);
+  EXPECT_TRUE(index.Delete(docs[1]).IsNotFound());
+}
+
+TEST(IrTreeTest, SearchChargesInvertedFileIos) {
+  IrTreeIndex index(SmallOptions());
+  CorpusOptions copt;
+  copt.num_docs = 400;
+  for (const auto& d : MakeCorpus(copt, 6)) {
+    ASSERT_TRUE(index.Insert(d).ok());
+  }
+  index.ResetIoStats();
+  for (const Query& q : MakeQueries(copt, 5, 3, 10, Semantics::kOr, 9)) {
+    ASSERT_TRUE(index.Search(q, 0.5).ok());
+  }
+  EXPECT_GT(index.io_stats().reads(IoCategory::kRTreeNode), 0u);
+  EXPECT_GT(index.io_stats().reads(IoCategory::kInvertedFile), 0u);
+}
+
+TEST(IrTreeTest, BulkLoadEmptyAndTiny) {
+  auto empty = IrTreeIndex::BulkLoad(SmallOptions(), {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.ValueOrDie()->DocumentCount(), 0u);
+
+  std::vector<SpatialDocument> one{Doc(1, 10, 10, {{1, 0.5f}})};
+  auto tiny = IrTreeIndex::BulkLoad(SmallOptions(), one);
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ(tiny.ValueOrDie()->DocumentCount(), 1u);
+  Query q;
+  q.location = {10, 10};
+  q.terms = {1};
+  q.k = 1;
+  q.semantics = Semantics::kAnd;
+  auto res = tiny.ValueOrDie()->Search(q, 0.5);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.ValueOrDie().size(), 1u);
+}
+
+TEST(IrTreeTest, BulkLoadRejectsDuplicates) {
+  std::vector<SpatialDocument> docs{Doc(1, 10, 10, {{1, 0.5f}}),
+                                    Doc(1, 20, 20, {{2, 0.5f}})};
+  auto res = IrTreeIndex::BulkLoad(SmallOptions(), docs);
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(IrTreeTest, UpdateMovesDocument) {
+  IrTreeIndex index(SmallOptions());
+  auto before = Doc(1, 10, 10, {{1, 0.9f}});
+  auto after = Doc(1, 90, 90, {{2, 0.7f}});
+  ASSERT_TRUE(index.Insert(before).ok());
+  ASSERT_TRUE(index.Update(before, after).ok());
+  Query q;
+  q.location = {90, 90};
+  q.terms = {2};
+  q.k = 1;
+  q.semantics = Semantics::kAnd;
+  auto res = index.Search(q, 0.5);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.ValueOrDie().size(), 1u);
+}
+
+TEST(DirTreeTest, DirPolicyMatchesBruteForce) {
+  IrTreeOptions opt = SmallOptions();
+  opt.policy = IrInsertionPolicy::kDir;
+  IrTreeIndex index(opt);
+  EXPECT_EQ(index.Name(), "DIR-tree");
+  BruteForceIndex oracle(opt.space);
+  CorpusOptions copt;
+  copt.num_docs = 400;
+  copt.vocab_size = 20;
+  for (const auto& d : MakeCorpus(copt, 66)) {
+    ASSERT_TRUE(index.Insert(d).ok());
+    ASSERT_TRUE(oracle.Insert(d).ok());
+  }
+  auto check = index.CheckInvariants();
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
+    for (const Query& q : MakeQueries(copt, 10, 3, 10, sem, 67)) {
+      auto got = index.Search(q, 0.5);
+      auto want = oracle.Search(q, 0.5);
+      ASSERT_TRUE(got.ok());
+      ASSERT_TRUE(want.ok());
+      EXPECT_TRUE(SameScores(got.ValueOrDie(), want.ValueOrDie()));
+    }
+  }
+}
+
+TEST(IrTreeTest, MatchesBruteForceUnderChurn) {
+  IrTreeIndex index(SmallOptions());
+  BruteForceIndex oracle(SmallOptions().space);
+  CorpusOptions copt;
+  copt.num_docs = 500;
+  copt.vocab_size = 25;
+  auto docs = MakeCorpus(copt, 33);
+  for (const auto& d : docs) {
+    ASSERT_TRUE(index.Insert(d).ok());
+    ASSERT_TRUE(oracle.Insert(d).ok());
+  }
+  for (size_t i = 0; i < docs.size(); i += 4) {
+    ASSERT_TRUE(index.Delete(docs[i]).ok());
+    ASSERT_TRUE(oracle.Delete(docs[i]).ok());
+  }
+  for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
+    for (const Query& q : MakeQueries(copt, 10, 2, 10, sem, 44)) {
+      auto got = index.Search(q, 0.5);
+      auto want = oracle.Search(q, 0.5);
+      ASSERT_TRUE(got.ok());
+      ASSERT_TRUE(want.ok());
+      EXPECT_TRUE(SameScores(got.ValueOrDie(), want.ValueOrDie()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace i3

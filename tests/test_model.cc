@@ -1,0 +1,195 @@
+// Unit tests of the model layer: documents/tuples, scorer, top-k heap, and
+// the brute-force oracle itself.
+
+#include <gtest/gtest.h>
+
+#include "model/brute_force.h"
+#include "model/document.h"
+#include "model/scorer.h"
+#include "model/topk.h"
+
+namespace i3 {
+namespace {
+
+SpatialDocument Doc(DocId id, double x, double y,
+                    std::vector<WeightedTerm> terms) {
+  return {id, {x, y}, std::move(terms)};
+}
+
+TEST(DocumentTest, WeightOfBinarySearches) {
+  const auto d = Doc(1, 0, 0, {{2, 0.2f}, {5, 0.5f}, {9, 0.9f}});
+  EXPECT_FLOAT_EQ(d.WeightOf(5), 0.5f);
+  EXPECT_FLOAT_EQ(d.WeightOf(9), 0.9f);
+  EXPECT_FLOAT_EQ(d.WeightOf(3), 0.0f);
+  EXPECT_TRUE(d.Contains(2));
+  EXPECT_FALSE(d.Contains(4));
+}
+
+TEST(DocumentTest, PartitionProducesOneTuplePerTerm) {
+  const auto d = Doc(7, 3, 4, {{1, 0.1f}, {2, 0.2f}});
+  const auto tuples = PartitionDocument(d);
+  ASSERT_EQ(tuples.size(), 2u);
+  EXPECT_EQ(tuples[0].term, 1u);
+  EXPECT_EQ(tuples[0].doc, 7u);
+  EXPECT_EQ(tuples[0].location, (Point{3, 4}));
+  EXPECT_FLOAT_EQ(tuples[1].weight, 0.2f);
+}
+
+TEST(ScorerTest, CombinesSpatialAndTextual) {
+  const Rect space{0, 0, 100, 100};  // diagonal ~141.42
+  const Scorer scorer(space, 0.5);
+  Query q;
+  q.location = {0, 0};
+  q.terms = {1, 2};
+
+  const auto d = Doc(1, 0, 0, {{1, 0.6f}, {2, 0.4f}});
+  EXPECT_DOUBLE_EQ(scorer.SpatialProximity(q.location, d.location), 1.0);
+  EXPECT_NEAR(scorer.TextualScore(q, d), 1.0, 1e-6);
+  EXPECT_NEAR(scorer.Score(q, d), 0.5 * 1.0 + 0.5 * 1.0, 1e-6);
+
+  // A document at the far corner has proximity 0.
+  const auto far = Doc(2, 100, 100, {{1, 1.0f}});
+  EXPECT_DOUBLE_EQ(scorer.SpatialProximity(q.location, far.location), 0.0);
+}
+
+TEST(ScorerTest, AlphaExtremes) {
+  const Rect space{0, 0, 100, 100};
+  Query q;
+  q.location = {0, 0};
+  q.terms = {1};
+  const auto near_weak = Doc(1, 1, 1, {{1, 0.1f}});
+  const auto far_strong = Doc(2, 90, 90, {{1, 1.0f}});
+  const Scorer spatial_only(space, 1.0);
+  EXPECT_GT(spatial_only.Score(q, near_weak),
+            spatial_only.Score(q, far_strong));
+  const Scorer text_only(space, 0.0);
+  EXPECT_LT(text_only.Score(q, near_weak),
+            text_only.Score(q, far_strong));
+}
+
+TEST(ScorerTest, UpperBoundDominatesPointScores) {
+  const Rect space{0, 0, 100, 100};
+  const Scorer scorer(space, 0.7);
+  const Rect cell{40, 40, 60, 60};
+  const Point query{10, 10};
+  for (double x : {40.0, 50.0, 60.0}) {
+    for (double y : {40.0, 50.0, 60.0}) {
+      EXPECT_LE(scorer.SpatialProximity(query, {x, y}),
+                scorer.SpatialProximityUpper(query, cell) + 1e-12);
+    }
+  }
+}
+
+TEST(ScorerTest, IsCandidateSemantics) {
+  const Scorer scorer(Rect{0, 0, 1, 1}, 0.5);
+  const auto d = Doc(1, 0, 0, {{1, 0.5f}, {3, 0.5f}});
+  Query q;
+  q.terms = {1, 3};
+  q.semantics = Semantics::kAnd;
+  EXPECT_TRUE(scorer.IsCandidate(q, d));
+  q.terms = {1, 2};
+  EXPECT_FALSE(scorer.IsCandidate(q, d));
+  q.semantics = Semantics::kOr;
+  EXPECT_TRUE(scorer.IsCandidate(q, d));
+  q.terms = {2, 4};
+  EXPECT_FALSE(scorer.IsCandidate(q, d));
+}
+
+TEST(TopKHeapTest, KeepsBestK) {
+  TopKHeap heap(3);
+  EXPECT_EQ(heap.Threshold(),
+            -std::numeric_limits<double>::infinity());
+  heap.Offer(1, 0.5);
+  heap.Offer(2, 0.9);
+  EXPECT_FALSE(heap.Full());
+  heap.Offer(3, 0.1);
+  EXPECT_TRUE(heap.Full());
+  EXPECT_DOUBLE_EQ(heap.Threshold(), 0.1);
+  heap.Offer(4, 0.7);  // evicts doc 3 (0.1)
+  EXPECT_DOUBLE_EQ(heap.Threshold(), 0.5);
+  heap.Offer(5, 0.6);  // evicts doc 1 (0.5)
+  auto out = heap.Take();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].doc, 2u);
+  EXPECT_EQ(out[1].doc, 4u);
+  EXPECT_EQ(out[2].doc, 5u);
+}
+
+TEST(TopKHeapTest, TieBreaksBySmallerDocId) {
+  TopKHeap heap(2);
+  heap.Offer(9, 0.5);
+  heap.Offer(3, 0.5);
+  heap.Offer(6, 0.5);
+  auto out = heap.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].doc, 3u);
+  EXPECT_EQ(out[1].doc, 6u);
+}
+
+TEST(TopKHeapTest, IgnoresDuplicateDocs) {
+  TopKHeap heap(2);
+  heap.Offer(1, 0.5);
+  heap.Offer(1, 0.9);  // ignored: already offered
+  heap.Offer(2, 0.3);
+  auto out = heap.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].score, 0.5);
+}
+
+TEST(TopKHeapTest, ZeroK) {
+  TopKHeap heap(0);
+  heap.Offer(1, 0.5);
+  EXPECT_TRUE(heap.Take().empty());
+}
+
+TEST(QueryTest, NormalizeSortsAndDedups) {
+  Query q;
+  q.terms = {5, 1, 5, 3, 1};
+  q.Normalize();
+  EXPECT_EQ(q.terms, (std::vector<TermId>{1, 3, 5}));
+}
+
+TEST(BruteForceTest, InsertDeleteSearch) {
+  BruteForceIndex index(Rect{0, 0, 100, 100});
+  ASSERT_TRUE(index.Insert(Doc(1, 10, 10, {{1, 0.9f}})).ok());
+  ASSERT_TRUE(index.Insert(Doc(2, 20, 20, {{1, 0.3f}})).ok());
+  EXPECT_TRUE(index.Insert(Doc(1, 0, 0, {{1, 0.1f}})).code() ==
+              StatusCode::kAlreadyExists);
+
+  Query q;
+  q.location = {10, 10};
+  q.terms = {1};
+  q.k = 10;
+  q.semantics = Semantics::kAnd;
+  auto res = index.Search(q, 0.5);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.ValueOrDie().size(), 2u);
+  EXPECT_EQ(res.ValueOrDie()[0].doc, 1u);
+
+  ASSERT_TRUE(index.Delete(Doc(1, 10, 10, {{1, 0.9f}})).ok());
+  EXPECT_TRUE(index.Delete(Doc(1, 10, 10, {{1, 0.9f}})).IsNotFound());
+  EXPECT_EQ(index.DocumentCount(), 1u);
+}
+
+TEST(BruteForceTest, RespectsK) {
+  BruteForceIndex index(Rect{0, 0, 100, 100});
+  for (DocId d = 0; d < 20; ++d) {
+    ASSERT_TRUE(
+        index.Insert(Doc(d, d * 5.0, d * 5.0, {{1, 0.5f}})).ok());
+  }
+  Query q;
+  q.location = {0, 0};
+  q.terms = {1};
+  q.k = 7;
+  q.semantics = Semantics::kOr;
+  auto res = index.Search(q, 1.0);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.ValueOrDie().size(), 7u);
+  // Scores strictly non-increasing.
+  for (size_t i = 1; i < res.ValueOrDie().size(); ++i) {
+    EXPECT_GE(res.ValueOrDie()[i - 1].score, res.ValueOrDie()[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace i3

@@ -1,0 +1,164 @@
+// Unit and property tests of quadtree cell arithmetic and the generic
+// bucket point-quadtree.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "quadtree/cell.h"
+#include "quadtree/point_quadtree.h"
+
+namespace i3 {
+namespace {
+
+TEST(CellIdTest, RootAndChildren) {
+  const CellId root = CellId::Root();
+  EXPECT_TRUE(root.IsRoot());
+  EXPECT_EQ(root.level(), 0);
+  const CellId c2 = root.Child(2);
+  EXPECT_EQ(c2.level(), 1);
+  EXPECT_EQ(c2.QuadrantInParent(), 2);
+  EXPECT_EQ(c2.Parent(), root);
+  const CellId c23 = c2.Child(3);
+  EXPECT_EQ(c23.level(), 2);
+  EXPECT_EQ(c23.QuadrantAt(0), 2);
+  EXPECT_EQ(c23.QuadrantAt(1), 3);
+  EXPECT_EQ(c23.ToString(), "/2/3");
+}
+
+TEST(CellIdTest, AncestorRelation) {
+  const CellId root = CellId::Root();
+  const CellId a = root.Child(1).Child(0);
+  const CellId b = a.Child(3).Child(2);
+  EXPECT_TRUE(root.IsAncestorOf(b));
+  EXPECT_TRUE(a.IsAncestorOf(b));
+  EXPECT_TRUE(a.IsAncestorOf(a));
+  EXPECT_FALSE(b.IsAncestorOf(a));
+  EXPECT_FALSE(root.Child(2).IsAncestorOf(b));
+}
+
+TEST(CellIdTest, PackedIsUniquePerCell) {
+  // Distinct cells at different levels whose paths collide numerically
+  // must still differ (level is part of the key).
+  const CellId a = CellId::Root().Child(0);            // path 0, level 1
+  const CellId b = CellId::Root().Child(0).Child(0);   // path 0, level 2
+  EXPECT_NE(a.Packed(), b.Packed());
+  EXPECT_NE(a, b);
+}
+
+TEST(CellSpaceTest, ChildRectQuadrants) {
+  const Rect root{0, 0, 100, 100};
+  EXPECT_EQ(CellSpace::ChildRect(root, 0), (Rect{0, 0, 50, 50}));    // SW
+  EXPECT_EQ(CellSpace::ChildRect(root, 1), (Rect{50, 0, 100, 50}));  // SE
+  EXPECT_EQ(CellSpace::ChildRect(root, 2), (Rect{0, 50, 50, 100}));  // NW
+  EXPECT_EQ(CellSpace::ChildRect(root, 3),
+            (Rect{50, 50, 100, 100}));                               // NE
+}
+
+TEST(CellSpaceTest, QuadrantOfBoundaryGoesEastNorth) {
+  const Rect root{0, 0, 100, 100};
+  EXPECT_EQ(CellSpace::QuadrantOf(root, {49.999, 49.999}), 0);
+  EXPECT_EQ(CellSpace::QuadrantOf(root, {50, 49.999}), 1);
+  EXPECT_EQ(CellSpace::QuadrantOf(root, {49.999, 50}), 2);
+  EXPECT_EQ(CellSpace::QuadrantOf(root, {50, 50}), 3);
+}
+
+TEST(CellSpaceTest, LocateIsConsistentWithCellRect) {
+  const CellSpace space(Rect{-180, -90, 180, 90});
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Point p{rng.UniformDouble(-180, 180), rng.UniformDouble(-90, 90)};
+    for (uint8_t level : {1, 3, 7, 12}) {
+      const CellId cell = space.Locate(p, level);
+      EXPECT_EQ(cell.level(), level);
+      EXPECT_TRUE(space.CellRect(cell).Contains(p))
+          << p.ToString() << " not in " << cell.ToString();
+    }
+  }
+}
+
+TEST(CellSpaceTest, LocateNestsAcrossLevels) {
+  const CellSpace space(Rect{0, 0, 1, 1});
+  const Point p{0.3, 0.7};
+  const CellId deep = space.Locate(p, 10);
+  const CellId shallow = space.Locate(p, 4);
+  EXPECT_TRUE(shallow.IsAncestorOf(deep));
+}
+
+TEST(CellSpaceTest, MinDistanceZeroInside) {
+  const CellSpace space(Rect{0, 0, 100, 100});
+  const CellId cell = space.Locate({10, 10}, 2);  // [0,25)x[0,25)
+  EXPECT_DOUBLE_EQ(space.MinDistance(cell, {10, 10}), 0.0);
+  EXPECT_GT(space.MinDistance(cell, {80, 80}), 0.0);
+}
+
+// ------------------------------------------------------------ point quadtree
+
+TEST(PointQuadtreeTest, InsertAndRangeQueryMatchesBruteForce) {
+  const Rect space{0, 0, 100, 100};
+  PointQuadtree<int> tree(space, /*bucket_capacity=*/8);
+  Rng rng(21);
+  std::vector<std::pair<Point, int>> all;
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)};
+    tree.Insert(p, i);
+    all.emplace_back(p, i);
+  }
+  EXPECT_EQ(tree.size(), 500u);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double x = rng.UniformDouble(0, 80);
+    const double y = rng.UniformDouble(0, 80);
+    const Rect range{x, y, x + 20, y + 20};
+    auto got = tree.RangeQuery(range);
+    size_t want = 0;
+    for (const auto& [p, v] : all) {
+      if (range.Contains(p)) ++want;
+    }
+    EXPECT_EQ(got.size(), want);
+  }
+}
+
+TEST(PointQuadtreeTest, NearestNeighborsMatchBruteForce) {
+  const Rect space{0, 0, 100, 100};
+  PointQuadtree<int> tree(space, 4);
+  Rng rng(22);
+  std::vector<Point> pts;
+  for (int i = 0; i < 300; ++i) {
+    const Point p{rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)};
+    tree.Insert(p, i);
+    pts.push_back(p);
+  }
+  const Point q{37, 64};
+  auto got = tree.NearestNeighbors(q, 10);
+  ASSERT_EQ(got.size(), 10u);
+  std::vector<double> want;
+  for (const Point& p : pts) want.push_back(Distance(p, q));
+  std::sort(want.begin(), want.end());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(Distance(got[i].first, q), want[i], 1e-12) << i;
+  }
+}
+
+TEST(PointQuadtreeTest, RemoveWorks) {
+  PointQuadtree<int> tree(Rect{0, 0, 10, 10}, 2);
+  tree.Insert({1, 1}, 1);
+  tree.Insert({2, 2}, 2);
+  tree.Insert({3, 3}, 3);  // forces a split
+  EXPECT_TRUE(tree.Remove({2, 2}, 2));
+  EXPECT_FALSE(tree.Remove({2, 2}, 2));
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(tree.RangeQuery(Rect{0, 0, 10, 10}).size(), 2u);
+}
+
+TEST(PointQuadtreeTest, MaxDepthStopsSplitting) {
+  // Duplicate points would split forever without the depth guard.
+  PointQuadtree<int> tree(Rect{0, 0, 1, 1}, 2, /*max_depth=*/4);
+  for (int i = 0; i < 50; ++i) tree.Insert({0.5, 0.5}, i);
+  EXPECT_EQ(tree.size(), 50u);
+  EXPECT_LE(tree.Depth(), 4);
+  EXPECT_EQ(tree.RangeQuery(Rect{0.4, 0.4, 0.6, 0.6}).size(), 50u);
+}
+
+}  // namespace
+}  // namespace i3

@@ -1,0 +1,173 @@
+// Tests of the S2I baseline: flat/tree promotion and demotion, both
+// aggregation strategies, update behaviour, and size accounting.
+
+#include <gtest/gtest.h>
+
+#include "model/brute_force.h"
+#include "s2i/s2i_index.h"
+#include "test_util.h"
+
+namespace i3 {
+namespace {
+
+using testutil::CorpusOptions;
+using testutil::MakeCorpus;
+using testutil::MakeQueries;
+using testutil::SameScores;
+
+S2IOptions SmallOptions(uint32_t threshold = 8) {
+  S2IOptions opt;
+  opt.space = {0.0, 0.0, 100.0, 100.0};
+  opt.page_size = 256;
+  opt.frequency_threshold = threshold;
+  return opt;
+}
+
+SpatialDocument Doc(DocId id, double x, double y,
+                    std::vector<WeightedTerm> terms) {
+  return {id, {x, y}, std::move(terms)};
+}
+
+TEST(S2ITest, KeywordPromotionAtThreshold) {
+  S2IIndex index(SmallOptions(/*threshold=*/4));
+  // 4 postings stay flat; the 5th promotes the keyword to an aR-tree.
+  for (DocId d = 0; d < 4; ++d) {
+    ASSERT_TRUE(index.Insert(Doc(d, d * 10.0, 5, {{1, 0.5f}})).ok());
+  }
+  EXPECT_EQ(index.TreeFileCount(), 0u);
+  ASSERT_TRUE(index.Insert(Doc(4, 40, 5, {{1, 0.5f}})).ok());
+  EXPECT_EQ(index.TreeFileCount(), 1u);
+
+  // Deleting back to the threshold demotes it again.
+  ASSERT_TRUE(index.Delete(Doc(4, 40, 5, {{1, 0.5f}})).ok());
+  EXPECT_EQ(index.TreeFileCount(), 0u);
+  EXPECT_EQ(index.DocumentCount(), 4u);
+
+  Query q;
+  q.location = {0, 5};
+  q.terms = {1};
+  q.k = 10;
+  q.semantics = Semantics::kAnd;
+  auto res = index.Search(q, 0.5);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.ValueOrDie().size(), 4u);
+}
+
+TEST(S2ITest, MixedFlatAndTreeQuery) {
+  S2IIndex index(SmallOptions(/*threshold=*/3));
+  // Keyword 1 becomes frequent, keyword 2 stays flat.
+  for (DocId d = 0; d < 10; ++d) {
+    std::vector<WeightedTerm> terms{{1, 0.5f}};
+    if (d < 2) terms.push_back({2, 0.8f});
+    ASSERT_TRUE(
+        index.Insert(Doc(d, d * 9.0, d * 9.0, std::move(terms))).ok());
+  }
+  EXPECT_EQ(index.TreeFileCount(), 1u);
+
+  Query q;
+  q.location = {0, 0};
+  q.terms = {1, 2};
+  q.k = 5;
+  q.semantics = Semantics::kAnd;
+  auto res = index.Search(q, 0.5);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.ValueOrDie().size(), 2u);  // only docs 0 and 1 have both
+
+  q.semantics = Semantics::kOr;
+  res = index.Search(q, 0.5);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.ValueOrDie().size(), 5u);
+}
+
+TEST(S2ITest, DeleteErrors) {
+  S2IIndex index(SmallOptions());
+  auto d = Doc(1, 10, 10, {{1, 0.5f}});
+  EXPECT_TRUE(index.Delete(d).IsNotFound());
+  ASSERT_TRUE(index.Insert(d).ok());
+  ASSERT_TRUE(index.Delete(d).ok());
+  EXPECT_EQ(index.KeywordCount(), 0u);
+}
+
+TEST(S2ITest, SizeInfoHasTreeAndFlatComponents) {
+  S2IIndex index(SmallOptions(/*threshold=*/3));
+  for (DocId d = 0; d < 10; ++d) {
+    ASSERT_TRUE(index
+                    .Insert(Doc(d, d * 9.0, 5,
+                                {{1, 0.5f}, {static_cast<TermId>(100 + d),
+                                             0.5f}}))
+                    .ok());
+  }
+  const auto info = index.SizeInfo();
+  ASSERT_EQ(info.components.size(), 2u);
+  EXPECT_GT(info.components[0].second, 0u);  // aR-tree files
+  EXPECT_GT(info.components[1].second, 0u);  // flat file
+}
+
+struct StrategyCase {
+  S2IStrategy strategy;
+  Semantics semantics;
+};
+
+class S2IStrategyTest : public ::testing::TestWithParam<StrategyCase> {};
+
+TEST_P(S2IStrategyTest, MatchesBruteForce) {
+  const auto p = GetParam();
+  CorpusOptions copt;
+  copt.num_docs = 600;
+  copt.vocab_size = 30;
+  S2IOptions opt = SmallOptions(/*threshold=*/16);
+  opt.strategy = p.strategy;
+  S2IIndex index(opt);
+  BruteForceIndex oracle(opt.space);
+  for (const auto& d : MakeCorpus(copt, 8)) {
+    ASSERT_TRUE(index.Insert(d).ok());
+    ASSERT_TRUE(oracle.Insert(d).ok());
+  }
+  for (double alpha : {0.1, 0.5, 0.9}) {
+    for (const Query& q :
+         MakeQueries(copt, 15, 3, 10, p.semantics, 77)) {
+      auto got = index.Search(q, alpha);
+      auto want = oracle.Search(q, alpha);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_TRUE(want.ok());
+      EXPECT_TRUE(SameScores(got.ValueOrDie(), want.ValueOrDie()))
+          << "alpha=" << alpha;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, S2IStrategyTest,
+    ::testing::Values(
+        StrategyCase{S2IStrategy::kTaRandomAccess, Semantics::kAnd},
+        StrategyCase{S2IStrategy::kTaRandomAccess, Semantics::kOr},
+        StrategyCase{S2IStrategy::kNra, Semantics::kAnd},
+        StrategyCase{S2IStrategy::kNra, Semantics::kOr}));
+
+TEST(S2ITest, NraUsesFewerIosThanTa) {
+  CorpusOptions copt;
+  copt.num_docs = 2000;
+  copt.vocab_size = 15;  // very frequent keywords
+  S2IOptions ta_opt = SmallOptions(/*threshold=*/16);
+  ta_opt.strategy = S2IStrategy::kTaRandomAccess;
+  S2IOptions nra_opt = ta_opt;
+  nra_opt.strategy = S2IStrategy::kNra;
+  S2IIndex ta(ta_opt), nra(nra_opt);
+  for (const auto& d : MakeCorpus(copt, 12)) {
+    ASSERT_TRUE(ta.Insert(d).ok());
+    ASSERT_TRUE(nra.Insert(d).ok());
+  }
+  uint64_t ta_io = 0, nra_io = 0;
+  for (const Query& q : MakeQueries(copt, 10, 3, 10, Semantics::kOr, 4)) {
+    ta.ResetIoStats();
+    nra.ResetIoStats();
+    ASSERT_TRUE(ta.Search(q, 0.5).ok());
+    ASSERT_TRUE(nra.Search(q, 0.5).ok());
+    ta_io += ta.io_stats().TotalReads();
+    nra_io += nra.io_stats().TotalReads();
+  }
+  EXPECT_LT(nra_io, ta_io);
+}
+
+}  // namespace
+}  // namespace i3

@@ -1,0 +1,199 @@
+// Unit tests of the storage substrate: page files (both backends), the
+// free-space map, I/O accounting, and the LRU buffer pool.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/io_stats.h"
+#include "storage/page_file.h"
+
+namespace i3 {
+namespace {
+
+TEST(IoStatsTest, CountsByCategory) {
+  IoStats stats;
+  stats.RecordRead(IoCategory::kI3HeadFile);
+  stats.RecordRead(IoCategory::kI3DataFile, 3);
+  stats.RecordWrite(IoCategory::kI3DataFile);
+  EXPECT_EQ(stats.reads(IoCategory::kI3HeadFile), 1u);
+  EXPECT_EQ(stats.reads(IoCategory::kI3DataFile), 3u);
+  EXPECT_EQ(stats.writes(IoCategory::kI3DataFile), 1u);
+  EXPECT_EQ(stats.TotalReads(), 4u);
+  EXPECT_EQ(stats.Total(), 5u);
+}
+
+TEST(IoStatsTest, SinceComputesDelta) {
+  IoStats a;
+  a.RecordRead(IoCategory::kRTreeNode, 5);
+  IoStats b = a;
+  b.RecordRead(IoCategory::kRTreeNode, 2);
+  b.RecordWrite(IoCategory::kFlatFile);
+  const IoStats d = b.Since(a);
+  EXPECT_EQ(d.reads(IoCategory::kRTreeNode), 2u);
+  EXPECT_EQ(d.writes(IoCategory::kFlatFile), 1u);
+}
+
+TEST(IoStatsTest, MergeFromAccumulates) {
+  IoStats a, b;
+  a.RecordRead(IoCategory::kI3HeadFile);
+  b.RecordRead(IoCategory::kI3HeadFile, 2);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.reads(IoCategory::kI3HeadFile), 3u);
+}
+
+template <typename FileMaker>
+void RoundTripTest(FileMaker make) {
+  auto file = make();
+  auto p0 = file->AllocatePage();
+  ASSERT_TRUE(p0.ok());
+  auto p1 = file->AllocatePage();
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(p0.ValueOrDie(), 0u);
+  EXPECT_EQ(p1.ValueOrDie(), 1u);
+  EXPECT_EQ(file->PageCount(), 2u);
+
+  std::vector<uint8_t> buf(file->page_size(), 0xAB);
+  ASSERT_TRUE(file->WritePage(1, buf.data(), IoCategory::kOther).ok());
+
+  std::vector<uint8_t> out(file->page_size(), 0);
+  ASSERT_TRUE(file->ReadPage(1, out.data(), IoCategory::kOther).ok());
+  EXPECT_EQ(std::memcmp(buf.data(), out.data(), buf.size()), 0);
+
+  // Fresh pages read back zeroed.
+  ASSERT_TRUE(file->ReadPage(0, out.data(), IoCategory::kOther).ok());
+  for (uint8_t b : out) EXPECT_EQ(b, 0);
+
+  // Out-of-range access fails.
+  EXPECT_TRUE(
+      file->ReadPage(7, out.data(), IoCategory::kOther).IsOutOfRange());
+  EXPECT_TRUE(
+      file->WritePage(7, buf.data(), IoCategory::kOther).IsOutOfRange());
+
+  EXPECT_EQ(file->io_stats().reads(IoCategory::kOther), 2u);
+  EXPECT_EQ(file->io_stats().writes(IoCategory::kOther), 1u);
+  EXPECT_EQ(file->SizeBytes(), 2 * file->page_size());
+}
+
+TEST(PageFileTest, InMemoryRoundTrip) {
+  RoundTripTest([] { return std::make_unique<InMemoryPageFile>(512); });
+}
+
+TEST(PageFileTest, OnDiskRoundTrip) {
+  RoundTripTest([] {
+    auto res = OnDiskPageFile::Create("/tmp/i3_pagefile_test.bin", 512);
+    EXPECT_TRUE(res.ok());
+    return res.MoveValue();
+  });
+}
+
+TEST(FreeSpaceMapTest, TracksFreeSlots) {
+  FreeSpaceMap fsm(4);
+  fsm.AddPage(0);
+  fsm.AddPage(1);
+  EXPECT_EQ(fsm.FreeSlots(0), 4u);
+  fsm.Consume(0, 3);
+  EXPECT_EQ(fsm.FreeSlots(0), 1u);
+  // Want 2: only page 1 qualifies.
+  EXPECT_EQ(fsm.FindPageWithFreeSlots(2), 1u);
+  // Want 1: prefers the fullest page that fits (page 0 with 1 free).
+  EXPECT_EQ(fsm.FindPageWithFreeSlots(1), 0u);
+  fsm.Consume(0, 1);
+  EXPECT_EQ(fsm.FreeSlots(0), 0u);
+  fsm.Consume(1, 4);
+  EXPECT_EQ(fsm.FindPageWithFreeSlots(1), kInvalidPageId);
+  // Releasing slots re-registers the page.
+  fsm.Consume(1, -2);
+  EXPECT_EQ(fsm.FindPageWithFreeSlots(2), 1u);
+}
+
+TEST(FreeSpaceMapTest, ManyPagesBucketedCorrectly) {
+  FreeSpaceMap fsm(8);
+  for (PageId p = 0; p < 100; ++p) {
+    fsm.AddPage(p);
+    fsm.Consume(p, static_cast<int>(p % 9));
+  }
+  for (uint32_t want = 1; want <= 8; ++want) {
+    const PageId p = fsm.FindPageWithFreeSlots(want);
+    ASSERT_NE(p, kInvalidPageId);
+    EXPECT_GE(fsm.FreeSlots(p), want);
+  }
+}
+
+TEST(BufferPoolTest, CachesReads) {
+  InMemoryPageFile file(256);
+  BufferPool pool(&file, {.capacity_pages = 2});
+  auto p0 = pool.AllocatePage();
+  ASSERT_TRUE(p0.ok());
+  std::vector<uint8_t> buf(256, 7);
+  ASSERT_TRUE(pool.WritePage(0, buf.data(), IoCategory::kOther).ok());
+
+  std::vector<uint8_t> out(256);
+  ASSERT_TRUE(pool.ReadPage(0, out.data(), IoCategory::kOther).ok());
+  ASSERT_TRUE(pool.ReadPage(0, out.data(), IoCategory::kOther).ok());
+  EXPECT_EQ(out[0], 7);
+  EXPECT_EQ(pool.hits(), 2u);  // both reads served from the cache
+  EXPECT_EQ(file.io_stats().reads(IoCategory::kOther), 0u);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  InMemoryPageFile file(256);
+  BufferPool pool(&file, {.capacity_pages = 2});
+  std::vector<uint8_t> buf(256, 1);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(pool.AllocatePage().ok());
+    ASSERT_TRUE(pool.WritePage(i, buf.data(), IoCategory::kOther).ok());
+  }
+  // Pages 1 and 2 are cached; page 0 was evicted.
+  std::vector<uint8_t> out(256);
+  ASSERT_TRUE(pool.ReadPage(0, out.data(), IoCategory::kOther).ok());
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(file.io_stats().reads(IoCategory::kOther), 1u);
+}
+
+TEST(BufferPoolTest, ZeroCapacityDisablesCaching) {
+  InMemoryPageFile file(256);
+  BufferPool pool(&file, {.capacity_pages = 0});
+  ASSERT_TRUE(pool.AllocatePage().ok());
+  std::vector<uint8_t> buf(256, 9);
+  ASSERT_TRUE(pool.WritePage(0, buf.data(), IoCategory::kOther).ok());
+  std::vector<uint8_t> out(256);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(pool.ReadPage(0, out.data(), IoCategory::kOther).ok());
+  }
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(file.io_stats().reads(IoCategory::kOther), 5u);
+}
+
+TEST(BufferPoolTest, ClearResetsToColdCache) {
+  InMemoryPageFile file(256);
+  BufferPool pool(&file, {.capacity_pages = 4});
+  ASSERT_TRUE(pool.AllocatePage().ok());
+  std::vector<uint8_t> buf(256, 3);
+  ASSERT_TRUE(pool.WritePage(0, buf.data(), IoCategory::kOther).ok());
+  std::vector<uint8_t> out(256);
+  ASSERT_TRUE(pool.ReadPage(0, out.data(), IoCategory::kOther).ok());
+  EXPECT_EQ(pool.hits(), 1u);
+  pool.Clear();
+  ASSERT_TRUE(pool.ReadPage(0, out.data(), IoCategory::kOther).ok());
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST(SimulatedLatencyTest, ScopedGuardRestores) {
+  EXPECT_EQ(GetSimulatedIoLatencyUs(), 0u);
+  {
+    ScopedIoLatency guard(5);
+    EXPECT_EQ(GetSimulatedIoLatencyUs(), 5u);
+    {
+      ScopedIoLatency inner(9);
+      EXPECT_EQ(GetSimulatedIoLatencyUs(), 9u);
+    }
+    EXPECT_EQ(GetSimulatedIoLatencyUs(), 5u);
+  }
+  EXPECT_EQ(GetSimulatedIoLatencyUs(), 0u);
+}
+
+}  // namespace
+}  // namespace i3

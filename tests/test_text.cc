@@ -1,0 +1,144 @@
+// Unit tests of the text substrate: tokenizer, vocabulary, tf-idf.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace i3 {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlnumAndLowercases) {
+  Tokenizer tok;
+  auto t = tok.Tokenize("Spicy CHINESE-restaurant, 5pm!");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0], "spicy");
+  EXPECT_EQ(t[1], "chinese");
+  EXPECT_EQ(t[2], "restaurant");
+  EXPECT_EQ(t[3], "5pm");
+}
+
+TEST(TokenizerTest, RemovesStopwordsAndShortTokens) {
+  Tokenizer tok;
+  auto t = tok.Tokenize("the best restaurant in a city");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "best");
+  EXPECT_EQ(t[1], "restaurant");
+  EXPECT_EQ(t[2], "city");
+}
+
+TEST(TokenizerTest, OptionsDisableFiltering) {
+  TokenizerOptions opt;
+  opt.lowercase = false;
+  opt.remove_stopwords = false;
+  opt.min_token_length = 1;
+  Tokenizer tok(opt);
+  auto t = tok.Tokenize("The Cat");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], "The");
+  EXPECT_EQ(t[1], "Cat");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("!!! ... ???").empty());
+}
+
+TEST(VocabularyTest, InternsAndLooksUp) {
+  Vocabulary vocab;
+  const TermId a = vocab.GetOrAdd("pizza");
+  const TermId b = vocab.GetOrAdd("sushi");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vocab.GetOrAdd("pizza"), a);
+  EXPECT_EQ(vocab.Lookup("pizza"), a);
+  EXPECT_EQ(vocab.Lookup("absent"), kInvalidTermId);
+  EXPECT_EQ(vocab.TermString(b), "sushi");
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(VocabularyTest, DocumentFrequency) {
+  Vocabulary vocab;
+  const TermId a = vocab.GetOrAdd("common");
+  const TermId b = vocab.GetOrAdd("rare");
+  for (int i = 0; i < 10; ++i) vocab.AddDocumentOccurrence(a);
+  vocab.AddDocumentOccurrence(b);
+  EXPECT_EQ(vocab.DocumentFrequency(a), 10u);
+  EXPECT_EQ(vocab.DocumentFrequency(b), 1u);
+  EXPECT_EQ(vocab.DocumentFrequency(999), 0u);
+}
+
+TEST(TfIdfTest, WeightsAreNormalizedAndSorted) {
+  Vocabulary vocab;
+  const TermId common = vocab.GetOrAdd("common");
+  const TermId rare = vocab.GetOrAdd("rare");
+  for (int i = 0; i < 90; ++i) vocab.AddDocumentOccurrence(common);
+  vocab.AddDocumentOccurrence(rare);
+
+  TfIdfWeighter weighter(&vocab, /*total_documents=*/100);
+  auto weights = weighter.Weigh({rare, common, common});
+  ASSERT_EQ(weights.size(), 2u);
+  // Sorted by term id.
+  EXPECT_LT(weights[0].term, weights[1].term);
+  // Every weight in (0, 1], max is exactly 1.
+  float max_w = 0;
+  for (const auto& wt : weights) {
+    EXPECT_GT(wt.weight, 0.0f);
+    EXPECT_LE(wt.weight, 1.0f);
+    max_w = std::max(max_w, wt.weight);
+  }
+  EXPECT_FLOAT_EQ(max_w, 1.0f);
+  // The rare term outweighs the common one despite lower tf... idf wins.
+  const float w_rare =
+      weights[0].term == rare ? weights[0].weight : weights[1].weight;
+  const float w_common =
+      weights[0].term == common ? weights[0].weight : weights[1].weight;
+  EXPECT_GT(w_rare, w_common);
+}
+
+TEST(TfIdfTest, TermFrequencyRaisesWeight) {
+  Vocabulary vocab;
+  const TermId a = vocab.GetOrAdd("alpha");
+  const TermId b = vocab.GetOrAdd("beta");
+  vocab.AddDocumentOccurrence(a);
+  vocab.AddDocumentOccurrence(b);
+  TfIdfWeighter weighter(&vocab, 10);
+  // Same df; term a appears 4 times, term b once.
+  auto weights = weighter.Weigh({a, a, a, a, b});
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_GT(weights[0].weight, weights[1].weight);  // a sorts first (id 0)
+}
+
+TEST(TfIdfTest, EndToEndPipeline) {
+  // Tokenize two documents, build df, weigh -- the ingestion path the
+  // examples use.
+  Tokenizer tok;
+  Vocabulary vocab;
+  const std::string d1 = "spicy chinese restaurant downtown";
+  const std::string d2 = "quiet chinese teahouse";
+  for (const std::string& text : {d1, d2}) {
+    std::unordered_set<TermId> seen;
+    for (const auto& s : tok.Tokenize(text)) {
+      seen.insert(vocab.GetOrAdd(s));
+    }
+    for (TermId t : seen) vocab.AddDocumentOccurrence(t);
+  }
+  TfIdfWeighter weighter(&vocab, 2);
+  std::vector<TermId> tokens;
+  for (const auto& s : tok.Tokenize(d1)) tokens.push_back(vocab.Lookup(s));
+  auto weights = weighter.Weigh(tokens);
+  EXPECT_EQ(weights.size(), 4u);
+  // "chinese" (df 2) must weigh less than "spicy" (df 1).
+  float w_chinese = 0, w_spicy = 0;
+  for (const auto& wt : weights) {
+    if (wt.term == vocab.Lookup("chinese")) w_chinese = wt.weight;
+    if (wt.term == vocab.Lookup("spicy")) w_spicy = wt.weight;
+  }
+  EXPECT_GT(w_spicy, w_chinese);
+}
+
+}  // namespace
+}  // namespace i3

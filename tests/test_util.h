@@ -1,0 +1,119 @@
+// Shared helpers for the test suite: deterministic random corpora and
+// queries, and result-equivalence checks between index implementations.
+
+#ifndef I3_TESTS_TEST_UTIL_H_
+#define I3_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/geo.h"
+#include "common/rng.h"
+#include "model/document.h"
+#include "model/query.h"
+
+namespace i3 {
+namespace testutil {
+
+struct CorpusOptions {
+  uint32_t num_docs = 500;
+  uint32_t vocab_size = 50;
+  uint32_t min_terms = 1;
+  uint32_t max_terms = 5;
+  double zipf_theta = 0.8;
+  Rect space{0.0, 0.0, 100.0, 100.0};
+  /// Fraction of documents drawn from a few Gaussian clusters (the rest are
+  /// uniform); exercises dense-cell splits.
+  double clustered_fraction = 0.5;
+  DocId first_id = 0;
+};
+
+/// Deterministic synthetic corpus.
+inline std::vector<SpatialDocument> MakeCorpus(const CorpusOptions& opt,
+                                               uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler zipf(opt.vocab_size, opt.zipf_theta);
+  const int kClusters = 4;
+  std::vector<Point> centers;
+  for (int c = 0; c < kClusters; ++c) {
+    centers.push_back({rng.UniformDouble(opt.space.min_x, opt.space.max_x),
+                       rng.UniformDouble(opt.space.min_y, opt.space.max_y)});
+  }
+  const double sigma = opt.space.Width() / 40.0;
+
+  std::vector<SpatialDocument> docs;
+  docs.reserve(opt.num_docs);
+  for (uint32_t i = 0; i < opt.num_docs; ++i) {
+    SpatialDocument d;
+    d.id = opt.first_id + i;
+    if (rng.Chance(opt.clustered_fraction)) {
+      const Point& c = centers[rng.UniformInt(0, kClusters - 1)];
+      d.location.x = std::clamp(c.x + rng.Gaussian(0, sigma), opt.space.min_x,
+                                opt.space.max_x);
+      d.location.y = std::clamp(c.y + rng.Gaussian(0, sigma), opt.space.min_y,
+                                opt.space.max_y);
+    } else {
+      d.location.x = rng.UniformDouble(opt.space.min_x, opt.space.max_x);
+      d.location.y = rng.UniformDouble(opt.space.min_y, opt.space.max_y);
+    }
+    const uint32_t n_terms = static_cast<uint32_t>(
+        rng.UniformInt(opt.min_terms, opt.max_terms));
+    std::vector<TermId> terms;
+    while (terms.size() < n_terms) {
+      const TermId t = static_cast<TermId>(zipf.Sample(&rng));
+      if (std::find(terms.begin(), terms.end(), t) == terms.end()) {
+        terms.push_back(t);
+      }
+    }
+    std::sort(terms.begin(), terms.end());
+    for (TermId t : terms) {
+      d.terms.push_back(
+          {t, static_cast<float>(rng.UniformDouble(0.05, 1.0))});
+    }
+    docs.push_back(std::move(d));
+  }
+  return docs;
+}
+
+/// Deterministic query workload over the same vocabulary/space.
+inline std::vector<Query> MakeQueries(const CorpusOptions& opt,
+                                      uint32_t num_queries, uint32_t qn,
+                                      uint32_t k, Semantics semantics,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler zipf(opt.vocab_size, opt.zipf_theta);
+  std::vector<Query> queries;
+  for (uint32_t i = 0; i < num_queries; ++i) {
+    Query q;
+    q.location = {rng.UniformDouble(opt.space.min_x, opt.space.max_x),
+                  rng.UniformDouble(opt.space.min_y, opt.space.max_y)};
+    while (q.terms.size() < qn) {
+      const TermId t = static_cast<TermId>(zipf.Sample(&rng));
+      if (std::find(q.terms.begin(), q.terms.end(), t) == q.terms.end()) {
+        q.terms.push_back(t);
+      }
+    }
+    q.k = k;
+    q.semantics = semantics;
+    q.Normalize();
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+/// True if two top-k result lists agree as ranked score sequences (doc ids
+/// may differ on exact ties).
+inline bool SameScores(const std::vector<ScoredDoc>& a,
+                       const std::vector<ScoredDoc>& b, double eps = 1e-9) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i].score - b[i].score) > eps) return false;
+  }
+  return true;
+}
+
+}  // namespace testutil
+}  // namespace i3
+
+#endif  // I3_TESTS_TEST_UTIL_H_
