@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dirtree.dir/bench_ablation_dirtree.cc.o"
+  "CMakeFiles/bench_ablation_dirtree.dir/bench_ablation_dirtree.cc.o.d"
+  "bench_ablation_dirtree"
+  "bench_ablation_dirtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dirtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

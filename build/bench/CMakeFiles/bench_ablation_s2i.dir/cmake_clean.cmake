@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_s2i.dir/bench_ablation_s2i.cc.o"
+  "CMakeFiles/bench_ablation_s2i.dir/bench_ablation_s2i.cc.o.d"
+  "bench_ablation_s2i"
+  "bench_ablation_s2i.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_s2i.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_eta.dir/bench_fig5_eta.cc.o"
+  "CMakeFiles/bench_fig5_eta.dir/bench_fig5_eta.cc.o.d"
+  "bench_fig5_eta"
+  "bench_fig5_eta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_eta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_qn.dir/bench_fig7_qn.cc.o"
+  "CMakeFiles/bench_fig7_qn.dir/bench_fig7_qn.cc.o.d"
+  "bench_fig7_qn"
+  "bench_fig7_qn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_qn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

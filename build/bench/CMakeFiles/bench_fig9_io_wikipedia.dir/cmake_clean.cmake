@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_io_wikipedia.dir/bench_fig9_io_wikipedia.cc.o"
+  "CMakeFiles/bench_fig9_io_wikipedia.dir/bench_fig9_io_wikipedia.cc.o.d"
+  "bench_fig9_io_wikipedia"
+  "bench_fig9_io_wikipedia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_io_wikipedia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/i3_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/i3_bench_common.dir/bench_common.cc.o.d"
+  "libi3_bench_common.a"
+  "libi3_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/i3_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

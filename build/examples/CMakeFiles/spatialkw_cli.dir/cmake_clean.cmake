@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatialkw_cli.dir/spatialkw_cli.cpp.o"
+  "CMakeFiles/spatialkw_cli.dir/spatialkw_cli.cpp.o.d"
+  "spatialkw_cli"
+  "spatialkw_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatialkw_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tweet_stream.dir/tweet_stream.cpp.o"
+  "CMakeFiles/tweet_stream.dir/tweet_stream.cpp.o.d"
+  "tweet_stream"
+  "tweet_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tweet_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("storage")
+subdirs("quadtree")
+subdirs("text")
+subdirs("model")
+subdirs("i3")
+subdirs("rtree")
+subdirs("irtree")
+subdirs("s2i")
+subdirs("collective")
+subdirs("datagen")

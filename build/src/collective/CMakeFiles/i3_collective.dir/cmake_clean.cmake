@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/i3_collective.dir/collective.cc.o"
+  "CMakeFiles/i3_collective.dir/collective.cc.o.d"
+  "libi3_collective.a"
+  "libi3_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/i3_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/i3_common.dir/geo.cc.o"
+  "CMakeFiles/i3_common.dir/geo.cc.o.d"
+  "CMakeFiles/i3_common.dir/rng.cc.o"
+  "CMakeFiles/i3_common.dir/rng.cc.o.d"
+  "CMakeFiles/i3_common.dir/status.cc.o"
+  "CMakeFiles/i3_common.dir/status.cc.o.d"
+  "libi3_common.a"
+  "libi3_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/i3_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

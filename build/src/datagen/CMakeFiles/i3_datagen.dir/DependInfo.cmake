@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/dataset.cc" "src/datagen/CMakeFiles/i3_datagen.dir/dataset.cc.o" "gcc" "src/datagen/CMakeFiles/i3_datagen.dir/dataset.cc.o.d"
+  "/root/repo/src/datagen/query_gen.cc" "src/datagen/CMakeFiles/i3_datagen.dir/query_gen.cc.o" "gcc" "src/datagen/CMakeFiles/i3_datagen.dir/query_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/i3_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/i3_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/i3_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/i3_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

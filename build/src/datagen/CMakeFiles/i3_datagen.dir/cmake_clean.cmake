@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/i3_datagen.dir/dataset.cc.o"
+  "CMakeFiles/i3_datagen.dir/dataset.cc.o.d"
+  "CMakeFiles/i3_datagen.dir/query_gen.cc.o"
+  "CMakeFiles/i3_datagen.dir/query_gen.cc.o.d"
+  "libi3_datagen.a"
+  "libi3_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/i3_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

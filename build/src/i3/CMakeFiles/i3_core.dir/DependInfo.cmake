@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/i3/data_file.cc" "src/i3/CMakeFiles/i3_core.dir/data_file.cc.o" "gcc" "src/i3/CMakeFiles/i3_core.dir/data_file.cc.o.d"
+  "/root/repo/src/i3/head_file.cc" "src/i3/CMakeFiles/i3_core.dir/head_file.cc.o" "gcc" "src/i3/CMakeFiles/i3_core.dir/head_file.cc.o.d"
+  "/root/repo/src/i3/i3_index.cc" "src/i3/CMakeFiles/i3_core.dir/i3_index.cc.o" "gcc" "src/i3/CMakeFiles/i3_core.dir/i3_index.cc.o.d"
+  "/root/repo/src/i3/i3_persist.cc" "src/i3/CMakeFiles/i3_core.dir/i3_persist.cc.o" "gcc" "src/i3/CMakeFiles/i3_core.dir/i3_persist.cc.o.d"
+  "/root/repo/src/i3/i3_search.cc" "src/i3/CMakeFiles/i3_core.dir/i3_search.cc.o" "gcc" "src/i3/CMakeFiles/i3_core.dir/i3_search.cc.o.d"
+  "/root/repo/src/i3/signature.cc" "src/i3/CMakeFiles/i3_core.dir/signature.cc.o" "gcc" "src/i3/CMakeFiles/i3_core.dir/signature.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/i3_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/i3_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/quadtree/CMakeFiles/i3_quadtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/i3_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/i3_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/i3_core.dir/data_file.cc.o"
+  "CMakeFiles/i3_core.dir/data_file.cc.o.d"
+  "CMakeFiles/i3_core.dir/head_file.cc.o"
+  "CMakeFiles/i3_core.dir/head_file.cc.o.d"
+  "CMakeFiles/i3_core.dir/i3_index.cc.o"
+  "CMakeFiles/i3_core.dir/i3_index.cc.o.d"
+  "CMakeFiles/i3_core.dir/i3_persist.cc.o"
+  "CMakeFiles/i3_core.dir/i3_persist.cc.o.d"
+  "CMakeFiles/i3_core.dir/i3_search.cc.o"
+  "CMakeFiles/i3_core.dir/i3_search.cc.o.d"
+  "CMakeFiles/i3_core.dir/signature.cc.o"
+  "CMakeFiles/i3_core.dir/signature.cc.o.d"
+  "libi3_core.a"
+  "libi3_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/i3_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

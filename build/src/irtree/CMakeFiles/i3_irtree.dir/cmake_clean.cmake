@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/i3_irtree.dir/irtree_index.cc.o"
+  "CMakeFiles/i3_irtree.dir/irtree_index.cc.o.d"
+  "libi3_irtree.a"
+  "libi3_irtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/i3_irtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

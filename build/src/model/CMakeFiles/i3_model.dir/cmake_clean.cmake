@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/i3_model.dir/brute_force.cc.o"
+  "CMakeFiles/i3_model.dir/brute_force.cc.o.d"
+  "CMakeFiles/i3_model.dir/document.cc.o"
+  "CMakeFiles/i3_model.dir/document.cc.o.d"
+  "CMakeFiles/i3_model.dir/index.cc.o"
+  "CMakeFiles/i3_model.dir/index.cc.o.d"
+  "libi3_model.a"
+  "libi3_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/i3_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libi3_model.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/i3_quadtree.dir/cell.cc.o"
+  "CMakeFiles/i3_quadtree.dir/cell.cc.o.d"
+  "libi3_quadtree.a"
+  "libi3_quadtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/i3_quadtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

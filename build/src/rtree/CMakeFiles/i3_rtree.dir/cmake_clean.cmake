@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/i3_rtree.dir/artree.cc.o"
+  "CMakeFiles/i3_rtree.dir/artree.cc.o.d"
+  "CMakeFiles/i3_rtree.dir/split.cc.o"
+  "CMakeFiles/i3_rtree.dir/split.cc.o.d"
+  "libi3_rtree.a"
+  "libi3_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/i3_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

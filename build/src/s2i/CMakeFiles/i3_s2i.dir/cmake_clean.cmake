@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/i3_s2i.dir/s2i_index.cc.o"
+  "CMakeFiles/i3_s2i.dir/s2i_index.cc.o.d"
+  "libi3_s2i.a"
+  "libi3_s2i.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/i3_s2i.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

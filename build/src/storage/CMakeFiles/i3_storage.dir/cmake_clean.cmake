@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/i3_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/i3_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/i3_storage.dir/io_stats.cc.o"
+  "CMakeFiles/i3_storage.dir/io_stats.cc.o.d"
+  "CMakeFiles/i3_storage.dir/page_file.cc.o"
+  "CMakeFiles/i3_storage.dir/page_file.cc.o.d"
+  "libi3_storage.a"
+  "libi3_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/i3_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

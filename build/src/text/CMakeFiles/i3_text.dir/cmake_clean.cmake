@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/i3_text.dir/tfidf.cc.o"
+  "CMakeFiles/i3_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/i3_text.dir/tokenizer.cc.o"
+  "CMakeFiles/i3_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/i3_text.dir/vocabulary.cc.o"
+  "CMakeFiles/i3_text.dir/vocabulary.cc.o.d"
+  "libi3_text.a"
+  "libi3_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/i3_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_artree.dir/test_artree.cc.o"
+  "CMakeFiles/test_artree.dir/test_artree.cc.o.d"
+  "test_artree"
+  "test_artree.pdb"
+  "test_artree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_artree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

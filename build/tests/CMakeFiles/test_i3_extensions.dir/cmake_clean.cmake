@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_i3_extensions.dir/test_i3_extensions.cc.o"
+  "CMakeFiles/test_i3_extensions.dir/test_i3_extensions.cc.o.d"
+  "test_i3_extensions"
+  "test_i3_extensions.pdb"
+  "test_i3_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_i3_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_i3_index.dir/test_i3_index.cc.o"
+  "CMakeFiles/test_i3_index.dir/test_i3_index.cc.o.d"
+  "test_i3_index"
+  "test_i3_index.pdb"
+  "test_i3_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_i3_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

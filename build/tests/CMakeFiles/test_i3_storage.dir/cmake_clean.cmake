@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_i3_storage.dir/test_i3_storage.cc.o"
+  "CMakeFiles/test_i3_storage.dir/test_i3_storage.cc.o.d"
+  "test_i3_storage"
+  "test_i3_storage.pdb"
+  "test_i3_storage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_i3_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_irtree.dir/test_irtree.cc.o"
+  "CMakeFiles/test_irtree.dir/test_irtree.cc.o.d"
+  "test_irtree"
+  "test_irtree.pdb"
+  "test_irtree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_irtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

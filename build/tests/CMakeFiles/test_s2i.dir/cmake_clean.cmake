@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_s2i.dir/test_s2i.cc.o"
+  "CMakeFiles/test_s2i.dir/test_s2i.cc.o.d"
+  "test_s2i"
+  "test_s2i.pdb"
+  "test_s2i[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_s2i.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
