@@ -242,6 +242,7 @@ bench/CMakeFiles/bench_ablation_i3.dir/bench_ablation_i3.cc.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/datagen/query_gen.h \
  /root/repo/src/model/query.h /root/repo/src/i3/i3_index.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/i3/data_file.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /root/repo/src/common/status.h /usr/include/c++/12/cassert \

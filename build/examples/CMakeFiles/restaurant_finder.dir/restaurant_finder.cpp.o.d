@@ -231,8 +231,10 @@ examples/CMakeFiles/restaurant_finder.dir/restaurant_finder.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/i3/data_file.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
@@ -240,9 +242,9 @@ examples/CMakeFiles/restaurant_finder.dir/restaurant_finder.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h /root/repo/src/common/status.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/model/document.h /root/repo/src/common/geo.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/variant /root/repo/src/model/document.h \
+ /root/repo/src/common/geo.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/text/tfidf.h /root/repo/src/text/vocabulary.h \

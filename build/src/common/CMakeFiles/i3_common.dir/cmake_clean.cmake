@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/i3_common.dir/rng.cc.o.d"
   "CMakeFiles/i3_common.dir/status.cc.o"
   "CMakeFiles/i3_common.dir/status.cc.o.d"
+  "CMakeFiles/i3_common.dir/thread_pool.cc.o"
+  "CMakeFiles/i3_common.dir/thread_pool.cc.o.d"
   "libi3_common.a"
   "libi3_common.pdb"
 )

@@ -241,7 +241,10 @@ src/i3/CMakeFiles/i3_core.dir/head_file.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/text/tfidf.h \
  /root/repo/src/text/vocabulary.h /root/repo/src/storage/buffer_pool.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/storage/page_file.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/storage/page_file.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/storage/io_stats.h /usr/include/c++/12/atomic \
  /root/repo/src/i3/signature.h /root/repo/src/quadtree/cell.h

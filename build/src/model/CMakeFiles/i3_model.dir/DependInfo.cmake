@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/model/brute_force.cc" "src/model/CMakeFiles/i3_model.dir/brute_force.cc.o" "gcc" "src/model/CMakeFiles/i3_model.dir/brute_force.cc.o.d"
   "/root/repo/src/model/document.cc" "src/model/CMakeFiles/i3_model.dir/document.cc.o" "gcc" "src/model/CMakeFiles/i3_model.dir/document.cc.o.d"
   "/root/repo/src/model/index.cc" "src/model/CMakeFiles/i3_model.dir/index.cc.o" "gcc" "src/model/CMakeFiles/i3_model.dir/index.cc.o.d"
+  "/root/repo/src/model/sharded_index.cc" "src/model/CMakeFiles/i3_model.dir/sharded_index.cc.o" "gcc" "src/model/CMakeFiles/i3_model.dir/sharded_index.cc.o.d"
   )
 
 # Targets to which this target links.

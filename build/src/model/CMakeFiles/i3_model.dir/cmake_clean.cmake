@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/i3_model.dir/document.cc.o.d"
   "CMakeFiles/i3_model.dir/index.cc.o"
   "CMakeFiles/i3_model.dir/index.cc.o.d"
+  "CMakeFiles/i3_model.dir/sharded_index.cc.o"
+  "CMakeFiles/i3_model.dir/sharded_index.cc.o.d"
   "libi3_model.a"
   "libi3_model.pdb"
 )

@@ -322,6 +322,8 @@ tests/CMakeFiles/test_collective.dir/test_collective.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/text/tfidf.h \
  /root/repo/src/text/vocabulary.h /root/repo/src/model/query.h \
  /root/repo/src/storage/io_stats.h /root/repo/src/i3/i3_index.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/i3/data_file.h /root/repo/src/storage/buffer_pool.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/storage/page_file.h \

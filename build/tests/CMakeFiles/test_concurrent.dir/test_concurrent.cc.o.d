@@ -301,7 +301,8 @@ tests/CMakeFiles/test_concurrent.dir/test_concurrent.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/i3/i3_index.h /root/repo/src/i3/data_file.h \
+ /root/repo/src/i3/i3_index.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/i3/data_file.h \
  /root/repo/src/common/status.h /root/repo/src/model/document.h \
  /root/repo/src/common/geo.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
@@ -335,9 +336,16 @@ tests/CMakeFiles/test_concurrent.dir/test_concurrent.cc.o: \
  /root/repo/src/i3/head_file.h /root/repo/src/i3/signature.h \
  /root/repo/src/quadtree/cell.h /root/repo/src/i3/options.h \
  /root/repo/src/model/index.h /root/repo/src/model/query.h \
- /root/repo/src/model/scorer.h /root/repo/src/model/concurrent_index.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/shared_mutex /root/repo/tests/test_util.h \
+ /root/repo/src/model/scorer.h /root/repo/src/irtree/irtree_index.h \
+ /root/repo/src/model/brute_force.h /root/repo/src/model/topk.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/model/concurrent_index.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/model/sharded_index.h /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h /root/repo/tests/test_util.h \
  /root/repo/src/common/rng.h /usr/include/c++/12/random \
  /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \

@@ -293,7 +293,9 @@ tests/CMakeFiles/test_invariance.dir/test_invariance.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/i3/i3_index.h /root/repo/src/i3/data_file.h \
+ /root/repo/src/i3/i3_index.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/i3/data_file.h \
  /root/repo/src/common/status.h /root/repo/src/model/document.h \
  /root/repo/src/common/geo.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sharded.cc" "tests/CMakeFiles/test_sharded.dir/test_sharded.cc.o" "gcc" "tests/CMakeFiles/test_sharded.dir/test_sharded.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/i3/CMakeFiles/i3_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/i3_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/i3_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/irtree/CMakeFiles/i3_irtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/s2i/CMakeFiles/i3_s2i.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/i3_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/i3_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/quadtree/CMakeFiles/i3_quadtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/i3_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/i3_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/i3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

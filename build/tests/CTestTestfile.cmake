@@ -16,6 +16,7 @@ include("/root/repo/build/tests/test_fault_injection[1]_include.cmake")
 include("/root/repo/build/tests/test_invariance[1]_include.cmake")
 include("/root/repo/build/tests/test_collective[1]_include.cmake")
 include("/root/repo/build/tests/test_concurrent[1]_include.cmake")
+include("/root/repo/build/tests/test_sharded[1]_include.cmake")
 include("/root/repo/build/tests/test_s2i[1]_include.cmake")
 include("/root/repo/build/tests/test_irtree[1]_include.cmake")
 include("/root/repo/build/tests/test_datagen[1]_include.cmake")

@@ -1,0 +1,63 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace i3 {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Work-sharing loop: workers and the caller pull the next index from a
+  // shared counter, so an uneven per-index cost (one hot shard) cannot
+  // leave threads idle behind a static partition.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  const std::function<void(size_t)>* fn_ptr = &fn;  // outlives the waits below
+  auto run = [next, n, fn_ptr] {
+    for (size_t i = next->fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next->fetch_add(1, std::memory_order_relaxed)) {
+      (*fn_ptr)(i);
+    }
+  };
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (size_t t = 0; t < helpers; ++t) futures.push_back(Submit(run));
+  run();  // the caller participates instead of idling
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace i3

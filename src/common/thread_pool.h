@@ -1,0 +1,78 @@
+// A small fixed-size thread pool.
+//
+// Built for the query fan-out in model/sharded_index.h but generic: tasks
+// are arbitrary callables, Submit returns a std::future for the result, and
+// ParallelFor runs an index range across the workers with the caller
+// participating (so a pool of size 1 still gets two-way parallelism and a
+// ParallelFor over an empty pool degrades to a plain loop).
+//
+// Tasks must not block on other tasks of the same pool (no nested
+// Submit-and-wait from a worker thread): the pool has a fixed worker count
+// and no work stealing, so such cycles can deadlock. ShardedIndex obeys
+// this by fanning out only from caller threads.
+
+#ifndef I3_COMMON_THREAD_POOL_H_
+#define I3_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace i3 {
+
+/// \brief Fixed set of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is allowed: Submit still works, but
+  /// nothing drains the queue until ParallelFor's caller participation or
+  /// destruction -- pass 0 only to code that uses ParallelFor).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Joins the workers after draining the queue.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// \brief Enqueues `fn` and returns a future for its result.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<decltype(fn())> {
+    using R = decltype(fn());
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// \brief Runs fn(0) .. fn(n-1) across the workers and the calling
+  /// thread; returns when all n calls have finished. `fn` must tolerate
+  /// concurrent invocation with distinct indices.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace i3
+
+#endif  // I3_COMMON_THREAD_POOL_H_

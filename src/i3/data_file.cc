@@ -86,12 +86,15 @@ Result<PageId> DataFile::AllocatePage() {
 }
 
 Result<TuplePage> DataFile::Read(PageId id) {
-  I3_RETURN_NOT_OK(pool_.ReadPage(id, scratch_.data(),
-                                  IoCategory::kI3DataFile));
+  // Decodes through a local buffer, not the shared scratch_: Read runs
+  // concurrently from multiple searcher threads (scratch_ stays reserved
+  // for the write path, which is externally writer-exclusive).
+  std::vector<uint8_t> buf(file_->page_size());
+  I3_RETURN_NOT_OK(pool_.ReadPage(id, buf.data(), IoCategory::kI3DataFile));
   TuplePage page;
   page.slots.reserve(capacity_);
   for (uint32_t s = 0; s < capacity_; ++s) {
-    StoredTuple st = DecodeSlot(scratch_.data() + s * kTupleBytes);
+    StoredTuple st = DecodeSlot(buf.data() + s * kTupleBytes);
     if (st.source != kFreeSlot) page.slots.push_back(st);
   }
   return page;

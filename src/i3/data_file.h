@@ -121,7 +121,9 @@ class DataFile {
   BufferPool pool_;
   FreeSpaceMap fsm_;
   uint32_t capacity_;
-  std::vector<uint8_t> scratch_;  // page-size encode/decode buffer
+  std::vector<uint8_t> scratch_;  // page-size encode buffer (write path only;
+                                  // Read uses a local buffer so concurrent
+                                  // readers do not share state)
 };
 
 }  // namespace i3

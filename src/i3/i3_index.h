@@ -17,6 +17,7 @@
 #define I3_I3_I3_INDEX_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,6 +59,12 @@ class I3Index final : public SpatialKeywordIndex {
   Result<std::vector<ScoredDoc>> Search(const Query& q,
                                         double alpha) override;
 
+  /// The query path keeps all per-query state on the stack (SearchContext)
+  /// and charges I/O to internally synchronized counters, so concurrent
+  /// readers are safe as long as no writer runs (the concurrency wrappers
+  /// provide that exclusion).
+  bool SupportsConcurrentSearch() const override { return true; }
+
   /// \brief Range-constrained keyword search (the "query region" variant
   /// of spatial keyword search surveyed in the paper's Section 2): returns
   /// the documents located inside `range` that satisfy `semantics` over
@@ -84,8 +91,10 @@ class I3Index final : public SpatialKeywordIndex {
   void ResetIoStats() override;
   void ClearCache() override { data_->ClearCache(); }
 
-  /// Statistics of the most recent Search call.
-  const I3SearchStats& last_search_stats() const {
+  /// Statistics of the most recent completed Search call (snapshot; under
+  /// concurrent readers "most recent" is whichever search published last).
+  I3SearchStats last_search_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
     return last_search_stats_;
   }
 
@@ -144,6 +153,11 @@ class I3Index final : public SpatialKeywordIndex {
   struct Candidate;
   class SearchContext;
 
+  /// Search body; accumulates per-query statistics into `stats` (stack
+  /// storage of the caller, so concurrent searches never share scratch).
+  Result<std::vector<ScoredDoc>> SearchImpl(const Query& q, double alpha,
+                                            I3SearchStats* stats);
+
   /// Reads all tuples of the keyword cell referenced by (page, overflow,
   /// source), charging data-file I/O.
   Result<std::vector<SpatialTuple>> ReadCellTuples(
@@ -156,6 +170,10 @@ class I3Index final : public SpatialKeywordIndex {
   HeadFile head_;
   SourceId next_source_ = 1;
   uint64_t doc_count_ = 0;
+  // Guards last_search_stats_ and merged_stats_ (both are snapshot scratch
+  // published by/for accessors; the index structures themselves rely on the
+  // caller's reader/writer exclusion instead).
+  mutable std::mutex stats_mutex_;
   I3SearchStats last_search_stats_;
   mutable IoStats merged_stats_;  // scratch for io_stats()
 };

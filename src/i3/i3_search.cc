@@ -59,12 +59,13 @@ struct I3Index::Candidate {
 /// Per-query state and the pruning/upper-bound routines.
 class I3Index::SearchContext {
  public:
-  SearchContext(I3Index* index, const Query& q, double alpha)
+  SearchContext(I3Index* index, const Query& q, double alpha,
+                I3SearchStats* stats)
       : index_(index),
         query_(q),
         scorer_(index->options_.space, alpha),
         heap_(q.k),
-        stats_(&index->last_search_stats_) {
+        stats_(stats) {
     for (size_t i = 0; i < q.terms.size(); ++i) {
       full_mask_ |= (1u << i);
     }
@@ -236,9 +237,18 @@ class I3Index::SearchContext {
 
 Result<std::vector<ScoredDoc>> I3Index::Search(const Query& q_in,
                                                double alpha) {
+  I3SearchStats stats;
+  auto result = SearchImpl(q_in, alpha, &stats);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  last_search_stats_ = stats;
+  return result;
+}
+
+Result<std::vector<ScoredDoc>> I3Index::SearchImpl(const Query& q_in,
+                                                   double alpha,
+                                                   I3SearchStats* stats) {
   Query q = q_in;
   q.Normalize();
-  last_search_stats_ = I3SearchStats{};
   if (q.terms.empty()) {
     return Status::InvalidArgument("query has no keywords");
   }
@@ -249,7 +259,7 @@ Result<std::vector<ScoredDoc>> I3Index::Search(const Query& q_in,
     return Status::InvalidArgument("alpha must be in [0, 1]");
   }
 
-  SearchContext ctx(this, q, alpha);
+  SearchContext ctx(this, q, alpha, stats);
 
   // Build the root candidate (Algorithm 4, line 1).
   auto root = std::make_unique<Candidate>();

@@ -1,18 +1,25 @@
 // A thread-safety decorator for SpatialKeywordIndex.
 //
-// The index implementations are single-threaded by design (the paper's
-// setting). ConcurrentIndex makes any of them safe to share: writers
-// (Insert/Delete/Update) take an exclusive lock, readers (Search and the
-// stats accessors) a shared lock. Search is declared non-const on the
-// interface because implementations touch caches and I/O counters, so
-// readers serialize those side effects behind the same shared lock plus a
-// small internal mutex where needed; the coarse-grained design favours
-// obviousness over scalability, which is appropriate for an index whose
-// queries are millisecond-scale.
+// ConcurrentIndex makes any index safe to share: writers (Insert/Delete/
+// Update) take an exclusive lock, readers (Search and the stats accessors)
+// a shared lock. Whether readers also serialize against each other depends
+// on the wrapped index: implementations whose query path is reader-safe
+// (SupportsConcurrentSearch() == true, e.g. I3 and BruteForce, whose
+// per-query state lives on the stack and whose I/O counters are atomic)
+// run Search fully in parallel; the rest (IR-tree, S2I, whose query paths
+// still write per-index scratch) fall back to a query mutex so correctness
+// never depends on the caller knowing the implementation.
 //
-// Caveat: std::shared_mutex on glibc is reader-preferring. A reader pool
-// that re-acquires the shared lock in a tight loop can starve writers;
-// pace readers (or bound their work) in write-heavy deployments.
+// Fairness caveats:
+//  - std::shared_mutex on glibc is reader-preferring. A reader pool that
+//    re-acquires the shared lock in a tight loop can starve writers; pace
+//    readers (or bound their work) in write-heavy deployments.
+//  - The serialized fallback (and ConcurrentIndexOptions::
+//    force_serialized_queries) hands the query mutex to readers in an
+//    unspecified order; under heavy contention individual queries can see
+//    unbounded latency even though throughput is fair on average. For
+//    scalable read throughput over a reader-safe index, prefer
+//    ShardedIndex, which also spreads the work.
 
 #ifndef I3_MODEL_CONCURRENT_INDEX_H_
 #define I3_MODEL_CONCURRENT_INDEX_H_
@@ -27,14 +34,26 @@
 
 namespace i3 {
 
+/// \brief Options for ConcurrentIndex.
+struct ConcurrentIndexOptions {
+  /// Serialize Search calls even when the wrapped index is reader-safe.
+  /// This reproduces the wrapper's historical coarse-grained behaviour and
+  /// serves as the baseline in bench_concurrency.
+  bool force_serialized_queries = false;
+};
+
 /// \brief Wraps an index with reader-writer locking.
 class ConcurrentIndex final : public SpatialKeywordIndex {
  public:
-  explicit ConcurrentIndex(std::unique_ptr<SpatialKeywordIndex> base)
-      : base_(std::move(base)) {}
+  explicit ConcurrentIndex(std::unique_ptr<SpatialKeywordIndex> base,
+                           ConcurrentIndexOptions options = {})
+      : base_(std::move(base)),
+        options_(options),
+        serialize_queries_(options_.force_serialized_queries ||
+                           !base_->SupportsConcurrentSearch()) {}
 
   std::string Name() const override {
-    return base_->Name() + " (concurrent)";
+    return ComposeIndexName(base_->Name(), "concurrent");
   }
 
   Status Insert(const SpatialDocument& doc) override {
@@ -58,13 +77,21 @@ class ConcurrentIndex final : public SpatialKeywordIndex {
 
   Result<std::vector<ScoredDoc>> Search(const Query& q,
                                         double alpha) override {
-    // Queries mutate per-query statistics and cache state inside the
-    // implementations, so they serialize against each other with a second
-    // mutex while still excluding writers via the shared lock.
     std::shared_lock lock(mutex_);
-    std::lock_guard<std::mutex> query_lock(query_mutex_);
+    if (serialize_queries_) {
+      // The wrapped implementation mutates per-index scratch during a
+      // query (or the caller asked for the serialized baseline), so
+      // readers exclude each other while still excluding writers via the
+      // shared lock.
+      std::lock_guard<std::mutex> query_lock(query_mutex_);
+      return base_->Search(q, alpha);
+    }
     return base_->Search(q, alpha);
   }
+
+  /// Search is always safe to call concurrently on this wrapper (it
+  /// serializes internally when the base requires it).
+  bool SupportsConcurrentSearch() const override { return true; }
 
   uint64_t DocumentCount() const override {
     std::shared_lock lock(mutex_);
@@ -91,12 +118,18 @@ class ConcurrentIndex final : public SpatialKeywordIndex {
     base_->ClearCache();
   }
 
+  /// True if Search calls serialize against each other (wrapped index not
+  /// reader-safe, or forced by options).
+  bool serializes_queries() const { return serialize_queries_; }
+
   /// The wrapped index; synchronization is the caller's problem once this
   /// escapes.
   SpatialKeywordIndex* base() { return base_.get(); }
 
  private:
   std::unique_ptr<SpatialKeywordIndex> base_;
+  const ConcurrentIndexOptions options_;
+  const bool serialize_queries_;
   mutable std::shared_mutex mutex_;
   mutable std::mutex query_mutex_;
 };

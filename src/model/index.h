@@ -31,8 +31,18 @@ struct IndexSizeInfo {
     return t;
   }
 
+  /// \brief Sums `other` into this breakdown, matching components by name
+  /// (used by ShardedIndex so "head file" stays one row across shards;
+  /// components unique to `other` are appended).
+  void MergeFrom(const IndexSizeInfo& other);
+
   std::string ToString() const;
 };
+
+/// \brief Composes a decorator tag into an index name so stacked wrappers
+/// stay readable: ("I3", "sharded x8") -> "I3 (sharded x8)", but
+/// ("I3 (concurrent)", "sharded x8") -> "I3 (concurrent, sharded x8)".
+std::string ComposeIndexName(const std::string& base, const std::string& tag);
 
 /// \brief Abstract top-k spatial keyword index.
 ///
@@ -67,6 +77,15 @@ class SpatialKeywordIndex {
   /// at most q.k entries (fewer when fewer documents match).
   virtual Result<std::vector<ScoredDoc>> Search(const Query& q,
                                                 double alpha) = 0;
+
+  /// \brief True if Search may be called from multiple threads at once (in
+  /// the absence of concurrent writers). Implementations whose query path
+  /// only touches per-query state and internally synchronized counters
+  /// (I3, BruteForce) return true; those with unsynchronized per-index
+  /// query scratch (IR-tree, S2I last_search_stats_) keep the default.
+  /// The concurrency wrappers consult this to decide whether readers must
+  /// be serialized.
+  virtual bool SupportsConcurrentSearch() const { return false; }
 
   /// \brief Number of indexed documents.
   virtual uint64_t DocumentCount() const = 0;

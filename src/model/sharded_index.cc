@@ -1,0 +1,232 @@
+#include "model/sharded_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "model/topk.h"
+
+namespace i3 {
+
+namespace {
+
+/// SplitMix64-style mixer: DocIds are often sequential, so shard assignment
+/// must not be `id % N` (that would put every N-th insert on the same shard
+/// under strided writers and skew range-correlated workloads).
+inline uint64_t MixDocId(DocId doc) {
+  uint64_t z = static_cast<uint64_t>(doc) + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedIndex>> ShardedIndex::Create(
+    const ShardFactory& factory, ShardedIndexOptions options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  std::vector<std::unique_ptr<SpatialKeywordIndex>> shards;
+  shards.reserve(options.num_shards);
+  for (uint32_t i = 0; i < options.num_shards; ++i) {
+    auto shard = factory(i);
+    if (shard == nullptr) {
+      return Status::InvalidArgument("shard factory returned null for shard " +
+                                     std::to_string(i));
+    }
+    shards.push_back(std::move(shard));
+  }
+  return std::make_unique<ShardedIndex>(std::move(shards), options);
+}
+
+ShardedIndex::ShardedIndex(
+    std::vector<std::unique_ptr<SpatialKeywordIndex>> shards,
+    ShardedIndexOptions options)
+    : options_(options) {
+  shards_.reserve(shards.size());
+  for (auto& index : shards) {
+    auto s = std::make_unique<Shard>();
+    s->serialize_queries = !index->SupportsConcurrentSearch();
+    s->index = std::move(index);
+    shards_.push_back(std::move(s));
+  }
+  if (options_.search_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.search_threads);
+  }
+}
+
+std::string ShardedIndex::Name() const {
+  return ComposeIndexName(shards_[0]->index->Name(),
+                          "sharded x" + std::to_string(shards_.size()));
+}
+
+uint32_t ShardedIndex::ShardOf(DocId doc) const {
+  return static_cast<uint32_t>(MixDocId(doc) % shards_.size());
+}
+
+Status ShardedIndex::Insert(const SpatialDocument& doc) {
+  Shard& s = *shards_[ShardOf(doc.id)];
+  std::unique_lock lock(s.mutex);
+  return s.index->Insert(doc);
+}
+
+Status ShardedIndex::Delete(const SpatialDocument& doc) {
+  Shard& s = *shards_[ShardOf(doc.id)];
+  std::unique_lock lock(s.mutex);
+  return s.index->Delete(doc);
+}
+
+Status ShardedIndex::Update(const SpatialDocument& old_doc,
+                            const SpatialDocument& new_doc) {
+  const uint32_t from = ShardOf(old_doc.id);
+  const uint32_t to = ShardOf(new_doc.id);
+  if (from == to) {
+    Shard& s = *shards_[from];
+    std::unique_lock lock(s.mutex);
+    I3_RETURN_NOT_OK(s.index->Delete(old_doc));
+    return s.index->Insert(new_doc);
+  }
+  // Cross-shard id change: lock both shards in index order so concurrent
+  // updates crossing the opposite way cannot deadlock. Readers of *other*
+  // shards proceed; a reader fanning across both shards between the two
+  // lock acquisitions could observe neither version -- the same
+  // delete-then-insert window the single-index Update closes. Callers that
+  // need cross-shard update atomicity must quiesce searches.
+  Shard& first = *shards_[std::min(from, to)];
+  Shard& second = *shards_[std::max(from, to)];
+  std::unique_lock lock_first(first.mutex);
+  std::unique_lock lock_second(second.mutex);
+  I3_RETURN_NOT_OK(shards_[from]->index->Delete(old_doc));
+  return shards_[to]->index->Insert(new_doc);
+}
+
+Result<std::vector<ScoredDoc>> ShardedIndex::SearchShard(const Shard& s,
+                                                         const Query& q,
+                                                         double alpha) const {
+  std::shared_lock lock(s.mutex);
+  if (s.serialize_queries) {
+    std::lock_guard<std::mutex> query_lock(s.query_mutex);
+    return s.index->Search(q, alpha);
+  }
+  return s.index->Search(q, alpha);
+}
+
+std::vector<ScoredDoc> ShardedIndex::MergeTopK(
+    const std::vector<std::vector<ScoredDoc>>& per_shard, uint32_t k) {
+  // Each document lives in exactly one shard, so offering every local
+  // result reproduces the single-index total order (score desc, DocId asc)
+  // regardless of shard visit order.
+  TopKHeap heap(k);
+  for (const auto& results : per_shard) {
+    for (const ScoredDoc& r : results) heap.Offer(r.doc, r.score, r.location);
+  }
+  return heap.Take();
+}
+
+Result<std::vector<ScoredDoc>> ShardedIndex::SearchSequential(
+    const Query& q, double alpha) const {
+  std::vector<std::vector<ScoredDoc>> per_shard(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    auto res = SearchShard(*shards_[i], q, alpha);
+    if (!res.ok()) return res.status();
+    per_shard[i] = res.MoveValue();
+  }
+  return MergeTopK(per_shard, q.k);
+}
+
+Result<std::vector<ScoredDoc>> ShardedIndex::Search(const Query& q,
+                                                    double alpha) {
+  if (pool_ == nullptr || shards_.size() == 1) {
+    return SearchSequential(q, alpha);
+  }
+  std::vector<Result<std::vector<ScoredDoc>>> results(
+      shards_.size(), Result<std::vector<ScoredDoc>>(std::vector<ScoredDoc>{}));
+  pool_->ParallelFor(shards_.size(), [&](size_t i) {
+    results[i] = SearchShard(*shards_[i], q, alpha);
+  });
+  std::vector<std::vector<ScoredDoc>> per_shard(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    // First failing shard (by shard order, deterministically) wins, so the
+    // error surfaced matches the sequential path.
+    if (!results[i].ok()) return results[i].status();
+    per_shard[i] = results[i].MoveValue();
+  }
+  return MergeTopK(per_shard, q.k);
+}
+
+Result<std::vector<std::vector<ScoredDoc>>> ShardedIndex::SearchMany(
+    const std::vector<Query>& queries, double alpha) {
+  std::vector<std::vector<ScoredDoc>> out(queries.size());
+  if (pool_ == nullptr || queries.size() <= 1) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto res = SearchSequential(queries[i], alpha);
+      if (!res.ok()) return res.status();
+      out[i] = res.MoveValue();
+    }
+    return out;
+  }
+  std::mutex error_mutex;
+  Status first_error = Status::OK();
+  size_t first_error_index = queries.size();
+  pool_->ParallelFor(queries.size(), [&](size_t i) {
+    auto res = SearchSequential(queries[i], alpha);
+    if (res.ok()) {
+      out[i] = res.MoveValue();
+    } else {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (i < first_error_index) {
+        first_error_index = i;
+        first_error = res.status();
+      }
+    }
+  });
+  if (!first_error.ok()) return first_error;
+  return out;
+}
+
+uint64_t ShardedIndex::DocumentCount() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::shared_lock lock(s->mutex);
+    total += s->index->DocumentCount();
+  }
+  return total;
+}
+
+IndexSizeInfo ShardedIndex::SizeInfo() const {
+  IndexSizeInfo info;
+  for (const auto& s : shards_) {
+    std::shared_lock lock(s->mutex);
+    info.MergeFrom(s->index->SizeInfo());
+  }
+  return info;
+}
+
+const IoStats& ShardedIndex::io_stats() const {
+  // Merged-on-read aggregate (see the header's IoStats aggregation rule).
+  // The lock serializes concurrent accessors; the reference is stable only
+  // until the next io_stats() call -- copy it for a durable snapshot.
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  merged_stats_.Reset();
+  for (const auto& s : shards_) {
+    std::shared_lock lock(s->mutex);
+    merged_stats_.MergeFrom(s->index->io_stats());
+  }
+  return merged_stats_;
+}
+
+void ShardedIndex::ResetIoStats() {
+  for (auto& s : shards_) {
+    std::unique_lock lock(s->mutex);
+    s->index->ResetIoStats();
+  }
+}
+
+void ShardedIndex::ClearCache() {
+  for (auto& s : shards_) {
+    std::unique_lock lock(s->mutex);
+    s->index->ClearCache();
+  }
+}
+
+}  // namespace i3

@@ -1,0 +1,147 @@
+// Sharded parallel execution over N inner indexes.
+//
+// The paper partitions by keyword so per-query work is bounded; this layer
+// extends the decomposition across threads: documents are hash-partitioned
+// by DocId over N shards (each a full SpatialKeywordIndex covering the whole
+// data space), writers lock only the target shard, and a top-k query fans
+// out to every shard's local top-k and merges.
+//
+// Merge contract: because every document lives in exactly one shard and its
+// score depends only on the document and the query (Section 3's ranking
+// function has no cross-document terms), the global top-k is a subset of
+// the union of the shards' local top-k lists. Merging through TopKHeap
+// reproduces the single-index ordering exactly -- decreasing score, ties by
+// increasing DocId -- so a ShardedIndex over I3 returns byte-identical
+// results to an unsharded I3Index on the same corpus (asserted by
+// tests/test_sharded.cc).
+//
+// Locking: one shared_mutex per shard (writers exclusive, searches shared).
+// Shards whose implementation is not reader-safe
+// (!SupportsConcurrentSearch()) additionally serialize their searches
+// behind a per-shard query mutex -- cross-shard parallelism then still
+// applies. IoStats aggregation rule: every shard keeps its own (atomic)
+// counters; io_stats() merges them on read, so concurrent shard searches
+// never contend on a shared counter cache line and the aggregate is a
+// per-counter snapshot, not a cross-shard atomic cut.
+
+#ifndef I3_MODEL_SHARDED_INDEX_H_
+#define I3_MODEL_SHARDED_INDEX_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "model/index.h"
+
+namespace i3 {
+
+/// \brief Options for ShardedIndex.
+struct ShardedIndexOptions {
+  /// Number of shards created by Create().
+  uint32_t num_shards = 8;
+
+  /// Worker threads for the per-query shard fan-out. 0 visits the shards
+  /// sequentially on the caller's thread -- the right choice for
+  /// query-throughput workloads where many caller threads (or SearchMany)
+  /// already saturate the cores; a nonzero pool parallelizes a *single*
+  /// query's latency instead.
+  uint32_t search_threads = 0;
+};
+
+/// \brief Hash-partitions documents across N inner indexes and fans
+/// searches out to all of them.
+class ShardedIndex final : public SpatialKeywordIndex {
+ public:
+  /// Builds shard `i` (0-based). All shards must be configured identically
+  /// (same space, page size, eta, ...) or results will diverge from an
+  /// unsharded index.
+  using ShardFactory =
+      std::function<std::unique_ptr<SpatialKeywordIndex>(uint32_t shard)>;
+
+  /// \brief Creates options.num_shards shards via `factory`.
+  static Result<std::unique_ptr<ShardedIndex>> Create(
+      const ShardFactory& factory, ShardedIndexOptions options = {});
+
+  /// \brief Takes ownership of pre-built shards (deserialization path and
+  /// tests). `shards` must be non-empty.
+  explicit ShardedIndex(
+      std::vector<std::unique_ptr<SpatialKeywordIndex>> shards,
+      ShardedIndexOptions options = {});
+
+  std::string Name() const override;
+
+  Status Insert(const SpatialDocument& doc) override;
+  Status Delete(const SpatialDocument& doc) override;
+  /// Routes by id: same shard updates under one exclusive section; an id
+  /// change locks both shards in index order (no deadlock with concurrent
+  /// updates crossing the other way).
+  Status Update(const SpatialDocument& old_doc,
+                const SpatialDocument& new_doc) override;
+
+  Result<std::vector<ScoredDoc>> Search(const Query& q,
+                                        double alpha) override;
+
+  /// \brief Batched search for query-throughput workloads: answers
+  /// `queries` (all under the same alpha) using the internal pool, each
+  /// worker running whole queries with a sequential shard sweep -- queries
+  /// are the unit of parallelism, so throughput scales without oversplitting
+  /// individual queries. Returns one result vector per query, in order.
+  /// Requires search_threads > 0 for actual parallelism (otherwise runs
+  /// sequentially, same results).
+  Result<std::vector<std::vector<ScoredDoc>>> SearchMany(
+      const std::vector<Query>& queries, double alpha);
+
+  bool SupportsConcurrentSearch() const override { return true; }
+
+  uint64_t DocumentCount() const override;
+  IndexSizeInfo SizeInfo() const override;
+
+  const IoStats& io_stats() const override;
+  void ResetIoStats() override;
+  void ClearCache() override;
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+
+  /// Which shard holds `doc`.
+  uint32_t ShardOf(DocId doc) const;
+
+  /// Direct shard access (tests/diagnostics); synchronization is the
+  /// caller's problem for anything but stats reads.
+  SpatialKeywordIndex* shard(uint32_t i) { return shards_[i]->index.get(); }
+
+ private:
+  struct Shard {
+    std::unique_ptr<SpatialKeywordIndex> index;
+    /// Writers exclusive, searches/stats shared.
+    mutable std::shared_mutex mutex;
+    /// Search serialization for non-reader-safe implementations.
+    mutable std::mutex query_mutex;
+    bool serialize_queries = false;
+  };
+
+  /// One shard's local top-k under the shard's shared lock.
+  Result<std::vector<ScoredDoc>> SearchShard(const Shard& s, const Query& q,
+                                             double alpha) const;
+  /// Sequential fan-out + merge on the calling thread.
+  Result<std::vector<ScoredDoc>> SearchSequential(const Query& q,
+                                                  double alpha) const;
+  /// Merges per-shard local top-k lists under the single-index contract.
+  static std::vector<ScoredDoc> MergeTopK(
+      const std::vector<std::vector<ScoredDoc>>& per_shard, uint32_t k);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ShardedIndexOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // present iff search_threads > 0
+  mutable std::mutex stats_mutex_;
+  mutable IoStats merged_stats_;  // scratch for io_stats()
+};
+
+}  // namespace i3
+
+#endif  // I3_MODEL_SHARDED_INDEX_H_

@@ -10,6 +10,7 @@ BufferPool::BufferPool(PageFile* file, BufferPoolOptions options)
 
 Status BufferPool::ReadPage(PageId id, void* buf, IoCategory category) {
   if (options_.capacity_pages > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = map_.find(id);
     if (it != map_.end()) {
       std::memcpy(buf, it->second->data.data(), page_size());
@@ -18,10 +19,16 @@ Status BufferPool::ReadPage(PageId id, void* buf, IoCategory category) {
       return Status::OK();
     }
   }
+  // Miss path runs unlocked: PageFile reads are stateless (pread / const
+  // memory copy) and the simulated device latency must overlap across
+  // threads, not serialize behind the cache lock.
   I3_RETURN_NOT_OK(file_->ReadPage(id, buf, category));
-  ++misses_;
   SimulateMiss();
-  if (options_.capacity_pages > 0) InsertFrame(id, buf);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    if (options_.capacity_pages > 0) InsertFrame(id, buf);
+  }
   return Status::OK();
 }
 
@@ -29,6 +36,7 @@ Status BufferPool::WritePage(PageId id, const void* buf,
                              IoCategory category) {
   I3_RETURN_NOT_OK(file_->WritePage(id, buf, category));
   if (options_.capacity_pages > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = map_.find(id);
     if (it != map_.end()) {
       std::memcpy(it->second->data.data(), buf, page_size());
@@ -41,6 +49,7 @@ Status BufferPool::WritePage(PageId id, const void* buf,
 }
 
 void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   map_.clear();
 }
@@ -50,6 +59,15 @@ void BufferPool::Touch(std::list<Frame>::iterator it) {
 }
 
 void BufferPool::InsertFrame(PageId id, const void* buf) {
+  // Two readers can miss on the same page back to back (the miss path runs
+  // unlocked); the second insert must refresh the existing frame, not grow
+  // a duplicate whose eviction would orphan the live map entry.
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    std::memcpy(it->second->data.data(), buf, page_size());
+    Touch(it->second);
+    return;
+  }
   if (lru_.size() >= options_.capacity_pages) {
     map_.erase(lru_.back().id);
     lru_.pop_back();

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +32,13 @@ struct BufferPoolOptions {
 };
 
 /// \brief Write-through LRU cache of pages, layered on a PageFile.
+///
+/// Page accesses are internally synchronized so that concurrent readers
+/// (model/concurrent_index.h, model/sharded_index.h) can share the cache;
+/// the critical section covers only the LRU bookkeeping plus the underlying
+/// page copy. Writers still require external exclusion against readers:
+/// the pool orders accesses to itself, not to the index structures that
+/// decide which pages to touch.
 class BufferPool {
  public:
   BufferPool(PageFile* file, BufferPoolOptions options);
@@ -47,8 +55,14 @@ class BufferPool {
   /// \brief Drops every cached page (cold-cache reset between query sets).
   void Clear();
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
 
   PageFile* file() { return file_; }
   size_t page_size() const { return file_->page_size(); }
@@ -65,7 +79,8 @@ class BufferPool {
 
   PageFile* file_;
   const BufferPoolOptions options_;
-  std::list<Frame> lru_;  // front = most recent
+  mutable std::mutex mutex_;  // guards lru_, map_, hits_, misses_
+  std::list<Frame> lru_;      // front = most recent
   std::unordered_map<PageId, std::list<Frame>::iterator> map_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

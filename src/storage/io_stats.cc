@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <sstream>
+#include <thread>
 
 namespace i3 {
 
@@ -11,8 +12,18 @@ std::atomic<uint32_t> g_sim_io_latency_us{0};
 void SpinForSimulatedIo(uint64_t pages) {
   const uint32_t us = g_sim_io_latency_us.load(std::memory_order_relaxed);
   if (us == 0) return;
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::microseconds(us * pages);
+  const auto wait = std::chrono::microseconds(us * pages);
+  // A real device read blocks the issuing thread, letting other threads run
+  // meanwhile -- that overlap is the whole point of concurrent query
+  // execution (bench_concurrency), so waits long enough for the scheduler to
+  // honor accurately are slept, not spun. Short waits (the figure harnesses'
+  // few-microsecond calibration) keep busy-waiting: sleep granularity on
+  // Linux is unreliable below ~50us and would distort those measurements.
+  if (wait >= std::chrono::microseconds(50)) {
+    std::this_thread::sleep_for(wait);
+    return;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + wait;
   while (std::chrono::steady_clock::now() < deadline) {
     // Busy-wait: microsecond sleep granularity is unreliable on Linux.
   }
@@ -46,10 +57,13 @@ const char* IoCategoryName(IoCategory c) {
 }
 
 IoStats IoStats::Since(const IoStats& earlier) const {
-  IoStats out = *this;
+  IoStats out;
   for (int i = 0; i < kNumIoCategories; ++i) {
-    out.reads_[i] -= earlier.reads_[i];
-    out.writes_[i] -= earlier.writes_[i];
+    const auto c = static_cast<IoCategory>(i);
+    out.reads_[i].store(reads(c) - earlier.reads(c),
+                        std::memory_order_relaxed);
+    out.writes_[i].store(writes(c) - earlier.writes(c),
+                         std::memory_order_relaxed);
   }
   return out;
 }
@@ -59,11 +73,11 @@ std::string IoStats::ToString() const {
   os << "IoStats{";
   bool first = true;
   for (int i = 0; i < kNumIoCategories; ++i) {
-    if (reads_[i] == 0 && writes_[i] == 0) continue;
+    const auto c = static_cast<IoCategory>(i);
+    if (reads(c) == 0 && writes(c) == 0) continue;
     if (!first) os << ", ";
     first = false;
-    os << IoCategoryName(static_cast<IoCategory>(i)) << ": r=" << reads_[i]
-       << " w=" << writes_[i];
+    os << IoCategoryName(c) << ": r=" << reads(c) << " w=" << writes(c);
   }
   os << "}";
   return os.str();

@@ -65,42 +65,57 @@ const char* IoCategoryName(IoCategory c);
 
 /// \brief Mutable counters of page reads and writes, by category.
 ///
-/// Instances are owned by an index and surfaced through its public stats
-/// accessor; they are not thread-safe (each index is single-threaded, as in
-/// the paper's experiments).
+/// Counters are relaxed atomics so that concurrent shard searches (see
+/// model/sharded_index.h) can charge I/O to a shared instance without
+/// racing. Relaxed ordering is sufficient: the counters are independent
+/// tallies, and every reader that needs a consistent cross-counter view
+/// (benchmarks, stats accessors) reads them from a single thread or behind
+/// the owning index's synchronization. Copying takes a per-counter
+/// snapshot, not an atomic snapshot of the whole set.
 class IoStats {
  public:
+  IoStats() = default;
+  IoStats(const IoStats& other) { CopyFrom(other); }
+  IoStats& operator=(const IoStats& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
   void RecordRead(IoCategory c, uint64_t pages = 1) {
-    reads_[static_cast<int>(c)] += pages;
+    reads_[static_cast<int>(c)].fetch_add(pages, std::memory_order_relaxed);
     if (internal::g_sim_io_latency_us.load(std::memory_order_relaxed) != 0) {
       internal::SpinForSimulatedIo(pages);
     }
   }
   void RecordWrite(IoCategory c, uint64_t pages = 1) {
-    writes_[static_cast<int>(c)] += pages;
+    writes_[static_cast<int>(c)].fetch_add(pages, std::memory_order_relaxed);
     if (internal::g_sim_io_latency_us.load(std::memory_order_relaxed) != 0) {
       internal::SpinForSimulatedIo(pages);
     }
   }
 
-  uint64_t reads(IoCategory c) const { return reads_[static_cast<int>(c)]; }
-  uint64_t writes(IoCategory c) const { return writes_[static_cast<int>(c)]; }
+  uint64_t reads(IoCategory c) const {
+    return reads_[static_cast<int>(c)].load(std::memory_order_relaxed);
+  }
+  uint64_t writes(IoCategory c) const {
+    return writes_[static_cast<int>(c)].load(std::memory_order_relaxed);
+  }
 
   uint64_t TotalReads() const {
     uint64_t t = 0;
-    for (auto v : reads_) t += v;
+    for (const auto& v : reads_) t += v.load(std::memory_order_relaxed);
     return t;
   }
   uint64_t TotalWrites() const {
     uint64_t t = 0;
-    for (auto v : writes_) t += v;
+    for (const auto& v : writes_) t += v.load(std::memory_order_relaxed);
     return t;
   }
   uint64_t Total() const { return TotalReads() + TotalWrites(); }
 
   void Reset() {
-    reads_.fill(0);
-    writes_.fill(0);
+    for (auto& v : reads_) v.store(0, std::memory_order_relaxed);
+    for (auto& v : writes_) v.store(0, std::memory_order_relaxed);
   }
 
   /// Per-category diff helper: `*this - other`, element-wise (for measuring
@@ -110,16 +125,27 @@ class IoStats {
   /// Element-wise accumulation (for merging per-file counters).
   void MergeFrom(const IoStats& other) {
     for (int i = 0; i < kNumIoCategories; ++i) {
-      reads_[i] += other.reads_[i];
-      writes_[i] += other.writes_[i];
+      reads_[i].fetch_add(other.reads_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+      writes_[i].fetch_add(other.writes_[i].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
     }
   }
 
   std::string ToString() const;
 
  private:
-  std::array<uint64_t, kNumIoCategories> reads_{};
-  std::array<uint64_t, kNumIoCategories> writes_{};
+  void CopyFrom(const IoStats& other) {
+    for (int i = 0; i < kNumIoCategories; ++i) {
+      reads_[i].store(other.reads_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      writes_[i].store(other.writes_[i].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    }
+  }
+
+  std::array<std::atomic<uint64_t>, kNumIoCategories> reads_{};
+  std::array<std::atomic<uint64_t>, kNumIoCategories> writes_{};
 };
 
 }  // namespace i3

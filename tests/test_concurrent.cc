@@ -1,14 +1,20 @@
-// Tests of the ConcurrentIndex wrapper: concurrent readers and writers on
-// an I3 index must neither crash nor corrupt the structure, and the final
-// state must match a sequential replay.
+// Stress tests of the concurrency layer: N reader + M writer threads over
+// ConcurrentIndex and ShardedIndex must neither crash nor corrupt the
+// structure, results observed mid-flight must be well-formed, and the final
+// state must match both a sequential replay and the BruteForceIndex oracle.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
+#include <vector>
 
 #include "i3/i3_index.h"
+#include "irtree/irtree_index.h"
+#include "model/brute_force.h"
 #include "model/concurrent_index.h"
+#include "model/sharded_index.h"
 #include "test_util.h"
 
 namespace i3 {
@@ -46,43 +52,139 @@ TEST(ConcurrentIndexTest, SingleThreadedBehaviourUnchanged) {
   EXPECT_EQ(index.DocumentCount(), 0u);
 }
 
-TEST(ConcurrentIndexTest, ParallelWritersAndReaders) {
+TEST(ConcurrentIndexTest, ReaderSafetyDependsOnBase) {
+  // I3's query path is reader-safe, so the wrapper must not serialize it;
+  // IR-tree's query path mutates per-index scratch, so it must.
+  ConcurrentIndex over_i3(std::make_unique<I3Index>(SmallOptions()));
+  EXPECT_FALSE(over_i3.serializes_queries());
+
+  IrTreeOptions iropt;
+  iropt.space = {0.0, 0.0, 100.0, 100.0};
+  ConcurrentIndex over_irtree(std::make_unique<IrTreeIndex>(iropt));
+  EXPECT_TRUE(over_irtree.serializes_queries());
+
+  ConcurrentIndex forced(std::make_unique<I3Index>(SmallOptions()),
+                         {.force_serialized_queries = true});
+  EXPECT_TRUE(forced.serializes_queries());
+}
+
+TEST(ConcurrentIndexTest, ConcurrentReadersSeeSequentialResults) {
+  // A static index queried from many threads at once: every thread must see
+  // exactly the results a sequential run produces (the readers really do
+  // run in parallel now, so any shared mutable query state would corrupt
+  // them -- this is the regression test for the serialized-readers fix).
   CorpusOptions copt;
-  copt.num_docs = 2000;
-  copt.vocab_size = 25;
-  const auto docs = MakeCorpus(copt, 404);
-  const auto queries =
-      MakeQueries(copt, 50, 2, 10, Semantics::kOr, 405);
+  copt.num_docs = 1500;
+  copt.vocab_size = 30;
+  const auto docs = MakeCorpus(copt, 2024);
+  const auto queries = MakeQueries(copt, 40, 2, 10, Semantics::kOr, 2025);
 
   ConcurrentIndex index(std::make_unique<I3Index>(SmallOptions()));
+  ASSERT_FALSE(index.serializes_queries());
+  for (const auto& d : docs) ASSERT_TRUE(index.Insert(d).ok());
 
-  constexpr int kWriters = 4;
-  constexpr int kReaders = 4;
-  // Readers run a FIXED amount of work rather than spinning until the
-  // writers finish: glibc's shared_mutex is reader-preferring, so a
-  // spin-until-stopped reader pool can starve the writers indefinitely.
-  constexpr int kQueriesPerReader = 150;
-  std::atomic<uint64_t> searches{0};
-  std::atomic<bool> failed{false};
+  // Sequential ground truth first.
+  std::vector<std::vector<ScoredDoc>> expected(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto res = index.Search(queries[i], 0.5);
+    ASSERT_TRUE(res.ok());
+    expected[i] = res.MoveValue();
+  }
 
+  constexpr int kReaders = 8;
+  std::atomic<int> mismatches{0};
   std::vector<std::thread> threads;
-  // Writers partition the corpus; each inserts its share, then deletes
-  // every other document of it.
-  for (int w = 0; w < kWriters; ++w) {
-    threads.emplace_back([&, w] {
-      for (size_t i = w; i < docs.size(); i += kWriters) {
-        if (!index.Insert(docs[i]).ok()) failed = true;
-      }
-      for (size_t i = w; i < docs.size(); i += 2 * kWriters) {
-        if (!index.Delete(docs[i]).ok()) failed = true;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        const size_t i = (qi + r) % queries.size();
+        auto res = index.Search(queries[i], 0.5);
+        if (!res.ok() || !(res.ValueOrDie() == expected[i])) ++mismatches;
       }
     });
   }
-  for (int r = 0; r < kReaders; ++r) {
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+/// Deterministic writer workload over `index`: writer `w` of `num_writers`
+/// inserts its stride of the corpus, deletes every other document of its
+/// share, and updates every fourth survivor to `Shifted`-like variant.
+/// Mirrored exactly by ReplayWriters below.
+SpatialDocument Reweighted(const SpatialDocument& d) {
+  SpatialDocument out = d;
+  out.location.x = (d.location.x + 31.0 < 100.0) ? d.location.x + 31.0
+                                                 : d.location.x - 31.0;
+  for (auto& wt : out.terms) wt.weight = wt.weight * 0.5f + 0.1f;
+  return out;
+}
+
+void RunWriter(SpatialKeywordIndex* index,
+               const std::vector<SpatialDocument>& docs, size_t w,
+               size_t num_writers, std::atomic<bool>* failed) {
+  for (size_t i = w; i < docs.size(); i += num_writers) {
+    if (!index->Insert(docs[i]).ok()) *failed = true;
+  }
+  for (size_t i = w; i < docs.size(); i += 2 * num_writers) {
+    if (!index->Delete(docs[i]).ok()) *failed = true;
+  }
+  for (size_t i = w + num_writers; i < docs.size(); i += 4 * num_writers) {
+    if (!index->Update(docs[i], Reweighted(docs[i])).ok()) *failed = true;
+  }
+}
+
+/// Applies the exact final state of the writer workload to `index`.
+void ReplayWriters(SpatialKeywordIndex* index,
+                   const std::vector<SpatialDocument>& docs,
+                   size_t num_writers) {
+  for (size_t i = 0; i < docs.size(); ++i) {
+    const size_t w = i % num_writers;
+    if ((i - w) % (2 * num_writers) == 0) continue;  // deleted
+    if ((i - w) % (4 * num_writers) == num_writers) {
+      ASSERT_TRUE(index->Insert(Reweighted(docs[i])).ok());
+    } else {
+      ASSERT_TRUE(index->Insert(docs[i]).ok());
+    }
+  }
+}
+
+/// N readers + M writers stress over any concurrency wrapper, then validates
+/// the final state against a BruteForceIndex oracle fed the replayed
+/// workload. `queries` must tolerate running mid-mutation (they only have to
+/// return ok + well-formed results while writers run).
+void StressAndValidate(SpatialKeywordIndex* index,
+                       const CorpusOptions& copt,
+                       const std::vector<SpatialDocument>& docs,
+                       const std::vector<Query>& queries, int num_writers,
+                       int num_readers, int queries_per_reader) {
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> searches{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < num_writers; ++w) {
+    threads.emplace_back([&, w] {
+      RunWriter(index, docs, w, num_writers, &failed);
+    });
+  }
+  // Readers run a FIXED amount of work rather than spinning until the
+  // writers finish: glibc's shared_mutex is reader-preferring, so a
+  // spin-until-stopped reader pool can starve the writers indefinitely.
+  for (int r = 0; r < num_readers; ++r) {
     threads.emplace_back([&, r] {
-      for (int qi = 0; qi < kQueriesPerReader; ++qi) {
-        auto res = index.Search(queries[(r + qi) % queries.size()], 0.5);
-        if (!res.ok()) failed = true;
+      for (int qi = 0; qi < queries_per_reader; ++qi) {
+        const Query& q = queries[(r + qi) % queries.size()];
+        auto res = index->Search(q, 0.5);
+        if (!res.ok()) {
+          failed = true;
+        } else {
+          // Mid-flight results must still be well-formed: ranked by
+          // decreasing score, no duplicate documents, at most k.
+          const auto& results = res.ValueOrDie();
+          if (results.size() > q.k) failed = true;
+          for (size_t i = 1; i < results.size(); ++i) {
+            if (results[i].score > results[i - 1].score) failed = true;
+            if (results[i].doc == results[i - 1].doc) failed = true;
+          }
+        }
         ++searches;
         std::this_thread::yield();
       }
@@ -92,29 +194,146 @@ TEST(ConcurrentIndexTest, ParallelWritersAndReaders) {
 
   EXPECT_FALSE(failed.load());
   EXPECT_EQ(searches.load(),
-            static_cast<uint64_t>(kReaders) * kQueriesPerReader);
+            static_cast<uint64_t>(num_readers) * queries_per_reader);
 
-  // Final state: exactly the non-deleted documents, structurally sound.
-  EXPECT_EQ(index.DocumentCount(), docs.size() / 2);
+  // Final state must match the oracle given the same net workload.
+  BruteForceIndex oracle(copt.space);
+  ReplayWriters(&oracle, docs, num_writers);
+  EXPECT_EQ(index->DocumentCount(), oracle.DocumentCount());
+  for (const Query& q : queries) {
+    auto a = index->Search(q, 0.5);
+    auto b = oracle.Search(q, 0.5);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(testutil::SameScores(a.ValueOrDie(), b.ValueOrDie()));
+  }
+}
+
+TEST(ConcurrentIndexTest, ParallelWritersAndReaders) {
+  CorpusOptions copt;
+  copt.num_docs = 2000;
+  copt.vocab_size = 25;
+  const auto docs = MakeCorpus(copt, 404);
+  const auto queries = MakeQueries(copt, 50, 2, 10, Semantics::kOr, 405);
+
+  ConcurrentIndex index(std::make_unique<I3Index>(SmallOptions()));
+  StressAndValidate(&index, copt, docs, queries, /*num_writers=*/4,
+                    /*num_readers=*/4, /*queries_per_reader=*/150);
+
+  // The wrapped I3 must also be structurally sound.
   auto* i3 = static_cast<I3Index*>(index.base());
   auto check = i3->CheckInvariants();
   ASSERT_TRUE(check.ok()) << check.status().ToString();
 
-  // Spot check correctness against a sequential replay.
+  // And agree exactly with an I3 replay (not just the oracle's scores).
   I3Index replay(SmallOptions());
-  for (size_t i = 0; i < docs.size(); ++i) {
-    const size_t w = i % kWriters;
-    const bool deleted = (i - w) % (2 * kWriters) == 0;
-    if (!deleted) ASSERT_TRUE(replay.Insert(docs[i]).ok());
-  }
+  ReplayWriters(&replay, docs, 4);
   for (const Query& q : queries) {
     auto a = index.Search(q, 0.5);
     auto b = replay.Search(q, 0.5);
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
-    EXPECT_TRUE(
-        testutil::SameScores(a.ValueOrDie(), b.ValueOrDie()));
+    EXPECT_TRUE(testutil::SameScores(a.ValueOrDie(), b.ValueOrDie()));
   }
+}
+
+TEST(ConcurrentIndexTest, SerializedModeStress) {
+  // force_serialized_queries reproduces the wrapper's historical coarse
+  // locking; the stress workload must still be correct there (it is the
+  // bench_concurrency baseline).
+  CorpusOptions copt;
+  copt.num_docs = 1000;
+  copt.vocab_size = 25;
+  const auto docs = MakeCorpus(copt, 500);
+  const auto queries = MakeQueries(copt, 30, 2, 10, Semantics::kAnd, 501);
+
+  ConcurrentIndex index(std::make_unique<I3Index>(SmallOptions()),
+                        {.force_serialized_queries = true});
+  ASSERT_TRUE(index.serializes_queries());
+  StressAndValidate(&index, copt, docs, queries, /*num_writers=*/3,
+                    /*num_readers=*/3, /*queries_per_reader=*/80);
+}
+
+TEST(ShardedIndexTest, ParallelWritersAndReaders) {
+  CorpusOptions copt;
+  copt.num_docs = 2000;
+  copt.vocab_size = 25;
+  const auto docs = MakeCorpus(copt, 606);
+  const auto queries = MakeQueries(copt, 50, 2, 10, Semantics::kOr, 607);
+
+  auto res = ShardedIndex::Create(
+      [](uint32_t) { return std::make_unique<I3Index>(SmallOptions()); },
+      {.num_shards = 4});
+  ASSERT_TRUE(res.ok());
+  auto& index = *res.ValueOrDie();
+  StressAndValidate(&index, copt, docs, queries, /*num_writers=*/4,
+                    /*num_readers=*/4, /*queries_per_reader=*/150);
+
+  for (uint32_t s = 0; s < index.num_shards(); ++s) {
+    auto* i3 = static_cast<I3Index*>(index.shard(s));
+    auto check = i3->CheckInvariants();
+    ASSERT_TRUE(check.ok()) << "shard " << s << ": "
+                            << check.status().ToString();
+  }
+}
+
+TEST(ShardedIndexTest, ParallelFanOutUnderWriters) {
+  // Same stress but with an internal search pool, so shard fan-out worker
+  // threads interleave with external writers (the TSan-interesting case:
+  // pool workers take shared locks while writer threads take exclusive
+  // ones).
+  CorpusOptions copt;
+  copt.num_docs = 1200;
+  copt.vocab_size = 25;
+  const auto docs = MakeCorpus(copt, 808);
+  const auto queries = MakeQueries(copt, 40, 2, 10, Semantics::kOr, 809);
+
+  auto res = ShardedIndex::Create(
+      [](uint32_t) { return std::make_unique<I3Index>(SmallOptions()); },
+      {.num_shards = 4, .search_threads = 3});
+  ASSERT_TRUE(res.ok());
+  StressAndValidate(res.ValueOrDie().get(), copt, docs, queries,
+                    /*num_writers=*/3, /*num_readers=*/3,
+                    /*queries_per_reader=*/80);
+}
+
+TEST(ShardedIndexTest, ConcurrentSearchManyAndWriters) {
+  // SearchMany from several client threads while writers mutate: batches
+  // must come back complete and well-formed.
+  CorpusOptions copt;
+  copt.num_docs = 1000;
+  copt.vocab_size = 25;
+  const auto docs = MakeCorpus(copt, 909);
+  const auto queries = MakeQueries(copt, 16, 2, 10, Semantics::kOr, 910);
+
+  auto res = ShardedIndex::Create(
+      [](uint32_t) { return std::make_unique<I3Index>(SmallOptions()); },
+      {.num_shards = 4, .search_threads = 2});
+  ASSERT_TRUE(res.ok());
+  auto& index = *res.ValueOrDie();
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back(
+        [&, w] { RunWriter(&index, docs, w, 2, &failed); });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      for (int iter = 0; iter < 15; ++iter) {
+        auto batch = index.SearchMany(queries, 0.5);
+        if (!batch.ok() || batch.ValueOrDie().size() != queries.size()) {
+          failed = true;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+
+  BruteForceIndex oracle(copt.space);
+  ReplayWriters(&oracle, docs, 2);
+  EXPECT_EQ(index.DocumentCount(), oracle.DocumentCount());
 }
 
 }  // namespace
