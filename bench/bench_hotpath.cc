@@ -1,0 +1,167 @@
+// Single-thread query hot-path benchmark: queries/sec, bytes allocated per
+// query, and pages touched per query on the Table-2-style synthetic
+// workload, written to BENCH_hotpath.json so successive PRs have a perf
+// trajectory to regress against.
+//
+// Three metrics, three reasons:
+//   qps              -- the headline: CPU cost of Algorithms 4-6 once the
+//                       buffer pool is warm (no simulated device latency).
+//   alloc bytes/query-- allocator traffic of the steady-state loop (via the
+//                       common/alloc_hook.h counting allocator); the
+//                       zero-copy + arena hot path is supposed to keep this
+//                       near zero, and a wall-clock-invisible regression
+//                       here shows up first.
+//   pages/query      -- cold-cache page accesses, the paper's own cost
+//                       model; guards against "faster by reading more".
+//
+// Flags (on top of the shared bench flags): --smoke (tiny config for CI),
+// --json=PATH (default BENCH_hotpath.json), --reps=N.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/alloc_hook.h"
+#include "common/timer.h"
+#include "datagen/query_gen.h"
+
+I3_DEFINE_ALLOC_HOOK()
+
+namespace i3 {
+namespace bench {
+namespace {
+
+struct HotpathResult {
+  const char* semantics;
+  double qps = 0.0;
+  double us_per_query = 0.0;
+  double alloc_bytes_per_query = 0.0;
+  double alloc_count_per_query = 0.0;
+  double pages_per_query = 0.0;
+  uint64_t checksum = 0;  // defeats dead-code elimination; sanity across runs
+};
+
+HotpathResult MeasureSemantics(I3Index* index,
+                               const std::vector<Query>& queries,
+                               double alpha, uint32_t reps) {
+  HotpathResult r;
+  r.semantics = SemanticsName(queries.front().semantics);
+
+  auto run_set = [&](bool fold) {
+    for (const Query& q : queries) {
+      auto res = index->Search(q, alpha);
+      if (!res.ok()) {
+        std::fprintf(stderr, "search failed: %s\n",
+                     res.status().ToString().c_str());
+        std::abort();
+      }
+      if (fold) {
+        for (const ScoredDoc& d : res.ValueOrDie()) r.checksum += d.doc;
+      }
+    }
+  };
+
+  // Cold pass: every page access charged (the paper's I/O metric).
+  index->ClearCache();
+  index->ResetIoStats();
+  run_set(/*fold=*/true);
+  r.pages_per_query = static_cast<double>(index->io_stats().TotalReads()) /
+                      queries.size();
+
+  // Warm pass to fill the buffer pool, then the timed steady-state loop.
+  run_set(/*fold=*/false);
+  const AllocTally before = ThreadAllocTally();
+  Timer timer;
+  for (uint32_t rep = 0; rep < reps; ++rep) run_set(/*fold=*/false);
+  const double secs = timer.ElapsedMillis() / 1e3;
+  const AllocTally cost = ThreadAllocTally() - before;
+
+  const double n = static_cast<double>(queries.size()) * reps;
+  r.qps = n / secs;
+  r.us_per_query = secs * 1e6 / n;
+  r.alloc_bytes_per_query = static_cast<double>(cost.bytes) / n;
+  r.alloc_count_per_query = static_cast<double>(cost.count) / n;
+  return r;
+}
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  bool smoke = false;
+  uint32_t reps = 0;
+  std::string json_path = "BENCH_hotpath.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = static_cast<uint32_t>(std::atoi(argv[i] + 7));
+    }
+  }
+  const int tier = smoke ? 0 : 1;  // 20K docs (smoke) / 100K docs at scale 1
+  const uint32_t num_queries = smoke ? 20 : 100;
+  if (reps == 0) reps = smoke ? 3 : 20;
+
+  std::printf("building %s (scale %.2f)...\n", kTwitterNames[tier],
+              cfg.scale);
+  Dataset ds = MakeTwitter(cfg, tier);
+  auto index = BuildI3(ds, cfg.eta);
+  QueryGenerator qgen(ds);
+
+  std::vector<HotpathResult> results;
+  for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
+    auto queries = qgen.Freq(cfg.default_qn, num_queries, /*k=*/10, sem,
+                             /*seed=*/42);
+    results.push_back(MeasureSemantics(index.get(), queries,
+                                       cfg.default_alpha, reps));
+  }
+
+  PrintRule(6);
+  PrintRow({"semantics", "qps", "us/query", "B alloc/q", "allocs/q",
+            "pages/q"});
+  PrintRule(6);
+  for (const HotpathResult& r : results) {
+    PrintRow({r.semantics, Fmt(r.qps, 0), Fmt(r.us_per_query, 1),
+              Fmt(r.alloc_bytes_per_query, 0),
+              Fmt(r.alloc_count_per_query, 1), Fmt(r.pages_per_query, 1)});
+  }
+  PrintRule(6);
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"hotpath\",\n"
+               "  \"dataset\": {\"name\": \"%s\", \"docs\": %zu},\n"
+               "  \"config\": {\"k\": 10, \"qn\": %u, \"eta\": %u, "
+               "\"alpha\": %.2f, \"queries\": %u, \"reps\": %u, "
+               "\"smoke\": %s},\n"
+               "  \"results\": [\n",
+               ds.name.c_str(), ds.docs.size(), cfg.default_qn, cfg.eta,
+               cfg.default_alpha, num_queries, reps, smoke ? "true" : "false");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const HotpathResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"semantics\": \"%s\", \"qps\": %.1f, "
+                 "\"us_per_query\": %.2f, \"alloc_bytes_per_query\": %.1f, "
+                 "\"alloc_count_per_query\": %.2f, \"pages_per_query\": "
+                 "%.2f, \"checksum\": %" PRIu64 "}%s\n",
+                 r.semantics, r.qps, r.us_per_query, r.alloc_bytes_per_query,
+                 r.alloc_count_per_query, r.pages_per_query, r.checksum,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace i3
+
+int main(int argc, char** argv) { return i3::bench::Main(argc, argv); }

@@ -1,0 +1,98 @@
+// A counting allocator hook for allocation-profiling binaries.
+//
+// bench_hotpath (and any future perf harness) needs "bytes allocated per
+// query" as a first-class metric: the I3 hot path is supposed to stay off
+// the global allocator after query setup, and a regression there is
+// invisible to wall-clock timing on a fast allocator. The hook is a pair of
+// thread-local counters plus a macro that defines replacement global
+// operator new/delete which bump them.
+//
+// Usage (exactly one translation unit per binary):
+//
+//   #include "common/alloc_hook.h"
+//   I3_DEFINE_ALLOC_HOOK()
+//   ...
+//   AllocTally before = ThreadAllocTally();
+//   <code under test>
+//   AllocTally cost = ThreadAllocTally() - before;
+//
+// The macro is deliberately not part of any library: linking the
+// replacement operators into every test/bench binary would tax all of them
+// with two thread-local increments per allocation. Only binaries that opt
+// in pay.
+
+#ifndef I3_COMMON_ALLOC_HOOK_H_
+#define I3_COMMON_ALLOC_HOOK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace i3 {
+
+/// \brief Cumulative allocation counters of the calling thread. Frees are
+/// not tracked: the metric of interest is allocator traffic, not live size.
+struct AllocTally {
+  uint64_t bytes = 0;
+  uint64_t count = 0;
+
+  AllocTally operator-(const AllocTally& o) const {
+    return {bytes - o.bytes, count - o.count};
+  }
+};
+
+namespace internal {
+inline thread_local AllocTally t_alloc_tally;
+
+inline void* HookedAlloc(std::size_t n) {
+  t_alloc_tally.bytes += n;
+  ++t_alloc_tally.count;
+  void* p = std::malloc(n ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+inline void* HookedAllocAligned(std::size_t n, std::size_t align) {
+  t_alloc_tally.bytes += n;
+  ++t_alloc_tally.count;
+  void* p = std::aligned_alloc(align, (n + align - 1) / align * align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace internal
+
+/// Allocation counters of the calling thread since thread start.
+inline AllocTally ThreadAllocTally() { return internal::t_alloc_tally; }
+
+}  // namespace i3
+
+/// Defines the replacement global allocation functions. All new-forms
+/// funnel into the hook; all delete-forms are plain free (the pointers come
+/// from malloc/aligned_alloc above).
+#define I3_DEFINE_ALLOC_HOOK()                                               \
+  void* operator new(std::size_t n) { return i3::internal::HookedAlloc(n); } \
+  void* operator new[](std::size_t n) {                                      \
+    return i3::internal::HookedAlloc(n);                                     \
+  }                                                                          \
+  void* operator new(std::size_t n, std::align_val_t a) {                    \
+    return i3::internal::HookedAllocAligned(n, static_cast<size_t>(a));      \
+  }                                                                          \
+  void* operator new[](std::size_t n, std::align_val_t a) {                  \
+    return i3::internal::HookedAllocAligned(n, static_cast<size_t>(a));      \
+  }                                                                          \
+  void operator delete(void* p) noexcept { std::free(p); }                   \
+  void operator delete[](void* p) noexcept { std::free(p); }                 \
+  void operator delete(void* p, std::size_t) noexcept { std::free(p); }      \
+  void operator delete[](void* p, std::size_t) noexcept { std::free(p); }    \
+  void operator delete(void* p, std::align_val_t) noexcept { std::free(p); } \
+  void operator delete[](void* p, std::align_val_t) noexcept {               \
+    std::free(p);                                                            \
+  }                                                                          \
+  void operator delete(void* p, std::size_t, std::align_val_t) noexcept {    \
+    std::free(p);                                                            \
+  }                                                                          \
+  void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {  \
+    std::free(p);                                                            \
+  }
+#endif  // I3_COMMON_ALLOC_HOOK_H_

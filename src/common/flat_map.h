@@ -1,0 +1,196 @@
+// An open-addressing hash map over arena storage.
+//
+// FlatMap replaces unordered_map in the I3 query hot path: power-of-two
+// capacity, linear probing, tombstone deletion, and both the control bytes
+// and the slot array live in a caller-supplied Arena -- so inserts, erases,
+// and rehashes generate zero global-allocator traffic and Clear() recycles
+// the table at full capacity.
+//
+// Requirements on K and V: trivially copyable (rehash relocates slots with
+// plain assignment of trivially copyable bytes) and trivially destructible
+// (arena memory is never destroyed element-wise). Values are
+// value-initialized on first insertion of a key.
+
+#ifndef I3_COMMON_FLAT_MAP_H_
+#define I3_COMMON_FLAT_MAP_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "common/arena.h"
+
+namespace i3 {
+
+/// SplitMix64 finalizer: full-width mixing so that sequential ids (DocId
+/// assignment is sequential in every dataset generator) spread over the
+/// table instead of clustering a linear probe.
+struct FlatMapHash {
+  uint64_t operator()(uint64_t k) const {
+    k += 0x9E3779B97F4A7C15ull;
+    k = (k ^ (k >> 30)) * 0xBF58476D1CE4E5B9ull;
+    k = (k ^ (k >> 27)) * 0x94D049BB133111EBull;
+    return k ^ (k >> 31);
+  }
+};
+
+template <typename K, typename V, typename Hash = FlatMapHash>
+class FlatMap {
+  static_assert(std::is_trivially_copyable_v<K> &&
+                    std::is_trivially_destructible_v<V>,
+                "FlatMap relocates slots bytewise in arena memory");
+
+ public:
+  struct Slot {
+    K key;
+    V value;
+  };
+
+  explicit FlatMap(Arena* arena) : arena_(arena) {}
+
+  FlatMap(const FlatMap&) = delete;
+  FlatMap& operator=(const FlatMap&) = delete;
+
+  uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Drops every entry; keeps the table storage for reuse.
+  void Clear() {
+    if (ctrl_ != nullptr) std::memset(ctrl_, kEmpty, cap_);
+    size_ = 0;
+    tombs_ = 0;
+  }
+
+  /// \brief The value of `key`, or nullptr.
+  V* Find(const K& key) {
+    if (size_ == 0) return nullptr;
+    const uint32_t mask = cap_ - 1;
+    uint32_t i = static_cast<uint32_t>(Hash{}(key)) & mask;
+    while (true) {
+      if (ctrl_[i] == kEmpty) return nullptr;
+      if (ctrl_[i] == kFull && slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// \brief The value of `key`, value-initialized on first sight.
+  V& FindOrInsert(const K& key) {
+    if (cap_ == 0 || (size_ + tombs_ + 1) * 4 > cap_ * 3) Rehash();
+    const uint32_t mask = cap_ - 1;
+    uint32_t i = static_cast<uint32_t>(Hash{}(key)) & mask;
+    uint32_t first_tomb = UINT32_MAX;
+    while (true) {
+      if (ctrl_[i] == kFull) {
+        if (slots_[i].key == key) return slots_[i].value;
+      } else if (ctrl_[i] == kTomb) {
+        if (first_tomb == UINT32_MAX) first_tomb = i;
+      } else {  // kEmpty: the key is absent; claim a slot.
+        if (first_tomb != UINT32_MAX) {
+          i = first_tomb;
+          --tombs_;
+        }
+        ctrl_[i] = kFull;
+        ++size_;
+        slots_[i].key = key;
+        new (&slots_[i].value) V();
+        return slots_[i].value;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  class iterator {
+   public:
+    iterator(FlatMap* m, uint32_t i) : m_(m), i_(i) { SkipToFull(); }
+    Slot& operator*() const { return m_->slots_[i_]; }
+    Slot* operator->() const { return &m_->slots_[i_]; }
+    iterator& operator++() {
+      ++i_;
+      SkipToFull();
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+   private:
+    friend class FlatMap;
+    void SkipToFull() {
+      while (i_ < m_->cap_ && m_->ctrl_[i_] != kFull) ++i_;
+    }
+    FlatMap* m_;
+    uint32_t i_;
+  };
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, cap_); }
+
+  /// \brief Tombstones the entry at `it`; returns the next entry.
+  iterator Erase(iterator it) {
+    assert(it != end());
+    ctrl_[it.i_] = kTomb;
+    --size_;
+    ++tombs_;
+    return ++it;
+  }
+
+  bool Erase(const K& key) {
+    if (size_ == 0) return false;
+    const uint32_t mask = cap_ - 1;
+    uint32_t i = static_cast<uint32_t>(Hash{}(key)) & mask;
+    while (true) {
+      if (ctrl_[i] == kEmpty) return false;
+      if (ctrl_[i] == kFull && slots_[i].key == key) {
+        ctrl_[i] = kTomb;
+        --size_;
+        ++tombs_;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+ private:
+  static constexpr uint8_t kEmpty = 0, kFull = 1, kTomb = 2;
+  static constexpr uint32_t kMinCapacity = 16;
+
+  /// Grows (or, when mostly tombstones, rewrites in place size) to keep the
+  /// live load factor under 3/4. The previous arrays are abandoned to the
+  /// arena -- reclaimed wholesale at the owner's Reset.
+  void Rehash() {
+    const uint32_t old_cap = cap_;
+    uint8_t* old_ctrl = ctrl_;
+    Slot* old_slots = slots_;
+
+    uint32_t new_cap = cap_ == 0 ? kMinCapacity : cap_;
+    // Double only when genuinely loaded; a tombstone-heavy table rewrites
+    // at the same capacity.
+    if ((size_ + 1) * 2 > new_cap) new_cap *= 2;
+
+    ctrl_ = arena_->AllocateArray<uint8_t>(new_cap);
+    std::memset(ctrl_, kEmpty, new_cap);
+    slots_ = arena_->AllocateArray<Slot>(new_cap);
+    cap_ = new_cap;
+    tombs_ = 0;
+
+    const uint32_t mask = cap_ - 1;
+    for (uint32_t s = 0; s < old_cap; ++s) {
+      if (old_ctrl[s] != kFull) continue;
+      uint32_t i = static_cast<uint32_t>(Hash{}(old_slots[s].key)) & mask;
+      while (ctrl_[i] == kFull) i = (i + 1) & mask;
+      ctrl_[i] = kFull;
+      slots_[i] = old_slots[s];
+    }
+  }
+
+  Arena* arena_;
+  uint8_t* ctrl_ = nullptr;
+  Slot* slots_ = nullptr;
+  uint32_t cap_ = 0;
+  uint32_t size_ = 0;
+  uint32_t tombs_ = 0;
+};
+
+}  // namespace i3
+
+#endif  // I3_COMMON_FLAT_MAP_H_

@@ -1,5 +1,6 @@
 #include "i3/data_file.h"
 
+#include <cassert>
 #include <cstring>
 
 namespace i3 {
@@ -15,18 +16,49 @@ void EncodeSlot(uint8_t* dst, const StoredTuple& st) {
   std::memcpy(dst + 28, &st.tuple.weight, 4);
 }
 
-StoredTuple DecodeSlot(const uint8_t* src) {
-  StoredTuple st;
-  std::memcpy(&st.source, src + 0, 4);
-  std::memcpy(&st.tuple.term, src + 4, 4);
-  std::memcpy(&st.tuple.doc, src + 8, 4);
-  std::memcpy(&st.tuple.location.x, src + 12, 8);
-  std::memcpy(&st.tuple.location.y, src + 20, 8);
-  std::memcpy(&st.tuple.weight, src + 28, 4);
-  return st;
+// Per-thread stack of page-size scratch buffers backing PageView for
+// uncached pools (and the fault-in copy of PinPage misses). A stack rather
+// than a single buffer so nested views (e.g. an invariant checker holding
+// one view while opening another) each get their own bytes; buffers are
+// retained per thread, so the steady state allocates nothing.
+struct ViewScratch {
+  std::vector<std::vector<uint8_t>> bufs;
+  size_t depth = 0;
+};
+thread_local ViewScratch t_view_scratch;
+
+uint8_t* AcquireViewScratch(size_t page_size) {
+  ViewScratch& s = t_view_scratch;
+  if (s.depth == s.bufs.size()) s.bufs.emplace_back();
+  std::vector<uint8_t>& buf = s.bufs[s.depth];
+  if (buf.size() < page_size) buf.resize(page_size);
+  ++s.depth;
+  return buf.data();
+}
+
+void ReleaseViewScratch() {
+  assert(t_view_scratch.depth > 0);
+  --t_view_scratch.depth;
 }
 
 }  // namespace
+
+PageView& PageView::operator=(PageView&& o) noexcept {
+  if (owns_scratch_) ReleaseViewScratch();
+  pin_ = std::move(o.pin_);  // releases any pin this view held
+  data_ = o.data_;
+  capacity_ = o.capacity_;
+  owns_scratch_ = o.owns_scratch_;
+  o.data_ = nullptr;
+  o.capacity_ = 0;
+  o.owns_scratch_ = false;
+  return *this;
+}
+
+PageView::~PageView() {
+  if (owns_scratch_) ReleaseViewScratch();
+  owns_scratch_ = false;
+}
 
 std::vector<SpatialTuple> TuplePage::OfSource(SourceId source) const {
   std::vector<SpatialTuple> out;
@@ -85,18 +117,44 @@ Result<PageId> DataFile::AllocatePage() {
   return id;
 }
 
+Result<PageView> DataFile::View(PageId id) {
+  PageView view;
+  view.capacity_ = capacity_;
+  uint8_t* scratch = AcquireViewScratch(file_->page_size());
+  if (pool_.Pinnable()) {
+    // Zero-copy window: the view reads straight out of the pinned frame;
+    // the scratch is only the fault-in buffer of a miss.
+    Status st = pool_.PinPage(id, IoCategory::kI3DataFile, scratch,
+                              &view.pin_);
+    ReleaseViewScratch();
+    if (!st.ok()) return st;
+    view.data_ = view.pin_.data();
+  } else {
+    // Uncached pool (the deterministic I/O-figure mode): every access is a
+    // charged read into this thread's scratch; the view owns the buffer
+    // until destroyed.
+    Status st = pool_.ReadPage(id, scratch, IoCategory::kI3DataFile);
+    if (!st.ok()) {
+      ReleaseViewScratch();
+      return st;
+    }
+    view.data_ = scratch;
+    view.owns_scratch_ = true;
+  }
+  return view;
+}
+
 Result<TuplePage> DataFile::Read(PageId id) {
-  // Decodes through a local buffer, not the shared scratch_: Read runs
-  // concurrently from multiple searcher threads (scratch_ stays reserved
-  // for the write path, which is externally writer-exclusive).
-  std::vector<uint8_t> buf(file_->page_size());
-  I3_RETURN_NOT_OK(pool_.ReadPage(id, buf.data(), IoCategory::kI3DataFile));
+  // Decodes through the view path (one charged read, view-managed scratch;
+  // Read runs concurrently from multiple threads, so no shared buffer).
+  auto view_res = View(id);
+  if (!view_res.ok()) return view_res.status();
+  const PageView& view = view_res.ValueOrDie();
   TuplePage page;
   page.slots.reserve(capacity_);
-  for (uint32_t s = 0; s < capacity_; ++s) {
-    StoredTuple st = DecodeSlot(buf.data() + s * kTupleBytes);
-    if (st.source != kFreeSlot) page.slots.push_back(st);
-  }
+  view.ForEachSlot([&page](SourceId source, const SpatialTuple& t) {
+    page.slots.push_back({source, t});
+  });
   return page;
 }
 

@@ -17,8 +17,10 @@
 #ifndef I3_I3_DATA_FILE_H_
 #define I3_I3_DATA_FILE_H_
 
+#include <cstring>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -43,7 +45,28 @@ struct StoredTuple {
   SpatialTuple tuple;
 };
 
-/// \brief Decoded image of one data-file page.
+/// Decodes the non-source fields of one serialized slot into a stack value.
+inline SpatialTuple DecodeSlotTuple(const uint8_t* src) {
+  SpatialTuple t;
+  std::memcpy(&t.term, src + 4, 4);
+  std::memcpy(&t.doc, src + 8, 4);
+  std::memcpy(&t.location.x, src + 12, 8);
+  std::memcpy(&t.location.y, src + 20, 8);
+  std::memcpy(&t.weight, src + 28, 4);
+  return t;
+}
+
+/// Decodes the source tag of one serialized slot.
+inline SourceId DecodeSlotSource(const uint8_t* src) {
+  SourceId s;
+  std::memcpy(&s, src, 4);
+  return s;
+}
+
+/// \brief Decoded image of one data-file page -- the *write-path*
+/// representation (insert, remove, relocation, compaction). Read paths use
+/// DataFile::View, which decodes slots lazily out of the buffer-pool frame
+/// without materializing this object.
 class TuplePage {
  public:
   /// Occupied slots in slot order.
@@ -56,6 +79,72 @@ class TuplePage {
   /// True if every occupied slot belongs to `source` (the "all the tuples
   /// in P are from the same source" test of Algorithms 2-3).
   bool AllFromSource(SourceId source) const;
+};
+
+/// \brief Zero-copy read window over one data-file page.
+///
+/// Obtained from DataFile::View. Points either at a pinned buffer-pool
+/// frame (the frame cannot be evicted or recycled while the view lives) or,
+/// for an uncached pool, at a per-thread scratch buffer the page was read
+/// into. Either way the bytes are decoded lazily, slot by slot, into stack
+/// values -- no TuplePage materialization, no per-read heap allocation.
+///
+/// Lifetime rules: a view is valid until destroyed; destroy views in LIFO
+/// order per thread (scratch buffers are stacked); and -- as with every
+/// read -- no writer may run concurrently.
+class PageView {
+ public:
+  PageView() = default;
+  PageView(PageView&& o) noexcept { *this = std::move(o); }
+  PageView& operator=(PageView&& o) noexcept;
+  PageView(const PageView&) = delete;
+  PageView& operator=(const PageView&) = delete;
+  ~PageView();
+
+  /// Slots per page (P/B); slot indexes range over [0, capacity).
+  uint32_t capacity() const { return capacity_; }
+
+  /// Source tag of slot `s` (kFreeSlot for a free slot).
+  SourceId SlotSource(uint32_t s) const {
+    return DecodeSlotSource(data_ + s * kTupleBytes);
+  }
+  /// Tuple stored in slot `s` (meaningful only for occupied slots).
+  SpatialTuple SlotTuple(uint32_t s) const {
+    return DecodeSlotTuple(data_ + s * kTupleBytes);
+  }
+
+  /// \brief Single-pass visit of every tuple tagged `source`;
+  /// `fn(const SpatialTuple&)`. Returns the number visited, so callers that
+  /// used to CountSource-then-OfSource get both in one scan.
+  template <typename Fn>
+  uint32_t ForEachOfSource(SourceId source, Fn&& fn) const {
+    uint32_t n = 0;
+    for (uint32_t s = 0; s < capacity_; ++s) {
+      if (SlotSource(s) == source) {
+        fn(SlotTuple(s));
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  /// \brief Single-pass visit of every occupied slot;
+  /// `fn(SourceId, const SpatialTuple&)`.
+  template <typename Fn>
+  void ForEachSlot(Fn&& fn) const {
+    for (uint32_t s = 0; s < capacity_; ++s) {
+      const SourceId src = SlotSource(s);
+      if (src != kFreeSlot) fn(src, SlotTuple(s));
+    }
+  }
+
+ private:
+  friend class DataFile;
+
+  BufferPool::PinnedPage pin_;
+  const uint8_t* data_ = nullptr;
+  uint32_t capacity_ = 0;
+  bool owns_scratch_ = false;  // holds the top of the thread scratch stack
 };
 
 /// \brief Page-slot storage for spatial tuples with free-space tracking.
@@ -82,8 +171,13 @@ class DataFile {
   /// path; normal insertion goes through PageWithFreeSlots).
   Result<PageId> AllocatePage();
 
-  /// \brief Reads and decodes page `id` (one charged data-file read).
+  /// \brief Reads and decodes page `id` (one charged data-file read) into a
+  /// write-path TuplePage image. Query paths should prefer View.
   Result<TuplePage> Read(PageId id);
+
+  /// \brief Zero-copy read window over page `id` (one charged data-file
+  /// read). See PageView for the lifetime rules.
+  Result<PageView> View(PageId id);
 
   /// \brief Encodes and writes `page` to `id` (one charged write); updates
   /// the free-space map.

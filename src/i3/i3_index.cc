@@ -384,31 +384,18 @@ Result<SummaryEntry> I3Index::RebuildEntryFromPages(
     PageId page, const std::vector<PageId>& overflow, SourceId source) {
   SummaryEntry entry;
   entry.sig = Signature(options_.signature_bits);
-  auto fold = [&](PageId id) -> Status {
-    auto page_res = data_->Read(id);
-    if (!page_res.ok()) return page_res.status();
-    for (const SpatialTuple& t : page_res.ValueOrDie().OfSource(source)) {
-      entry.Add(t.doc, t.weight);
-    }
-    return Status::OK();
-  };
-  I3_RETURN_NOT_OK(fold(page));
-  for (PageId op : overflow) I3_RETURN_NOT_OK(fold(op));
+  I3_RETURN_NOT_OK(VisitCellTuples(
+      page, &overflow, source,
+      [&entry](const SpatialTuple& t) { entry.Add(t.doc, t.weight); }));
   return entry;
 }
 
 Result<std::vector<SpatialTuple>> I3Index::ReadCellTuples(
     PageId page, const std::vector<PageId>& overflow, SourceId source) {
-  auto page_res = data_->Read(page);
-  if (!page_res.ok()) return page_res.status();
-  std::vector<SpatialTuple> out = page_res.ValueOrDie().OfSource(source);
-  for (PageId op : overflow) {
-    auto op_res = data_->Read(op);
-    if (!op_res.ok()) return op_res.status();
-    for (const SpatialTuple& t : op_res.ValueOrDie().OfSource(source)) {
-      out.push_back(t);
-    }
-  }
+  std::vector<SpatialTuple> out;
+  I3_RETURN_NOT_OK(VisitCellTuples(
+      page, &overflow, source,
+      [&out](const SpatialTuple& t) { out.push_back(t); }));
   return out;
 }
 

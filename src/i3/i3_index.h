@@ -159,9 +159,30 @@ class I3Index final : public SpatialKeywordIndex {
                                             I3SearchStats* stats);
 
   /// Reads all tuples of the keyword cell referenced by (page, overflow,
-  /// source), charging data-file I/O.
+  /// source), charging data-file I/O. Cold paths only; the query hot path
+  /// streams through VisitCellTuples instead of materializing a vector.
   Result<std::vector<SpatialTuple>> ReadCellTuples(
       PageId page, const std::vector<PageId>& overflow, SourceId source);
+
+  /// \brief Single-pass, zero-copy visit of every tuple of the keyword cell
+  /// (page, overflow, source): `fn(const SpatialTuple&)` is invoked straight
+  /// off the pinned page frames, one charged read per page, no intermediate
+  /// vector. `overflow` may be null when the cell has no overflow chain.
+  template <typename Fn>
+  Status VisitCellTuples(PageId page, const std::vector<PageId>* overflow,
+                         SourceId source, Fn&& fn) {
+    auto view = data_->View(page);
+    if (!view.ok()) return view.status();
+    view.ValueOrDie().ForEachOfSource(source, fn);
+    if (overflow != nullptr) {
+      for (PageId op : *overflow) {
+        auto ov = data_->View(op);  // nested after `view`: LIFO-safe
+        if (!ov.ok()) return ov.status();
+        ov.ValueOrDie().ForEachOfSource(source, fn);
+      }
+    }
+    return Status::OK();
+  }
 
   I3Options options_;
   CellSpace cells_;

@@ -1,11 +1,22 @@
 // Query processing over I3 (Section 5): best-first descent over quadtree
 // cells with AND-semantics signature pruning (Algorithms 5-6) and the
 // Apriori subset lattice for the OR-semantics upper bound (Section 5.3).
+//
+// Memory discipline (see DESIGN.md, "Hot-path memory architecture"): all
+// per-query state -- candidate cells, partial-document tables, term lists,
+// the priority queue -- lives in a per-thread bump Arena that is Reset at
+// the start of each query, and reusable scratch (signatures, OR-lattice
+// tables) is per-thread too. Once a thread reaches its high-water mark, a
+// query touches the global allocator only for the result vector it returns.
+// Page tuples are streamed straight off pinned buffer-pool frames through
+// I3Index::VisitCellTuples; no TuplePage is materialized.
 
 #include <algorithm>
-#include <memory>
-#include <queue>
+#include <vector>
 
+#include "common/arena.h"
+#include "common/flat_map.h"
+#include "common/small_vec.h"
 #include "i3/i3_index.h"
 #include "model/topk.h"
 
@@ -14,17 +25,33 @@ namespace i3 {
 namespace {
 constexpr uint32_t kMaxQueryTerms = 32;     // mask width
 constexpr uint32_t kMaxLatticeTerms = 12;   // OR lattice enumeration cap
+
+/// One term's best-case contribution for the OR lattice: the maximum score
+/// m_t and a signature of the documents that could supply it.
+struct OrEvidence {
+  double m;
+  const Signature* sig;
+};
 }  // namespace
 
 /// One entry of PQ in Algorithm 4: a cell C with the four pruning fields
-/// <C.C, C.denseKwds, C.docs, C.upperScore>.
+/// <C.C, C.denseKwds, C.docs, C.upperScore>. Arena-resident and recycled
+/// through a per-query freelist; never individually destroyed (all members
+/// are trivially destructible, their spill storage is arena memory).
 struct I3Index::Candidate {
-  /// A query keyword that is dense in this cell, with its summary E and the
-  /// head-file node to expand it further.
+  /// A query keyword that is dense in this cell. The summary E = <sig,
+  /// max_s> is referenced in place: it lives in a head-file node, and the
+  /// node vector is stable for the duration of a search (no writer runs).
   struct DenseKwd {
-    uint8_t qidx;        ///< position of the keyword in the query
-    NodeId node;         ///< summary node of <w, C>
-    SummaryEntry entry;  ///< E = <sig, max_s> of <w, C>
+    uint8_t qidx;               ///< position of the keyword in the query
+    NodeId node;                ///< summary node of <w, C>
+    const SummaryEntry* entry;  ///< E = <sig, max_s> of <w, C>
+  };
+
+  /// One fetched term weight of a partial document.
+  struct TermWeight {
+    uint8_t qidx;
+    float w;
   };
 
   /// A document discovered through keywords that stopped being dense on
@@ -32,43 +59,119 @@ struct I3Index::Candidate {
   struct PartialDoc {
     Point loc;
     uint32_t mask = 0;  ///< query-term positions matched so far
-    std::vector<std::pair<uint8_t, float>> terms;
+    SmallVec<TermWeight, 4> terms;
 
     double TextSum() const {
       double s = 0.0;
-      for (const auto& [qidx, w] : terms) s += w;
+      for (const TermWeight& tw : terms) s += tw.w;
       return s;
     }
   };
 
+  explicit Candidate(Arena* arena) : docs(arena) {}
+
   Rect rect;
   double upper = 0.0;
-  std::vector<DenseKwd> dense;
-  std::unordered_map<DocId, PartialDoc> docs;
+  SmallVec<DenseKwd, 8> dense;
+  FlatMap<DocId, PartialDoc> docs;
+  Candidate* next_free = nullptr;  ///< freelist link while recycled
 
-  void MergeTuples(uint8_t qidx, const std::vector<SpatialTuple>& tuples) {
-    for (const SpatialTuple& t : tuples) {
-      PartialDoc& pd = docs[t.doc];
-      pd.loc = t.location;
-      pd.mask |= (1u << qidx);
-      pd.terms.emplace_back(qidx, t.weight);
-    }
+  /// Reclaims the candidate for reuse, keeping dense/docs storage.
+  void Recycle() {
+    upper = 0.0;
+    dense.Clear();
+    docs.Clear();
+    next_free = nullptr;
+  }
+
+  void MergeTuple(Arena* arena, uint8_t qidx, const SpatialTuple& t) {
+    PartialDoc& pd = docs.FindOrInsert(t.doc);
+    pd.loc = t.location;
+    pd.mask |= (1u << qidx);
+    pd.terms.PushBack(arena, {qidx, t.weight});
   }
 };
 
-/// Per-query state and the pruning/upper-bound routines.
+namespace {
+
+/// Per-thread reusable search scratch: the bump arena plus every buffer
+/// whose capacity should survive across queries. Thread-local (not global)
+/// because concurrent readers each run their own searches.
+struct SearchScratch {
+  Arena arena;
+  Signature and_sig;                  // AND intersection scratch
+  std::vector<OrEvidence> or_ev;      // per-term evidence list
+  std::vector<Signature> or_nd_sig;   // per-qidx non-dense doc signatures
+  std::vector<double> or_nd_m;        // per-qidx best non-dense weight
+  std::vector<uint8_t> or_nd_seen;    // per-qidx: any non-dense evidence?
+  std::vector<Signature> or_lat_sig;  // lattice evidence per subset mask
+  std::vector<double> or_lat_score;   // lattice score per subset mask
+};
+
+thread_local SearchScratch t_search_scratch;
+
+}  // namespace
+
+/// Per-query search state and the pruning/upper-bound routines.
 class I3Index::SearchContext {
  public:
   SearchContext(I3Index* index, const Query& q, double alpha,
-                I3SearchStats* stats)
+                I3SearchStats* stats, SearchScratch* scratch)
       : index_(index),
         query_(q),
         scorer_(index->options_.space, alpha),
         heap_(q.k),
-        stats_(stats) {
+        stats_(stats),
+        scratch_(scratch) {
     for (size_t i = 0; i < q.terms.size(); ++i) {
       full_mask_ |= (1u << i);
     }
+    if (q.semantics == Semantics::kOr) {
+      const size_t n = q.terms.size();
+      if (scratch_->or_nd_sig.size() < n) {
+        scratch_->or_nd_sig.resize(n);
+        scratch_->or_nd_m.resize(n);
+        scratch_->or_nd_seen.resize(n);
+      }
+    }
+  }
+
+  Arena* arena() { return &scratch_->arena; }
+
+  /// A blank candidate at `rect`: recycled if one is free, arena-minted
+  /// otherwise.
+  Candidate* NewCandidate(const Rect& rect) {
+    Candidate* c = free_list_;
+    if (c != nullptr) {
+      free_list_ = c->next_free;
+      c->Recycle();
+    } else {
+      c = arena()->New<Candidate>(arena());
+    }
+    c->rect = rect;
+    return c;
+  }
+
+  /// Returns a candidate to the freelist (storage stays warm for reuse).
+  void Free(Candidate* c) {
+    c->next_free = free_list_;
+    free_list_ = c;
+  }
+
+  void PqPush(Candidate* c) {
+    pq_.PushBack(arena(), c);
+    std::push_heap(pq_.begin(), pq_.end(), ByUpper{});
+    ++stats_->candidates_pushed;
+  }
+
+  /// Highest-upper-bound candidate, or nullptr when exhausted.
+  Candidate* PqPop() {
+    if (pq_.empty()) return nullptr;
+    std::pop_heap(pq_.begin(), pq_.end(), ByUpper{});
+    Candidate* c = pq_.back();
+    pq_.PopBack();
+    ++stats_->candidates_popped;
+    return c;
   }
 
   /// Algorithm 5 (AND) / Section 5.3 (OR). Returns true if the candidate
@@ -79,9 +182,9 @@ class I3Index::SearchContext {
   }
 
   /// Algorithm 6 (AND) / the Apriori lattice (OR).
-  double UpperBound(const Candidate& c) const {
+  double UpperBound(Candidate* c) {
     const double phi_s =
-        scorer_.SpatialProximityUpper(query_.location, c.rect);
+        scorer_.SpatialProximityUpper(query_.location, c->rect);
     const double phi_t = query_.semantics == Semantics::kAnd
                              ? TextualUpperAnd(c)
                              : TextualUpperOr(c);
@@ -89,15 +192,16 @@ class I3Index::SearchContext {
   }
 
   /// Scores the documents of a fully resolved cell (Algorithm 4, 6-10).
-  void ScoreDocs(const Candidate& c) {
-    for (const auto& [doc, pd] : c.docs) {
+  void ScoreDocs(Candidate* c) {
+    for (auto& slot : c->docs) {
+      const Candidate::PartialDoc& pd = slot.value;
       if (query_.semantics == Semantics::kAnd && pd.mask != full_mask_) {
         continue;
       }
       const double score =
           scorer_.Combine(scorer_.SpatialProximity(query_.location, pd.loc),
                           pd.TextSum());
-      heap_.Offer(doc, score, pd.loc);
+      heap_.Offer(slot.key, score, pd.loc);
       ++stats_->docs_scored;
     }
   }
@@ -105,16 +209,21 @@ class I3Index::SearchContext {
   double Threshold() const { return heap_.Threshold(); }
   TopKHeap* heap() { return &heap_; }
   I3SearchStats* stats() { return stats_; }
-  const Query& query() const { return query_; }
-  uint32_t full_mask() const { return full_mask_; }
 
  private:
+  struct ByUpper {
+    bool operator()(const Candidate* a, const Candidate* b) const {
+      return a->upper < b->upper;
+    }
+  };
+
   bool PruneAnd(Candidate* c) {
     // Lines 1-6: intersect the signatures of the dense keywords.
     if (index_->options_.signature_pruning && !c->dense.empty()) {
-      Signature sig = c->dense[0].entry.sig;
-      for (size_t i = 1; i < c->dense.size(); ++i) {
-        sig.IntersectWith(c->dense[i].entry.sig);
+      Signature& sig = scratch_->and_sig;
+      sig = c->dense[0].entry->sig;  // copy-assign: reuses word storage
+      for (uint32_t i = 1; i < c->dense.size(); ++i) {
+        sig.IntersectWith(c->dense[i].entry->sig);
       }
       if (sig.IsZero()) {
         ++stats_->cells_pruned_signature;
@@ -122,8 +231,8 @@ class I3Index::SearchContext {
       }
       // Lines 7-12: drop partial documents outside the intersection.
       for (auto it = c->docs.begin(); it != c->docs.end();) {
-        if (!sig.MayContain(it->first)) {
-          it = c->docs.erase(it);
+        if (!sig.MayContain(it->key)) {
+          it = c->docs.Erase(it);
         } else {
           ++it;
         }
@@ -134,7 +243,7 @@ class I3Index::SearchContext {
     // keywords. (Generalizes lines 11-12 to empty C.docs.)
     uint32_t covered = 0;
     for (const auto& dk : c->dense) covered |= (1u << dk.qidx);
-    for (const auto& [doc, pd] : c->docs) covered |= pd.mask;
+    for (auto& slot : c->docs) covered |= slot.value.mask;
     if (covered != full_mask_) {
       ++stats_->cells_pruned_coverage;
       return true;
@@ -152,51 +261,51 @@ class I3Index::SearchContext {
     return false;
   }
 
-  double TextualUpperAnd(const Candidate& c) const {
+  double TextualUpperAnd(Candidate* c) {
     double dense_sum = 0.0;
-    for (const auto& dk : c.dense) dense_sum += dk.entry.max_s;
+    for (const auto& dk : c->dense) dense_sum += dk.entry->max_s;
     double nd_max = 0.0;
-    for (const auto& [doc, pd] : c.docs) {
-      nd_max = std::max(nd_max, pd.TextSum());
+    for (auto& slot : c->docs) {
+      nd_max = std::max(nd_max, slot.value.TextSum());
     }
     return dense_sum + nd_max;
   }
 
-  /// Per-term evidence for the OR lattice: the best contribution m_t and a
-  /// signature of the documents that could supply it.
-  double TextualUpperOr(const Candidate& c) const {
+  double TextualUpperOr(Candidate* c) {
     const uint32_t eta = index_->options_.signature_bits;
-    struct TermEvidence {
-      double m = 0.0;
-      Signature sig;
-    };
-    std::vector<TermEvidence> ev;
-    for (const auto& dk : c.dense) {
-      ev.push_back({dk.entry.max_s, dk.entry.sig});
+    SearchScratch& s = *scratch_;
+    s.or_ev.clear();
+    for (const auto& dk : c->dense) {
+      s.or_ev.push_back({dk.entry->max_s, &dk.entry->sig});
     }
     // Group the non-dense contributions by query term.
-    std::vector<TermEvidence> nd(query_.terms.size());
-    std::vector<bool> nd_present(query_.terms.size(), false);
-    for (const auto& [doc, pd] : c.docs) {
-      for (const auto& [qidx, w] : pd.terms) {
-        if (!nd_present[qidx]) {
-          nd[qidx].sig = Signature(eta);
-          nd_present[qidx] = true;
+    std::fill(s.or_nd_seen.begin(), s.or_nd_seen.end(), uint8_t{0});
+    for (auto& slot : c->docs) {
+      for (const auto& tw : slot.value.terms) {
+        if (!s.or_nd_seen[tw.qidx]) {
+          s.or_nd_seen[tw.qidx] = 1;
+          s.or_nd_m[tw.qidx] = 0.0;
+          if (s.or_nd_sig[tw.qidx].bits() != eta) {
+            s.or_nd_sig[tw.qidx] = Signature(eta);
+          } else {
+            s.or_nd_sig[tw.qidx].Clear();
+          }
         }
-        nd[qidx].m = std::max(nd[qidx].m, static_cast<double>(w));
-        nd[qidx].sig.Add(doc);
+        s.or_nd_m[tw.qidx] =
+            std::max(s.or_nd_m[tw.qidx], static_cast<double>(tw.w));
+        s.or_nd_sig[tw.qidx].Add(slot.key);
       }
     }
-    for (size_t i = 0; i < nd.size(); ++i) {
-      if (nd_present[i]) ev.push_back(std::move(nd[i]));
+    for (size_t i = 0; i < query_.terms.size(); ++i) {
+      if (s.or_nd_seen[i]) s.or_ev.push_back({s.or_nd_m[i], &s.or_nd_sig[i]});
     }
-    if (ev.empty()) return 0.0;
+    if (s.or_ev.empty()) return 0.0;
 
-    const size_t p = ev.size();
+    const size_t p = s.or_ev.size();
     if (p > kMaxLatticeTerms) {
       // Degenerate fallback: the plain sum is still a valid upper bound.
       double sum = 0.0;
-      for (const auto& e : ev) sum += e.m;
+      for (const auto& e : s.or_ev) sum += e.m;
       return sum;
     }
 
@@ -204,34 +313,36 @@ class I3Index::SearchContext {
     // intersection of its members' evidence is non-empty; monotonicity
     // prunes supersets of dead subsets.
     const size_t n_masks = size_t{1} << p;
-    std::vector<Signature> evidence(n_masks);
-    std::vector<double> score(n_masks, -1.0);  // -1 = dead subset
+    if (s.or_lat_sig.size() < n_masks) s.or_lat_sig.resize(n_masks);
+    s.or_lat_score.assign(n_masks, -1.0);  // -1 = dead subset
     double best = 0.0;
     for (size_t mask = 1; mask < n_masks; ++mask) {
       const size_t low = mask & (~mask + 1);
       const size_t low_idx = static_cast<size_t>(__builtin_ctzll(mask));
       const size_t rest = mask ^ low;
       if (rest == 0) {
-        evidence[mask] = ev[low_idx].sig;
-        score[mask] = ev[low_idx].m;
+        s.or_lat_sig[mask] = *s.or_ev[low_idx].sig;
+        s.or_lat_score[mask] = s.or_ev[low_idx].m;
       } else {
-        if (score[rest] < 0.0) continue;  // Apriori pruning
-        Signature sig = evidence[rest];
-        sig.IntersectWith(ev[low_idx].sig);
-        if (sig.IsZero()) continue;
-        evidence[mask] = std::move(sig);
-        score[mask] = score[rest] + ev[low_idx].m;
+        if (s.or_lat_score[rest] < 0.0) continue;  // Apriori pruning
+        s.or_lat_sig[mask] = s.or_lat_sig[rest];
+        s.or_lat_sig[mask].IntersectWith(*s.or_ev[low_idx].sig);
+        if (s.or_lat_sig[mask].IsZero()) continue;  // score stays dead
+        s.or_lat_score[mask] = s.or_lat_score[rest] + s.or_ev[low_idx].m;
       }
-      best = std::max(best, score[mask]);
+      best = std::max(best, s.or_lat_score[mask]);
     }
     return best;
   }
 
   I3Index* index_;
-  Query query_;
+  const Query& query_;
   Scorer scorer_;
   TopKHeap heap_;
   I3SearchStats* stats_;
+  SearchScratch* scratch_;
+  Candidate* free_list_ = nullptr;
+  SmallVec<Candidate*, 64> pq_;  // max-heap by upper bound
   uint32_t full_mask_ = 0;
 };
 
@@ -259,11 +370,13 @@ Result<std::vector<ScoredDoc>> I3Index::SearchImpl(const Query& q_in,
     return Status::InvalidArgument("alpha must be in [0, 1]");
   }
 
-  SearchContext ctx(this, q, alpha, stats);
+  SearchScratch* scratch = &t_search_scratch;
+  scratch->arena.Reset();  // invalidates nothing: no search is in flight
+  SearchContext ctx(this, q, alpha, stats, scratch);
+  Arena* arena = ctx.arena();
 
   // Build the root candidate (Algorithm 4, line 1).
-  auto root = std::make_unique<Candidate>();
-  root->rect = options_.space;
+  Candidate* root = ctx.NewCandidate(options_.space);
   for (size_t i = 0; i < q.terms.size(); ++i) {
     auto it = lookup_.find(q.terms[i]);
     if (it == lookup_.end()) {
@@ -275,60 +388,55 @@ Result<std::vector<ScoredDoc>> I3Index::SearchImpl(const Query& q_in,
     const LookupEntry& entry = it->second;
     if (entry.dense) {
       const SummaryNode& node = head_.Read(entry.node);
-      root->dense.push_back(
-          {static_cast<uint8_t>(i), entry.node, node.self});
+      root->dense.PushBack(
+          arena, {static_cast<uint8_t>(i), entry.node, &node.self});
     } else {
-      auto tuples = ReadCellTuples(entry.page, {}, entry.source);
-      if (!tuples.ok()) return tuples.status();
-      root->MergeTuples(static_cast<uint8_t>(i), tuples.ValueOrDie());
+      const uint8_t qidx = static_cast<uint8_t>(i);
+      I3_RETURN_NOT_OK(VisitCellTuples(
+          entry.page, nullptr, entry.source, [&](const SpatialTuple& t) {
+            root->MergeTuple(arena, qidx, t);
+          }));
     }
   }
 
-  // Max-heap of candidates by upper bound.
-  auto cmp = [](const std::unique_ptr<Candidate>& a,
-                const std::unique_ptr<Candidate>& b) {
-    return a->upper < b->upper;
-  };
-  std::priority_queue<std::unique_ptr<Candidate>,
-                      std::vector<std::unique_ptr<Candidate>>, decltype(cmp)>
-      pq(cmp);
-
-  if (!ctx.Prune(root.get())) {
-    root->upper = ctx.UpperBound(*root);
-    ++ctx.stats()->candidates_pushed;
-    pq.push(std::move(root));
+  if (!ctx.Prune(root)) {
+    root->upper = ctx.UpperBound(root);
+    ctx.PqPush(root);
+  } else {
+    ctx.Free(root);
   }
 
-  while (!pq.empty()) {
-    std::unique_ptr<Candidate> c =
-        std::move(const_cast<std::unique_ptr<Candidate>&>(pq.top()));
-    pq.pop();
-    ++ctx.stats()->candidates_popped;
-
+  Candidate* c;
+  while ((c = ctx.PqPop()) != nullptr) {
     // Lines 4-5: global termination.
     if (c->upper <= ctx.Threshold()) break;
 
     // Lines 6-10: fully resolved cell -- score its documents.
     if (c->dense.empty()) {
-      ctx.ScoreDocs(*c);
+      ctx.ScoreDocs(c);
+      ctx.Free(c);
       continue;
     }
 
     // Lines 12-24: zoom into the four child cells.
     // Snapshot the dense keywords' nodes (head-file reads, one per dense
     // keyword; the node vector is stable during a search).
-    std::vector<const SummaryNode*> nodes;
-    nodes.reserve(c->dense.size());
-    for (const auto& dk : c->dense) nodes.push_back(&head_.Read(dk.node));
+    SmallVec<const SummaryNode*, 8> nodes;
+    for (const auto& dk : c->dense) {
+      nodes.PushBack(arena, &head_.Read(dk.node));
+    }
 
     for (int quad = 0; quad < kQuadrants; ++quad) {
-      auto child = std::make_unique<Candidate>();
-      child->rect = CellSpace::ChildRect(c->rect, quad);
+      Candidate* child = ctx.NewCandidate(CellSpace::ChildRect(c->rect, quad));
 
       // Route each partial document to the unique child containing it.
-      for (const auto& [doc, pd] : c->docs) {
+      for (auto& slot : c->docs) {
+        const Candidate::PartialDoc& pd = slot.value;
         if (CellSpace::QuadrantOf(c->rect, pd.loc) == quad) {
-          child->docs.emplace(doc, pd);
+          Candidate::PartialDoc& dst = child->docs.FindOrInsert(slot.key);
+          dst.loc = pd.loc;
+          dst.mask = pd.mask;
+          dst.terms.AssignFrom(arena, pd.terms);
         }
       }
 
@@ -342,71 +450,85 @@ Result<std::vector<ScoredDoc>> I3Index::SearchImpl(const Query& q_in,
         SourceId source;
         const std::vector<PageId>* overflow;
       };
-      std::vector<PendingFetch> pending;
+      SmallVec<PendingFetch, 8> pending;
 
-      for (size_t d = 0; d < c->dense.size(); ++d) {
+      for (uint32_t d = 0; d < c->dense.size(); ++d) {
         const ChildRef& ref = nodes[d]->child[quad];
         switch (ref.kind) {
           case ChildRef::Kind::kNone:
             break;
           case ChildRef::Kind::kSummary:
-            child->dense.push_back({c->dense[d].qidx, ref.node,
-                                    nodes[d]->child_summary[quad]});
+            child->dense.PushBack(arena, {c->dense[d].qidx, ref.node,
+                                          &nodes[d]->child_summary[quad]});
             break;
           case ChildRef::Kind::kPage:
             if (options_.summary_screen) {
               // Temporarily treat the page-backed cell like a dense one,
               // carrying its exact summary from the parent node.
               // kInvalidNodeId marks it as pending.
-              child->dense.push_back({c->dense[d].qidx, kInvalidNodeId,
-                                      nodes[d]->child_summary[quad]});
-              pending.push_back({c->dense[d].qidx, ref.page, ref.source,
-                                 &ref.overflow});
+              child->dense.PushBack(arena,
+                                    {c->dense[d].qidx, kInvalidNodeId,
+                                     &nodes[d]->child_summary[quad]});
+              pending.PushBack(arena, {c->dense[d].qidx, ref.page, ref.source,
+                                       &ref.overflow});
             } else {
               // Ablation / literal Algorithm 4: fetch eagerly.
-              auto tuples =
-                  ReadCellTuples(ref.page, ref.overflow, ref.source);
-              if (!tuples.ok()) return tuples.status();
-              child->MergeTuples(c->dense[d].qidx, tuples.ValueOrDie());
+              const uint8_t qidx = c->dense[d].qidx;
+              I3_RETURN_NOT_OK(VisitCellTuples(
+                  ref.page, &ref.overflow, ref.source,
+                  [&](const SpatialTuple& t) {
+                    child->MergeTuple(arena, qidx, t);
+                  }));
             }
             break;
         }
       }
 
-      if (child->dense.empty() && child->docs.empty()) continue;
-      if (ctx.Prune(child.get())) continue;
-      child->upper = ctx.UpperBound(*child);
+      if ((child->dense.empty() && child->docs.empty()) ||
+          ctx.Prune(child)) {
+        ctx.Free(child);
+        continue;
+      }
+      child->upper = ctx.UpperBound(child);
       if (child->upper <= ctx.Threshold()) {
         ++ctx.stats()->cells_pruned_score;
+        ctx.Free(child);
         continue;
       }
 
       if (!pending.empty()) {
         // The child survived the summary-only screen: fetch the pages of
         // its non-dense keyword cells and re-evaluate with exact tuples.
-        child->dense.erase(
-            std::remove_if(child->dense.begin(), child->dense.end(),
-                           [](const Candidate::DenseKwd& dk) {
-                             return dk.node == kInvalidNodeId;
-                           }),
-            child->dense.end());
-        for (const PendingFetch& pf : pending) {
-          auto tuples = ReadCellTuples(pf.page, *pf.overflow, pf.source);
-          if (!tuples.ok()) return tuples.status();
-          child->MergeTuples(pf.qidx, tuples.ValueOrDie());
+        uint32_t w = 0;
+        for (uint32_t d = 0; d < child->dense.size(); ++d) {
+          if (child->dense[d].node != kInvalidNodeId) {
+            child->dense[w++] = child->dense[d];
+          }
         }
-        if (child->dense.empty() && child->docs.empty()) continue;
-        if (ctx.Prune(child.get())) continue;
-        child->upper = ctx.UpperBound(*child);
+        child->dense.Truncate(w);
+        for (const PendingFetch& pf : pending) {
+          const uint8_t qidx = pf.qidx;
+          I3_RETURN_NOT_OK(VisitCellTuples(
+              pf.page, pf.overflow, pf.source, [&](const SpatialTuple& t) {
+                child->MergeTuple(arena, qidx, t);
+              }));
+        }
+        if ((child->dense.empty() && child->docs.empty()) ||
+            ctx.Prune(child)) {
+          ctx.Free(child);
+          continue;
+        }
+        child->upper = ctx.UpperBound(child);
         if (child->upper <= ctx.Threshold()) {
           ++ctx.stats()->cells_pruned_score;
+          ctx.Free(child);
           continue;
         }
       }
 
-      ++ctx.stats()->candidates_pushed;
-      pq.push(std::move(child));
+      ctx.PqPush(child);
     }
+    ctx.Free(c);
   }
 
   return ctx.heap()->Take();
@@ -435,15 +557,12 @@ Result<std::vector<ScoredDoc>> I3Index::SearchRange(const Rect& range,
   };
   std::unordered_map<DocId, RangeDoc> docs;
 
-  auto merge_tuples = [&](uint8_t qidx,
-                          const std::vector<SpatialTuple>& tuples) {
-    for (const SpatialTuple& t : tuples) {
-      if (!range.Contains(t.location)) continue;
-      RangeDoc& rd = docs[t.doc];
-      rd.mask |= (1u << qidx);
-      rd.text += t.weight;
-      rd.loc = t.location;
-    }
+  auto merge_tuple = [&](uint8_t qidx, const SpatialTuple& t) {
+    if (!range.Contains(t.location)) return;
+    RangeDoc& rd = docs[t.doc];
+    rd.mask |= (1u << qidx);
+    rd.text += t.weight;
+    rd.loc = t.location;
   };
 
   // A frame is one cell with the query keywords still dense in it.
@@ -464,9 +583,10 @@ Result<std::vector<ScoredDoc>> I3Index::SearchRange(const Rect& range,
     if (it->second.dense) {
       root.dense.emplace_back(static_cast<uint8_t>(i), it->second.node);
     } else {
-      auto tuples = ReadCellTuples(it->second.page, {}, it->second.source);
-      if (!tuples.ok()) return tuples.status();
-      merge_tuples(static_cast<uint8_t>(i), tuples.ValueOrDie());
+      const uint8_t qidx = static_cast<uint8_t>(i);
+      I3_RETURN_NOT_OK(VisitCellTuples(
+          it->second.page, nullptr, it->second.source,
+          [&](const SpatialTuple& t) { merge_tuple(qidx, t); }));
     }
   }
   if (!root.dense.empty()) stack.push_back(std::move(root));
@@ -511,9 +631,10 @@ Result<std::vector<ScoredDoc>> I3Index::SearchRange(const Rect& range,
             child.dense.emplace_back(f.dense[d].first, ref.node);
             break;
           case ChildRef::Kind::kPage: {
-            auto tuples = ReadCellTuples(ref.page, ref.overflow, ref.source);
-            if (!tuples.ok()) return tuples.status();
-            merge_tuples(f.dense[d].first, tuples.ValueOrDie());
+            const uint8_t qidx = f.dense[d].first;
+            I3_RETURN_NOT_OK(VisitCellTuples(
+                ref.page, &ref.overflow, ref.source,
+                [&](const SpatialTuple& t) { merge_tuple(qidx, t); }));
             break;
           }
         }

@@ -5,8 +5,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "model/query.h"
@@ -18,31 +16,48 @@ namespace i3 {
 ///
 /// Ties on score are broken by smaller DocId so results are deterministic
 /// across index implementations (needed for cross-index equivalence tests).
+///
+/// Allocation: the heap storage is reserved up front (capped for absurd k),
+/// so a search performs at most one heap allocation for its results -- the
+/// vector that Take() hands back. Duplicate suppression is a linear scan of
+/// the at-most-k held entries rather than a hash set: every caller offers a
+/// document at most once per heap, and a re-offered document necessarily
+/// carries the same score, so it is rejected by the threshold once evicted
+/// and found by the scan while held.
 class TopKHeap {
  public:
-  explicit TopKHeap(uint32_t k) : k_(k) {}
+  explicit TopKHeap(uint32_t k) : k_(k) {
+    heap_.reserve(std::min(k_, kMaxUpfrontReserve));
+  }
 
   /// \brief Offers a candidate; ignored if it cannot enter the top k or if
-  /// the doc is already present (documents may be scored once only --
-  /// callers ensure that; the set is a safety net).
+  /// the doc is already present.
   void Offer(DocId doc, double score, const Point& location = {}) {
     if (k_ == 0) return;
-    if (!seen_.insert(doc).second) return;
-    if (heap_.size() < k_) {
-      heap_.push({doc, score, location});
+    const ScoredDoc cand{doc, score, location};
+    const bool full = heap_.size() >= k_;
+    // Fast reject: a full heap only admits entries beating the current
+    // worst, and such an entry cannot be a duplicate (same doc => same
+    // score, which ties with -- not beats -- the held copy).
+    if (full && !Better(cand, heap_.front())) return;
+    for (const ScoredDoc& held : heap_) {
+      if (held.doc == doc) return;
+    }
+    if (!full) {
+      heap_.push_back(cand);
+      std::push_heap(heap_.begin(), heap_.end(), WorstFirst{});
       return;
     }
-    if (Better({doc, score, location}, heap_.top())) {
-      heap_.pop();
-      heap_.push({doc, score, location});
-    }
+    std::pop_heap(heap_.begin(), heap_.end(), WorstFirst{});
+    heap_.back() = cand;
+    std::push_heap(heap_.begin(), heap_.end(), WorstFirst{});
   }
 
   /// \brief delta: the k-th best score, or -infinity while fewer than k
   /// results are held. Cells/nodes with upper bound <= delta are prunable.
   double Threshold() const {
     if (heap_.size() < k_) return -std::numeric_limits<double>::infinity();
-    return heap_.top().score;
+    return heap_.front().score;
   }
 
   bool Full() const { return heap_.size() >= k_; }
@@ -51,17 +66,15 @@ class TopKHeap {
   /// \brief Extracts results in decreasing score (ties: increasing DocId).
   /// The heap is consumed.
   std::vector<ScoredDoc> Take() {
-    std::vector<ScoredDoc> out;
-    out.reserve(heap_.size());
-    while (!heap_.empty()) {
-      out.push_back(heap_.top());
-      heap_.pop();
-    }
-    std::reverse(out.begin(), out.end());
-    return out;
+    // sort_heap under WorstFirst orders "less" (= better-ranked) first.
+    std::sort_heap(heap_.begin(), heap_.end(), WorstFirst{});
+    return std::move(heap_);
   }
 
  private:
+  // Reserve ceiling: a pathological k must not pre-commit megabytes.
+  static constexpr uint32_t kMaxUpfrontReserve = 4096;
+
   /// True if `a` ranks strictly higher than `b`.
   static bool Better(const ScoredDoc& a, const ScoredDoc& b) {
     if (a.score != b.score) return a.score > b.score;
@@ -70,13 +83,12 @@ class TopKHeap {
 
   struct WorstFirst {
     bool operator()(const ScoredDoc& a, const ScoredDoc& b) const {
-      return Better(a, b);  // priority_queue: top = worst-ranked
+      return Better(a, b);  // max-heap by "worseness": front = worst-ranked
     }
   };
 
   uint32_t k_;
-  std::priority_queue<ScoredDoc, std::vector<ScoredDoc>, WorstFirst> heap_;
-  std::unordered_set<DocId> seen_;
+  std::vector<ScoredDoc> heap_;  // binary heap via std::push_heap/pop_heap
 };
 
 }  // namespace i3

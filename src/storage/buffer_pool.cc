@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include <cassert>
 #include <chrono>
 #include <cstring>
 
@@ -7,6 +8,54 @@ namespace i3 {
 
 BufferPool::BufferPool(PageFile* file, BufferPoolOptions options)
     : file_(file), options_(options) {}
+
+const uint8_t* BufferPool::PinnedPage::data() const {
+  return static_cast<const Frame*>(frame_)->data.data();
+}
+
+void BufferPool::PinnedPage::Release() {
+  if (frame_ == nullptr) return;
+  pool_->Unpin(static_cast<Frame*>(frame_));
+  frame_ = nullptr;
+  pool_ = nullptr;
+}
+
+Status BufferPool::PinPage(PageId id, IoCategory category, uint8_t* scratch,
+                           PinnedPage* out) {
+  assert(Pinnable());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(id);
+    if (it != map_.end()) {
+      Frame& frame = *it->second;
+      ++frame.pins;
+      Touch(it->second);
+      ++hits_;
+      *out = PinnedPage(this, &frame);
+      return Status::OK();
+    }
+  }
+  // Miss: fault the page in through the caller's scratch buffer outside the
+  // lock (stateless file read; simulated device latency must overlap across
+  // threads), then publish it. A racing miss on the same page is benign:
+  // InsertFrame finds the winner's frame and this thread pins it.
+  I3_RETURN_NOT_OK(file_->ReadPage(id, scratch, category));
+  SimulateMiss();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    Frame* frame = InsertFrame(id, scratch);
+    ++frame->pins;
+    *out = PinnedPage(this, frame);
+  }
+  return Status::OK();
+}
+
+void BufferPool::Unpin(Frame* frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(frame->pins > 0);
+  --frame->pins;
+}
 
 Status BufferPool::ReadPage(PageId id, void* buf, IoCategory category) {
   if (options_.capacity_pages > 0) {
@@ -50,27 +99,52 @@ Status BufferPool::WritePage(PageId id, const void* buf,
 
 void BufferPool::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
-  lru_.clear();
-  map_.clear();
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->pins > 0) {
+      ++it;  // a pinned reader still maps these bytes
+    } else {
+      map_.erase(it->id);
+      it = lru_.erase(it);
+    }
+  }
 }
 
 void BufferPool::Touch(std::list<Frame>::iterator it) {
   lru_.splice(lru_.begin(), lru_, it);
 }
 
-void BufferPool::InsertFrame(PageId id, const void* buf) {
+BufferPool::Frame* BufferPool::InsertFrame(PageId id, const void* buf) {
   // Two readers can miss on the same page back to back (the miss path runs
-  // unlocked); the second insert must refresh the existing frame, not grow
-  // a duplicate whose eviction would orphan the live map entry.
+  // unlocked); the second insert must adopt the existing frame, not grow a
+  // duplicate whose eviction would orphan the live map entry. No byte copy:
+  // the frame already holds the current page (write-through invariant), and
+  // rewriting identical bytes would race a pinned reader decoding them.
   auto it = map_.find(id);
   if (it != map_.end()) {
-    std::memcpy(it->second->data.data(), buf, page_size());
     Touch(it->second);
-    return;
+    return &*it->second;
   }
   if (lru_.size() >= options_.capacity_pages) {
-    map_.erase(lru_.back().id);
-    lru_.pop_back();
+    // Evict the least-recent *unpinned* frame -- by recycling it: its page
+    // buffer, list node, and map node are all reused, so a steady-state
+    // miss performs zero allocator traffic. Rewriting the bytes is safe
+    // because pins == 0 means no reader maps the frame, and copying-out
+    // readers hold the pool mutex. If every frame is pinned (#pins is
+    // bounded by the number of reader threads), grow past capacity for
+    // the moment instead.
+    for (auto victim = lru_.end(); victim != lru_.begin();) {
+      --victim;
+      if (victim->pins == 0) {
+        auto node = map_.extract(victim->id);
+        victim->id = id;
+        std::memcpy(victim->data.data(), buf, page_size());
+        Touch(victim);
+        node.key() = id;
+        node.mapped() = lru_.begin();
+        map_.insert(std::move(node));
+        return &lru_.front();
+      }
+    }
   }
   Frame frame;
   frame.id = id;
@@ -78,6 +152,7 @@ void BufferPool::InsertFrame(PageId id, const void* buf) {
                     static_cast<const uint8_t*>(buf) + page_size());
   lru_.push_front(std::move(frame));
   map_[id] = lru_.begin();
+  return &lru_.front();
 }
 
 void BufferPool::SimulateMiss() const {

@@ -15,6 +15,7 @@
 #include <list>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -39,9 +40,60 @@ struct BufferPoolOptions {
 /// page copy. Writers still require external exclusion against readers:
 /// the pool orders accesses to itself, not to the index structures that
 /// decide which pages to touch.
+///
+/// Zero-copy reads: PinPage hands out a pointer directly into the cached
+/// frame instead of copying the page out. A pinned frame is exempt from
+/// eviction (and from Clear()) until its PinnedPage is destroyed, so the
+/// pointer stays valid for the pin's lifetime even while other readers churn
+/// the LRU. The frame bytes themselves are immutable while any reader runs
+/// (the writer-exclusion contract above); pinning protects against
+/// *recycling*, not against writers.
 class BufferPool {
  public:
   BufferPool(PageFile* file, BufferPoolOptions options);
+
+  /// \brief RAII pin on one cached page frame (movable, not copyable).
+  /// data() stays valid until destruction/Release. Pins are cheap (one
+  /// mutex acquisition each way) but should be scoped tightly: a pinned
+  /// frame cannot be evicted, so long-lived pins inflate the pool past its
+  /// configured capacity.
+  class PinnedPage {
+   public:
+    PinnedPage() = default;
+    PinnedPage(PinnedPage&& o) noexcept { *this = std::move(o); }
+    PinnedPage& operator=(PinnedPage&& o) noexcept {
+      Release();
+      pool_ = o.pool_;
+      frame_ = o.frame_;
+      o.pool_ = nullptr;
+      o.frame_ = nullptr;
+      return *this;
+    }
+    PinnedPage(const PinnedPage&) = delete;
+    PinnedPage& operator=(const PinnedPage&) = delete;
+    ~PinnedPage() { Release(); }
+
+    const uint8_t* data() const;
+    bool valid() const { return frame_ != nullptr; }
+    void Release();
+
+   private:
+    friend class BufferPool;
+    PinnedPage(BufferPool* pool, void* frame) : pool_(pool), frame_(frame) {}
+
+    BufferPool* pool_ = nullptr;
+    void* frame_ = nullptr;  // Frame*; opaque to callers
+  };
+
+  /// True if PinPage is usable (a capacity-0 pool has no frames to pin;
+  /// callers fall back to a copying read into their own buffer).
+  bool Pinnable() const { return options_.capacity_pages > 0; }
+
+  /// \brief Pins page `id` in the cache, faulting it in on a miss through
+  /// `scratch` (a caller-provided page_size() buffer, used only during the
+  /// call). Requires Pinnable().
+  Status PinPage(PageId id, IoCategory category, uint8_t* scratch,
+                 PinnedPage* out);
 
   /// \brief Reads page `id` (through the cache) into `buf`.
   Status ReadPage(PageId id, void* buf, IoCategory category);
@@ -53,6 +105,10 @@ class BufferPool {
   Result<PageId> AllocatePage() { return file_->AllocatePage(); }
 
   /// \brief Drops every cached page (cold-cache reset between query sets).
+  /// Frames pinned at the moment of the call survive it (their pointers
+  /// must stay valid); that keeps at most a few in-flight pages warm, and
+  /// none in the single-threaded benchmark setup, where no pin spans a
+  /// Clear.
   void Clear();
 
   uint64_t hits() const {
@@ -71,10 +127,19 @@ class BufferPool {
   struct Frame {
     PageId id;
     std::vector<uint8_t> data;
+    /// Open pins; a frame with pins > 0 is never evicted. Guarded by
+    /// mutex_ like the rest of the frame bookkeeping (the *bytes* are
+    /// stable while pinned, so readers decode them outside the lock).
+    uint32_t pins = 0;
   };
 
   void Touch(std::list<Frame>::iterator it);
-  void InsertFrame(PageId id, const void* buf);
+  /// Inserts (or refreshes the LRU position of) `id`; returns the frame.
+  /// `buf` is copied only into a newly created frame -- an existing frame
+  /// already holds the current bytes (write-through invariant) and may be
+  /// concurrently mapped by a pinned reader.
+  Frame* InsertFrame(PageId id, const void* buf);
+  void Unpin(Frame* frame);
   void SimulateMiss() const;
 
   PageFile* file_;
