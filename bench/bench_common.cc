@@ -4,6 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+
+#include "obs/clock.h"
+#include "obs/histogram.h"
 
 namespace i3 {
 namespace bench {
@@ -22,13 +26,23 @@ BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
       cfg.eta = static_cast<uint32_t>(std::atoi(a + 6));
     } else if (std::strncmp(a, "--iolat=", 8) == 0) {
       cfg.io_latency_us = static_cast<uint32_t>(std::atoi(a + 8));
+    } else if (std::strcmp(a, "--metrics") == 0) {
+      cfg.dump_metrics = true;
+    } else if (std::strncmp(a, "--metrics=", 10) == 0) {
+      cfg.dump_metrics = true;
+      cfg.metrics_path = a + 10;
+    } else if (std::strncmp(a, "--trace-sample-rate=", 20) == 0) {
+      cfg.trace_sample_rate = std::atof(a + 20);
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
           "flags: --scale=X (dataset scale, default 1) --queries=N "
-          "--skip-irtree --eta=N --iolat=US (simulated page latency)\n");
+          "--skip-irtree --eta=N --iolat=US (simulated page latency) "
+          "--metrics[=PATH] (Prometheus dump on exit, stdout if no path) "
+          "--trace-sample-rate=R (fraction of queries traced)\n");
       std::exit(0);
     }
   }
+  obs::Tracer::Global().SetSampleRate(cfg.trace_sample_rate);
   return cfg;
 }
 
@@ -107,9 +121,12 @@ QuerySetCost RunQuerySet(SpatialKeywordIndex* index,
   index->ClearCache();  // cold cache per query set, as in Section 6.3
   index->ResetIoStats();
   ScopedIoLatency latency(io_latency_us);
+  obs::HistogramSnapshot latencies_us;
   Timer timer;
   for (const Query& q : queries) {
+    const uint64_t q0 = obs::NowNanos();
     auto res = index->Search(q, alpha);
+    latencies_us.Record((obs::NowNanos() - q0) / 1000);
     if (!res.ok()) {
       std::fprintf(stderr, "%s search failed: %s\n", index->Name().c_str(),
                    res.status().ToString().c_str());
@@ -117,7 +134,14 @@ QuerySetCost RunQuerySet(SpatialKeywordIndex* index,
     }
   }
   cost.avg_ms = timer.ElapsedMillis() / queries.size();
+  cost.p50_ms = static_cast<double>(latencies_us.Quantile(0.50)) / 1000.0;
+  cost.p90_ms = static_cast<double>(latencies_us.Quantile(0.90)) / 1000.0;
+  cost.p99_ms = static_cast<double>(latencies_us.Quantile(0.99)) / 1000.0;
+  cost.max_ms = static_cast<double>(latencies_us.Max()) / 1000.0;
   const IoStats& io = index->io_stats();
+  // The stats were reset above, so the cumulative counters are exactly
+  // this query set's delta.
+  RecordIoMetrics(io);
   cost.avg_io_reads =
       static_cast<double>(io.TotalReads()) / queries.size();
   for (int c = 0; c < kNumIoCategories; ++c) {
@@ -126,6 +150,27 @@ QuerySetCost RunQuerySet(SpatialKeywordIndex* index,
         queries.size();
   }
   return cost;
+}
+
+void DumpMetricsIfRequested(const BenchConfig& cfg) {
+  if (!cfg.dump_metrics) return;
+  const std::string text =
+      obs::ToPrometheusText(obs::MetricsRegistry::Global().Snapshot());
+  if (cfg.metrics_path.empty()) {
+    std::printf("\n--- metrics ---\n%s", text.c_str());
+    return;
+  }
+  std::ofstream out(cfg.metrics_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write metrics to %s\n",
+                 cfg.metrics_path.c_str());
+    return;
+  }
+  out << text;
+}
+
+std::string MetricsSnapshotJson(const std::string& indent) {
+  return obs::ToJson(obs::MetricsRegistry::Global().Snapshot(), indent);
 }
 
 void PrintRow(const std::vector<std::string>& cells, int width) {

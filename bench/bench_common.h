@@ -22,6 +22,9 @@
 #include "i3/i3_index.h"
 #include "irtree/irtree_index.h"
 #include "model/index.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "s2i/s2i_index.h"
 
 namespace i3 {
@@ -47,8 +50,16 @@ struct BenchConfig {
   uint32_t default_k = 50;
   double default_alpha = 0.5;
   uint32_t default_qn = 3;
+  /// --metrics / --metrics=PATH: dump a Prometheus-text snapshot of the
+  /// metrics registry when the harness exits (empty path = stdout).
+  bool dump_metrics = false;
+  std::string metrics_path;
+  /// --trace-sample-rate=R in [0, 1]: fraction of queries to trace
+  /// (obs/trace.h); applied to the global Tracer by FromArgs. 0 = off.
+  double trace_sample_rate = 0.0;
 
-  /// Parses --scale=X --queries=N --skip-irtree --eta=N --iolat=US.
+  /// Parses --scale=X --queries=N --skip-irtree --eta=N --iolat=US
+  /// --metrics[=PATH] --trace-sample-rate=R.
   static BenchConfig FromArgs(int argc, char** argv);
 };
 
@@ -71,10 +82,17 @@ std::unique_ptr<S2IIndex> BuildS2I(const Dataset& ds);
 /// \param bulk use STR bulk loading (the paper's static Wikipedia build).
 std::unique_ptr<IrTreeIndex> BuildIrTree(const Dataset& ds, bool bulk);
 
-/// \brief Cost of running one query set: mean latency and mean per-query
-/// I/O, split by category.
+/// \brief Cost of running one query set: mean and percentile latency and
+/// mean per-query I/O, split by category.
 struct QuerySetCost {
   double avg_ms = 0.0;
+  /// Latency percentiles over the set's individual query times, estimated
+  /// from a log-linear histogram (<= 3.125% relative error, see
+  /// obs/histogram.h).
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
   double avg_io_reads = 0.0;
   /// Per-category mean reads, indexed by IoCategory.
   double avg_reads_by_cat[kNumIoCategories] = {};
@@ -85,6 +103,15 @@ struct QuerySetCost {
 QuerySetCost RunQuerySet(SpatialKeywordIndex* index,
                          const std::vector<Query>& queries, double alpha,
                          uint32_t io_latency_us = 20);
+
+/// \brief Honors cfg.dump_metrics: writes the global metrics registry as
+/// Prometheus text to cfg.metrics_path (stdout when the path is empty).
+/// No-op when --metrics was not passed.
+void DumpMetricsIfRequested(const BenchConfig& cfg);
+
+/// \brief The global metrics registry as an embeddable JSON object (see
+/// obs::ToJson); `indent` prefixes every line. For BENCH_*.json artifacts.
+std::string MetricsSnapshotJson(const std::string& indent = "");
 
 /// \brief Fixed-width table printing.
 void PrintRow(const std::vector<std::string>& cells, int width = 14);

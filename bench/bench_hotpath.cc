@@ -38,6 +38,12 @@ struct HotpathResult {
   const char* semantics;
   double qps = 0.0;
   double us_per_query = 0.0;
+  /// Steady-state per-query latency distribution (log-linear histogram,
+  /// <= 3.125% relative error).
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
   double alloc_bytes_per_query = 0.0;
   double alloc_count_per_query = 0.0;
   double pages_per_query = 0.0;
@@ -50,9 +56,12 @@ HotpathResult MeasureSemantics(I3Index* index,
   HotpathResult r;
   r.semantics = SemanticsName(queries.front().semantics);
 
-  auto run_set = [&](bool fold) {
+  obs::HistogramSnapshot latencies_us;
+  auto run_set = [&](bool fold, bool timed) {
     for (const Query& q : queries) {
+      const uint64_t q0 = timed ? obs::NowNanos() : 0;
       auto res = index->Search(q, alpha);
+      if (timed) latencies_us.Record((obs::NowNanos() - q0) / 1000);
       if (!res.ok()) {
         std::fprintf(stderr, "search failed: %s\n",
                      res.status().ToString().c_str());
@@ -67,21 +76,27 @@ HotpathResult MeasureSemantics(I3Index* index,
   // Cold pass: every page access charged (the paper's I/O metric).
   index->ClearCache();
   index->ResetIoStats();
-  run_set(/*fold=*/true);
+  run_set(/*fold=*/true, /*timed=*/false);
   r.pages_per_query = static_cast<double>(index->io_stats().TotalReads()) /
                       queries.size();
+  RecordIoMetrics(index->io_stats());  // cold-pass delta (stats just reset)
 
   // Warm pass to fill the buffer pool, then the timed steady-state loop.
-  run_set(/*fold=*/false);
+  run_set(/*fold=*/false, /*timed=*/false);
   const AllocTally before = ThreadAllocTally();
   Timer timer;
-  for (uint32_t rep = 0; rep < reps; ++rep) run_set(/*fold=*/false);
+  for (uint32_t rep = 0; rep < reps; ++rep)
+    run_set(/*fold=*/false, /*timed=*/true);
   const double secs = timer.ElapsedMillis() / 1e3;
   const AllocTally cost = ThreadAllocTally() - before;
 
   const double n = static_cast<double>(queries.size()) * reps;
   r.qps = n / secs;
   r.us_per_query = secs * 1e6 / n;
+  r.p50_us = static_cast<double>(latencies_us.Quantile(0.50));
+  r.p90_us = static_cast<double>(latencies_us.Quantile(0.90));
+  r.p99_us = static_cast<double>(latencies_us.Quantile(0.99));
+  r.max_us = static_cast<double>(latencies_us.Max());
   r.alloc_bytes_per_query = static_cast<double>(cost.bytes) / n;
   r.alloc_count_per_query = static_cast<double>(cost.count) / n;
   return r;
@@ -117,16 +132,19 @@ int Main(int argc, char** argv) {
                                        cfg.default_alpha, reps));
   }
 
-  PrintRule(6);
-  PrintRow({"semantics", "qps", "us/query", "B alloc/q", "allocs/q",
-            "pages/q"});
-  PrintRule(6);
+  PrintRule(9, 11);
+  PrintRow({"semantics", "qps", "us/query", "p50us", "p90us", "p99us",
+            "B alloc/q", "allocs/q", "pages/q"},
+           11);
+  PrintRule(9, 11);
   for (const HotpathResult& r : results) {
     PrintRow({r.semantics, Fmt(r.qps, 0), Fmt(r.us_per_query, 1),
+              Fmt(r.p50_us, 0), Fmt(r.p90_us, 0), Fmt(r.p99_us, 0),
               Fmt(r.alloc_bytes_per_query, 0),
-              Fmt(r.alloc_count_per_query, 1), Fmt(r.pages_per_query, 1)});
+              Fmt(r.alloc_count_per_query, 1), Fmt(r.pages_per_query, 1)},
+             11);
   }
-  PrintRule(6);
+  PrintRule(9, 11);
 
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
@@ -147,14 +165,21 @@ int Main(int argc, char** argv) {
     const HotpathResult& r = results[i];
     std::fprintf(f,
                  "    {\"semantics\": \"%s\", \"qps\": %.1f, "
-                 "\"us_per_query\": %.2f, \"alloc_bytes_per_query\": %.1f, "
+                 "\"us_per_query\": %.2f, \"p50_us\": %.0f, "
+                 "\"p90_us\": %.0f, \"p99_us\": %.0f, \"max_us\": %.0f, "
+                 "\"alloc_bytes_per_query\": %.1f, "
                  "\"alloc_count_per_query\": %.2f, \"pages_per_query\": "
                  "%.2f, \"checksum\": %" PRIu64 "}%s\n",
-                 r.semantics, r.qps, r.us_per_query, r.alloc_bytes_per_query,
+                 r.semantics, r.qps, r.us_per_query, r.p50_us, r.p90_us,
+                 r.p99_us, r.max_us, r.alloc_bytes_per_query,
                  r.alloc_count_per_query, r.pages_per_query, r.checksum,
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  // Process-wide metrics snapshot (query/update histograms, buffer pool,
+  // per-category I/O, search-stat counters) for scrapers and the CI gate.
+  std::fprintf(f, "  ],\n  \"obs\":\n%s\n}\n",
+               MetricsSnapshotJson("  ").c_str());
+  DumpMetricsIfRequested(cfg);
   std::fclose(f);
   std::printf("wrote %s\n", json_path.c_str());
   return 0;

@@ -12,6 +12,11 @@
 //
 // `build` writes <prefix>.i3 (the index) and <prefix>.vocab (the term
 // dictionary with document frequencies, needed to interpret query text).
+//
+// Global flags (any position): --metrics[=PATH] dumps the process metrics
+// registry as Prometheus text on exit (stdout when no path);
+// --trace-sample-rate=R traces a fraction of queries and prints the
+// sampled stage breakdowns as JSON on exit.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +29,9 @@
 
 #include "common/timer.h"
 #include "i3/i3_index.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/tfidf.h"
 #include "text/tokenizer.h"
 #include "text/vocabulary.h"
@@ -274,15 +282,66 @@ int CmdRange(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip the global observability flags before command dispatch.
+  bool dump_metrics = false;
+  bool dump_traces = false;
+  std::string metrics_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      dump_metrics = true;
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      dump_metrics = true;
+      metrics_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--trace-sample-rate=", 20) == 0) {
+      obs::Tracer::Global().SetSampleRate(std::atof(argv[i] + 20));
+      dump_traces = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
   if (argc < 2) {
     std::printf(
         "usage: %s build|stats|query|range ... (see the file header)\n",
         argv[0]);
     return 1;
   }
-  if (std::strcmp(argv[1], "build") == 0) return CmdBuild(argc, argv);
-  if (std::strcmp(argv[1], "stats") == 0) return CmdStats(argc, argv);
-  if (std::strcmp(argv[1], "query") == 0) return CmdQuery(argc, argv);
-  if (std::strcmp(argv[1], "range") == 0) return CmdRange(argc, argv);
-  return Fail(std::string("unknown command: ") + argv[1]);
+  int rc;
+  if (std::strcmp(argv[1], "build") == 0) {
+    rc = CmdBuild(argc, argv);
+  } else if (std::strcmp(argv[1], "stats") == 0) {
+    rc = CmdStats(argc, argv);
+  } else if (std::strcmp(argv[1], "query") == 0) {
+    rc = CmdQuery(argc, argv);
+  } else if (std::strcmp(argv[1], "range") == 0) {
+    rc = CmdRange(argc, argv);
+  } else {
+    return Fail(std::string("unknown command: ") + argv[1]);
+  }
+
+  if (dump_metrics) {
+    const std::string text =
+        obs::ToPrometheusText(obs::MetricsRegistry::Global().Snapshot());
+    if (metrics_path.empty()) {
+      std::printf("\n--- metrics ---\n%s", text.c_str());
+    } else {
+      std::ofstream out(metrics_path);
+      if (out) {
+        out << text;
+      } else {
+        std::fprintf(stderr, "cannot write metrics to %s\n",
+                     metrics_path.c_str());
+      }
+    }
+  }
+  if (dump_traces) {
+    const auto traces = obs::Tracer::Global().Recent();
+    if (!traces.empty()) {
+      std::printf("\n--- traces ---\n%s\n",
+                  obs::TracesToJson(traces).c_str());
+    }
+  }
+  return rc;
 }

@@ -6,6 +6,15 @@
 namespace i3 {
 
 ThreadPool::ThreadPool(size_t num_threads) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  queue_depth_ = reg.GetGauge("i3_thread_pool_queue_depth",
+                              "Tasks currently waiting in the pool queue.");
+  task_wait_us_ = reg.GetHistogram(
+      "i3_thread_pool_task_wait_us",
+      "Microseconds a task spent queued before a thread picked it up.");
+  task_run_us_ = reg.GetHistogram(
+      "i3_thread_pool_task_run_us",
+      "Microseconds a task spent executing on a pool thread.");
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -23,16 +32,24 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
     }
-    task();
+    RunTask(std::move(task));
   }
+}
+
+void ThreadPool::RunTask(Task task) {
+  const uint64_t picked_ns = obs::NowNanos();
+  task_wait_us_->Record((picked_ns - task.enqueue_ns) / 1000);
+  task.fn();
+  task_run_us_->Record((obs::NowNanos() - picked_ns) / 1000);
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {

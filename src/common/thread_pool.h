@@ -16,6 +16,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -24,6 +25,9 @@
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
 
 namespace i3 {
 
@@ -52,7 +56,8 @@ class ThreadPool {
     std::future<R> future = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace_back([task] { (*task)(); });
+      queue_.push_back(Task{[task] { (*task)(); }, obs::NowNanos()});
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
     }
     cv_.notify_one();
     return future;
@@ -64,13 +69,26 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
+  /// A queued callable stamped with its enqueue time so the dequeuer can
+  /// charge queue-wait latency to `i3_thread_pool_task_wait_us`.
+  struct Task {
+    std::function<void()> fn;
+    uint64_t enqueue_ns;
+  };
+
   void WorkerLoop();
+  void RunTask(Task task);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+
+  // Cached once at construction; recording never touches the registry.
+  obs::Gauge* queue_depth_;
+  obs::Histogram* task_wait_us_;
+  obs::Histogram* task_run_us_;
 };
 
 }  // namespace i3

@@ -15,9 +15,23 @@ I3Index::I3Index(I3Options options)
                       options.buffer_pool)
                 : std::make_unique<DataFile>(options.page_size,
                                              options.buffer_pool)),
-      head_(options.signature_bits) {
+      head_(options.signature_bits),
+      stats_emitter_("I3", View(I3SearchStats{})) {
   assert(options_.max_split_level >= 1);
   assert(options_.signature_bits >= 1);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  search_latency_us_[0] =
+      reg.GetHistogram("i3_query_latency_us", "End-to-end Search latency.",
+                       {{"index", "I3"}, {"semantics", "and"}});
+  search_latency_us_[1] =
+      reg.GetHistogram("i3_query_latency_us", "End-to-end Search latency.",
+                       {{"index", "I3"}, {"semantics", "or"}});
+  insert_latency_us_ =
+      reg.GetHistogram("i3_update_latency_us", "Insert/Delete latency.",
+                       {{"index", "I3"}, {"op", "insert"}});
+  delete_latency_us_ =
+      reg.GetHistogram("i3_update_latency_us", "Insert/Delete latency.",
+                       {{"index", "I3"}, {"op", "delete"}});
 }
 
 Result<std::unique_ptr<I3Index>> I3Index::Create(I3Options options) {
@@ -62,11 +76,13 @@ Status I3Index::ValidateDocument(const SpatialDocument& doc) const {
 // ------------------------------------------------------------------ insert
 
 Status I3Index::Insert(const SpatialDocument& doc) {
+  const uint64_t start_ns = obs::NowNanos();
   I3_RETURN_NOT_OK(ValidateDocument(doc));
   for (const SpatialTuple& t : PartitionDocument(doc)) {
     I3_RETURN_NOT_OK(InsertTuple(t));
   }
   ++doc_count_;
+  insert_latency_us_->Record((obs::NowNanos() - start_ns) / 1000);
   return Status::OK();
 }
 
@@ -268,11 +284,13 @@ Result<PageId> I3Index::RelocateCell(PageId page, TuplePage* image,
 // ------------------------------------------------------------------ delete
 
 Status I3Index::Delete(const SpatialDocument& doc) {
+  const uint64_t start_ns = obs::NowNanos();
   I3_RETURN_NOT_OK(ValidateDocument(doc));
   for (const SpatialTuple& t : PartitionDocument(doc)) {
     I3_RETURN_NOT_OK(DeleteTuple(t));
   }
   --doc_count_;
+  delete_latency_us_->Record((obs::NowNanos() - start_ns) / 1000);
   return Status::OK();
 }
 

@@ -27,6 +27,7 @@
 #include "i3/options.h"
 #include "model/index.h"
 #include "model/scorer.h"
+#include "obs/trace.h"
 #include "quadtree/cell.h"
 
 namespace i3 {
@@ -41,6 +42,17 @@ struct I3SearchStats {
   uint64_t cells_pruned_score = 0;
   uint64_t docs_scored = 0;
 };
+
+inline SearchStatsView View(const I3SearchStats& s) {
+  SearchStatsView v;
+  v.Set("candidates_pushed", s.candidates_pushed);
+  v.Set("candidates_popped", s.candidates_popped);
+  v.Set("cells_pruned_signature", s.cells_pruned_signature);
+  v.Set("cells_pruned_coverage", s.cells_pruned_coverage);
+  v.Set("cells_pruned_score", s.cells_pruned_score);
+  v.Set("docs_scored", s.docs_scored);
+  return v;
+}
 
 /// \brief The I3 index.
 class I3Index final : public SpatialKeywordIndex {
@@ -96,6 +108,10 @@ class I3Index final : public SpatialKeywordIndex {
   I3SearchStats last_search_stats() const {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     return last_search_stats_;
+  }
+
+  SearchStatsView LastSearchStats() const override {
+    return View(last_search_stats());
   }
 
   /// Number of summary nodes in the head file.
@@ -155,8 +171,11 @@ class I3Index final : public SpatialKeywordIndex {
 
   /// Search body; accumulates per-query statistics into `stats` (stack
   /// storage of the caller, so concurrent searches never share scratch).
+  /// `trace` is null unless this query was sampled (obs/trace.h); stage
+  /// timers are no-ops then.
   Result<std::vector<ScoredDoc>> SearchImpl(const Query& q, double alpha,
-                                            I3SearchStats* stats);
+                                            I3SearchStats* stats,
+                                            obs::QueryTrace* trace);
 
   /// Reads all tuples of the keyword cell referenced by (page, overflow,
   /// source), charging data-file I/O. Cold paths only; the query hot path
@@ -197,6 +216,13 @@ class I3Index final : public SpatialKeywordIndex {
   mutable std::mutex stats_mutex_;
   I3SearchStats last_search_stats_;
   mutable IoStats merged_stats_;  // scratch for io_stats()
+
+  // Metric handles cached at construction (see obs/metrics.h: the registry
+  // is never touched on the query path). Index 0 = AND, 1 = OR.
+  obs::Histogram* search_latency_us_[2];
+  obs::Histogram* insert_latency_us_;
+  obs::Histogram* delete_latency_us_;
+  SearchStatsEmitter stats_emitter_;
 };
 
 }  // namespace i3

@@ -348,8 +348,23 @@ class I3Index::SearchContext {
 
 Result<std::vector<ScoredDoc>> I3Index::Search(const Query& q_in,
                                                double alpha) {
+  const uint64_t start_ns = obs::NowNanos();
+  obs::QueryTrace trace_storage;
+  obs::QueryTrace* trace =
+      obs::Tracer::Global().StartTrace("I3.Search", &trace_storage)
+          ? &trace_storage
+          : nullptr;
   I3SearchStats stats;
-  auto result = SearchImpl(q_in, alpha, &stats);
+  auto result = SearchImpl(q_in, alpha, &stats, trace);
+  search_latency_us_[q_in.semantics == Semantics::kAnd ? 0 : 1]->Record(
+      (obs::NowNanos() - start_ns) / 1000);
+  stats_emitter_.Emit(View(stats));
+  if (trace != nullptr) {
+    trace->Annotate("candidates_popped", stats.candidates_popped);
+    trace->Annotate("docs_scored", stats.docs_scored);
+    if (result.ok()) trace->Annotate("results", result.ValueOrDie().size());
+    obs::Tracer::Global().Finish(std::move(*trace));
+  }
   std::lock_guard<std::mutex> lock(stats_mutex_);
   last_search_stats_ = stats;
   return result;
@@ -357,7 +372,8 @@ Result<std::vector<ScoredDoc>> I3Index::Search(const Query& q_in,
 
 Result<std::vector<ScoredDoc>> I3Index::SearchImpl(const Query& q_in,
                                                    double alpha,
-                                                   I3SearchStats* stats) {
+                                                   I3SearchStats* stats,
+                                                   obs::QueryTrace* trace) {
   Query q = q_in;
   q.Normalize();
   if (q.terms.empty()) {
@@ -375,32 +391,47 @@ Result<std::vector<ScoredDoc>> I3Index::SearchImpl(const Query& q_in,
   SearchContext ctx(this, q, alpha, stats, scratch);
   Arena* arena = ctx.arena();
 
+  // Stage-timed wrappers for the two calls that recur throughout the
+  // descent; a null trace reduces each to the plain call (one pointer
+  // test, see obs::ScopedStage).
+  auto TracedPrune = [&ctx, trace](Candidate* cand) {
+    obs::ScopedStage stage(trace, "signature_filter");
+    return ctx.Prune(cand);
+  };
+  auto TracedUpperBound = [&ctx, trace](Candidate* cand) {
+    obs::ScopedStage stage(trace, "upper_bound");
+    return ctx.UpperBound(cand);
+  };
+
   // Build the root candidate (Algorithm 4, line 1).
   Candidate* root = ctx.NewCandidate(options_.space);
-  for (size_t i = 0; i < q.terms.size(); ++i) {
-    auto it = lookup_.find(q.terms[i]);
-    if (it == lookup_.end()) {
-      if (q.semantics == Semantics::kAnd) {
-        return std::vector<ScoredDoc>{};  // a required keyword is absent
+  {
+    obs::ScopedStage stage(trace, "cell_lookup");
+    for (size_t i = 0; i < q.terms.size(); ++i) {
+      auto it = lookup_.find(q.terms[i]);
+      if (it == lookup_.end()) {
+        if (q.semantics == Semantics::kAnd) {
+          return std::vector<ScoredDoc>{};  // a required keyword is absent
+        }
+        continue;
       }
-      continue;
-    }
-    const LookupEntry& entry = it->second;
-    if (entry.dense) {
-      const SummaryNode& node = head_.Read(entry.node);
-      root->dense.PushBack(
-          arena, {static_cast<uint8_t>(i), entry.node, &node.self});
-    } else {
-      const uint8_t qidx = static_cast<uint8_t>(i);
-      I3_RETURN_NOT_OK(VisitCellTuples(
-          entry.page, nullptr, entry.source, [&](const SpatialTuple& t) {
-            root->MergeTuple(arena, qidx, t);
-          }));
+      const LookupEntry& entry = it->second;
+      if (entry.dense) {
+        const SummaryNode& node = head_.Read(entry.node);
+        root->dense.PushBack(
+            arena, {static_cast<uint8_t>(i), entry.node, &node.self});
+      } else {
+        const uint8_t qidx = static_cast<uint8_t>(i);
+        I3_RETURN_NOT_OK(VisitCellTuples(
+            entry.page, nullptr, entry.source, [&](const SpatialTuple& t) {
+              root->MergeTuple(arena, qidx, t);
+            }));
+      }
     }
   }
 
-  if (!ctx.Prune(root)) {
-    root->upper = ctx.UpperBound(root);
+  if (!TracedPrune(root)) {
+    root->upper = TracedUpperBound(root);
     ctx.PqPush(root);
   } else {
     ctx.Free(root);
@@ -413,6 +444,7 @@ Result<std::vector<ScoredDoc>> I3Index::SearchImpl(const Query& q_in,
 
     // Lines 6-10: fully resolved cell -- score its documents.
     if (c->dense.empty()) {
+      obs::ScopedStage stage(trace, "topk_score");
       ctx.ScoreDocs(c);
       ctx.Free(c);
       continue;
@@ -422,21 +454,27 @@ Result<std::vector<ScoredDoc>> I3Index::SearchImpl(const Query& q_in,
     // Snapshot the dense keywords' nodes (head-file reads, one per dense
     // keyword; the node vector is stable during a search).
     SmallVec<const SummaryNode*, 8> nodes;
-    for (const auto& dk : c->dense) {
-      nodes.PushBack(arena, &head_.Read(dk.node));
+    {
+      obs::ScopedStage stage(trace, "summary_lookup");
+      for (const auto& dk : c->dense) {
+        nodes.PushBack(arena, &head_.Read(dk.node));
+      }
     }
 
     for (int quad = 0; quad < kQuadrants; ++quad) {
       Candidate* child = ctx.NewCandidate(CellSpace::ChildRect(c->rect, quad));
 
       // Route each partial document to the unique child containing it.
-      for (auto& slot : c->docs) {
-        const Candidate::PartialDoc& pd = slot.value;
-        if (CellSpace::QuadrantOf(c->rect, pd.loc) == quad) {
-          Candidate::PartialDoc& dst = child->docs.FindOrInsert(slot.key);
-          dst.loc = pd.loc;
-          dst.mask = pd.mask;
-          dst.terms.AssignFrom(arena, pd.terms);
+      {
+        obs::ScopedStage stage(trace, "candidate_merge");
+        for (auto& slot : c->docs) {
+          const Candidate::PartialDoc& pd = slot.value;
+          if (CellSpace::QuadrantOf(c->rect, pd.loc) == quad) {
+            Candidate::PartialDoc& dst = child->docs.FindOrInsert(slot.key);
+            dst.loc = pd.loc;
+            dst.mask = pd.mask;
+            dst.terms.AssignFrom(arena, pd.terms);
+          }
         }
       }
 
@@ -474,6 +512,7 @@ Result<std::vector<ScoredDoc>> I3Index::SearchImpl(const Query& q_in,
             } else {
               // Ablation / literal Algorithm 4: fetch eagerly.
               const uint8_t qidx = c->dense[d].qidx;
+              obs::ScopedStage stage(trace, "page_scan");
               I3_RETURN_NOT_OK(VisitCellTuples(
                   ref.page, &ref.overflow, ref.source,
                   [&](const SpatialTuple& t) {
@@ -485,11 +524,11 @@ Result<std::vector<ScoredDoc>> I3Index::SearchImpl(const Query& q_in,
       }
 
       if ((child->dense.empty() && child->docs.empty()) ||
-          ctx.Prune(child)) {
+          TracedPrune(child)) {
         ctx.Free(child);
         continue;
       }
-      child->upper = ctx.UpperBound(child);
+      child->upper = TracedUpperBound(child);
       if (child->upper <= ctx.Threshold()) {
         ++ctx.stats()->cells_pruned_score;
         ctx.Free(child);
@@ -508,17 +547,18 @@ Result<std::vector<ScoredDoc>> I3Index::SearchImpl(const Query& q_in,
         child->dense.Truncate(w);
         for (const PendingFetch& pf : pending) {
           const uint8_t qidx = pf.qidx;
+          obs::ScopedStage stage(trace, "page_scan");
           I3_RETURN_NOT_OK(VisitCellTuples(
               pf.page, pf.overflow, pf.source, [&](const SpatialTuple& t) {
                 child->MergeTuple(arena, qidx, t);
               }));
         }
         if ((child->dense.empty() && child->docs.empty()) ||
-            ctx.Prune(child)) {
+            TracedPrune(child)) {
           ctx.Free(child);
           continue;
         }
-        child->upper = ctx.UpperBound(child);
+        child->upper = TracedUpperBound(child);
         if (child->upper <= ctx.Threshold()) {
           ++ctx.stats()->cells_pruned_score;
           ctx.Free(child);

@@ -6,13 +6,27 @@
 #include <queue>
 
 #include "model/topk.h"
+#include "obs/clock.h"
 #include "rtree/split.h"
 
 namespace i3 {
 
-IrTreeIndex::IrTreeIndex(IrTreeOptions options) : options_(options) {
+IrTreeIndex::IrTreeIndex(IrTreeOptions options)
+    : options_(options),
+      stats_emitter_(options.policy == IrInsertionPolicy::kDir ? "DIR-tree"
+                                                               : "IR-tree",
+                     View(IrTreeSearchStats{})) {
   assert(LeafCapacity() >= 4);
   assert(InternalCapacity() >= 4);
+  const std::string label =
+      options.policy == IrInsertionPolicy::kDir ? "DIR-tree" : "IR-tree";
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  search_latency_us_[0] =
+      reg.GetHistogram("i3_query_latency_us", "End-to-end Search latency.",
+                       {{"index", label}, {"semantics", "and"}});
+  search_latency_us_[1] =
+      reg.GetHistogram("i3_query_latency_us", "End-to-end Search latency.",
+                       {{"index", label}, {"semantics", "or"}});
 }
 
 Status IrTreeIndex::ValidateDocument(const SpatialDocument& doc) const {
@@ -459,9 +473,23 @@ Result<std::unique_ptr<IrTreeIndex>> IrTreeIndex::BulkLoad(
 
 Result<std::vector<ScoredDoc>> IrTreeIndex::Search(const Query& q_in,
                                                    double alpha) {
+  const uint64_t start_ns = obs::NowNanos();
+  IrTreeSearchStats stats;
+  auto result = SearchImpl(q_in, alpha, &stats);
+  search_latency_us_[q_in.semantics == Semantics::kAnd ? 0 : 1]->Record(
+      (obs::NowNanos() - start_ns) / 1000);
+  stats_emitter_.Emit(View(stats));
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    last_search_stats_ = stats;
+  }
+  return result;
+}
+
+Result<std::vector<ScoredDoc>> IrTreeIndex::SearchImpl(
+    const Query& q_in, double alpha, IrTreeSearchStats* stats) {
   Query q = q_in;
   q.Normalize();
-  last_search_stats_ = IrTreeSearchStats{};
   if (q.terms.empty()) {
     return Status::InvalidArgument("query has no keywords");
   }
@@ -516,7 +544,7 @@ Result<std::vector<ScoredDoc>> IrTreeIndex::Search(const Query& q_in,
   while (!pq.empty()) {
     const Item item = pq.top();
     pq.pop();
-    ++last_search_stats_.nodes_popped;
+    ++stats->nodes_popped;
     if (item.upper <= heap.Threshold()) break;
     const Node& n = nodes_[item.node];
 
@@ -546,7 +574,7 @@ Result<std::vector<ScoredDoc>> IrTreeIndex::Search(const Query& q_in,
                        scorer.SpatialProximity(q.location, d.location),
                        acc.first),
                    d.location);
-        ++last_search_stats_.docs_scored;
+        ++stats->docs_scored;
       }
       continue;
     }
@@ -557,13 +585,13 @@ Result<std::vector<ScoredDoc>> IrTreeIndex::Search(const Query& q_in,
       bool ok = false;
       const double tu = textual_upper(cn, &ok);
       if (!ok) {
-        ++last_search_stats_.nodes_pruned;
+        ++stats->nodes_pruned;
         continue;
       }
       const double upper = scorer.Combine(
           scorer.SpatialProximityUpper(q.location, cn.mbr), tu);
       if (upper <= heap.Threshold()) {
-        ++last_search_stats_.nodes_pruned;
+        ++stats->nodes_pruned;
         continue;
       }
       pq.push({upper, c});

@@ -19,6 +19,7 @@
 #define I3_IRTREE_IRTREE_INDEX_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -60,6 +61,14 @@ struct IrTreeSearchStats {
   uint64_t docs_scored = 0;
 };
 
+inline SearchStatsView View(const IrTreeSearchStats& s) {
+  SearchStatsView v;
+  v.Set("nodes_popped", s.nodes_popped);
+  v.Set("nodes_pruned", s.nodes_pruned);
+  v.Set("docs_scored", s.docs_scored);
+  return v;
+}
+
 /// \brief The IR-tree baseline index.
 class IrTreeIndex final : public SpatialKeywordIndex {
  public:
@@ -87,10 +96,24 @@ class IrTreeIndex final : public SpatialKeywordIndex {
   const IoStats& io_stats() const override { return io_stats_; }
   void ResetIoStats() override { io_stats_.Reset(); }
 
+  /// The query path keeps all per-query state on the stack (priority
+  /// queue, heap, stats) and only reads the tree; statistics are published
+  /// once per search under stats_mutex_, and the io_stats_ counters are
+  /// atomic. Safe for concurrent readers in the absence of writers.
+  bool SupportsConcurrentSearch() const override { return true; }
+
   size_t NodeCount() const { return node_count_; }
   int Height() const;
-  const IrTreeSearchStats& last_search_stats() const {
+
+  /// Statistics of the most recent completed Search call (snapshot; under
+  /// concurrent readers "most recent" is whichever search published last).
+  IrTreeSearchStats last_search_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
     return last_search_stats_;
+  }
+
+  SearchStatsView LastSearchStats() const override {
+    return View(last_search_stats());
   }
   const IrTreeOptions& options() const { return options_; }
 
@@ -171,6 +194,11 @@ class IrTreeIndex final : public SpatialKeywordIndex {
                  std::vector<DocId>* orphans);
   void CollectDocs(uint32_t id, std::vector<DocId>* out);
 
+  /// Search body; accumulates per-query statistics into `stats` (stack
+  /// storage of the caller, so concurrent searches never share scratch).
+  Result<std::vector<ScoredDoc>> SearchImpl(const Query& q, double alpha,
+                                            IrTreeSearchStats* stats);
+
   IrTreeOptions options_;
   std::vector<Node> nodes_;
   std::vector<uint32_t> free_nodes_;
@@ -178,7 +206,14 @@ class IrTreeIndex final : public SpatialKeywordIndex {
   size_t node_count_ = 0;
   std::unordered_map<DocId, SpatialDocument> docs_;
   IoStats io_stats_;
+  /// Guards last_search_stats_ (snapshot scratch published per search; the
+  /// tree itself relies on the caller's reader/writer exclusion).
+  mutable std::mutex stats_mutex_;
   IrTreeSearchStats last_search_stats_;
+
+  // Metric handles cached at construction. Index 0 = AND, 1 = OR.
+  obs::Histogram* search_latency_us_[2];
+  SearchStatsEmitter stats_emitter_;
 };
 
 }  // namespace i3

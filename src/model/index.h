@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "model/document.h"
 #include "model/query.h"
+#include "model/search_stats.h"
 #include "storage/io_stats.h"
 
 namespace i3 {
@@ -79,13 +80,21 @@ class SpatialKeywordIndex {
                                                 double alpha) = 0;
 
   /// \brief True if Search may be called from multiple threads at once (in
-  /// the absence of concurrent writers). Implementations whose query path
-  /// only touches per-query state and internally synchronized counters
-  /// (I3, BruteForce) return true; those with unsynchronized per-index
-  /// query scratch (IR-tree, S2I last_search_stats_) keep the default.
-  /// The concurrency wrappers consult this to decide whether readers must
-  /// be serialized.
+  /// the absence of concurrent writers). An implementation may return true
+  /// only when its whole query path touches nothing but per-query stack
+  /// state and internally synchronized counters -- including statistics:
+  /// search stats must be accumulated on the stack and published under a
+  /// mutex (see model/search_stats.h), never incremented on a shared
+  /// member mid-search. I3, IR-tree, S2I, and BruteForce all satisfy this;
+  /// the default stays false so new implementations must opt in
+  /// deliberately. The concurrency wrappers consult this to decide whether
+  /// readers must be serialized.
   virtual bool SupportsConcurrentSearch() const { return false; }
+
+  /// \brief Name/value view of the most recent completed Search's
+  /// statistics (under concurrent readers, whichever search published
+  /// last). Default: empty view for indexes without stats.
+  virtual SearchStatsView LastSearchStats() const { return {}; }
 
   /// \brief Number of indexed documents.
   virtual uint64_t DocumentCount() const = 0;

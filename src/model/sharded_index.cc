@@ -53,6 +53,20 @@ ShardedIndex::ShardedIndex(
   if (options_.search_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(options_.search_threads);
   }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  search_latency_us_[0] =
+      reg.GetHistogram("i3_query_latency_us", "End-to-end Search latency.",
+                       {{"index", "sharded"}, {"semantics", "and"}});
+  search_latency_us_[1] =
+      reg.GetHistogram("i3_query_latency_us", "End-to-end Search latency.",
+                       {{"index", "sharded"}, {"semantics", "or"}});
+  shard_stage_names_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shard_stage_names_.push_back("shard" + std::to_string(i));
+    shards_[i]->latency_us = reg.GetHistogram(
+        "i3_shard_search_latency_us", "Per-shard local top-k latency.",
+        {{"shard", std::to_string(i)}});
+  }
 }
 
 std::string ShardedIndex::Name() const {
@@ -104,11 +118,16 @@ Result<std::vector<ScoredDoc>> ShardedIndex::SearchShard(const Shard& s,
                                                          const Query& q,
                                                          double alpha) const {
   std::shared_lock lock(s.mutex);
-  if (s.serialize_queries) {
-    std::lock_guard<std::mutex> query_lock(s.query_mutex);
+  const uint64_t start_ns = obs::NowNanos();
+  Result<std::vector<ScoredDoc>> res = [&] {
+    if (s.serialize_queries) {
+      std::lock_guard<std::mutex> query_lock(s.query_mutex);
+      return s.index->Search(q, alpha);
+    }
     return s.index->Search(q, alpha);
-  }
-  return s.index->Search(q, alpha);
+  }();
+  s.latency_us->Record((obs::NowNanos() - start_ns) / 1000);
+  return res;
 }
 
 std::vector<ScoredDoc> ShardedIndex::MergeTopK(
@@ -124,10 +143,14 @@ std::vector<ScoredDoc> ShardedIndex::MergeTopK(
 }
 
 Result<std::vector<ScoredDoc>> ShardedIndex::SearchSequential(
-    const Query& q, double alpha) const {
+    const Query& q, double alpha, obs::QueryTrace* trace) const {
   std::vector<std::vector<ScoredDoc>> per_shard(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
+    const uint64_t t0 = trace != nullptr ? obs::NowNanos() : 0;
     auto res = SearchShard(*shards_[i], q, alpha);
+    if (trace != nullptr) {
+      trace->AddStage(shard_stage_names_[i], obs::NowNanos() - t0);
+    }
     if (!res.ok()) return res.status();
     per_shard[i] = res.MoveValue();
   }
@@ -136,14 +159,45 @@ Result<std::vector<ScoredDoc>> ShardedIndex::SearchSequential(
 
 Result<std::vector<ScoredDoc>> ShardedIndex::Search(const Query& q,
                                                     double alpha) {
+  const uint64_t start_ns = obs::NowNanos();
+  obs::QueryTrace trace_storage;
+  obs::QueryTrace* trace =
+      obs::Tracer::Global().StartTrace("Sharded.Search", &trace_storage)
+          ? &trace_storage
+          : nullptr;
+  auto result = SearchFanOut(q, alpha, trace);
+  search_latency_us_[q.semantics == Semantics::kAnd ? 0 : 1]->Record(
+      (obs::NowNanos() - start_ns) / 1000);
+  if (trace != nullptr) {
+    trace->Annotate("shards", shards_.size());
+    if (result.ok()) trace->Annotate("results", result.ValueOrDie().size());
+    obs::Tracer::Global().Finish(std::move(*trace));
+  }
+  return result;
+}
+
+Result<std::vector<ScoredDoc>> ShardedIndex::SearchFanOut(
+    const Query& q, double alpha, obs::QueryTrace* trace) const {
   if (pool_ == nullptr || shards_.size() == 1) {
-    return SearchSequential(q, alpha);
+    return SearchSequential(q, alpha, trace);
   }
   std::vector<Result<std::vector<ScoredDoc>>> results(
       shards_.size(), Result<std::vector<ScoredDoc>>(std::vector<ScoredDoc>{}));
+  // Per-shard wall times are captured in a preallocated slot per shard (no
+  // shared trace mutation from the workers) and folded into the trace
+  // after the barrier.
+  std::vector<uint64_t> shard_ns;
+  if (trace != nullptr) shard_ns.assign(shards_.size(), 0);
   pool_->ParallelFor(shards_.size(), [&](size_t i) {
+    const uint64_t t0 = trace != nullptr ? obs::NowNanos() : 0;
     results[i] = SearchShard(*shards_[i], q, alpha);
+    if (trace != nullptr) shard_ns[i] = obs::NowNanos() - t0;
   });
+  if (trace != nullptr) {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      trace->AddStage(shard_stage_names_[i], shard_ns[i]);
+    }
+  }
   std::vector<std::vector<ScoredDoc>> per_shard(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
     // First failing shard (by shard order, deterministically) wins, so the
@@ -159,7 +213,10 @@ Result<std::vector<std::vector<ScoredDoc>>> ShardedIndex::SearchMany(
   std::vector<std::vector<ScoredDoc>> out(queries.size());
   if (pool_ == nullptr || queries.size() <= 1) {
     for (size_t i = 0; i < queries.size(); ++i) {
+      const uint64_t t0 = obs::NowNanos();
       auto res = SearchSequential(queries[i], alpha);
+      search_latency_us_[queries[i].semantics == Semantics::kAnd ? 0 : 1]
+          ->Record((obs::NowNanos() - t0) / 1000);
       if (!res.ok()) return res.status();
       out[i] = res.MoveValue();
     }
@@ -169,7 +226,10 @@ Result<std::vector<std::vector<ScoredDoc>>> ShardedIndex::SearchMany(
   Status first_error = Status::OK();
   size_t first_error_index = queries.size();
   pool_->ParallelFor(queries.size(), [&](size_t i) {
+    const uint64_t t0 = obs::NowNanos();
     auto res = SearchSequential(queries[i], alpha);
+    search_latency_us_[queries[i].semantics == Semantics::kAnd ? 0 : 1]
+        ->Record((obs::NowNanos() - t0) / 1000);
     if (res.ok()) {
       out[i] = res.MoveValue();
     } else {

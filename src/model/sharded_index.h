@@ -36,6 +36,7 @@
 
 #include "common/thread_pool.h"
 #include "model/index.h"
+#include "obs/trace.h"
 
 namespace i3 {
 
@@ -123,14 +124,22 @@ class ShardedIndex final : public SpatialKeywordIndex {
     /// Search serialization for non-reader-safe implementations.
     mutable std::mutex query_mutex;
     bool serialize_queries = false;
+    /// `i3_shard_search_latency_us{shard=...}`, cached at construction.
+    obs::Histogram* latency_us = nullptr;
   };
 
   /// One shard's local top-k under the shard's shared lock.
   Result<std::vector<ScoredDoc>> SearchShard(const Shard& s, const Query& q,
                                              double alpha) const;
-  /// Sequential fan-out + merge on the calling thread.
-  Result<std::vector<ScoredDoc>> SearchSequential(const Query& q,
-                                                  double alpha) const;
+  /// Sequential fan-out + merge on the calling thread. When `trace` is
+  /// non-null, one stage per shard ("shard0", ...) is added so stragglers
+  /// are individually visible.
+  Result<std::vector<ScoredDoc>> SearchSequential(
+      const Query& q, double alpha, obs::QueryTrace* trace = nullptr) const;
+  /// Search body behind the metrics/trace wrapper: parallel fan-out via
+  /// the pool when present, else sequential.
+  Result<std::vector<ScoredDoc>> SearchFanOut(const Query& q, double alpha,
+                                              obs::QueryTrace* trace) const;
   /// Merges per-shard local top-k lists under the single-index contract.
   static std::vector<ScoredDoc> MergeTopK(
       const std::vector<std::vector<ScoredDoc>>& per_shard, uint32_t k);
@@ -140,6 +149,11 @@ class ShardedIndex final : public SpatialKeywordIndex {
   std::unique_ptr<ThreadPool> pool_;  // present iff search_threads > 0
   mutable std::mutex stats_mutex_;
   mutable IoStats merged_stats_;  // scratch for io_stats()
+
+  /// Stable "shard0", "shard1", ... stage names for fan-out traces.
+  std::vector<std::string> shard_stage_names_;
+  /// Merged-query latency, cached at construction. Index 0 = AND, 1 = OR.
+  obs::Histogram* search_latency_us_[2];
 };
 
 }  // namespace i3

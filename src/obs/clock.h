@@ -1,0 +1,27 @@
+// Monotonic time helpers shared by the metrics and tracing layers.
+
+#ifndef I3_OBS_CLOCK_H_
+#define I3_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace i3 {
+namespace obs {
+
+/// \brief Nanoseconds on the steady clock (arbitrary epoch; only
+/// differences are meaningful).
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// \brief Microseconds on the steady clock.
+inline uint64_t NowMicros() { return NowNanos() / 1000; }
+
+}  // namespace obs
+}  // namespace i3
+
+#endif  // I3_OBS_CLOCK_H_

@@ -1,0 +1,223 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace i3 {
+namespace obs {
+
+namespace {
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+void AppendEscapedLabelValue(std::ostringstream* os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        *os << "\\\\";
+        break;
+      case '"':
+        *os << "\\\"";
+        break;
+      case '\n':
+        *os << "\\n";
+        break;
+      default:
+        *os << c;
+    }
+  }
+}
+
+/// Escapes HELP text: backslash and newline only (quotes are legal there).
+void AppendEscapedHelp(std::ostringstream* os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        *os << "\\\\";
+        break;
+      case '\n':
+        *os << "\\n";
+        break;
+      default:
+        *os << c;
+    }
+  }
+}
+
+/// Renders {a="x",b="y"}; `extra` appends one more pair (used for `le`).
+void AppendLabels(std::ostringstream* os, const Labels& labels,
+                  const std::string& extra_name = "",
+                  const std::string& extra_value = "") {
+  if (labels.empty() && extra_name.empty()) return;
+  *os << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) *os << ',';
+    first = false;
+    *os << k << "=\"";
+    AppendEscapedLabelValue(os, v);
+    *os << '"';
+  }
+  if (!extra_name.empty()) {
+    if (!first) *os << ',';
+    *os << extra_name << "=\"" << extra_value << '"';
+  }
+  *os << '}';
+}
+
+/// %g-style number without trailing noise; counters/gauges are integral in
+/// practice, so integers print exactly.
+std::string FormatValue(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+void AppendJsonEscaped(std::ostringstream* os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *os << "\\\"";
+        break;
+      case '\\':
+        *os << "\\\\";
+        break;
+      case '\n':
+        *os << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *os << buf;
+        } else {
+          *os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  std::string last_family;
+  for (const MetricSample& s : snapshot.samples) {
+    // HELP/TYPE once per family (samples arrive sorted by name, so label
+    // variants of one family are adjacent).
+    if (s.name != last_family) {
+      last_family = s.name;
+      os << "# HELP " << s.name << ' ';
+      AppendEscapedHelp(&os, s.help);
+      os << '\n';
+      os << "# TYPE " << s.name << ' ' << MetricTypeName(s.type) << '\n';
+    }
+    if (s.type == MetricType::kHistogram) {
+      const HistogramSnapshot& h = s.histogram;
+      uint64_t cumulative = 0;
+      for (uint32_t i = 0; i < HistogramBuckets::kNumBuckets; ++i) {
+        if (h.buckets()[i] == 0) continue;
+        cumulative += h.buckets()[i];
+        os << s.name << "_bucket";
+        AppendLabels(
+            &os, s.labels, "le",
+            std::to_string(HistogramBuckets::UpperBoundInclusive(i)));
+        os << ' ' << cumulative << '\n';
+      }
+      os << s.name << "_bucket";
+      AppendLabels(&os, s.labels, "le", "+Inf");
+      os << ' ' << h.count() << '\n';
+      os << s.name << "_sum";
+      AppendLabels(&os, s.labels);
+      os << ' ' << h.sum() << '\n';
+      os << s.name << "_count";
+      AppendLabels(&os, s.labels);
+      os << ' ' << h.count() << '\n';
+    } else {
+      os << s.name;
+      AppendLabels(&os, s.labels);
+      os << ' ' << FormatValue(s.value) << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot,
+                   const std::string& indent) {
+  std::ostringstream os;
+  os << indent << "{\"metrics\": [";
+  for (size_t n = 0; n < snapshot.samples.size(); ++n) {
+    const MetricSample& s = snapshot.samples[n];
+    if (n != 0) os << ',';
+    os << '\n' << indent << "  {\"name\": \"";
+    AppendJsonEscaped(&os, s.name);
+    os << "\", \"type\": \"" << MetricTypeName(s.type) << "\", \"labels\": {";
+    for (size_t i = 0; i < s.labels.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << '"';
+      AppendJsonEscaped(&os, s.labels[i].first);
+      os << "\": \"";
+      AppendJsonEscaped(&os, s.labels[i].second);
+      os << '"';
+    }
+    os << '}';
+    if (s.type == MetricType::kHistogram) {
+      const HistogramSnapshot& h = s.histogram;
+      os << ", \"count\": " << h.count() << ", \"sum\": " << h.sum()
+         << ", \"p50\": " << h.Quantile(0.50)
+         << ", \"p90\": " << h.Quantile(0.90)
+         << ", \"p99\": " << h.Quantile(0.99) << ", \"max\": " << h.Max()
+         << ", \"buckets\": [";
+      bool first = true;
+      for (uint32_t i = 0; i < HistogramBuckets::kNumBuckets; ++i) {
+        if (h.buckets()[i] == 0) continue;
+        if (!first) os << ", ";
+        first = false;
+        os << '[' << HistogramBuckets::UpperBoundInclusive(i) << ", "
+           << h.buckets()[i] << ']';
+      }
+      os << ']';
+    } else {
+      os << ", \"value\": " << FormatValue(s.value);
+    }
+    os << '}';
+  }
+  os << '\n' << indent << "]}";
+  return os.str();
+}
+
+std::string UnescapePrometheusLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      const char next = s[i + 1];
+      if (next == '\\') {
+        out += '\\';
+        ++i;
+        continue;
+      }
+      if (next == '"') {
+        out += '"';
+        ++i;
+        continue;
+      }
+      if (next == 'n') {
+        out += '\n';
+        ++i;
+        continue;
+      }
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace i3

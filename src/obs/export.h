@@ -1,0 +1,39 @@
+// Exporters over MetricsSnapshot: Prometheus text exposition format and
+// JSON.
+//
+// Both work on a snapshot (not the registry) so a scrape handler can take
+// the snapshot once and format it without holding any registry state;
+// recording proceeds concurrently.
+
+#ifndef I3_OBS_EXPORT_H_
+#define I3_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace i3 {
+namespace obs {
+
+/// \brief Prometheus text exposition format (version 0.0.4): one
+/// `# HELP` / `# TYPE` pair per metric family, label values escaped
+/// (backslash, double-quote, newline), histograms expanded into
+/// cumulative `_bucket{le=...}` series over the non-empty buckets plus
+/// `le="+Inf"`, `_sum`, and `_count`.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// \brief JSON object {"metrics": [...]}: counters/gauges carry "value",
+/// histograms carry count/sum/p50/p90/p99/max plus the non-empty
+/// [upper_bound, count] bucket pairs. `indent` prefixes every line (for
+/// embedding into a larger JSON document, e.g. BENCH_*.json).
+std::string ToJson(const MetricsSnapshot& snapshot,
+                   const std::string& indent = "");
+
+/// \brief Unescapes a Prometheus label value (the inverse of the escaping
+/// ToPrometheusText applies); exposed for the round-trip tests.
+std::string UnescapePrometheusLabelValue(const std::string& s);
+
+}  // namespace obs
+}  // namespace i3
+
+#endif  // I3_OBS_EXPORT_H_

@@ -1,0 +1,62 @@
+#include "obs/histogram.h"
+
+namespace i3 {
+namespace obs {
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target order statistic, 1-based: ceil(q * count), at
+  // least 1 so Quantile(0) is the smallest recorded value's bucket.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (uint32_t i = 0; i < HistogramBuckets::kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return HistogramBuckets::UpperBoundInclusive(i);
+  }
+  return HistogramBuckets::UpperBoundInclusive(HistogramBuckets::kNumBuckets -
+                                               1);
+}
+
+uint64_t HistogramSnapshot::Min() const {
+  if (count_ == 0) return 0;
+  for (uint32_t i = 0; i < HistogramBuckets::kNumBuckets; ++i) {
+    if (buckets_[i] != 0) return HistogramBuckets::LowerBound(i);
+  }
+  return 0;
+}
+
+void HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  for (uint32_t i = 0; i < HistogramBuckets::kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  for (const Stripe& s : stripes_) {
+    if (s.count.load(std::memory_order_relaxed) == 0) continue;
+    for (uint32_t i = 0; i < HistogramBuckets::kNumBuckets; ++i) {
+      out.buckets_[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    out.count_ += s.count.load(std::memory_order_relaxed);
+    out.sum_ += s.sum.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (Stripe& s : stripes_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace obs
+}  // namespace i3

@@ -1,0 +1,171 @@
+// Log-linear latency histograms with a bounded relative error.
+//
+// Layout (HdrHistogram-style): values below kSubBuckets are counted
+// exactly, one bucket per value; from there every power-of-two range
+// ("octave") is subdivided into kSubBuckets linear sub-buckets, so a
+// bucket's width is at most lower_bound / kSubBuckets and any value
+// reported off a bucket boundary is within 1/kSubBuckets (3.125%) of the
+// recorded value. Values above kMaxTrackable clamp into the last bucket
+// (the exact sum is still accumulated, so Mean() never loses precision).
+//
+// Two types split the concurrency concern:
+//  - HistogramSnapshot: a plain bucket array. Single-threaded recording
+//    (bench harnesses collecting per-query latencies), quantiles, and
+//    order-independent merging (shard aggregation).
+//  - Histogram: the registry-resident concurrent recorder. Recording is
+//    three relaxed fetch_adds on a per-thread stripe -- wait-free, no
+//    locks, TSan-clean -- and Snapshot() folds the stripes into a
+//    HistogramSnapshot.
+
+#ifndef I3_OBS_HISTOGRAM_H_
+#define I3_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace i3 {
+namespace obs {
+
+namespace internal {
+/// Per-thread stripe id, assigned round-robin on first use so concurrent
+/// recorders spread across stripes instead of hashing onto the same one.
+inline uint32_t ThreadStripe() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+}  // namespace internal
+
+/// \brief The shared bucket geometry (see the file comment).
+struct HistogramBuckets {
+  static constexpr uint32_t kSubBits = 5;
+  /// Linear sub-buckets per octave; also the exact-count range [0, 32).
+  static constexpr uint32_t kSubBuckets = 1u << kSubBits;
+  /// Values clamp at 2^kMaxExp - 1 (~17.9 minutes when recording
+  /// microseconds).
+  static constexpr uint32_t kMaxExp = 30;
+  static constexpr uint64_t kMaxTrackable = (uint64_t{1} << kMaxExp) - 1;
+  static constexpr uint32_t kNumBuckets =
+      kSubBuckets + (kMaxExp - kSubBits) * kSubBuckets;
+  /// Worst-case relative width of a bucket: 1 / kSubBuckets.
+  static constexpr double kMaxRelativeError =
+      1.0 / static_cast<double>(kSubBuckets);
+
+  static uint32_t IndexOf(uint64_t v) {
+    if (v > kMaxTrackable) v = kMaxTrackable;
+    if (v < kSubBuckets) return static_cast<uint32_t>(v);
+    const uint32_t e = 63u - static_cast<uint32_t>(__builtin_clzll(v));
+    return kSubBuckets + (e - kSubBits) * kSubBuckets +
+           static_cast<uint32_t>((v >> (e - kSubBits)) - kSubBuckets);
+  }
+
+  /// Smallest value mapping to bucket `idx`.
+  static uint64_t LowerBound(uint32_t idx) {
+    if (idx < kSubBuckets) return idx;
+    const uint32_t octave = idx / kSubBuckets - 1;
+    const uint32_t sub = idx - (octave + 1) * kSubBuckets;
+    return (uint64_t{kSubBuckets} + sub) << octave;
+  }
+
+  /// Largest value mapping to bucket `idx` (the quantile estimate, so the
+  /// reported quantile never understates the recorded value).
+  static uint64_t UpperBoundInclusive(uint32_t idx) {
+    if (idx < kSubBuckets) return idx;
+    const uint32_t octave = idx / kSubBuckets - 1;
+    return LowerBound(idx) + (uint64_t{1} << octave) - 1;
+  }
+};
+
+/// \brief A plain (non-atomic) histogram: bucket counts + exact sum.
+class HistogramSnapshot {
+ public:
+  void Record(uint64_t v) {
+    ++buckets_[HistogramBuckets::IndexOf(v)];
+    ++count_;
+    sum_ += v;
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+
+  /// \brief Value at quantile `q` in [0, 1]: the inclusive upper bound of
+  /// the bucket holding the ceil(q * count)-th recorded value (so the
+  /// estimate is >= the true order statistic and within
+  /// kMaxRelativeError of it). 0 when empty.
+  uint64_t Quantile(double q) const;
+
+  /// Bucket-resolution extremes: Min() is the lower bound of the first
+  /// non-empty bucket, Max() the inclusive upper bound of the last.
+  uint64_t Min() const;
+  uint64_t Max() const { return Quantile(1.0); }
+
+  /// Element-wise accumulation; associative and commutative, so shard
+  /// snapshots can merge in any grouping with identical results.
+  void MergeFrom(const HistogramSnapshot& other);
+
+  const std::array<uint64_t, HistogramBuckets::kNumBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  bool operator==(const HistogramSnapshot& o) const {
+    return count_ == o.count_ && sum_ == o.sum_ && buckets_ == o.buckets_;
+  }
+
+ private:
+  friend class Histogram;  // Snapshot() folds stripes into these directly
+
+  std::array<uint64_t, HistogramBuckets::kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+};
+
+/// \brief The concurrent recorder held by the MetricsRegistry.
+///
+/// Record() touches only the calling thread's stripe with relaxed
+/// fetch_adds -- wait-free per thread, no cross-thread cache-line traffic
+/// while stripes outnumber recording threads. Snapshot() sums the stripes
+/// with relaxed loads: the result is a per-counter snapshot (counts
+/// recorded concurrently with the fold may or may not be included), which
+/// is the same contract IoStats already documents.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t v) {
+    Stripe& s = stripes_[internal::ThreadStripe() & (kStripes - 1)];
+    s.buckets[HistogramBuckets::IndexOf(v)].fetch_add(
+        1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Zeroes every stripe. Not atomic with concurrent recorders (they may
+  /// land on either side of the sweep); meant for benchmark phase resets.
+  void Reset();
+
+ private:
+  static constexpr uint32_t kStripes = 8;
+  struct alignas(64) Stripe {
+    std::array<std::atomic<uint64_t>, HistogramBuckets::kNumBuckets>
+        buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+  };
+  std::array<Stripe, kStripes> stripes_;
+};
+
+}  // namespace obs
+}  // namespace i3
+
+#endif  // I3_OBS_HISTOGRAM_H_

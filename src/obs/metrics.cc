@@ -1,0 +1,190 @@
+#include "obs/metrics.h"
+
+namespace i3 {
+namespace obs {
+
+namespace {
+
+/// Renders labels into the identity key: {a="x",b="y"}. Values are used
+/// verbatim (escaping is the exporter's job; identity only needs
+/// uniqueness).
+std::string LabelKey(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += labels[i].second;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+const char* MetricTypeName(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (i > 0 && digit))) return false;
+  }
+  return true;
+}
+
+bool IsValidLabelName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (i > 0 && digit))) return false;
+  }
+  return true;
+}
+
+const MetricSample* MetricsSnapshot::Find(const std::string& name) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const MetricSample* MetricsSnapshot::Find(const std::string& name,
+                                          const Labels& labels) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(MetricType type,
+                                                      const std::string& name,
+                                                      const std::string& help,
+                                                      Labels labels) {
+  if (!IsValidMetricName(name)) return nullptr;
+  for (const auto& [k, v] : labels) {
+    (void)v;
+    if (!IsValidLabelName(k)) return nullptr;
+  }
+  const std::string key = name + LabelKey(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    return it->second.type == type ? &it->second : nullptr;
+  }
+  Entry e;
+  e.type = type;
+  e.name = name;
+  e.help = help;
+  e.labels = std::move(labels);
+  switch (type) {
+    case MetricType::kCounter:
+      e.counter = std::make_unique<Counter>();
+      break;
+    case MetricType::kGauge:
+      e.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricType::kHistogram:
+      e.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return &entries_.emplace(key, std::move(e)).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help, Labels labels) {
+  Entry* e =
+      FindOrCreate(MetricType::kCounter, name, help, std::move(labels));
+  return e == nullptr ? nullptr : e->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help, Labels labels) {
+  Entry* e = FindOrCreate(MetricType::kGauge, name, help, std::move(labels));
+  return e == nullptr ? nullptr : e->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         Labels labels) {
+  Entry* e =
+      FindOrCreate(MetricType::kHistogram, name, help, std::move(labels));
+  return e == nullptr ? nullptr : e->histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.samples.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    (void)key;
+    MetricSample s;
+    s.name = e.name;
+    s.help = e.help;
+    s.type = e.type;
+    s.labels = e.labels;
+    switch (e.type) {
+      case MetricType::kCounter:
+        s.value = static_cast<double>(e.counter->Value());
+        break;
+      case MetricType::kGauge:
+        s.value = static_cast<double>(e.gauge->Value());
+        break;
+      case MetricType::kHistogram:
+        s.histogram = e.histogram->Snapshot();
+        break;
+    }
+    out.samples.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, e] : entries_) {
+    (void)key;
+    switch (e.type) {
+      case MetricType::kCounter:
+        e.counter->Reset();
+        break;
+      case MetricType::kGauge:
+        e.gauge->Reset();
+        break;
+      case MetricType::kHistogram:
+        e.histogram->Reset();
+        break;
+    }
+  }
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace obs
+}  // namespace i3

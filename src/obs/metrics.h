@@ -1,0 +1,173 @@
+// The unified metrics registry: named counters, gauges, and latency
+// histograms with Prometheus-style labels.
+//
+// Design rules (see DESIGN.md §9):
+//  - Registration is slow-path: callers fetch metric pointers once (at
+//    construction or through a function-local static bundle) and record
+//    through the cached pointer. The registry mutex is never taken on a
+//    query hot path.
+//  - Recording is wait-free per thread: counters and histograms stripe
+//    their cells per thread and use relaxed fetch_add only; gauges are a
+//    single relaxed atomic. No recording path takes a lock.
+//  - Snapshots are per-counter consistent (relaxed reads), the same
+//    contract IoStats documents; exporters consume a MetricsSnapshot so
+//    formatting never holds the registry lock while recording proceeds.
+//
+// Naming convention: `i3_<subsystem>_<what>[_total|_us]` -- `_total` for
+// monotonic counters, `_us` for microsecond histograms; labels are
+// low-cardinality dimensions (index, semantics, category, op, shard).
+
+#ifndef I3_OBS_METRICS_H_
+#define I3_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace i3 {
+namespace obs {
+
+/// \brief Label set of one metric: ordered (name, value) pairs. Order is
+/// part of the identity (callers use a fixed order per metric family).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Monotonic counter, striped per thread.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t n = 1) {
+    cells_[internal::ThreadStripe() & (kStripes - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// Benchmark phase reset; not atomic with concurrent increments.
+  void Reset() {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr uint32_t kStripes = 16;
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Cell, kStripes> cells_;
+};
+
+/// \brief Point-in-time signed value (queue depths, pool occupancy).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void Sub(int64_t d) { v_.fetch_sub(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+const char* MetricTypeName(MetricType t);
+
+/// \brief One metric's identity + value at snapshot time.
+struct MetricSample {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  Labels labels;
+  /// Counter/gauge value (counters as non-negative integers in a double).
+  double value = 0.0;
+  /// Histogram payload (empty unless type == kHistogram).
+  HistogramSnapshot histogram;
+};
+
+/// \brief A point-in-time copy of every registered metric, sorted by
+/// (name, labels) so exports are deterministic.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  /// First sample matching name (+ labels when given); nullptr if absent.
+  const MetricSample* Find(const std::string& name) const;
+  const MetricSample* Find(const std::string& name,
+                           const Labels& labels) const;
+};
+
+/// \brief True if `name` is a valid Prometheus metric name
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*) / label name ([a-zA-Z_][a-zA-Z0-9_]*).
+bool IsValidMetricName(const std::string& name);
+bool IsValidLabelName(const std::string& name);
+
+/// \brief Owner of all metrics. Get* registers on first use and returns a
+/// pointer that stays valid for the registry's lifetime; subsequent calls
+/// with the same (name, labels) return the same object. Returns nullptr
+/// for an invalid name/label or a type conflict with an existing
+/// registration (programmer error; exercised by tests).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem records into.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      Labels labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  Labels labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          Labels labels = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric (registrations survive). Benchmark phase resets;
+  /// not atomic with concurrent recorders.
+  void ResetAll();
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    MetricType type;
+    std::string name;
+    std::string help;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(MetricType type, const std::string& name,
+                      const std::string& help, Labels labels);
+
+  mutable std::mutex mutex_;
+  /// Keyed by name + rendered labels; std::map keeps exports sorted.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace obs
+}  // namespace i3
+
+#endif  // I3_OBS_METRICS_H_

@@ -1,0 +1,158 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace i3 {
+namespace obs {
+
+void QueryTrace::AddStage(const std::string& name, uint64_t ns) {
+  for (TraceStage& s : stages) {
+    if (s.name == name) {
+      s.total_ns += ns;
+      ++s.calls;
+      return;
+    }
+  }
+  stages.push_back({name, ns, 1});
+}
+
+uint64_t QueryTrace::StageNs(const std::string& name) const {
+  for (const TraceStage& s : stages) {
+    if (s.name == name) return s.total_ns;
+  }
+  return 0;
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // never freed
+  return *tracer;
+}
+
+void Tracer::SetSampleRate(double rate) {
+  uint32_t n = 0;
+  if (rate >= 1.0) {
+    n = 1;
+  } else if (rate > 0.0) {
+    n = static_cast<uint32_t>(std::lround(1.0 / rate));
+    if (n == 0) n = 1;
+  }
+  every_n_.store(n, std::memory_order_relaxed);
+}
+
+double Tracer::sample_rate() const {
+  const uint32_t n = every_n_.load(std::memory_order_relaxed);
+  return n == 0 ? 0.0 : 1.0 / static_cast<double>(n);
+}
+
+bool Tracer::StartTrace(const char* label, QueryTrace* trace) {
+  const uint32_t n = every_n_.load(std::memory_order_relaxed);
+  if (n == 0) return false;
+  if (n > 1) {
+    // Per-thread countdown: the first call on each thread is traced, then
+    // every n-th after it. Deterministic and wait-free.
+    thread_local uint32_t countdown = 0;
+    if (countdown != 0) {
+      --countdown;
+      return false;
+    }
+    countdown = n - 1;
+  }
+  trace->label = label;
+  trace->start_ns = NowNanos();
+  trace->total_ns = 0;
+  trace->stages.clear();
+  trace->annotations.clear();
+  return true;
+}
+
+void Tracer::Finish(QueryTrace&& trace) {
+  trace.total_ns = NowNanos() - trace.start_ns;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<QueryTrace> Tracer::Recent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<QueryTrace>(ring_.begin(), ring_.end());
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+}
+
+void Tracer::SetCapacity(size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = n == 0 ? 1 : n;
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+size_t Tracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+namespace {
+void AppendJsonEscaped(std::ostringstream* os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *os << "\\\"";
+        break;
+      case '\\':
+        *os << "\\\\";
+        break;
+      case '\n':
+        *os << "\\n";
+        break;
+      case '\t':
+        *os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *os << buf;
+        } else {
+          *os << c;
+        }
+    }
+  }
+}
+}  // namespace
+
+std::string TracesToJson(const std::vector<QueryTrace>& traces) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t t = 0; t < traces.size(); ++t) {
+    const QueryTrace& tr = traces[t];
+    if (t != 0) os << ",";
+    os << "\n  {\"label\": \"";
+    AppendJsonEscaped(&os, tr.label);
+    os << "\", \"total_ns\": " << tr.total_ns << ", \"stages\": [";
+    for (size_t i = 0; i < tr.stages.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << "{\"name\": \"";
+      AppendJsonEscaped(&os, tr.stages[i].name);
+      os << "\", \"total_ns\": " << tr.stages[i].total_ns
+         << ", \"calls\": " << tr.stages[i].calls << "}";
+    }
+    os << "], \"annotations\": {";
+    for (size_t i = 0; i < tr.annotations.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << "\"";
+      AppendJsonEscaped(&os, tr.annotations[i].first);
+      os << "\": " << tr.annotations[i].second;
+    }
+    os << "}}";
+  }
+  os << "\n]";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace i3

@@ -7,6 +7,8 @@
 #include <unordered_set>
 
 #include "model/topk.h"
+#include "obs/clock.h"
+#include "obs/trace.h"
 
 namespace i3 {
 
@@ -15,7 +17,16 @@ namespace {
 constexpr size_t kFlatEntryBytes = 24;
 }  // namespace
 
-S2IIndex::S2IIndex(S2IOptions options) : options_(options) {}
+S2IIndex::S2IIndex(S2IOptions options)
+    : options_(options), stats_emitter_("S2I", View(S2ISearchStats{})) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  search_latency_us_[0] =
+      reg.GetHistogram("i3_query_latency_us", "End-to-end Search latency.",
+                       {{"index", "S2I"}, {"semantics", "and"}});
+  search_latency_us_[1] =
+      reg.GetHistogram("i3_query_latency_us", "End-to-end Search latency.",
+                       {{"index", "S2I"}, {"semantics", "or"}});
+}
 
 Status S2IIndex::ValidateDocument(const SpatialDocument& doc) const {
   if (doc.id == kInvalidDocId) {
@@ -212,9 +223,23 @@ class S2IIndex::Source {
 
 Result<std::vector<ScoredDoc>> S2IIndex::Search(const Query& q_in,
                                                 double alpha) {
+  const uint64_t start_ns = obs::NowNanos();
+  S2ISearchStats stats;
+  auto result = SearchDispatch(q_in, alpha, &stats);
+  search_latency_us_[q_in.semantics == Semantics::kAnd ? 0 : 1]->Record(
+      (obs::NowNanos() - start_ns) / 1000);
+  stats_emitter_.Emit(View(stats));
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    last_search_stats_ = stats;
+  }
+  return result;
+}
+
+Result<std::vector<ScoredDoc>> S2IIndex::SearchDispatch(
+    const Query& q_in, double alpha, S2ISearchStats* stats) {
   Query q = q_in;
   q.Normalize();
-  last_search_stats_ = S2ISearchStats{};
   if (q.terms.empty()) {
     return Status::InvalidArgument("query has no keywords");
   }
@@ -236,9 +261,9 @@ Result<std::vector<ScoredDoc>> S2IIndex::Search(const Query& q_in,
   if (sources.empty()) return std::vector<ScoredDoc>{};
 
   if (options_.strategy == S2IStrategy::kTaRandomAccess) {
-    return SearchTa(q, alpha, &sources);
+    return SearchTa(q, alpha, &sources, stats);
   }
-  return SearchNra(q, alpha, &sources);
+  return SearchNra(q, alpha, &sources, stats);
 }
 
 // The faithful baseline: pop the globally best posting, then resolve its
@@ -248,7 +273,7 @@ Result<std::vector<ScoredDoc>> S2IIndex::Search(const Query& q_in,
 // result.
 Result<std::vector<ScoredDoc>> S2IIndex::SearchTa(
     const Query& q, double alpha,
-    std::vector<std::unique_ptr<Source>>* sources_in) {
+    std::vector<std::unique_ptr<Source>>* sources_in, S2ISearchStats* stats) {
   auto& sources = *sources_in;
   const Scorer scorer(options_.space, alpha);
   TopKHeap heap(q.k);
@@ -289,7 +314,7 @@ Result<std::vector<ScoredDoc>> S2IIndex::SearchTa(
     }
     const AREntry e = best->Current();
     best->Next();
-    ++last_search_stats_.source_pops;
+    ++stats->source_pops;
     if (!resolved.insert(e.doc).second) continue;
 
     double text = 0.0;
@@ -300,7 +325,7 @@ Result<std::vector<ScoredDoc>> S2IIndex::SearchTa(
         continue;
       }
       auto w = s->Probe(e.point, e.doc);
-      ++last_search_stats_.random_probes;
+      ++stats->random_probes;
       if (w.has_value()) {
         text += *w;
       } else if (q.semantics == Semantics::kAnd) {
@@ -308,7 +333,7 @@ Result<std::vector<ScoredDoc>> S2IIndex::SearchTa(
         break;
       }
     }
-    ++last_search_stats_.docs_resolved;
+    ++stats->docs_resolved;
     if (!qualifies) continue;
     heap.Offer(e.doc,
                scorer.Combine(scorer.SpatialProximity(q.location, e.point),
@@ -322,7 +347,7 @@ Result<std::vector<ScoredDoc>> S2IIndex::SearchTa(
 // streams (no random access), then resolve only the surviving candidates.
 Result<std::vector<ScoredDoc>> S2IIndex::SearchNra(
     const Query& q, double alpha,
-    std::vector<std::unique_ptr<Source>>* sources_in) {
+    std::vector<std::unique_ptr<Source>>* sources_in, S2ISearchStats* stats) {
   auto& sources = *sources_in;
   const Scorer scorer(options_.space, alpha);
 
@@ -453,7 +478,7 @@ Result<std::vector<ScoredDoc>> S2IIndex::SearchNra(
 
     const AREntry e = sources[best]->Current();
     sources[best]->Next();
-    ++last_search_stats_.source_pops;
+    ++stats->source_pops;
     Cand& c = cands[e.doc];
     c.loc = e.point;
     c.seen_w += e.weight;
@@ -471,7 +496,7 @@ Result<std::vector<ScoredDoc>> S2IIndex::SearchNra(
     if (cand_upper(c) <= delta && cand_lower(c) < delta) continue;
     if (q.semantics == Semantics::kAnd && c.seen_mask == all_mask) {
       heap.Offer(doc, cand_lower(c), c.loc);  // already exact
-      ++last_search_stats_.docs_resolved;
+      ++stats->docs_resolved;
       continue;
     }
     double text = c.seen_w;
@@ -484,7 +509,7 @@ Result<std::vector<ScoredDoc>> S2IIndex::SearchNra(
         continue;
       }
       auto w = sources[i]->Probe(c.loc, doc);
-      ++last_search_stats_.random_probes;
+      ++stats->random_probes;
       if (w.has_value()) {
         text += *w;
       } else if (q.semantics == Semantics::kAnd) {
@@ -493,7 +518,7 @@ Result<std::vector<ScoredDoc>> S2IIndex::SearchNra(
       if (!qualifies) break;
     }
     if (!qualifies) continue;
-    ++last_search_stats_.docs_resolved;
+    ++stats->docs_resolved;
     heap.Offer(doc,
                scorer.Combine(scorer.SpatialProximity(q.location, c.loc),
                               text),

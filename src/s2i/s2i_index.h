@@ -14,6 +14,7 @@
 #define I3_S2I_S2I_INDEX_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -67,6 +68,14 @@ struct S2ISearchStats {
   uint64_t source_pops = 0;
 };
 
+inline SearchStatsView View(const S2ISearchStats& s) {
+  SearchStatsView v;
+  v.Set("docs_resolved", s.docs_resolved);
+  v.Set("random_probes", s.random_probes);
+  v.Set("source_pops", s.source_pops);
+  return v;
+}
+
 /// \brief The S2I baseline index.
 class S2IIndex final : public SpatialKeywordIndex {
  public:
@@ -79,6 +88,13 @@ class S2IIndex final : public SpatialKeywordIndex {
   Result<std::vector<ScoredDoc>> Search(const Query& q,
                                         double alpha) override;
 
+  /// The query path keeps all per-query state on the stack (sources,
+  /// heaps, stats) and only reads the postings structures; statistics are
+  /// published once per search under stats_mutex_, and ARTree probes /
+  /// iterators are const. Safe for concurrent readers in the absence of
+  /// writers.
+  bool SupportsConcurrentSearch() const override { return true; }
+
   uint64_t DocumentCount() const override { return doc_count_; }
   IndexSizeInfo SizeInfo() const override;
   const IoStats& io_stats() const override { return io_stats_; }
@@ -88,9 +104,18 @@ class S2IIndex final : public SpatialKeywordIndex {
   /// "large number of small index files" of Table 5's discussion).
   size_t TreeFileCount() const { return tree_count_; }
   size_t KeywordCount() const { return terms_.size(); }
-  const S2ISearchStats& last_search_stats() const {
+
+  /// Statistics of the most recent completed Search call (snapshot; under
+  /// concurrent readers "most recent" is whichever search published last).
+  S2ISearchStats last_search_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
     return last_search_stats_;
   }
+
+  SearchStatsView LastSearchStats() const override {
+    return View(last_search_stats());
+  }
+
   const S2IOptions& options() const { return options_; }
 
  private:
@@ -105,12 +130,20 @@ class S2IIndex final : public SpatialKeywordIndex {
   class Source;
 
   Status ValidateDocument(const SpatialDocument& doc) const;
+  /// Search body: validates, builds the sources, and routes to the
+  /// configured strategy. All bodies accumulate statistics into `stats`
+  /// (stack storage of the caller, so concurrent searches never share
+  /// scratch).
+  Result<std::vector<ScoredDoc>> SearchDispatch(const Query& q, double alpha,
+                                                S2ISearchStats* stats);
   Result<std::vector<ScoredDoc>> SearchTa(
       const Query& q, double alpha,
-      std::vector<std::unique_ptr<Source>>* sources);
+      std::vector<std::unique_ptr<Source>>* sources,
+      S2ISearchStats* stats);
   Result<std::vector<ScoredDoc>> SearchNra(
       const Query& q, double alpha,
-      std::vector<std::unique_ptr<Source>>* sources);
+      std::vector<std::unique_ptr<Source>>* sources,
+      S2ISearchStats* stats);
   void PromoteToTree(TermPostings* tp);
   void DemoteToFlat(TermPostings* tp);
   /// Charges the sequential read of a flat posting run.
@@ -122,7 +155,14 @@ class S2IIndex final : public SpatialKeywordIndex {
   IoStats io_stats_;
   uint64_t doc_count_ = 0;
   size_t tree_count_ = 0;
+  /// Guards last_search_stats_ (snapshot scratch published per search; the
+  /// postings structures rely on the caller's reader/writer exclusion).
+  mutable std::mutex stats_mutex_;
   S2ISearchStats last_search_stats_;
+
+  // Metric handles cached at construction. Index 0 = AND, 1 = OR.
+  obs::Histogram* search_latency_us_[2];
+  SearchStatsEmitter stats_emitter_;
 };
 
 }  // namespace i3

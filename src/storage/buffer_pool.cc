@@ -7,7 +7,20 @@
 namespace i3 {
 
 BufferPool::BufferPool(PageFile* file, BufferPoolOptions options)
-    : file_(file), options_(options) {}
+    : file_(file), options_(options) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  hits_metric_ = reg.GetCounter("i3_buffer_pool_hits_total",
+                                "Page requests served from the cache.");
+  misses_metric_ = reg.GetCounter(
+      "i3_buffer_pool_misses_total",
+      "Page requests that faulted through to the backing file.");
+  evictions_metric_ =
+      reg.GetCounter("i3_buffer_pool_evictions_total",
+                     "Cached frames dropped to make room or by Clear().");
+  frame_recycles_metric_ = reg.GetCounter(
+      "i3_buffer_pool_frame_recycles_total",
+      "Evictions that reused the victim frame in place (no allocation).");
+}
 
 const uint8_t* BufferPool::PinnedPage::data() const {
   return static_cast<const Frame*>(frame_)->data.data();
@@ -31,6 +44,7 @@ Status BufferPool::PinPage(PageId id, IoCategory category, uint8_t* scratch,
       ++frame.pins;
       Touch(it->second);
       ++hits_;
+      hits_metric_->Increment(1);
       *out = PinnedPage(this, &frame);
       return Status::OK();
     }
@@ -44,6 +58,7 @@ Status BufferPool::PinPage(PageId id, IoCategory category, uint8_t* scratch,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++misses_;
+    misses_metric_->Increment(1);
     Frame* frame = InsertFrame(id, scratch);
     ++frame->pins;
     *out = PinnedPage(this, frame);
@@ -65,6 +80,7 @@ Status BufferPool::ReadPage(PageId id, void* buf, IoCategory category) {
       std::memcpy(buf, it->second->data.data(), page_size());
       Touch(it->second);
       ++hits_;
+      hits_metric_->Increment(1);
       return Status::OK();
     }
   }
@@ -76,6 +92,7 @@ Status BufferPool::ReadPage(PageId id, void* buf, IoCategory category) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++misses_;
+    misses_metric_->Increment(1);
     if (options_.capacity_pages > 0) InsertFrame(id, buf);
   }
   return Status::OK();
@@ -105,6 +122,8 @@ void BufferPool::Clear() {
     } else {
       map_.erase(it->id);
       it = lru_.erase(it);
+      ++evictions_;
+      evictions_metric_->Increment(1);
     }
   }
 }
@@ -135,6 +154,10 @@ BufferPool::Frame* BufferPool::InsertFrame(PageId id, const void* buf) {
     for (auto victim = lru_.end(); victim != lru_.begin();) {
       --victim;
       if (victim->pins == 0) {
+        ++evictions_;
+        ++frame_recycles_;
+        evictions_metric_->Increment(1);
+        frame_recycles_metric_->Increment(1);
         auto node = map_.extract(victim->id);
         victim->id = id;
         std::memcpy(victim->data.data(), buf, page_size());

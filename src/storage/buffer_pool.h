@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/page_file.h"
 
 namespace i3 {
@@ -119,6 +120,16 @@ class BufferPool {
     std::lock_guard<std::mutex> lock(mutex_);
     return misses_;
   }
+  /// Frames dropped to make room (victim recycles) or by Clear().
+  uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+  }
+  /// Evictions that reused the victim's buffer in place (no allocation).
+  uint64_t frame_recycles() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return frame_recycles_;
+  }
 
   PageFile* file() { return file_; }
   size_t page_size() const { return file_->page_size(); }
@@ -144,11 +155,20 @@ class BufferPool {
 
   PageFile* file_;
   const BufferPoolOptions options_;
-  mutable std::mutex mutex_;  // guards lru_, map_, hits_, misses_
+  mutable std::mutex mutex_;  // guards lru_, map_, and the local counters
   std::list<Frame> lru_;      // front = most recent
   std::unordered_map<PageId, std::list<Frame>::iterator> map_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t frame_recycles_ = 0;
+
+  // Process-wide counters, cached at construction (every pool instance
+  // feeds the same series; per-pool numbers come from the accessors).
+  obs::Counter* hits_metric_;
+  obs::Counter* misses_metric_;
+  obs::Counter* evictions_metric_;
+  obs::Counter* frame_recycles_metric_;
 };
 
 }  // namespace i3

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace i3 {
 
 namespace internal {
@@ -66,6 +68,37 @@ IoStats IoStats::Since(const IoStats& earlier) const {
                          std::memory_order_relaxed);
   }
   return out;
+}
+
+void RecordIoMetrics(const IoStats& delta) {
+  struct CategoryCounters {
+    obs::Counter* reads;
+    obs::Counter* writes;
+  };
+  // One registry lookup per category per process; recording afterwards is
+  // pure relaxed fetch_adds on the cached counters.
+  static const std::array<CategoryCounters, kNumIoCategories>* counters =
+      [] {
+        auto* a = new std::array<CategoryCounters, kNumIoCategories>();
+        obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+        for (int i = 0; i < kNumIoCategories; ++i) {
+          const char* name = IoCategoryName(static_cast<IoCategory>(i));
+          (*a)[i].reads = reg.GetCounter(
+              "i3_io_pages_total", "Page accesses by file category and op.",
+              {{"category", name}, {"op", "read"}});
+          (*a)[i].writes = reg.GetCounter(
+              "i3_io_pages_total", "Page accesses by file category and op.",
+              {{"category", name}, {"op", "write"}});
+        }
+        return a;
+      }();
+  for (int i = 0; i < kNumIoCategories; ++i) {
+    const auto c = static_cast<IoCategory>(i);
+    const uint64_t r = delta.reads(c);
+    const uint64_t w = delta.writes(c);
+    if (r != 0) (*counters)[i].reads->Increment(r);
+    if (w != 0) (*counters)[i].writes->Increment(w);
+  }
 }
 
 std::string IoStats::ToString() const {

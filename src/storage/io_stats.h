@@ -70,8 +70,15 @@ const char* IoCategoryName(IoCategory c);
 /// racing. Relaxed ordering is sufficient: the counters are independent
 /// tallies, and every reader that needs a consistent cross-counter view
 /// (benchmarks, stats accessors) reads them from a single thread or behind
-/// the owning index's synchronization. Copying takes a per-counter
-/// snapshot, not an atomic snapshot of the whole set.
+/// the owning index's synchronization.
+///
+/// Copy construction/assignment takes a *per-counter* snapshot: each
+/// counter is read atomically, but the set as a whole is not -- copying
+/// while writers are active can observe counter A before an increment and
+/// counter B after one. That torn view is fine for the intended use
+/// (before/after diffs taken while the instance is quiescent, or
+/// monitoring where per-counter accuracy suffices); it is not a
+/// linearizable snapshot.
 class IoStats {
  public:
   IoStats() = default;
@@ -118,8 +125,12 @@ class IoStats {
     for (auto& v : writes_) v.store(0, std::memory_order_relaxed);
   }
 
-  /// Per-category diff helper: `*this - other`, element-wise (for measuring
-  /// the cost of one query).
+  /// Per-category diff helper: `*this - earlier`, element-wise (for
+  /// measuring the cost of one query). `earlier` must be a snapshot of
+  /// *this* instance taken before the work being measured: counters only
+  /// grow, so each per-category subtraction underflows (wraps mod 2^64) if
+  /// `earlier` is ahead. Like copying, the diff is per-counter, not a
+  /// linearizable cross-counter snapshot.
   IoStats Since(const IoStats& earlier) const;
 
   /// Element-wise accumulation (for merging per-file counters).
@@ -147,6 +158,17 @@ class IoStats {
   std::array<std::atomic<uint64_t>, kNumIoCategories> reads_{};
   std::array<std::atomic<uint64_t>, kNumIoCategories> writes_{};
 };
+
+/// \brief Charges `delta` to the process-wide metrics registry as
+/// `i3_io_pages_total{category=...,op=read|write}` counters.
+///
+/// Callers pass a *diff* (typically IoStats::Since over a phase), not a
+/// cumulative total -- the metric is monotonic, so re-exporting a running
+/// total would double-count. Kept out of RecordRead/RecordWrite on purpose:
+/// those run on the per-page hot path, where doubling the atomic traffic
+/// for a statistic the caller can derive from one end-of-phase diff is a
+/// poor trade.
+void RecordIoMetrics(const IoStats& delta);
 
 }  // namespace i3
 

@@ -53,15 +53,17 @@ TEST(ConcurrentIndexTest, SingleThreadedBehaviourUnchanged) {
 }
 
 TEST(ConcurrentIndexTest, ReaderSafetyDependsOnBase) {
-  // I3's query path is reader-safe, so the wrapper must not serialize it;
-  // IR-tree's query path mutates per-index scratch, so it must.
+  // Every real index is reader-safe now that search statistics are
+  // stack-local and published under a mutex, so the wrapper must not
+  // serialize any of them; force_serialized_queries remains the escape
+  // hatch for implementations that withdraw the promise.
   ConcurrentIndex over_i3(std::make_unique<I3Index>(SmallOptions()));
   EXPECT_FALSE(over_i3.serializes_queries());
 
   IrTreeOptions iropt;
   iropt.space = {0.0, 0.0, 100.0, 100.0};
   ConcurrentIndex over_irtree(std::make_unique<IrTreeIndex>(iropt));
-  EXPECT_TRUE(over_irtree.serializes_queries());
+  EXPECT_FALSE(over_irtree.serializes_queries());
 
   ConcurrentIndex forced(std::make_unique<I3Index>(SmallOptions()),
                          {.force_serialized_queries = true});

@@ -1,0 +1,543 @@
+// Tests for the observability subsystem (src/obs/): histogram bucket
+// geometry and error bounds, snapshot merging, the concurrent recorders
+// (run under TSan in CI), the metrics registry contract, the Prometheus /
+// JSON exporters, the query tracer, and the shared search-stats view.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "model/search_stats.h"
+#include "obs/export.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace i3 {
+namespace obs {
+namespace {
+
+using B = HistogramBuckets;
+
+// ---------------------------------------------------------------------------
+// Histogram bucket geometry.
+
+TEST(ObsHistogramTest, ValuesBelowSubBucketsAreExact) {
+  for (uint64_t v = 0; v < B::kSubBuckets; ++v) {
+    const uint32_t idx = B::IndexOf(v);
+    EXPECT_EQ(idx, v);
+    EXPECT_EQ(B::LowerBound(idx), v);
+    EXPECT_EQ(B::UpperBoundInclusive(idx), v);
+  }
+}
+
+TEST(ObsHistogramTest, BucketsPartitionTheRange) {
+  // Buckets tile [0, kMaxTrackable] with no gaps and no overlaps.
+  for (uint32_t idx = 0; idx + 1 < B::kNumBuckets; ++idx) {
+    EXPECT_LE(B::LowerBound(idx), B::UpperBoundInclusive(idx));
+    EXPECT_EQ(B::UpperBoundInclusive(idx) + 1, B::LowerBound(idx + 1))
+        << "gap or overlap after bucket " << idx;
+  }
+  EXPECT_EQ(B::UpperBoundInclusive(B::kNumBuckets - 1), B::kMaxTrackable);
+}
+
+TEST(ObsHistogramTest, IndexOfLandsInsideTheBucket) {
+  // Sweep bucket boundaries and their neighbours across every octave.
+  std::vector<uint64_t> probes;
+  for (uint32_t idx = 0; idx < B::kNumBuckets; ++idx) {
+    probes.push_back(B::LowerBound(idx));
+    probes.push_back(B::UpperBoundInclusive(idx));
+  }
+  for (uint64_t v : probes) {
+    const uint32_t idx = B::IndexOf(v);
+    ASSERT_LT(idx, B::kNumBuckets);
+    EXPECT_LE(B::LowerBound(idx), v);
+    EXPECT_GE(B::UpperBoundInclusive(idx), v);
+  }
+}
+
+TEST(ObsHistogramTest, RelativeErrorIsBounded) {
+  // The quantile estimate for a single recorded value is the inclusive
+  // upper bound of its bucket: within kMaxRelativeError of the value.
+  for (uint64_t v = 1; v <= B::kMaxTrackable / 2; v = v * 3 + 1) {
+    const uint64_t upper = B::UpperBoundInclusive(B::IndexOf(v));
+    EXPECT_GE(upper, v);
+    EXPECT_LE(static_cast<double>(upper - v),
+              B::kMaxRelativeError * static_cast<double>(v) + 1e-9)
+        << "value " << v;
+  }
+}
+
+TEST(ObsHistogramTest, OverflowClampsIntoLastBucket) {
+  EXPECT_EQ(B::IndexOf(B::kMaxTrackable), B::kNumBuckets - 1);
+  EXPECT_EQ(B::IndexOf(B::kMaxTrackable + 1), B::kNumBuckets - 1);
+  EXPECT_EQ(B::IndexOf(UINT64_MAX), B::kNumBuckets - 1);
+
+  HistogramSnapshot h;
+  h.Record(UINT64_MAX);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), UINT64_MAX);  // exact sum survives the clamp
+  EXPECT_EQ(h.Max(), B::kMaxTrackable);
+}
+
+TEST(ObsHistogramTest, QuantilesOfUniformRecording) {
+  HistogramSnapshot h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 10000u);
+  // Each quantile estimate must be >= the true order statistic and within
+  // the relative error bound of it.
+  for (double q : {0.50, 0.90, 0.99}) {
+    const uint64_t truth = static_cast<uint64_t>(q * 10000);
+    const uint64_t est = h.Quantile(q);
+    EXPECT_GE(est, truth);
+    EXPECT_LE(static_cast<double>(est),
+              (1.0 + B::kMaxRelativeError) * static_cast<double>(truth) + 1)
+        << "q=" << q;
+  }
+  EXPECT_EQ(h.Quantile(0.0), h.Min());
+  EXPECT_GE(h.Max(), 10000u);
+}
+
+TEST(ObsHistogramTest, EmptySnapshotIsZero) {
+  HistogramSnapshot h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(ObsHistogramTest, MergeIsAssociativeAndCommutative) {
+  HistogramSnapshot a, b, c;
+  for (uint64_t v = 1; v < 500; v += 3) a.Record(v * 7);
+  for (uint64_t v = 1; v < 400; v += 2) b.Record(v * 113);
+  for (uint64_t v = 1; v < 300; ++v) c.Record(v);
+
+  // (a + b) + c
+  HistogramSnapshot ab = a;
+  ab.MergeFrom(b);
+  HistogramSnapshot ab_c = ab;
+  ab_c.MergeFrom(c);
+
+  // a + (b + c)
+  HistogramSnapshot bc = b;
+  bc.MergeFrom(c);
+  HistogramSnapshot a_bc = a;
+  a_bc.MergeFrom(bc);
+
+  EXPECT_TRUE(ab_c == a_bc);
+
+  // b + a == a + b
+  HistogramSnapshot ba = b;
+  ba.MergeFrom(a);
+  EXPECT_TRUE(ba == ab);
+
+  EXPECT_EQ(ab_c.count(), a.count() + b.count() + c.count());
+  EXPECT_EQ(ab_c.sum(), a.sum() + b.sum() + c.sum());
+}
+
+TEST(ObsHistogramTest, ConcurrentRecordersFoldExactCounts) {
+  // Stress for TSan: concurrent wait-free recording must be race-free and
+  // lose no counts once the recorders have joined.
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record((i + static_cast<uint64_t>(t) * 37) % 5000);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count(), kThreads * kPerThread);
+  uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t i = 0; i < kPerThread; ++i) {
+      expected_sum += (i + static_cast<uint64_t>(t) * 37) % 5000;
+    }
+  }
+  EXPECT_EQ(snap.sum(), expected_sum);
+
+  h.Reset();
+  EXPECT_EQ(h.Snapshot().count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+
+TEST(ObsMetricsTest, CounterSumsAcrossThreads) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(ObsMetricsTest, GaugeSetAddSub) {
+  Gauge g;
+  g.Set(10);
+  g.Add(5);
+  g.Sub(7);
+  EXPECT_EQ(g.Value(), 8);
+  g.Set(-3);
+  EXPECT_EQ(g.Value(), -3);
+}
+
+TEST(ObsMetricsTest, SameNameAndLabelsReturnsSameObject) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("obs_test_total", "help");
+  Counter* b = reg.GetCounter("obs_test_total", "help");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+
+  Counter* labeled = reg.GetCounter("obs_test_total", "help", {{"k", "v"}});
+  ASSERT_NE(labeled, nullptr);
+  EXPECT_NE(labeled, a);  // distinct label set -> distinct series
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(ObsMetricsTest, TypeConflictReturnsNull) {
+  MetricsRegistry reg;
+  ASSERT_NE(reg.GetCounter("obs_conflict", "help"), nullptr);
+  EXPECT_EQ(reg.GetGauge("obs_conflict", "help"), nullptr);
+  EXPECT_EQ(reg.GetHistogram("obs_conflict", "help"), nullptr);
+}
+
+TEST(ObsMetricsTest, InvalidNamesReturnNull) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.GetCounter("", "help"), nullptr);
+  EXPECT_EQ(reg.GetCounter("0starts_with_digit", "help"), nullptr);
+  EXPECT_EQ(reg.GetCounter("has space", "help"), nullptr);
+  EXPECT_EQ(reg.GetCounter("has-dash", "help"), nullptr);
+  // Colons are legal in metric names but not label names.
+  EXPECT_NE(reg.GetCounter("ns:metric", "help"), nullptr);
+  EXPECT_EQ(reg.GetCounter("ok_name", "help", {{"bad-label", "v"}}),
+            nullptr);
+  EXPECT_EQ(reg.GetCounter("ok_name", "help", {{"le:colon", "v"}}), nullptr);
+}
+
+TEST(ObsMetricsTest, SnapshotIsSortedAndFindable) {
+  MetricsRegistry reg;
+  reg.GetCounter("obs_zzz_total", "z")->Increment(3);
+  reg.GetGauge("obs_aaa", "a")->Set(7);
+  reg.GetHistogram("obs_mmm_us", "m")->Record(42);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.samples.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(snap.samples.begin(), snap.samples.end(),
+                             [](const MetricSample& x, const MetricSample& y) {
+                               return x.name < y.name;
+                             }));
+
+  const MetricSample* c = snap.Find("obs_zzz_total");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, 3.0);
+  const MetricSample* g = snap.Find("obs_aaa");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->value, 7.0);
+  const MetricSample* h = snap.Find("obs_mmm_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->histogram.count(), 1u);
+  EXPECT_EQ(snap.Find("obs_absent"), nullptr);
+}
+
+TEST(ObsMetricsTest, FindWithLabelsSelectsTheSeries) {
+  MetricsRegistry reg;
+  reg.GetCounter("obs_l_total", "h", {{"op", "read"}})->Increment(1);
+  reg.GetCounter("obs_l_total", "h", {{"op", "write"}})->Increment(2);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  const MetricSample* w = snap.Find("obs_l_total", {{"op", "write"}});
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->value, 2.0);
+  EXPECT_EQ(snap.Find("obs_l_total", {{"op", "scan"}}), nullptr);
+}
+
+TEST(ObsMetricsTest, ResetAllZeroesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("obs_r_total", "h");
+  Gauge* g = reg.GetGauge("obs_r_gauge", "h");
+  Histogram* h = reg.GetHistogram("obs_r_us", "h");
+  c->Increment(5);
+  g->Set(9);
+  h->Record(100);
+
+  reg.ResetAll();
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(g->Value(), 0);
+  EXPECT_EQ(h->Snapshot().count(), 0u);
+  // The cached pointers stay live and usable after the reset.
+  c->Increment(1);
+  EXPECT_EQ(c->Value(), 1u);
+}
+
+TEST(ObsMetricsTest, GlobalRegistryCarriesTheWiredSeries) {
+  // The subsystems wired in this repo register on first construction;
+  // merely touching the global registry must be safe and idempotent.
+  Counter* c = MetricsRegistry::Global().GetCounter(
+      "obs_selftest_total", "registered by test_obs");
+  ASSERT_NE(c, nullptr);
+  c->Increment();
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  ASSERT_NE(snap.Find("obs_selftest_total"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters.
+
+TEST(ObsExportTest, PrometheusTextShape) {
+  MetricsRegistry reg;
+  reg.GetCounter("obs_exp_total", "counter help", {{"op", "read"}})
+      ->Increment(4);
+  reg.GetCounter("obs_exp_total", "counter help", {{"op", "write"}})
+      ->Increment(6);
+  reg.GetGauge("obs_exp_depth", "gauge help")->Set(-2);
+  Histogram* h = reg.GetHistogram("obs_exp_us", "histogram help");
+  h->Record(10);
+  h->Record(100);
+  h->Record(1000);
+
+  const std::string text = ToPrometheusText(reg.Snapshot());
+
+  // HELP/TYPE exactly once per family even with several series.
+  auto count_of = [&text](const std::string& needle) {
+    size_t n = 0;
+    for (size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_of("# HELP obs_exp_total counter help"), 1u);
+  EXPECT_EQ(count_of("# TYPE obs_exp_total counter"), 1u);
+  EXPECT_NE(text.find("obs_exp_total{op=\"read\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("obs_exp_total{op=\"write\"} 6"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_exp_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("obs_exp_depth -2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_exp_us histogram"), std::string::npos);
+  // Cumulative buckets terminated by +Inf, plus _sum and _count.
+  EXPECT_NE(text.find("obs_exp_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_exp_us_sum 1110"), std::string::npos);
+  EXPECT_NE(text.find("obs_exp_us_count 3"), std::string::npos);
+}
+
+TEST(ObsExportTest, PrometheusBucketsAreCumulative) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("obs_cum_us", "h");
+  h->Record(1);
+  h->Record(1);
+  h->Record(1000000);
+
+  const std::string text = ToPrometheusText(reg.Snapshot());
+  // The low bucket holds 2; the bucket at the large value must already
+  // include them (cumulative), and +Inf equals the count.
+  EXPECT_NE(text.find("obs_cum_us_bucket{le=\"1\"} 2"), std::string::npos);
+  const size_t inf = text.find("obs_cum_us_bucket{le=\"+Inf\"} 3");
+  ASSERT_NE(inf, std::string::npos);
+  // No bucket line after +Inf for this family.
+  EXPECT_EQ(text.find("obs_cum_us_bucket", inf + 1), std::string::npos);
+}
+
+TEST(ObsExportTest, LabelEscapingRoundTrips) {
+  const std::string nasty = "a\\b\"c\nd";
+  MetricsRegistry reg;
+  reg.GetCounter("obs_esc_total", "h", {{"path", nasty}})->Increment(1);
+
+  const std::string text = ToPrometheusText(reg.Snapshot());
+  // The escaped form appears on the series line...
+  const std::string escaped = "a\\\\b\\\"c\\nd";
+  const size_t pos = text.find("obs_esc_total{path=\"" + escaped + "\"} 1");
+  EXPECT_NE(pos, std::string::npos) << text;
+  // ...and unescaping recovers the original value exactly.
+  EXPECT_EQ(UnescapePrometheusLabelValue(escaped), nasty);
+}
+
+TEST(ObsExportTest, JsonCarriesValuesAndPercentiles) {
+  MetricsRegistry reg;
+  reg.GetCounter("obs_j_total", "h")->Increment(11);
+  Histogram* h = reg.GetHistogram("obs_j_us", "h");
+  for (uint64_t v = 1; v <= 100; ++v) h->Record(v);
+
+  const std::string json = ToJson(reg.Snapshot());
+  EXPECT_NE(json.find("\"name\": \"obs_j_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 11"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"obs_j_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": "), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check; the Python CI
+  // gate does a full parse of the embedded snapshot).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+// ---------------------------------------------------------------------------
+// Tracer.
+
+TEST(ObsTraceTest, DisabledSamplerNeverTraces) {
+  Tracer tracer;
+  ASSERT_EQ(tracer.sample_rate(), 0.0);
+  QueryTrace t;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(tracer.StartTrace("q", &t));
+  }
+  EXPECT_TRUE(tracer.Recent().empty());
+}
+
+TEST(ObsTraceTest, RateOneTracesEveryQuery) {
+  Tracer tracer;
+  tracer.SetSampleRate(1.0);
+  for (int i = 0; i < 5; ++i) {
+    QueryTrace t;
+    ASSERT_TRUE(tracer.StartTrace("q", &t));
+    t.AddStage("stage_a", 100);
+    tracer.Finish(std::move(t));
+  }
+  const auto recent = tracer.Recent();
+  ASSERT_EQ(recent.size(), 5u);
+  EXPECT_EQ(recent.back().label, "q");
+  EXPECT_GT(recent.back().total_ns, 0u);
+}
+
+TEST(ObsTraceTest, FractionalRateTracesEveryNth) {
+  Tracer tracer;
+  tracer.SetSampleRate(0.25);  // every 4th query on this thread
+  int traced = 0;
+  for (int i = 0; i < 100; ++i) {
+    QueryTrace t;
+    if (tracer.StartTrace("q", &t)) {
+      ++traced;
+      tracer.Finish(std::move(t));
+    }
+  }
+  EXPECT_EQ(traced, 25);
+}
+
+TEST(ObsTraceTest, StagesAccumulateByName) {
+  QueryTrace t;
+  t.AddStage("scan", 100);
+  t.AddStage("merge", 50);
+  t.AddStage("scan", 200);
+  ASSERT_EQ(t.stages.size(), 2u);
+  EXPECT_EQ(t.StageNs("scan"), 300u);
+  EXPECT_EQ(t.StageNs("merge"), 50u);
+  EXPECT_EQ(t.StageNs("absent"), 0u);
+  const TraceStage* scan = &t.stages[0];
+  EXPECT_EQ(scan->calls, 2u);
+}
+
+TEST(ObsTraceTest, ScopedStageIsNoOpOnNullAndRecordsOtherwise) {
+  { ScopedStage noop(nullptr, "x"); }  // must not crash or record
+
+  QueryTrace t;
+  {
+    ScopedStage s(&t, "timed");
+    // Some trivial work so the stage takes nonzero time on any clock.
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink += i;
+  }
+  ASSERT_EQ(t.stages.size(), 1u);
+  EXPECT_EQ(t.stages[0].calls, 1u);
+}
+
+TEST(ObsTraceTest, RingBufferDropsOldest) {
+  Tracer tracer;
+  tracer.SetSampleRate(1.0);
+  tracer.SetCapacity(3);
+  for (int i = 0; i < 10; ++i) {
+    QueryTrace t;
+    ASSERT_TRUE(tracer.StartTrace("q", &t));
+    t.Annotate("seq", static_cast<uint64_t>(i));
+    tracer.Finish(std::move(t));
+  }
+  const auto recent = tracer.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent.front().annotations[0].second, 7u);  // oldest kept
+  EXPECT_EQ(recent.back().annotations[0].second, 9u);
+
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Recent().empty());
+}
+
+TEST(ObsTraceTest, TracesToJsonShape) {
+  QueryTrace t;
+  t.label = "I3.Search";
+  t.total_ns = 1234;
+  t.AddStage("cell_lookup", 1000);
+  t.Annotate("results", 10);
+  const std::string json = TracesToJson({t});
+  EXPECT_NE(json.find("\"label\": \"I3.Search\""), std::string::npos);
+  EXPECT_NE(json.find("\"cell_lookup\""), std::string::npos);
+  EXPECT_NE(json.find("\"results\": 10"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Search-stats view + emitter.
+
+TEST(ObsSearchStatsTest, ViewSetGetToString) {
+  SearchStatsView v;
+  v.Set("docs_scored", 42);
+  v.Set("cells_pruned", 7);
+  EXPECT_EQ(v.count, 2u);
+  EXPECT_EQ(v.Get("docs_scored"), 42u);
+  EXPECT_EQ(v.Get("cells_pruned"), 7u);
+  EXPECT_EQ(v.Get("absent"), 0u);
+  EXPECT_EQ(v.ToString(), "{docs_scored: 42, cells_pruned: 7}");
+}
+
+TEST(ObsSearchStatsTest, ViewCapsAtMaxStats) {
+  SearchStatsView v;
+  static const char* kNames[] = {"s0", "s1", "s2", "s3", "s4",
+                                 "s5", "s6", "s7", "s8", "s9"};
+  for (uint64_t i = 0; i < 10; ++i) v.Set(kNames[i], i);
+  EXPECT_EQ(v.count, SearchStatsView::kMaxStats);
+}
+
+TEST(ObsSearchStatsTest, EmitterSumsIntoGlobalCounters) {
+  SearchStatsView schema;
+  schema.Set("obs_test_stat_a", 0);
+  schema.Set("obs_test_stat_b", 0);
+  SearchStatsEmitter emitter("obs-test-index", schema);
+
+  SearchStatsView q1;
+  q1.Set("obs_test_stat_a", 3);
+  q1.Set("obs_test_stat_b", 0);  // zero -> no increment, still positional
+  SearchStatsView q2;
+  q2.Set("obs_test_stat_a", 4);
+  q2.Set("obs_test_stat_b", 5);
+  emitter.Emit(q1);
+  emitter.Emit(q2);
+
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const MetricSample* a = snap.Find(
+      "i3_search_stat_total",
+      {{"index", "obs-test-index"}, {"stat", "obs_test_stat_a"}});
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->value, 7.0);
+  const MetricSample* b = snap.Find(
+      "i3_search_stat_total",
+      {{"index", "obs-test-index"}, {"stat", "obs_test_stat_b"}});
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->value, 5.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace i3

@@ -349,15 +349,59 @@ TEST(ShardedIndexTest, CrossShardUpdateMovesDocument) {
   EXPECT_EQ(hits.ValueOrDie()[0].doc, b);
 }
 
+/// Forwarding wrapper that withdraws the reader-safety promise -- stands in
+/// for an implementation with unsynchronized per-index query scratch (all
+/// real indexes are reader-safe now that search stats are stack-local and
+/// published under a mutex, so the serialize path needs a test double).
+class NotReaderSafeIndex final : public SpatialKeywordIndex {
+ public:
+  explicit NotReaderSafeIndex(std::unique_ptr<SpatialKeywordIndex> base)
+      : base_(std::move(base)) {}
+  std::string Name() const override { return base_->Name(); }
+  Status Insert(const SpatialDocument& doc) override {
+    return base_->Insert(doc);
+  }
+  Status Delete(const SpatialDocument& doc) override {
+    return base_->Delete(doc);
+  }
+  Result<std::vector<ScoredDoc>> Search(const Query& q,
+                                        double alpha) override {
+    return base_->Search(q, alpha);
+  }
+  bool SupportsConcurrentSearch() const override { return false; }
+  uint64_t DocumentCount() const override { return base_->DocumentCount(); }
+  IndexSizeInfo SizeInfo() const override { return base_->SizeInfo(); }
+  const IoStats& io_stats() const override { return base_->io_stats(); }
+  void ResetIoStats() override { base_->ResetIoStats(); }
+
+ private:
+  std::unique_ptr<SpatialKeywordIndex> base_;
+};
+
+TEST(ShardedIndexTest, IrTreeShardsAreReaderSafe) {
+  // IR-tree used to mutate per-index stats scratch mid-search; stats are
+  // stack-local now, so its shards must NOT serialize searches.
+  IrTreeOptions iropt;
+  iropt.space = {0.0, 0.0, 100.0, 100.0};
+  auto res = ShardedIndex::Create(
+      [&](uint32_t) { return std::make_unique<IrTreeIndex>(iropt); },
+      {.num_shards = 2});
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.ValueOrDie()->shard(0)->SupportsConcurrentSearch());
+}
+
 TEST(ShardedIndexTest, SerializesQueriesOfNonReaderSafeShards) {
-  // IR-tree's query path mutates per-index scratch, so its shards must
-  // serialize searches (cross-shard parallelism still applies) -- and the
-  // results must stay correct.
+  // A shard that is not reader-safe must have its searches serialized
+  // (cross-shard parallelism still applies) -- and the results must stay
+  // correct.
   IrTreeOptions iropt;
   iropt.space = {0.0, 0.0, 100.0, 100.0};
   iropt.page_size = 256;
   auto res = ShardedIndex::Create(
-      [&](uint32_t) { return std::make_unique<IrTreeIndex>(iropt); },
+      [&](uint32_t) {
+        return std::make_unique<NotReaderSafeIndex>(
+            std::make_unique<IrTreeIndex>(iropt));
+      },
       {.num_shards = 3, .search_threads = 2});
   ASSERT_TRUE(res.ok());
   auto& index = *res.ValueOrDie();

@@ -36,12 +36,68 @@ TEST(IoStatsTest, SinceComputesDelta) {
   EXPECT_EQ(d.writes(IoCategory::kFlatFile), 1u);
 }
 
+TEST(IoStatsTest, SinceSelfIsZero) {
+  IoStats a;
+  a.RecordRead(IoCategory::kI3HeadFile, 4);
+  a.RecordWrite(IoCategory::kI3DataFile, 2);
+  const IoStats d = a.Since(a);
+  for (int i = 0; i < kNumIoCategories; ++i) {
+    const auto c = static_cast<IoCategory>(i);
+    EXPECT_EQ(d.reads(c), 0u);
+    EXPECT_EQ(d.writes(c), 0u);
+  }
+}
+
+TEST(IoStatsTest, SinceIsPerCategory) {
+  // Each category diffs independently; untouched categories stay zero.
+  IoStats a;
+  a.RecordRead(IoCategory::kRTreeNode, 10);
+  a.RecordWrite(IoCategory::kFlatFile, 3);
+  const IoStats before = a;
+  a.RecordRead(IoCategory::kRTreeNode, 5);
+  a.RecordRead(IoCategory::kInvertedFile, 7);
+  const IoStats d = a.Since(before);
+  EXPECT_EQ(d.reads(IoCategory::kRTreeNode), 5u);
+  EXPECT_EQ(d.reads(IoCategory::kInvertedFile), 7u);
+  EXPECT_EQ(d.writes(IoCategory::kFlatFile), 0u);  // unchanged since before
+  EXPECT_EQ(d.Total(), 12u);
+}
+
+TEST(IoStatsTest, CopyTakesAnIndependentSnapshot) {
+  IoStats a;
+  a.RecordRead(IoCategory::kI3DataFile, 6);
+  IoStats copy = a;
+  a.RecordRead(IoCategory::kI3DataFile, 4);  // original moves on
+  EXPECT_EQ(copy.reads(IoCategory::kI3DataFile), 6u);
+  EXPECT_EQ(a.reads(IoCategory::kI3DataFile), 10u);
+
+  IoStats assigned;
+  assigned.RecordWrite(IoCategory::kOther, 99);
+  assigned = a;  // assignment overwrites every counter
+  EXPECT_EQ(assigned.writes(IoCategory::kOther), 0u);
+  EXPECT_EQ(assigned.reads(IoCategory::kI3DataFile), 10u);
+}
+
 TEST(IoStatsTest, MergeFromAccumulates) {
   IoStats a, b;
   a.RecordRead(IoCategory::kI3HeadFile);
   b.RecordRead(IoCategory::kI3HeadFile, 2);
   a.MergeFrom(b);
   EXPECT_EQ(a.reads(IoCategory::kI3HeadFile), 3u);
+}
+
+TEST(IoStatsTest, ToStringShowsOnlyTouchedCategories) {
+  IoStats empty;
+  EXPECT_EQ(empty.ToString(), "IoStats{}");
+
+  IoStats stats;
+  stats.RecordRead(IoCategory::kI3HeadFile, 2);
+  stats.RecordRead(IoCategory::kI3DataFile, 5);
+  stats.RecordWrite(IoCategory::kI3DataFile, 1);
+  EXPECT_EQ(stats.ToString(),
+            "IoStats{i3.head: r=2 w=0, i3.data: r=5 w=1}");
+  // Untouched categories never appear.
+  EXPECT_EQ(stats.ToString().find("rtree.node"), std::string::npos);
 }
 
 template <typename FileMaker>
@@ -179,6 +235,25 @@ TEST(BufferPoolTest, ClearResetsToColdCache) {
   pool.Clear();
   ASSERT_TRUE(pool.ReadPage(0, out.data(), IoCategory::kOther).ok());
   EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST(BufferPoolTest, CountsEvictionsAndFrameRecycles) {
+  InMemoryPageFile file(256);
+  BufferPool pool(&file, {.capacity_pages = 2});
+  std::vector<uint8_t> buf(256, 1);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(pool.AllocatePage().ok());
+    ASSERT_TRUE(pool.WritePage(i, buf.data(), IoCategory::kOther).ok());
+  }
+  // Pages 2 and 3 fit; inserting them evicted pages 0 and 1, reusing the
+  // victims' frames in place.
+  EXPECT_EQ(pool.evictions(), 2u);
+  EXPECT_EQ(pool.frame_recycles(), 2u);
+
+  // Clear() drops the cached frames: evictions without recycling.
+  pool.Clear();
+  EXPECT_EQ(pool.evictions(), 4u);
+  EXPECT_EQ(pool.frame_recycles(), 2u);
 }
 
 TEST(SimulatedLatencyTest, ScopedGuardRestores) {
