@@ -8,6 +8,7 @@
 
 #include "obs/clock.h"
 #include "obs/histogram.h"
+#include "storage/fault_injection.h"
 
 namespace i3 {
 namespace bench {
@@ -33,12 +34,19 @@ BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
       cfg.metrics_path = a + 10;
     } else if (std::strncmp(a, "--trace-sample-rate=", 20) == 0) {
       cfg.trace_sample_rate = std::atof(a + 20);
+    } else if (std::strncmp(a, "--fault-profile=", 16) == 0) {
+      cfg.fault_profile = a + 16;
+    } else if (std::strncmp(a, "--deadline-ms=", 14) == 0) {
+      cfg.deadline_ms = std::strtoull(a + 14, nullptr, 10);
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
           "flags: --scale=X (dataset scale, default 1) --queries=N "
           "--skip-irtree --eta=N --iolat=US (simulated page latency) "
           "--metrics[=PATH] (Prometheus dump on exit, stdout if no path) "
-          "--trace-sample-rate=R (fraction of queries traced)\n");
+          "--trace-sample-rate=R (fraction of queries traced) "
+          "--fault-profile=SPEC (storage fault injection, see "
+          "storage/fault_injection.h) --deadline-ms=N (per-query "
+          "deadline)\n");
       std::exit(0);
     }
   }
@@ -68,6 +76,34 @@ std::unique_ptr<I3Index> BuildI3(const Dataset& ds, uint32_t eta) {
   for (const auto& d : ds.docs) {
     auto st = index->Insert(d);
     if (!st.ok()) {
+      std::fprintf(stderr, "I3 insert failed: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  }
+  return index;
+}
+
+std::unique_ptr<I3Index> BuildI3(const Dataset& ds, const BenchConfig& cfg) {
+  if (cfg.fault_profile.empty()) return BuildI3(ds, cfg.eta);
+  auto parsed = FaultProfile::Parse(cfg.fault_profile);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bad --fault-profile: %s\n",
+                 parsed.status().ToString().c_str());
+    std::abort();
+  }
+  const FaultProfile profile = parsed.ValueOrDie();
+  I3Options opt;
+  opt.space = ds.space;
+  opt.signature_bits = cfg.eta;
+  opt.page_file_factory = [profile](size_t page_size) {
+    return std::make_unique<FaultInjectionPageFile>(
+        std::make_unique<InMemoryPageFile>(page_size), profile);
+  };
+  auto index = std::make_unique<I3Index>(opt);
+  for (const auto& d : ds.docs) {
+    auto st = index->Insert(d);
+    // Injected build-phase faults are expected; the document is skipped.
+    if (!st.ok() && !st.IsIOError()) {
       std::fprintf(stderr, "I3 insert failed: %s\n", st.ToString().c_str());
       std::abort();
     }
@@ -115,7 +151,7 @@ std::unique_ptr<IrTreeIndex> BuildIrTree(const Dataset& ds, bool bulk) {
 
 QuerySetCost RunQuerySet(SpatialKeywordIndex* index,
                          const std::vector<Query>& queries, double alpha,
-                         uint32_t io_latency_us) {
+                         uint32_t io_latency_us, const QueryRunOptions& run) {
   QuerySetCost cost;
   if (queries.empty()) return cost;
   index->ClearCache();  // cold cache per query set, as in Section 6.3
@@ -123,15 +159,24 @@ QuerySetCost RunQuerySet(SpatialKeywordIndex* index,
   ScopedIoLatency latency(io_latency_us);
   obs::HistogramSnapshot latencies_us;
   Timer timer;
-  for (const Query& q : queries) {
+  for (const Query& q_in : queries) {
+    Query q = q_in;
+    if (run.deadline_us > 0) {
+      q.control = QueryControl::AfterMicros(run.deadline_us);
+    }
     const uint64_t q0 = obs::NowNanos();
     auto res = index->Search(q, alpha);
     latencies_us.Record((obs::NowNanos() - q0) / 1000);
     if (!res.ok()) {
-      std::fprintf(stderr, "%s search failed: %s\n", index->Name().c_str(),
-                   res.status().ToString().c_str());
-      std::abort();
+      if (!run.allow_errors) {
+        std::fprintf(stderr, "%s search failed: %s\n", index->Name().c_str(),
+                     res.status().ToString().c_str());
+        std::abort();
+      }
+      ++cost.failed_queries;
+      continue;
     }
+    cost.degraded_queries += index->LastSearchStats().Get("degraded");
   }
   cost.avg_ms = timer.ElapsedMillis() / queries.size();
   cost.p50_ms = static_cast<double>(latencies_us.Quantile(0.50)) / 1000.0;

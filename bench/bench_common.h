@@ -57,9 +57,16 @@ struct BenchConfig {
   /// --trace-sample-rate=R in [0, 1]: fraction of queries to trace
   /// (obs/trace.h); applied to the global Tracer by FromArgs. 0 = off.
   double trace_sample_rate = 0.0;
+  /// --fault-profile=SPEC: build I3 data files over a fault-injecting
+  /// backing (storage/fault_injection.h spec grammar). Empty = off.
+  std::string fault_profile;
+  /// --deadline-ms=N: per-query deadline; overruns degrade or fail instead
+  /// of running to completion. 0 = unbounded.
+  uint64_t deadline_ms = 0;
 
   /// Parses --scale=X --queries=N --skip-irtree --eta=N --iolat=US
-  /// --metrics[=PATH] --trace-sample-rate=R.
+  /// --metrics[=PATH] --trace-sample-rate=R --fault-profile=SPEC
+  /// --deadline-ms=N.
   static BenchConfig FromArgs(int argc, char** argv);
 };
 
@@ -78,6 +85,9 @@ Dataset MakeWikipedia(const BenchConfig& cfg);
 /// \brief Index builders (timed by the caller where construction time is
 /// the measurement).
 std::unique_ptr<I3Index> BuildI3(const Dataset& ds, uint32_t eta);
+/// BuildI3 honoring cfg.eta and cfg.fault_profile (the data file is backed
+/// by a fault-injecting in-memory PageFile when a profile is set).
+std::unique_ptr<I3Index> BuildI3(const Dataset& ds, const BenchConfig& cfg);
 std::unique_ptr<S2IIndex> BuildS2I(const Dataset& ds);
 /// \param bulk use STR bulk loading (the paper's static Wikipedia build).
 std::unique_ptr<IrTreeIndex> BuildIrTree(const Dataset& ds, bool bulk);
@@ -96,13 +106,39 @@ struct QuerySetCost {
   double avg_io_reads = 0.0;
   /// Per-category mean reads, indexed by IoCategory.
   double avg_reads_by_cat[kNumIoCategories] = {};
+  /// Queries that returned an error (only nonzero under
+  /// QueryRunOptions::allow_errors -- fault / deadline runs).
+  uint64_t failed_queries = 0;
+  /// Queries answered degraded (partial top-k; sharded indexes only).
+  uint64_t degraded_queries = 0;
+};
+
+/// \brief Fault-tolerance knobs for RunQuerySet; the default is the strict
+/// behavior every figure harness uses (any failure aborts).
+struct QueryRunOptions {
+  /// Per-query deadline in microseconds; 0 = unbounded.
+  uint64_t deadline_us = 0;
+  /// Count per-query failures (QuerySetCost::failed_queries) instead of
+  /// aborting the harness -- required for fault/deadline runs where errors
+  /// are the expected outcome.
+  bool allow_errors = false;
+
+  /// Derived from --fault-profile / --deadline-ms: errors become tolerable
+  /// as soon as either fault source is armed.
+  static QueryRunOptions FromConfig(const BenchConfig& cfg) {
+    QueryRunOptions run;
+    run.deadline_us = cfg.deadline_ms * 1000;
+    run.allow_errors = cfg.deadline_ms > 0 || !cfg.fault_profile.empty();
+    return run;
+  }
 };
 
 /// \brief Runs `queries` against `index` with cold caches and averaged
 /// timing/IO, under the configured simulated device latency.
 QuerySetCost RunQuerySet(SpatialKeywordIndex* index,
                          const std::vector<Query>& queries, double alpha,
-                         uint32_t io_latency_us = 20);
+                         uint32_t io_latency_us = 20,
+                         const QueryRunOptions& run = {});
 
 /// \brief Honors cfg.dump_metrics: writes the global metrics registry as
 /// Prometheus text to cfg.metrics_path (stdout when the path is empty).

@@ -16,7 +16,11 @@
 // Global flags (any position): --metrics[=PATH] dumps the process metrics
 // registry as Prometheus text on exit (stdout when no path);
 // --trace-sample-rate=R traces a fraction of queries and prints the
-// sampled stage breakdowns as JSON on exit.
+// sampled stage breakdowns as JSON on exit; --fault-profile=SPEC re-homes
+// the loaded index onto a fault-injecting in-memory backing (see
+// storage/fault_injection.h for the spec grammar -- e.g.
+// "seed=7,read_error=0.01,corrupt=0.005") to exercise the error paths;
+// --deadline-ms=N bounds each query, returning DeadlineExceeded on overrun.
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +36,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/fault_injection.h"
 #include "text/tfidf.h"
 #include "text/tokenizer.h"
 #include "text/vocabulary.h"
@@ -39,6 +44,30 @@
 using namespace i3;
 
 namespace {
+
+/// Stripped global flags affecting how indexes are loaded and queried.
+struct GlobalOptions {
+  std::string fault_profile;
+  uint64_t deadline_ms = 0;
+};
+GlobalOptions g_opts;
+
+/// Loads <prefix>.i3 honoring --fault-profile (the persisted index is
+/// re-homed onto an injecting in-memory backing; the checksum layer above
+/// it catches injected payload corruption).
+Result<std::unique_ptr<I3Index>> LoadIndex(const std::string& prefix) {
+  I3Options opt;
+  if (!g_opts.fault_profile.empty()) {
+    auto parsed = FaultProfile::Parse(g_opts.fault_profile);
+    if (!parsed.ok()) return parsed.status();
+    const FaultProfile profile = parsed.ValueOrDie();
+    opt.page_file_factory = [profile](size_t page_size) {
+      return std::make_unique<FaultInjectionPageFile>(
+          std::make_unique<InMemoryPageFile>(page_size), profile);
+    };
+  }
+  return I3Index::LoadFrom(prefix + ".i3", opt);
+}
 
 struct RawDoc {
   DocId id;
@@ -188,7 +217,7 @@ int CmdBuild(int argc, char** argv) {
 
 int CmdStats(int argc, char** argv) {
   if (argc < 3) return Fail("stats needs <index-prefix>");
-  auto res = I3Index::LoadFrom(std::string(argv[2]) + ".i3");
+  auto res = LoadIndex(argv[2]);
   if (!res.ok()) return Fail(res.status().ToString());
   auto& index = *res.ValueOrDie();
   std::printf("documents:      %llu\n",
@@ -210,7 +239,7 @@ int CmdQuery(int argc, char** argv) {
                 "<text...>");
   }
   const std::string prefix = argv[2];
-  auto res = I3Index::LoadFrom(prefix + ".i3");
+  auto res = LoadIndex(prefix);
   if (!res.ok()) return Fail(res.status().ToString());
   Vocabulary vocab;
   uint64_t total_docs = 0;
@@ -219,6 +248,9 @@ int CmdQuery(int argc, char** argv) {
   }
 
   Query q;
+  if (g_opts.deadline_ms > 0) {
+    q.control = QueryControl::AfterMicros(g_opts.deadline_ms * 1000);
+  }
   q.location = {std::atof(argv[3]), std::atof(argv[4])};
   q.k = static_cast<uint32_t>(std::atoi(argv[5]));
   const double alpha = std::atof(argv[6]);
@@ -250,7 +282,7 @@ int CmdRange(int argc, char** argv) {
                 "<and|or> <text...>");
   }
   const std::string prefix = argv[2];
-  auto res = I3Index::LoadFrom(prefix + ".i3");
+  auto res = LoadIndex(prefix);
   if (!res.ok()) return Fail(res.status().ToString());
   Vocabulary vocab;
   uint64_t total_docs = 0;
@@ -296,6 +328,10 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--trace-sample-rate=", 20) == 0) {
       obs::Tracer::Global().SetSampleRate(std::atof(argv[i] + 20));
       dump_traces = true;
+    } else if (std::strncmp(argv[i], "--fault-profile=", 16) == 0) {
+      g_opts.fault_profile = argv[i] + 16;
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      g_opts.deadline_ms = std::strtoull(argv[i] + 14, nullptr, 10);
     } else {
       argv[kept++] = argv[i];
     }

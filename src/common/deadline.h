@@ -1,0 +1,108 @@
+// Shared clock abstraction for every place this library waits on purpose:
+// simulated device latency, retry backoff, and per-query deadlines.
+//
+// Two concerns live here. First, DeadlineTimer::SleepFor centralizes the
+// hybrid wait policy that used to be duplicated as open-coded busy-wait
+// loops in storage/io_stats.cc and storage/buffer_pool.cc: waits long
+// enough for the scheduler to honor accurately (>= 50us) are slept, so a
+// blocked "device read" lets other threads run, while shorter waits keep
+// busy-waiting because Linux sleep granularity is unreliable below ~50us
+// and would distort the microsecond-scale calibration harnesses. Second,
+// DeadlineTimer itself is the absolute-deadline object the retry/backoff
+// and graceful-degradation paths consult (Expired / RemainingMicros).
+
+#ifndef I3_COMMON_DEADLINE_H_
+#define I3_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace i3 {
+
+/// \brief An absolute steady-clock deadline plus the library's wait policy.
+class DeadlineTimer {
+ public:
+  /// Threshold below which SleepFor busy-waits instead of sleeping.
+  static constexpr uint32_t kSpinThresholdUs = 50;
+
+  /// A deadline that never expires.
+  DeadlineTimer() = default;
+
+  /// A deadline `budget_us` microseconds from now.
+  static DeadlineTimer AfterMicros(uint64_t budget_us) {
+    DeadlineTimer t;
+    t.deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(budget_us);
+    t.bounded_ = true;
+    return t;
+  }
+
+  /// A deadline at the given steady-clock nanosecond timestamp (as produced
+  /// by obs::NowNanos); 0 means unbounded.
+  static DeadlineTimer AtSteadyNanos(uint64_t deadline_ns) {
+    DeadlineTimer t;
+    if (deadline_ns != 0) {
+      t.deadline_ = std::chrono::steady_clock::time_point(
+          std::chrono::nanoseconds(deadline_ns));
+      t.bounded_ = true;
+    }
+    return t;
+  }
+
+  bool bounded() const { return bounded_; }
+
+  bool Expired() const {
+    return bounded_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  /// Microseconds until expiry; 0 when expired. Meaningless (max) when
+  /// unbounded.
+  uint64_t RemainingMicros() const {
+    if (!bounded_) return UINT64_MAX;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline_) return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline_ - now)
+            .count());
+  }
+
+  /// \brief Waits `us` microseconds under the hybrid policy: sleep when the
+  /// scheduler can honor the wait accurately, busy-wait below that.
+  static void SleepFor(uint64_t us) {
+    if (us == 0) return;
+    if (us >= kSpinThresholdUs) {
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+      return;
+    }
+    SpinUntil(std::chrono::steady_clock::now() +
+              std::chrono::microseconds(us));
+  }
+
+  /// \brief Waits until this deadline passes (hybrid policy). No-op when
+  /// unbounded or already expired.
+  void WaitUntilExpired() const {
+    if (!bounded_) return;
+    const uint64_t remaining = RemainingMicros();
+    if (remaining == 0) return;
+    if (remaining >= kSpinThresholdUs) {
+      std::this_thread::sleep_until(deadline_);
+      return;
+    }
+    SpinUntil(deadline_);
+  }
+
+ private:
+  static void SpinUntil(std::chrono::steady_clock::time_point until) {
+    while (std::chrono::steady_clock::now() < until) {
+      // Busy-wait: microsecond sleep granularity is unreliable on Linux.
+    }
+  }
+
+  std::chrono::steady_clock::time_point deadline_{};
+  bool bounded_ = false;
+};
+
+}  // namespace i3
+
+#endif  // I3_COMMON_DEADLINE_H_

@@ -25,6 +25,7 @@ enum class StatusCode : int {
   kNotSupported = 7,
   kResourceExhausted = 8,
   kInternal = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// \brief Human-readable name of a status code ("OK", "NotFound", ...).
@@ -73,6 +74,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   /// \brief True iff the operation succeeded.
   bool ok() const { return state_ == nullptr; }
@@ -84,6 +88,9 @@ class Status {
   }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   StatusCode code() const {
     return state_ == nullptr ? StatusCode::kOk : state_->code;

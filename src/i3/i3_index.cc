@@ -4,17 +4,47 @@
 #include <cassert>
 #include <unordered_set>
 
+#include "storage/checksummed_page_file.h"
+
 namespace i3 {
+
+namespace {
+
+/// Bytes per physical page in the data file's backing store: the logical
+/// page plus the integrity header when checksumming is on, so the
+/// caller-facing page size -- and with it the paper's P/B capacity and I/O
+/// accounting -- is independent of the checksum option.
+size_t PhysicalPageSize(const I3Options& options) {
+  return options.page_size +
+         (options.checksum_pages ? kPageHeaderBytes : 0);
+}
+
+/// Wraps the physical backing in the checksum layer when configured. The
+/// checksum layer is outermost (above any fault-injecting backing a test
+/// supplies), so corruption introduced anywhere below is detected on read.
+std::unique_ptr<PageFile> WithIntegrity(const I3Options& options,
+                                        std::unique_ptr<PageFile> base) {
+  if (!options.checksum_pages) return base;
+  return std::make_unique<ChecksummedPageFile>(std::move(base));
+}
+
+/// Builds the data file per the options (factory > in-memory default).
+std::unique_ptr<DataFile> MakeDataFile(const I3Options& options) {
+  const size_t physical = PhysicalPageSize(options);
+  std::unique_ptr<PageFile> base =
+      options.page_file_factory
+          ? options.page_file_factory(physical)
+          : std::make_unique<InMemoryPageFile>(physical);
+  return std::make_unique<DataFile>(WithIntegrity(options, std::move(base)),
+                                    options.buffer_pool);
+}
+
+}  // namespace
 
 I3Index::I3Index(I3Options options)
     : options_(options),
       cells_(options.space),
-      data_(options.page_file_factory
-                ? std::make_unique<DataFile>(
-                      options.page_file_factory(options.page_size),
-                      options.buffer_pool)
-                : std::make_unique<DataFile>(options.page_size,
-                                             options.buffer_pool)),
+      data_(MakeDataFile(options)),
       head_(options.signature_bits),
       stats_emitter_("I3", View(I3SearchStats{})) {
   assert(options_.max_split_level >= 1);
@@ -37,10 +67,11 @@ I3Index::I3Index(I3Options options)
 Result<std::unique_ptr<I3Index>> I3Index::Create(I3Options options) {
   auto index = std::make_unique<I3Index>(options);
   if (!options.data_file_path.empty()) {
-    auto df = DataFile::CreateOnDisk(options.data_file_path,
-                                     options.page_size, options.buffer_pool);
-    if (!df.ok()) return df.status();
-    index->data_ = df.MoveValue();
+    auto file = OnDiskPageFile::Create(options.data_file_path,
+                                       PhysicalPageSize(options));
+    if (!file.ok()) return file.status();
+    index->data_ = std::make_unique<DataFile>(
+        WithIntegrity(options, file.MoveValue()), options.buffer_pool);
   }
   return index;
 }

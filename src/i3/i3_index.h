@@ -96,6 +96,14 @@ class I3Index final : public SpatialKeywordIndex {
   /// index is fully functional (inserts, deletes, searches).
   static Result<std::unique_ptr<I3Index>> LoadFrom(const std::string& path);
 
+  /// \brief LoadFrom with environment options: the index structure (space,
+  /// page size, signature bits, ...) still comes from the file, but
+  /// `base`'s storage stack -- page_file_factory, checksum_pages,
+  /// buffer_pool -- is honored, so a persisted index can be re-homed
+  /// (e.g. under a fault-injecting backing).
+  static Result<std::unique_ptr<I3Index>> LoadFrom(const std::string& path,
+                                                   I3Options base);
+
   uint64_t DocumentCount() const override { return doc_count_; }
   IndexSizeInfo SizeInfo() const override;
 

@@ -154,6 +154,11 @@ Status I3Index::SaveTo(const std::string& path) const {
 }
 
 Result<std::unique_ptr<I3Index>> I3Index::LoadFrom(const std::string& path) {
+  return LoadFrom(path, I3Options{});
+}
+
+Result<std::unique_ptr<I3Index>> I3Index::LoadFrom(const std::string& path,
+                                                   I3Options base) {
   std::ifstream is(path, std::ios::binary);
   if (!is) {
     return Status::IOError("cannot open " + path);
@@ -168,7 +173,10 @@ Result<std::unique_ptr<I3Index>> I3Index::LoadFrom(const std::string& path) {
     return Status::NotSupported("unsupported index file version");
   }
 
-  I3Options opt;
+  // Structural options come from the file; environment options (backing
+  // factory, checksumming, buffer pool) are taken from `base` so callers
+  // can re-home a persisted index onto a different storage stack.
+  I3Options opt = base;
   uint64_t page_size = 0;
   uint8_t sig_pruning = 1, screen = 1;
   if (!ReadP(is, &opt.space.min_x) || !ReadP(is, &opt.space.min_y) ||

@@ -15,10 +15,12 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "common/deadline.h"
 #include "common/flat_map.h"
 #include "common/small_vec.h"
 #include "i3/i3_index.h"
 #include "model/topk.h"
+#include "storage/buffer_pool.h"
 
 namespace i3 {
 
@@ -355,11 +357,15 @@ Result<std::vector<ScoredDoc>> I3Index::Search(const Query& q_in,
           ? &trace_storage
           : nullptr;
   I3SearchStats stats;
+  const uint64_t backoff_before = internal::t_retry_backoff_ns;
   auto result = SearchImpl(q_in, alpha, &stats, trace);
+  const uint64_t backoff_ns = internal::t_retry_backoff_ns - backoff_before;
   search_latency_us_[q_in.semantics == Semantics::kAnd ? 0 : 1]->Record(
       (obs::NowNanos() - start_ns) / 1000);
   stats_emitter_.Emit(View(stats));
   if (trace != nullptr) {
+    // Time this query lost to transient-read retry backoff (buffer pool).
+    if (backoff_ns != 0) trace->AddStage("retry_backoff", backoff_ns);
     trace->Annotate("candidates_popped", stats.candidates_popped);
     trace->Annotate("docs_scored", stats.docs_scored);
     if (result.ok()) trace->Annotate("results", result.ValueOrDie().size());
@@ -437,8 +443,22 @@ Result<std::vector<ScoredDoc>> I3Index::SearchImpl(const Query& q_in,
     ctx.Free(root);
   }
 
+  // Cooperative deadline/cancellation: checked once per popped candidate
+  // (the unit of descent work). An unbounded control is a single
+  // well-predicted branch, preserving the hot path.
+  const DeadlineTimer deadline = DeadlineTimer::AtSteadyNanos(
+      q_in.control.deadline_ns);
+
   Candidate* c;
   while ((c = ctx.PqPop()) != nullptr) {
+    if (q_in.control.bounded()) {
+      if (q_in.control.Cancelled()) {
+        return Status::DeadlineExceeded("query cancelled");
+      }
+      if (deadline.Expired()) {
+        return Status::DeadlineExceeded("query deadline exceeded");
+      }
+    }
     // Lines 4-5: global termination.
     if (c->upper <= ctx.Threshold()) break;
 

@@ -41,6 +41,15 @@ struct I3Options {
   /// fetching of Algorithm 4 (ablation).
   bool summary_screen = true;
 
+  /// Verify every data-file page with a CRC32C checksum header
+  /// (storage/checksummed_page_file.h). The physical backing is allocated
+  /// kPageHeaderBytes (16) larger per page so the caller-facing page size --
+  /// and with it the paper's P/B page capacity and I/O counts -- is
+  /// unchanged; a damaged page surfaces as Status::Corruption instead of a
+  /// silently wrong top-k. Overhead is one CRC pass per physical page
+  /// access (cache hits never pay it). Disable only for ablation.
+  bool checksum_pages = true;
+
   /// When non-empty, the data file is stored on disk at this path;
   /// otherwise it lives in memory (with identical I/O accounting).
   std::string data_file_path;

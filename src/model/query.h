@@ -4,11 +4,13 @@
 #define I3_MODEL_QUERY_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "common/geo.h"
 #include "model/document.h"
+#include "obs/clock.h"
 #include "text/vocabulary.h"
 
 namespace i3 {
@@ -25,12 +27,44 @@ inline const char* SemanticsName(Semantics s) {
   return s == Semantics::kAnd ? "AND" : "OR";
 }
 
+/// \brief Per-query execution controls: an absolute deadline and an
+/// external cancellation flag. The default-constructed control is
+/// unbounded (run to completion) and costs one predictable branch on the
+/// search hot path.
+///
+/// A query that trips either control returns Status::DeadlineExceeded from
+/// a single index; ShardedIndex instead degrades -- shards that finished in
+/// time still contribute to a partial top-k (see model/sharded_index.h).
+struct QueryControl {
+  /// Absolute steady-clock deadline in nanoseconds (obs::NowNanos scale);
+  /// 0 means no deadline.
+  uint64_t deadline_ns = 0;
+  /// Checked cooperatively at search checkpoints when non-null; the pointee
+  /// must outlive the query. Setting it aborts the query at the next check.
+  const std::atomic<bool>* cancel = nullptr;
+
+  bool bounded() const { return deadline_ns != 0 || cancel != nullptr; }
+  bool Cancelled() const {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
+
+  /// A control whose deadline is `budget_us` microseconds from now.
+  static QueryControl AfterMicros(uint64_t budget_us) {
+    QueryControl c;
+    c.deadline_ns = obs::NowNanos() + budget_us * 1000;
+    return c;
+  }
+};
+
 /// \brief Q = <lat, lng, terms, k> plus the semantics under which it runs.
 struct Query {
   Point location;
   std::vector<TermId> terms;
   uint32_t k = 10;
   Semantics semantics = Semantics::kAnd;
+  /// Deadline/cancellation; not part of the query's identity (Normalize and
+  /// result semantics ignore it).
+  QueryControl control;
 
   /// \brief Sorts terms and drops duplicates (all query processors assume a
   /// canonical term list).

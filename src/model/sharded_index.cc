@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/deadline.h"
 #include "model/topk.h"
 
 namespace i3 {
@@ -60,6 +61,9 @@ ShardedIndex::ShardedIndex(
   search_latency_us_[1] =
       reg.GetHistogram("i3_query_latency_us", "End-to-end Search latency.",
                        {{"index", "sharded"}, {"semantics", "or"}});
+  degraded_metric_ = reg.GetCounter(
+      "i3_degraded_queries_total",
+      "Queries answered with a partial top-k after shard failures.");
   shard_stage_names_.reserve(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
     shard_stage_names_.push_back("shard" + std::to_string(i));
@@ -143,16 +147,35 @@ std::vector<ScoredDoc> ShardedIndex::MergeTopK(
 }
 
 Result<std::vector<ScoredDoc>> ShardedIndex::SearchSequential(
-    const Query& q, double alpha, obs::QueryTrace* trace) const {
+    const Query& q, double alpha, obs::QueryTrace* trace,
+    FanOutOutcome* outcome) const {
+  const DeadlineTimer deadline =
+      DeadlineTimer::AtSteadyNanos(q.control.deadline_ns);
   std::vector<std::vector<ScoredDoc>> per_shard(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
+    // A sequential sweep past the deadline must not pay for the remaining
+    // shards: mark them overrun and let the merge degrade (the shards
+    // already swept still count).
+    if (outcome != nullptr && deadline.Expired()) {
+      outcome->RecordFailure(
+          i, Status::DeadlineExceeded("query deadline exceeded"));
+      continue;
+    }
     const uint64_t t0 = trace != nullptr ? obs::NowNanos() : 0;
     auto res = SearchShard(*shards_[i], q, alpha);
     if (trace != nullptr) {
       trace->AddStage(shard_stage_names_[i], obs::NowNanos() - t0);
     }
-    if (!res.ok()) return res.status();
+    if (!res.ok()) {
+      if (outcome == nullptr) return res.status();  // strict (SearchMany)
+      outcome->RecordFailure(i, res.status());
+      continue;
+    }
     per_shard[i] = res.MoveValue();
+  }
+  if (outcome != nullptr) {
+    outcome->shards = static_cast<uint32_t>(shards_.size());
+    if (outcome->failed == shards_.size()) return outcome->first_error;
   }
   return MergeTopK(per_shard, q.k);
 }
@@ -165,21 +188,37 @@ Result<std::vector<ScoredDoc>> ShardedIndex::Search(const Query& q,
       obs::Tracer::Global().StartTrace("Sharded.Search", &trace_storage)
           ? &trace_storage
           : nullptr;
-  auto result = SearchFanOut(q, alpha, trace);
+  FanOutOutcome outcome;
+  auto result = SearchFanOut(q, alpha, trace, &outcome);
   search_latency_us_[q.semantics == Semantics::kAnd ? 0 : 1]->Record(
       (obs::NowNanos() - start_ns) / 1000);
+  const bool degraded = result.ok() && outcome.failed > 0;
+  if (degraded) degraded_metric_->Increment(1);
   if (trace != nullptr) {
     trace->Annotate("shards", shards_.size());
+    trace->Annotate("failed_shards", outcome.failed);
+    if (degraded) trace->Annotate("degraded", 1);
     if (result.ok()) trace->Annotate("results", result.ValueOrDie().size());
     obs::Tracer::Global().Finish(std::move(*trace));
+  }
+  SearchStatsView view;
+  view.Set("shards", shards_.size());
+  view.Set("failed_shards", outcome.failed);
+  view.Set("failed_shard_mask", outcome.failed_mask);
+  view.Set("degraded", degraded ? 1 : 0);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    last_search_stats_ = view;
+    if (degraded) ++degraded_queries_;
   }
   return result;
 }
 
 Result<std::vector<ScoredDoc>> ShardedIndex::SearchFanOut(
-    const Query& q, double alpha, obs::QueryTrace* trace) const {
+    const Query& q, double alpha, obs::QueryTrace* trace,
+    FanOutOutcome* outcome) const {
   if (pool_ == nullptr || shards_.size() == 1) {
-    return SearchSequential(q, alpha, trace);
+    return SearchSequential(q, alpha, trace, outcome);
   }
   std::vector<Result<std::vector<ScoredDoc>>> results(
       shards_.size(), Result<std::vector<ScoredDoc>>(std::vector<ScoredDoc>{}));
@@ -198,13 +237,20 @@ Result<std::vector<ScoredDoc>> ShardedIndex::SearchFanOut(
       trace->AddStage(shard_stage_names_[i], shard_ns[i]);
     }
   }
+  // Failure isolation: a failing shard (storage fault, deadline overrun)
+  // removes only its own documents from the merge; the lowest failing
+  // shard's error is kept for the all-failed case so the surfaced error
+  // stays deterministic and matches the sequential path.
+  outcome->shards = static_cast<uint32_t>(shards_.size());
   std::vector<std::vector<ScoredDoc>> per_shard(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
-    // First failing shard (by shard order, deterministically) wins, so the
-    // error surfaced matches the sequential path.
-    if (!results[i].ok()) return results[i].status();
+    if (!results[i].ok()) {
+      outcome->RecordFailure(i, results[i].status());
+      continue;
+    }
     per_shard[i] = results[i].MoveValue();
   }
+  if (outcome->failed == shards_.size()) return outcome->first_error;
   return MergeTopK(per_shard, q.k);
 }
 

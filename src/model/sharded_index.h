@@ -23,6 +23,18 @@
 // counters; io_stats() merges them on read, so concurrent shard searches
 // never contend on a shared counter cache line and the aggregate is a
 // per-counter snapshot, not a cross-shard atomic cut.
+//
+// Degradation contract (fault tolerance): the fan-out isolates per-shard
+// failures. When some -- but not all -- shards fail (storage error,
+// exhausted retries, or a per-query deadline), Search still returns ok with
+// the merge of the shards that answered, and flags the response as degraded:
+// LastSearchStats() reports {degraded=1, failed_shards, failed_shard_mask}
+// and `i3_degraded_queries_total` is incremented. A degraded top-k is a
+// correct top-k of the surviving shards' documents -- scores are exact, but
+// documents homed on failed shards are silently absent, which is why the
+// flag must accompany the result. When every shard fails, the first shard's
+// (by shard order, deterministically) error is returned, matching the
+// sequential path and the unsharded index.
 
 #ifndef I3_MODEL_SHARDED_INDEX_H_
 #define I3_MODEL_SHARDED_INDEX_H_
@@ -98,6 +110,21 @@ class ShardedIndex final : public SpatialKeywordIndex {
 
   bool SupportsConcurrentSearch() const override { return true; }
 
+  /// \brief Stats of the most recent Search (any thread): shards queried,
+  /// how many failed, a bitmask of the failed shard indexes (shards beyond
+  /// 63 are counted but not mask-visible), and whether the result was
+  /// degraded (partial). Published once per query under the stats mutex.
+  SearchStatsView LastSearchStats() const override {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return last_search_stats_;
+  }
+
+  /// Queries answered with a partial (degraded) top-k since construction.
+  uint64_t degraded_queries() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return degraded_queries_;
+  }
+
   uint64_t DocumentCount() const override;
   IndexSizeInfo SizeInfo() const override;
 
@@ -128,18 +155,39 @@ class ShardedIndex final : public SpatialKeywordIndex {
     obs::Histogram* latency_us = nullptr;
   };
 
+  /// Per-query fan-out failure bookkeeping (see the degradation contract
+  /// in the file comment).
+  struct FanOutOutcome {
+    uint32_t shards = 0;
+    uint32_t failed = 0;
+    /// Bit i set = shard i failed, for the first 64 shards.
+    uint64_t failed_mask = 0;
+    /// Error of the lowest-indexed failing shard.
+    Status first_error = Status::OK();
+
+    void RecordFailure(size_t shard, const Status& st) {
+      if (failed == 0) first_error = st;
+      ++failed;
+      if (shard < 64) failed_mask |= uint64_t{1} << shard;
+    }
+  };
+
   /// One shard's local top-k under the shard's shared lock.
   Result<std::vector<ScoredDoc>> SearchShard(const Shard& s, const Query& q,
                                              double alpha) const;
   /// Sequential fan-out + merge on the calling thread. When `trace` is
   /// non-null, one stage per shard ("shard0", ...) is added so stragglers
-  /// are individually visible.
+  /// are individually visible. With a null `outcome` the sweep is strict
+  /// (first shard failure aborts, SearchMany semantics); with an outcome it
+  /// degrades per the contract above.
   Result<std::vector<ScoredDoc>> SearchSequential(
-      const Query& q, double alpha, obs::QueryTrace* trace = nullptr) const;
+      const Query& q, double alpha, obs::QueryTrace* trace = nullptr,
+      FanOutOutcome* outcome = nullptr) const;
   /// Search body behind the metrics/trace wrapper: parallel fan-out via
   /// the pool when present, else sequential.
   Result<std::vector<ScoredDoc>> SearchFanOut(const Query& q, double alpha,
-                                              obs::QueryTrace* trace) const;
+                                              obs::QueryTrace* trace,
+                                              FanOutOutcome* outcome) const;
   /// Merges per-shard local top-k lists under the single-index contract.
   static std::vector<ScoredDoc> MergeTopK(
       const std::vector<std::vector<ScoredDoc>>& per_shard, uint32_t k);
@@ -149,11 +197,16 @@ class ShardedIndex final : public SpatialKeywordIndex {
   std::unique_ptr<ThreadPool> pool_;  // present iff search_threads > 0
   mutable std::mutex stats_mutex_;
   mutable IoStats merged_stats_;  // scratch for io_stats()
+  /// Last query's fan-out stats; guarded by stats_mutex_.
+  SearchStatsView last_search_stats_;
+  uint64_t degraded_queries_ = 0;
 
   /// Stable "shard0", "shard1", ... stage names for fan-out traces.
   std::vector<std::string> shard_stage_names_;
   /// Merged-query latency, cached at construction. Index 0 = AND, 1 = OR.
   obs::Histogram* search_latency_us_[2];
+  /// `i3_degraded_queries_total`, cached at construction.
+  obs::Counter* degraded_metric_;
 };
 
 }  // namespace i3

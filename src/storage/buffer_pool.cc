@@ -1,10 +1,16 @@
 #include "storage/buffer_pool.h"
 
 #include <cassert>
-#include <chrono>
 #include <cstring>
 
+#include "common/deadline.h"
+#include "obs/clock.h"
+
 namespace i3 {
+
+namespace internal {
+thread_local uint64_t t_retry_backoff_ns = 0;
+}  // namespace internal
 
 BufferPool::BufferPool(PageFile* file, BufferPoolOptions options)
     : file_(file), options_(options) {
@@ -20,6 +26,42 @@ BufferPool::BufferPool(PageFile* file, BufferPoolOptions options)
   frame_recycles_metric_ = reg.GetCounter(
       "i3_buffer_pool_frame_recycles_total",
       "Evictions that reused the victim frame in place (no allocation).");
+  retries_metric_ = reg.GetCounter(
+      "i3_page_retries_total",
+      "Page reads retried after a transient error (IOError).");
+}
+
+Status BufferPool::ReadWithRetry(PageId id, void* buf, IoCategory category) {
+  uint64_t backoff_us = options_.retry_backoff_us;
+  for (uint32_t attempt = 0;; ++attempt) {
+    Status st = file_->ReadPage(id, buf, category);
+    if (st.ok()) return st;
+    if (st.IsCorruption()) {
+      // The stored bytes are wrong; a re-read returns the same wrong
+      // bytes. Quarantine: drop the (stale) unpinned frame and bypass the
+      // cache for this page until a verified read or rewrite succeeds.
+      std::lock_guard<std::mutex> lock(mutex_);
+      quarantined_.insert(id);
+      auto* it = Lookup(id);
+      if (it != nullptr && (*it)->pins == 0) {
+        lru_.erase(*it);
+        Forget(id);
+        ++evictions_;
+        evictions_metric_->Increment(1);
+      }
+      return st;
+    }
+    if (!st.IsIOError() || attempt >= options_.max_read_retries) return st;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++retries_;
+    }
+    retries_metric_->Increment(1);
+    const uint64_t wait_start = obs::NowNanos();
+    DeadlineTimer::SleepFor(backoff_us);
+    internal::t_retry_backoff_ns += obs::NowNanos() - wait_start;
+    backoff_us *= 2;
+  }
 }
 
 const uint8_t* BufferPool::PinnedPage::data() const {
@@ -38,11 +80,11 @@ Status BufferPool::PinPage(PageId id, IoCategory category, uint8_t* scratch,
   assert(Pinnable());
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = map_.find(id);
-    if (it != map_.end()) {
-      Frame& frame = *it->second;
+    auto* it = Lookup(id);
+    if (it != nullptr && Servable(id)) {
+      Frame& frame = **it;
       ++frame.pins;
-      Touch(it->second);
+      Touch(*it);
       ++hits_;
       hits_metric_->Increment(1);
       *out = PinnedPage(this, &frame);
@@ -53,10 +95,11 @@ Status BufferPool::PinPage(PageId id, IoCategory category, uint8_t* scratch,
   // lock (stateless file read; simulated device latency must overlap across
   // threads), then publish it. A racing miss on the same page is benign:
   // InsertFrame finds the winner's frame and this thread pins it.
-  I3_RETURN_NOT_OK(file_->ReadPage(id, scratch, category));
+  I3_RETURN_NOT_OK(ReadWithRetry(id, scratch, category));
   SimulateMiss();
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    quarantined_.erase(id);  // verified device read heals the page
     ++misses_;
     misses_metric_->Increment(1);
     Frame* frame = InsertFrame(id, scratch);
@@ -75,10 +118,10 @@ void BufferPool::Unpin(Frame* frame) {
 Status BufferPool::ReadPage(PageId id, void* buf, IoCategory category) {
   if (options_.capacity_pages > 0) {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = map_.find(id);
-    if (it != map_.end()) {
-      std::memcpy(buf, it->second->data.data(), page_size());
-      Touch(it->second);
+    auto* it = Lookup(id);
+    if (it != nullptr && Servable(id)) {
+      std::memcpy(buf, (*it)->data.data(), page_size());
+      Touch(*it);
       ++hits_;
       hits_metric_->Increment(1);
       return Status::OK();
@@ -87,10 +130,11 @@ Status BufferPool::ReadPage(PageId id, void* buf, IoCategory category) {
   // Miss path runs unlocked: PageFile reads are stateless (pread / const
   // memory copy) and the simulated device latency must overlap across
   // threads, not serialize behind the cache lock.
-  I3_RETURN_NOT_OK(file_->ReadPage(id, buf, category));
+  I3_RETURN_NOT_OK(ReadWithRetry(id, buf, category));
   SimulateMiss();
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    quarantined_.erase(id);  // verified device read heals the page
     ++misses_;
     misses_metric_->Increment(1);
     if (options_.capacity_pages > 0) InsertFrame(id, buf);
@@ -103,13 +147,17 @@ Status BufferPool::WritePage(PageId id, const void* buf,
   I3_RETURN_NOT_OK(file_->WritePage(id, buf, category));
   if (options_.capacity_pages > 0) {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = map_.find(id);
-    if (it != map_.end()) {
-      std::memcpy(it->second->data.data(), buf, page_size());
-      Touch(it->second);
+    quarantined_.erase(id);  // write-through replaces the stored bytes
+    auto* it = Lookup(id);
+    if (it != nullptr) {
+      std::memcpy((*it)->data.data(), buf, page_size());
+      Touch(*it);
     } else {
       InsertFrame(id, buf);
     }
+  } else {
+    std::lock_guard<std::mutex> lock(mutex_);
+    quarantined_.erase(id);
   }
   return Status::OK();
 }
@@ -120,7 +168,7 @@ void BufferPool::Clear() {
     if (it->pins > 0) {
       ++it;  // a pinned reader still maps these bytes
     } else {
-      map_.erase(it->id);
+      Forget(it->id);
       it = lru_.erase(it);
       ++evictions_;
       evictions_metric_->Increment(1);
@@ -135,17 +183,18 @@ void BufferPool::Touch(std::list<Frame>::iterator it) {
 BufferPool::Frame* BufferPool::InsertFrame(PageId id, const void* buf) {
   // Two readers can miss on the same page back to back (the miss path runs
   // unlocked); the second insert must adopt the existing frame, not grow a
-  // duplicate whose eviction would orphan the live map entry. No byte copy:
-  // the frame already holds the current page (write-through invariant), and
-  // rewriting identical bytes would race a pinned reader decoding them.
-  auto it = map_.find(id);
-  if (it != map_.end()) {
-    Touch(it->second);
-    return &*it->second;
+  // duplicate whose eviction would orphan the live table entry. No byte
+  // copy: the frame already holds the current page (write-through
+  // invariant), and rewriting identical bytes would race a pinned reader
+  // decoding them.
+  auto* it = Lookup(id);
+  if (it != nullptr) {
+    Touch(*it);
+    return &**it;
   }
   if (lru_.size() >= options_.capacity_pages) {
     // Evict the least-recent *unpinned* frame -- by recycling it: its page
-    // buffer, list node, and map node are all reused, so a steady-state
+    // buffer, list node, and table slot are all reused, so a steady-state
     // miss performs zero allocator traffic. Rewriting the bytes is safe
     // because pins == 0 means no reader maps the frame, and copying-out
     // readers hold the pool mutex. If every frame is pinned (#pins is
@@ -158,13 +207,11 @@ BufferPool::Frame* BufferPool::InsertFrame(PageId id, const void* buf) {
         ++frame_recycles_;
         evictions_metric_->Increment(1);
         frame_recycles_metric_->Increment(1);
-        auto node = map_.extract(victim->id);
+        Forget(victim->id);
         victim->id = id;
         std::memcpy(victim->data.data(), buf, page_size());
         Touch(victim);
-        node.key() = id;
-        node.mapped() = lru_.begin();
-        map_.insert(std::move(node));
+        Remember(id, lru_.begin());
         return &lru_.front();
       }
     }
@@ -174,19 +221,13 @@ BufferPool::Frame* BufferPool::InsertFrame(PageId id, const void* buf) {
   frame.data.assign(static_cast<const uint8_t*>(buf),
                     static_cast<const uint8_t*>(buf) + page_size());
   lru_.push_front(std::move(frame));
-  map_[id] = lru_.begin();
+  Remember(id, lru_.begin());
   return &lru_.front();
 }
 
 void BufferPool::SimulateMiss() const {
   if (options_.simulated_miss_latency_us == 0) return;
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::microseconds(options_.simulated_miss_latency_us);
-  while (std::chrono::steady_clock::now() < deadline) {
-    // Busy-wait: sleep granularity on Linux is too coarse for microsecond
-    // device latencies.
-  }
+  DeadlineTimer::SleepFor(options_.simulated_miss_latency_us);
 }
 
 }  // namespace i3

@@ -14,7 +14,7 @@
 #include <cstdint>
 #include <list>
 #include <mutex>
-#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -24,13 +24,28 @@
 
 namespace i3 {
 
+namespace internal {
+/// Nanoseconds this thread has spent waiting in read-retry backoff. Search
+/// wrappers diff it around a query to attribute a `retry_backoff` trace
+/// stage without threading a context object through every storage call.
+extern thread_local uint64_t t_retry_backoff_ns;
+}  // namespace internal
+
 /// \brief Options controlling BufferPool behaviour.
 struct BufferPoolOptions {
   /// Maximum number of cached pages; 0 disables caching entirely.
   size_t capacity_pages = 0;
-  /// Busy-wait this many microseconds on every cache miss to emulate device
+  /// Wait this many microseconds on every cache miss to emulate device
   /// latency. 0 disables the simulation.
   uint32_t simulated_miss_latency_us = 0;
+  /// Transient read errors (Status::IOError) are retried up to this many
+  /// times with exponential backoff before the error propagates. Retrying
+  /// only IOError is deliberate: Corruption means the bytes are wrong (a
+  /// re-read returns the same wrong bytes -- quarantine instead), and
+  /// OutOfRange/InvalidArgument are caller bugs.
+  uint32_t max_read_retries = 2;
+  /// First retry waits this long; each further retry doubles it.
+  uint32_t retry_backoff_us = 100;
 };
 
 /// \brief Write-through LRU cache of pages, layered on a PageFile.
@@ -130,6 +145,24 @@ class BufferPool {
     std::lock_guard<std::mutex> lock(mutex_);
     return frame_recycles_;
   }
+  /// Read retries performed after transient errors.
+  uint64_t retries() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return retries_;
+  }
+
+  /// \brief True while `id` is quarantined: a read of it returned
+  /// Corruption, its cached frame (if any, and unpinned) was dropped, and
+  /// until a verified read or a write-through succeeds the cache is
+  /// bypassed for it -- a poisoned frame is never served.
+  bool IsQuarantined(PageId id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return quarantined_.count(id) != 0;
+  }
+  size_t quarantined_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return quarantined_.size();
+  }
 
   PageFile* file() { return file_; }
   size_t page_size() const { return file_->page_size(); }
@@ -150,18 +183,49 @@ class BufferPool {
   /// already holds the current bytes (write-through invariant) and may be
   /// concurrently mapped by a pinned reader.
   Frame* InsertFrame(PageId id, const void* buf);
+
+  /// Frame lookup. PageIds are dense (files allocate them sequentially from
+  /// zero), so the id->frame map is a direct-indexed array rather than a
+  /// hash table: a miss performs several lookups (hit check, duplicate
+  /// check, victim replacement) and hashing was measurable next to the page
+  /// copy on the query hot path. Guarded by mutex_.
+  std::list<Frame>::iterator* Lookup(PageId id) {
+    return (id < present_.size() && present_[id]) ? &table_[id] : nullptr;
+  }
+  void Remember(PageId id, std::list<Frame>::iterator it) {
+    if (id >= present_.size()) {
+      present_.resize(id + 1, 0);
+      table_.resize(id + 1);
+    }
+    table_[id] = it;
+    present_[id] = 1;
+  }
+  void Forget(PageId id) { present_[id] = 0; }
   void Unpin(Frame* frame);
   void SimulateMiss() const;
+  /// Cache hit gate: false when `id` is quarantined (bypass to the device).
+  bool Servable(PageId id) const {
+    return quarantined_.empty() || quarantined_.count(id) == 0;
+  }
+  /// \brief Device read with bounded exponential-backoff retry of transient
+  /// IOErrors; on Corruption, quarantines `id` (drops its unpinned frame).
+  Status ReadWithRetry(PageId id, void* buf, IoCategory category);
 
   PageFile* file_;
   const BufferPoolOptions options_;
-  mutable std::mutex mutex_;  // guards lru_, map_, and the local counters
+  mutable std::mutex mutex_;  // guards lru_, the table, and local counters
   std::list<Frame> lru_;      // front = most recent
-  std::unordered_map<PageId, std::list<Frame>::iterator> map_;
+  /// Direct-indexed id->frame table (see Lookup); table_[id] is only
+  /// meaningful while present_[id] is set.
+  std::vector<std::list<Frame>::iterator> table_;
+  std::vector<uint8_t> present_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
   uint64_t frame_recycles_ = 0;
+  uint64_t retries_ = 0;
+  /// Pages whose last device read returned Corruption; guarded by mutex_.
+  std::unordered_set<PageId> quarantined_;
 
   // Process-wide counters, cached at construction (every pool instance
   // feeds the same series; per-pool numbers come from the accessors).
@@ -169,6 +233,7 @@ class BufferPool {
   obs::Counter* misses_metric_;
   obs::Counter* evictions_metric_;
   obs::Counter* frame_recycles_metric_;
+  obs::Counter* retries_metric_;
 };
 
 }  // namespace i3

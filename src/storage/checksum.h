@@ -1,0 +1,47 @@
+// CRC32C (Castagnoli) page checksums.
+//
+// The polynomial every modern storage engine uses (iSCSI, ext4, RocksDB,
+// LevelDB): better burst-error detection than CRC32 (IEEE) and hardware
+// support on most CPUs. The implementation dispatches once at startup:
+// AVX-512 + VPCLMULQDQ carryless-multiply folding (~40 bytes/cycle, ~50ns
+// for a 4KB page) where available, the SSE4.2 crc32 instruction as the
+// middle tier, and a portable slice-by-8 table walk everywhere else. All
+// paths compute the identical function -- CRC32C is fully determined by its
+// polynomial -- so the same bytes verify on every build and machine, and
+// each hardware path must pass a startup self-test against the table
+// implementation before it is dispatched to.
+
+#ifndef I3_STORAGE_CHECKSUM_H_
+#define I3_STORAGE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace i3 {
+
+/// \brief CRC32C of `len` bytes at `data`, continuing from `crc` (pass 0 to
+/// start a fresh checksum). Standard reflected CRC with init/final XOR of
+/// ~0, so Crc32c(a+b) == Crc32c(b, continuing from Crc32c(a)).
+uint32_t Crc32c(const void* data, size_t len, uint32_t crc = 0);
+
+namespace internal {
+/// The portable slice-by-8 implementation, exposed so tests can assert that
+/// whichever hardware path the dispatcher picked computes the identical
+/// function on the machine actually running the suite.
+uint32_t Crc32cPortable(const void* data, size_t len, uint32_t crc = 0);
+}  // namespace internal
+
+/// \brief Masked CRC in the LevelDB/RocksDB style: storing a CRC of bytes
+/// that themselves contain CRCs makes accidental fixed points more likely,
+/// so stored checksums are rotated and offset.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace i3
+
+#endif  // I3_STORAGE_CHECKSUM_H_

@@ -1,0 +1,270 @@
+#include "storage/fault_injection.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/deadline.h"
+#include "obs/metrics.h"
+
+namespace i3 {
+
+const char* FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kReadError:
+      return "read_error";
+    case FaultKind::kWriteError:
+      return "write_error";
+    case FaultKind::kAllocError:
+      return "alloc_error";
+    case FaultKind::kCorruption:
+      return "corrupt";
+    case FaultKind::kLatencySpike:
+      return "latency_spike";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Result<FaultKind> ParseKind(const std::string& s) {
+  if (s == "read_error") return FaultKind::kReadError;
+  if (s == "write_error") return FaultKind::kWriteError;
+  if (s == "alloc_error") return FaultKind::kAllocError;
+  if (s == "corrupt") return FaultKind::kCorruption;
+  if (s == "spike") return FaultKind::kLatencySpike;
+  return Status::InvalidArgument("unknown fault kind: " + s);
+}
+
+Result<double> ParseRate(const std::string& key, const std::string& v) {
+  char* end = nullptr;
+  const double p = std::strtod(v.c_str(), &end);
+  if (end != v.c_str() + v.size() || p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument(key + " must be a probability in [0,1]: " +
+                                   v);
+  }
+  return p;
+}
+
+}  // namespace
+
+Result<FaultProfile> FaultProfile::Parse(const std::string& spec) {
+  FaultProfile p;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault profile item needs key=value: " +
+                                     item);
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      p.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "read_error") {
+      I3_ASSIGN_OR_RETURN(p.read_error_rate, ParseRate(key, value));
+    } else if (key == "write_error") {
+      I3_ASSIGN_OR_RETURN(p.write_error_rate, ParseRate(key, value));
+    } else if (key == "corrupt") {
+      I3_ASSIGN_OR_RETURN(p.corrupt_rate, ParseRate(key, value));
+    } else if (key == "spike") {
+      I3_ASSIGN_OR_RETURN(p.latency_spike_rate, ParseRate(key, value));
+    } else if (key == "spike_us") {
+      p.latency_spike_us =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "fail_after") {
+      p.fail_after = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "schedule") {
+      // I:KIND entries separated by '/'.
+      size_t spos = 0;
+      while (spos < value.size()) {
+        size_t slash = value.find('/', spos);
+        if (slash == std::string::npos) slash = value.size();
+        const std::string entry = value.substr(spos, slash - spos);
+        spos = slash + 1;
+        if (entry.empty()) continue;
+        const size_t colon = entry.find(':');
+        if (colon == std::string::npos) {
+          return Status::InvalidArgument("schedule entry needs INDEX:KIND: " +
+                                         entry);
+        }
+        const uint64_t index =
+            std::strtoull(entry.substr(0, colon).c_str(), nullptr, 10);
+        FaultKind kind;
+        I3_ASSIGN_OR_RETURN(kind, ParseKind(entry.substr(colon + 1)));
+        p.schedule[index] = kind;
+      }
+    } else {
+      return Status::InvalidArgument("unknown fault profile key: " + key);
+    }
+  }
+  return p;
+}
+
+void FaultInjector::SetProfile(const FaultProfile& profile) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  profile_ = profile;
+  rng_ = Rng(profile.seed);
+  if (profile.fail_after != UINT64_MAX) {
+    countdown_armed_ = true;
+    countdown_ = profile.fail_after;
+  }
+  armed_.store(countdown_armed_ || profile_.Armed(),
+               std::memory_order_release);
+}
+
+void FaultInjector::FailAfter(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  countdown_armed_ = true;
+  countdown_ = n;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::set_fail_all(bool fail) {
+  fail_all_.store(fail, std::memory_order_relaxed);
+  if (fail) {
+    armed_.store(true, std::memory_order_release);
+  } else {
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_.store(countdown_armed_ || profile_.Armed(),
+                 std::memory_order_release);
+  }
+}
+
+void FaultInjector::Heal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fail_all_.store(false, std::memory_order_relaxed);
+  countdown_armed_ = false;
+  profile_ = FaultProfile{};
+  armed_.store(false, std::memory_order_release);
+}
+
+void FaultInjector::CountInjected(FaultKind kind) {
+  faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  const int slot = static_cast<int>(kind);
+  void* cached = kind_counters_[slot].load(std::memory_order_acquire);
+  if (cached == nullptr) {
+    cached = obs::MetricsRegistry::Global().GetCounter(
+        "i3_faults_injected_total", "Storage faults injected, by kind.",
+        {{"kind", FaultKindName(kind)}});
+    kind_counters_[slot].store(cached, std::memory_order_release);
+  }
+  static_cast<obs::Counter*>(cached)->Increment(1);
+}
+
+FaultKind FaultInjector::OnOperation(FaultKind error_kind) {
+  if (!armed_.load(std::memory_order_acquire)) return FaultKind::kNone;
+  const FaultKind decision = Decide(error_kind);
+  if (decision == FaultKind::kLatencySpike) {
+    // A spike delays but does not fail: sleep here, outside the lock, and
+    // let the operation proceed.
+    uint32_t us;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      us = profile_.latency_spike_us;
+    }
+    CountInjected(FaultKind::kLatencySpike);
+    DeadlineTimer::SleepFor(us);
+    return FaultKind::kNone;
+  }
+  if (decision != FaultKind::kNone) CountInjected(decision);
+  return decision;
+}
+
+FaultKind FaultInjector::Decide(FaultKind error_kind) {
+  if (fail_all_.load(std::memory_order_relaxed)) return error_kind;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t attempt = attempt_counter_++;
+  if (countdown_armed_) {
+    if (countdown_ == 0) return error_kind;
+    --countdown_;
+  }
+  auto it = profile_.schedule.find(attempt);
+  if (it != profile_.schedule.end()) {
+    // Scripted faults fire regardless of the operation class so schedules
+    // written against an I/O trace stay aligned; a corrupt entry on a
+    // non-read op degrades to an error (there is no payload to damage).
+    if (it->second == FaultKind::kCorruption &&
+        error_kind != FaultKind::kReadError) {
+      return error_kind;
+    }
+    return it->second;
+  }
+  if (error_kind == FaultKind::kReadError) {
+    if (profile_.read_error_rate > 0 &&
+        rng_.Chance(profile_.read_error_rate)) {
+      return FaultKind::kReadError;
+    }
+    if (profile_.corrupt_rate > 0 && rng_.Chance(profile_.corrupt_rate)) {
+      return FaultKind::kCorruption;
+    }
+  } else {
+    if (profile_.write_error_rate > 0 &&
+        rng_.Chance(profile_.write_error_rate)) {
+      return error_kind;
+    }
+  }
+  if (profile_.latency_spike_rate > 0 &&
+      rng_.Chance(profile_.latency_spike_rate)) {
+    return FaultKind::kLatencySpike;
+  }
+  return FaultKind::kNone;
+}
+
+void FaultInjector::CorruptPayload(void* buf, size_t len) {
+  uint64_t offset, mask;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    offset = static_cast<uint64_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(len) - 1));
+    mask = static_cast<uint64_t>(rng_.UniformInt(1, 255));
+  }
+  static_cast<uint8_t*>(buf)[offset] ^= static_cast<uint8_t>(mask);
+}
+
+Result<PageId> FaultInjectionPageFile::AllocatePage() {
+  if (injector_.OnOperation(FaultKind::kAllocError) != FaultKind::kNone) {
+    return Injected();
+  }
+  auto r = base_->AllocatePage();
+  if (r.ok()) injector_.RecordSuccess();
+  return r;
+}
+
+Status FaultInjectionPageFile::ReadPage(PageId id, void* buf,
+                                        IoCategory category) {
+  const FaultKind fault = injector_.OnOperation(FaultKind::kReadError);
+  if (fault == FaultKind::kReadError) return Injected();
+  Status st = base_->ReadPage(id, buf, category);
+  if (st.ok()) {
+    if (fault == FaultKind::kCorruption) {
+      // Damage the returned bytes, not the stored page: models a transient
+      // bit-flip on the wire / in a frame, so a healed re-read is clean.
+      injector_.CorruptPayload(buf, page_size_);
+    }
+    injector_.RecordSuccess();
+    io_stats_.ChargeRead(category);
+  }
+  return st;
+}
+
+Status FaultInjectionPageFile::WritePage(PageId id, const void* buf,
+                                         IoCategory category) {
+  if (injector_.OnOperation(FaultKind::kWriteError) != FaultKind::kNone) {
+    return Injected();
+  }
+  Status st = base_->WritePage(id, buf, category);
+  if (st.ok()) {
+    injector_.RecordSuccess();
+    io_stats_.ChargeWrite(category);
+  }
+  return st;
+}
+
+}  // namespace i3

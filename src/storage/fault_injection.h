@@ -1,88 +1,183 @@
-// A PageFile decorator that injects I/O failures, for testing error
-// propagation: every storage error must surface as a clean Status, never a
-// crash or a torn in-memory state that later trips an invariant check.
+// Chaos-grade storage fault injection.
+//
+// Every storage error must surface as a clean Status, never a crash or a
+// torn in-memory state that later trips an invariant check -- and since
+// PR 2 the readers hitting the injected device are concurrent, so the
+// injector itself must be thread-safe. FaultInjector is the seeded,
+// shareable policy object: deterministic command modes (fail_all, a
+// countdown, a scripted per-operation schedule) layered with a
+// probabilistic profile (read/write error rates, payload corruption,
+// latency spikes). FaultInjectionPageFile stays as the PageFile decorator
+// that consults it, so the pre-existing test harnesses keep compiling
+// against the same surface.
+//
+// Layering note: in the I3 stack the injector wraps the *physical* backend
+// and the checksum layer (storage/checksummed_page_file.h) sits above it,
+// so injected payload corruption is exactly what a real bit-flip or torn
+// write looks like -- and must be caught by the checksum, never served.
 
 #ifndef I3_STORAGE_FAULT_INJECTION_H_
 #define I3_STORAGE_FAULT_INJECTION_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 
+#include "common/rng.h"
+#include "common/status.h"
 #include "storage/page_file.h"
 
 namespace i3 {
 
-/// \brief Wraps a PageFile and fails operations on command.
+/// \brief What a fault injection does to one operation.
+enum class FaultKind : int {
+  kNone = 0,
+  kReadError,     ///< ReadPage returns Status::IOError
+  kWriteError,    ///< WritePage returns Status::IOError
+  kAllocError,    ///< AllocatePage returns Status::IOError
+  kCorruption,    ///< the operation "succeeds" but the payload is damaged
+  kLatencySpike,  ///< the operation succeeds after an injected delay
+};
+
+const char* FaultKindName(FaultKind k);
+
+/// \brief Declarative description of a fault workload.
 ///
-/// Modes: fail every operation after `fail_after` successful ones
-/// (countdown), or fail all operations while `fail_all` is set.
+/// Also parseable from a flag spec (`--fault-profile=` in spatialkw_cli and
+/// the bench harnesses): comma-separated key=value pairs --
+///   seed=N            RNG seed (default 1)
+///   read_error=P      probability an eligible read fails           [0,1]
+///   write_error=P     probability an eligible write/alloc fails    [0,1]
+///   corrupt=P         probability a read's payload is bit-flipped  [0,1]
+///   spike=P           probability of an injected latency spike     [0,1]
+///   spike_us=N        spike duration in microseconds (default 200)
+///   fail_after=N      deterministic: fail everything after N successes
+///   schedule=I:KIND/I:KIND/...  scripted faults: at overall operation
+///                     index I inject KIND (read_error, write_error,
+///                     alloc_error, corrupt, spike)
+/// Example: "seed=7,read_error=0.01,corrupt=0.005,spike=0.02,spike_us=150".
+struct FaultProfile {
+  uint64_t seed = 1;
+  double read_error_rate = 0.0;
+  double write_error_rate = 0.0;
+  double corrupt_rate = 0.0;
+  double latency_spike_rate = 0.0;
+  uint32_t latency_spike_us = 200;
+  /// UINT64_MAX disarms the countdown.
+  uint64_t fail_after = UINT64_MAX;
+  /// Operation index (counting every attempted op, 0-based) -> fault.
+  std::unordered_map<uint64_t, FaultKind> schedule;
+
+  /// True if any mode can fire.
+  bool Armed() const {
+    return read_error_rate > 0 || write_error_rate > 0 || corrupt_rate > 0 ||
+           latency_spike_rate > 0 || fail_after != UINT64_MAX ||
+           !schedule.empty();
+  }
+
+  static Result<FaultProfile> Parse(const std::string& spec);
+};
+
+/// \brief Thread-safe fault decision engine, shared by the decorator (and
+/// directly poked by tests).
+///
+/// Fast path: one relaxed atomic load when nothing is armed. Armed
+/// decisions serialize on an internal mutex -- fault workloads measure
+/// robustness, not throughput.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultProfile profile) { SetProfile(profile); }
+
+  /// Replaces the probabilistic/scripted profile (reseeds the RNG).
+  void SetProfile(const FaultProfile& profile);
+
+  /// Fails every operation once `n` more operations have succeeded.
+  void FailAfter(uint64_t n);
+  /// Immediately fail everything (until cleared).
+  void set_fail_all(bool fail);
+  /// Disarms every failure mode (fail_all, countdown, and the profile).
+  void Heal();
+
+  /// Successful operations observed (legacy countdown accounting).
+  uint64_t operations() const {
+    return operations_.load(std::memory_order_relaxed);
+  }
+  /// Faults injected since construction, by any mode.
+  uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Decides the fate of one operation of the given class
+  /// (`error_kind` is kReadError / kWriteError / kAllocError). Sleeps
+  /// through any injected latency spike before returning. Returns kNone
+  /// (proceed), the error kind (fail), or kCorruption (proceed, then damage
+  /// the payload -- reads only).
+  FaultKind OnOperation(FaultKind error_kind);
+
+  /// Records a successful base operation (countdown accounting).
+  void RecordSuccess() {
+    operations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// \brief Flips one payload byte, deterministically per (seed, op).
+  /// `len` must be > 0.
+  void CorruptPayload(void* buf, size_t len);
+
+ private:
+  FaultKind Decide(FaultKind error_kind);
+  void CountInjected(FaultKind kind);
+
+  /// True when any mode may fire; checked first, relaxed, on every op.
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> fail_all_{false};
+  std::atomic<uint64_t> operations_{0};
+  std::atomic<uint64_t> faults_injected_{0};
+
+  mutable std::mutex mutex_;  // guards everything below
+  bool countdown_armed_ = false;
+  uint64_t countdown_ = 0;
+  uint64_t attempt_counter_ = 0;  // every attempted op (schedule indexing)
+  FaultProfile profile_;
+  Rng rng_{1};
+
+  /// `i3_faults_injected_total{kind}` counters, fetched lazily.
+  std::atomic<void*> kind_counters_[6] = {};
+};
+
+/// \brief Wraps a PageFile and fails operations as its injector commands.
 class FaultInjectionPageFile final : public PageFile {
  public:
   explicit FaultInjectionPageFile(std::unique_ptr<PageFile> base)
       : PageFile(base->page_size()), base_(std::move(base)) {}
+  FaultInjectionPageFile(std::unique_ptr<PageFile> base, FaultProfile profile)
+      : PageFile(base->page_size()),
+        base_(std::move(base)),
+        injector_(profile) {}
 
-  /// Fails every operation once `n` more operations have succeeded.
-  void FailAfter(uint64_t n) {
-    countdown_armed_ = true;
-    countdown_ = n;
-  }
-  /// Immediately fail everything (until cleared).
-  void set_fail_all(bool fail) { fail_all_ = fail; }
-  /// Disarms all failure modes.
-  void Heal() {
-    fail_all_ = false;
-    countdown_armed_ = false;
-  }
+  /// The decision engine (arm probabilistic profiles, inspect counters).
+  FaultInjector* injector() { return &injector_; }
 
-  uint64_t operations() const { return operations_; }
+  // Legacy command surface, forwarded to the injector.
+  void FailAfter(uint64_t n) { injector_.FailAfter(n); }
+  void set_fail_all(bool fail) { injector_.set_fail_all(fail); }
+  void Heal() { injector_.Heal(); }
+  uint64_t operations() const { return injector_.operations(); }
 
   PageId PageCount() const override { return base_->PageCount(); }
 
-  Result<PageId> AllocatePage() override {
-    if (ShouldFail()) return Injected();
-    auto r = base_->AllocatePage();
-    if (r.ok()) ++operations_;
-    return r;
-  }
-
-  Status ReadPage(PageId id, void* buf, IoCategory category) override {
-    if (ShouldFail()) return Injected();
-    Status st = base_->ReadPage(id, buf, category);
-    if (st.ok()) {
-      ++operations_;
-      io_stats_.RecordRead(category);
-    }
-    return st;
-  }
-
-  Status WritePage(PageId id, const void* buf,
-                   IoCategory category) override {
-    if (ShouldFail()) return Injected();
-    Status st = base_->WritePage(id, buf, category);
-    if (st.ok()) {
-      ++operations_;
-      io_stats_.RecordWrite(category);
-    }
-    return st;
-  }
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, void* buf, IoCategory category) override;
+  Status WritePage(PageId id, const void* buf, IoCategory category) override;
 
  private:
-  bool ShouldFail() {
-    if (fail_all_) return true;
-    if (!countdown_armed_) return false;
-    if (countdown_ == 0) return true;
-    --countdown_;
-    return false;
-  }
-
-  static Status Injected() {
-    return Status::IOError("injected fault");
-  }
+  static Status Injected() { return Status::IOError("injected fault"); }
 
   std::unique_ptr<PageFile> base_;
-  bool fail_all_ = false;
-  bool countdown_armed_ = false;
-  uint64_t countdown_ = 0;
-  uint64_t operations_ = 0;
+  FaultInjector injector_;
 };
 
 }  // namespace i3

@@ -1,9 +1,8 @@
 #include "storage/io_stats.h"
 
-#include <chrono>
 #include <sstream>
-#include <thread>
 
+#include "common/deadline.h"
 #include "obs/metrics.h"
 
 namespace i3 {
@@ -14,21 +13,10 @@ std::atomic<uint32_t> g_sim_io_latency_us{0};
 void SpinForSimulatedIo(uint64_t pages) {
   const uint32_t us = g_sim_io_latency_us.load(std::memory_order_relaxed);
   if (us == 0) return;
-  const auto wait = std::chrono::microseconds(us * pages);
   // A real device read blocks the issuing thread, letting other threads run
-  // meanwhile -- that overlap is the whole point of concurrent query
-  // execution (bench_concurrency), so waits long enough for the scheduler to
-  // honor accurately are slept, not spun. Short waits (the figure harnesses'
-  // few-microsecond calibration) keep busy-waiting: sleep granularity on
-  // Linux is unreliable below ~50us and would distort those measurements.
-  if (wait >= std::chrono::microseconds(50)) {
-    std::this_thread::sleep_for(wait);
-    return;
-  }
-  const auto deadline = std::chrono::steady_clock::now() + wait;
-  while (std::chrono::steady_clock::now() < deadline) {
-    // Busy-wait: microsecond sleep granularity is unreliable on Linux.
-  }
+  // meanwhile -- DeadlineTimer::SleepFor sleeps waits long enough for the
+  // scheduler to honor accurately and spins the short calibration waits.
+  DeadlineTimer::SleepFor(us * pages);
 }
 }  // namespace internal
 

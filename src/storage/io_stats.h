@@ -101,6 +101,16 @@ class IoStats {
     }
   }
 
+  /// Tally-only variants for PageFile decorators that mirror a base file's
+  /// charge: the simulated device latency was already paid by the physical
+  /// access underneath, so mirroring the count must not wait again.
+  void ChargeRead(IoCategory c, uint64_t pages = 1) {
+    reads_[static_cast<int>(c)].fetch_add(pages, std::memory_order_relaxed);
+  }
+  void ChargeWrite(IoCategory c, uint64_t pages = 1) {
+    writes_[static_cast<int>(c)].fetch_add(pages, std::memory_order_relaxed);
+  }
+
   uint64_t reads(IoCategory c) const {
     return reads_[static_cast<int>(c)].load(std::memory_order_relaxed);
   }

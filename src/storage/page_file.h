@@ -56,6 +56,15 @@ class PageFile {
   virtual Status WritePage(PageId id, const void* buf,
                            IoCategory category) = 0;
 
+  /// \brief Zero-copy view of page `id`'s current bytes, or nullptr when
+  /// the backend cannot expose one (disk-backed files, fault-injection
+  /// wrappers). Charges nothing: a decorator that verifies through the view
+  /// mirrors the base read's accounting itself (RecordRead, so the
+  /// simulated device latency is still paid exactly once). Callers inherit
+  /// ReadPage's synchronization contract -- the view is stable only while
+  /// no writer touches the page.
+  virtual const uint8_t* PeekPage(PageId) const { return nullptr; }
+
   /// I/O counters for this file. Mutable access for benchmark reset.
   const IoStats& io_stats() const { return io_stats_; }
   IoStats* mutable_io_stats() { return &io_stats_; }
@@ -80,6 +89,9 @@ class InMemoryPageFile final : public PageFile {
   Result<PageId> AllocatePage() override;
   Status ReadPage(PageId id, void* buf, IoCategory category) override;
   Status WritePage(PageId id, const void* buf, IoCategory category) override;
+  const uint8_t* PeekPage(PageId id) const override {
+    return id < pages_.size() ? pages_[id].get() : nullptr;
+  }
 
  private:
   std::vector<std::unique_ptr<uint8_t[]>> pages_;

@@ -10,12 +10,14 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "common/deadline.h"
 #include "common/flat_map.h"
 #include "common/geo.h"
 #include "common/rng.h"
 #include "common/small_vec.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/clock.h"
 
 namespace i3 {
 namespace {
@@ -405,6 +407,63 @@ TEST(FlatMapTest, HoldsSmallVecValues) {
   ASSERT_EQ(const_cast<Payload*>(p)->weights.size(), 4u);
   EXPECT_EQ(const_cast<Payload*>(p)->weights[0], 7.0f);
   EXPECT_EQ(const_cast<Payload*>(p)->weights[3], 157.0f);
+}
+
+TEST(DeadlineTimerTest, DefaultIsUnbounded) {
+  DeadlineTimer t;
+  EXPECT_FALSE(t.bounded());
+  EXPECT_FALSE(t.Expired());
+  EXPECT_EQ(t.RemainingMicros(), UINT64_MAX);
+  t.WaitUntilExpired();  // no-op, must not hang
+}
+
+TEST(DeadlineTimerTest, ZeroSteadyNanosMeansUnbounded) {
+  const DeadlineTimer t = DeadlineTimer::AtSteadyNanos(0);
+  EXPECT_FALSE(t.bounded());
+  EXPECT_FALSE(t.Expired());
+}
+
+TEST(DeadlineTimerTest, PastDeadlineIsExpired) {
+  const DeadlineTimer at = DeadlineTimer::AtSteadyNanos(1);
+  EXPECT_TRUE(at.bounded());
+  EXPECT_TRUE(at.Expired());
+  EXPECT_EQ(at.RemainingMicros(), 0u);
+  at.WaitUntilExpired();  // already expired: returns immediately
+
+  const DeadlineTimer after = DeadlineTimer::AfterMicros(0);
+  EXPECT_TRUE(after.bounded());
+  EXPECT_TRUE(after.Expired());
+}
+
+TEST(DeadlineTimerTest, InteropsWithObsClock) {
+  // QueryControl deadlines are obs::NowNanos() values; AtSteadyNanos must
+  // agree with that scale.
+  const DeadlineTimer t =
+      DeadlineTimer::AtSteadyNanos(obs::NowNanos() + 60'000'000'000ull);
+  EXPECT_TRUE(t.bounded());
+  EXPECT_FALSE(t.Expired());
+  const uint64_t remaining = t.RemainingMicros();
+  EXPECT_GT(remaining, 50'000'000u);   // ~60s out
+  EXPECT_LE(remaining, 60'000'000u);
+}
+
+TEST(DeadlineTimerTest, SleepForWaitsAtLeastTheRequestedTime) {
+  // One case per wait policy: below the spin threshold and above it.
+  for (uint64_t us : {10ull, 200ull}) {
+    const uint64_t t0 = obs::NowNanos();
+    DeadlineTimer::SleepFor(us);
+    EXPECT_GE(obs::NowNanos() - t0, us * 1000) << us << "us";
+  }
+  const uint64_t t0 = obs::NowNanos();
+  DeadlineTimer::SleepFor(0);  // exact no-op
+  EXPECT_LT(obs::NowNanos() - t0, 1'000'000u);
+}
+
+TEST(DeadlineTimerTest, WaitUntilExpiredReachesTheDeadline) {
+  const DeadlineTimer t = DeadlineTimer::AfterMicros(300);
+  t.WaitUntilExpired();
+  EXPECT_TRUE(t.Expired());
+  EXPECT_EQ(t.RemainingMicros(), 0u);
 }
 
 }  // namespace

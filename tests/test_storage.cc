@@ -3,8 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstring>
+#include <string>
 #include <vector>
+
+#include <sys/resource.h>
+#include <unistd.h>
 
 #include "storage/buffer_pool.h"
 #include "storage/io_stats.h"
@@ -143,6 +148,107 @@ TEST(PageFileTest, OnDiskRoundTrip) {
     EXPECT_TRUE(res.ok());
     return res.MoveValue();
   });
+}
+
+TEST(PageFileTest, PeekPageExposesStoredBytesWithoutCharging) {
+  InMemoryPageFile mem(64);
+  EXPECT_EQ(mem.PeekPage(0), nullptr);  // unallocated
+  const PageId id = mem.AllocatePage().ValueOrDie();
+  std::vector<uint8_t> buf(64, 0x5A);
+  ASSERT_TRUE(mem.WritePage(id, buf.data(), IoCategory::kOther).ok());
+  const uint8_t* view = mem.PeekPage(id);
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(std::memcmp(view, buf.data(), buf.size()), 0);
+  // A peek is not a page access: decorators that verify through the view
+  // mirror the base charge themselves.
+  EXPECT_EQ(mem.io_stats().TotalReads(), 0u);
+
+  // Disk-backed files can't hand out a stable view; callers must fall back
+  // to the copying read.
+  auto disk = OnDiskPageFile::Create("/tmp/i3_pagefile_peek_test.bin", 64)
+                  .MoveValue();
+  const PageId did = disk->AllocatePage().ValueOrDie();
+  EXPECT_EQ(disk->PeekPage(did), nullptr);
+}
+
+TEST(PageFileTest, OnDiskShortReadIsAnIOErrorNotGarbage) {
+  const std::string path = "/tmp/i3_pagefile_shortread_test.bin";
+  auto res = OnDiskPageFile::Create(path, 512);
+  ASSERT_TRUE(res.ok());
+  auto file = res.MoveValue();
+  ASSERT_TRUE(file->AllocatePage().ok());
+  ASSERT_TRUE(file->AllocatePage().ok());
+  std::vector<uint8_t> buf(512, 0x5A);
+  ASSERT_TRUE(file->WritePage(1, buf.data(), IoCategory::kOther).ok());
+  const uint64_t reads_before = file->io_stats().TotalReads();
+
+  // Truncate the backing file mid-page behind the PageFile's back: the
+  // resulting short pread must surface as IOError, never as a partially
+  // filled buffer served as a full page.
+  ASSERT_EQ(truncate(path.c_str(), 512 + 100), 0);
+  std::vector<uint8_t> out(512, 0);
+  Status st = file->ReadPage(1, out.data(), IoCategory::kOther);
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  // Failed reads are not charged (the caller retries or aborts; either way
+  // the I/O figures count device work that produced bytes).
+  EXPECT_EQ(file->io_stats().TotalReads(), reads_before);
+
+  // The intact page is still readable.
+  ASSERT_TRUE(file->ReadPage(0, out.data(), IoCategory::kOther).ok());
+}
+
+TEST(PageFileTest, OnDiskOutOfRangeDoesNotTouchTheDevice) {
+  const std::string path = "/tmp/i3_pagefile_range_test.bin";
+  auto res = OnDiskPageFile::Create(path, 256);
+  ASSERT_TRUE(res.ok());
+  auto file = res.MoveValue();
+  ASSERT_TRUE(file->AllocatePage().ok());
+  std::vector<uint8_t> buf(256, 1);
+  const IoStats before = file->io_stats();
+  EXPECT_TRUE(
+      file->ReadPage(5, buf.data(), IoCategory::kOther).IsOutOfRange());
+  EXPECT_TRUE(
+      file->WritePage(5, buf.data(), IoCategory::kOther).IsOutOfRange());
+  EXPECT_EQ(file->io_stats().Since(before).Total(), 0u);
+  EXPECT_EQ(file->PageCount(), 1u);
+}
+
+TEST(PageFileTest, OnDiskWriteFailureReturnsCleanStatus) {
+  const std::string path = "/tmp/i3_pagefile_writefail_test.bin";
+  auto res = OnDiskPageFile::Create(path, 4096);
+  ASSERT_TRUE(res.ok());
+  auto file = res.MoveValue();
+  ASSERT_TRUE(file->AllocatePage().ok());
+  std::vector<uint8_t> buf(4096, 0x77);
+  ASSERT_TRUE(file->WritePage(0, buf.data(), IoCategory::kOther).ok());
+
+  // Cap the process file size below the page's end: the next pwrite fails
+  // with EFBIG (SIGXFSZ ignored so it surfaces as an errno, not a kill).
+  struct rlimit old_limit;
+  ASSERT_EQ(getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  struct sigaction old_action;
+  struct sigaction ignore_action = {};
+  ignore_action.sa_handler = SIG_IGN;
+  ASSERT_EQ(sigaction(SIGXFSZ, &ignore_action, &old_action), 0);
+  struct rlimit small = old_limit;
+  small.rlim_cur = 1024;
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &small), 0);
+
+  const uint64_t writes_before = file->io_stats().TotalWrites();
+  Status st = file->WritePage(0, buf.data(), IoCategory::kOther);
+
+  // Restore before asserting so a failure can't poison later tests.
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  ASSERT_EQ(sigaction(SIGXFSZ, &old_action, nullptr), 0);
+
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_EQ(file->io_stats().TotalWrites(), writes_before);
+
+  // The device "recovered": the same write now succeeds and reads back.
+  ASSERT_TRUE(file->WritePage(0, buf.data(), IoCategory::kOther).ok());
+  std::vector<uint8_t> out(4096, 0);
+  ASSERT_TRUE(file->ReadPage(0, out.data(), IoCategory::kOther).ok());
+  EXPECT_EQ(std::memcmp(buf.data(), out.data(), buf.size()), 0);
 }
 
 TEST(FreeSpaceMapTest, TracksFreeSlots) {
