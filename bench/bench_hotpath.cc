@@ -102,6 +102,48 @@ HotpathResult MeasureSemantics(I3Index* index,
   return r;
 }
 
+struct SmokeBaseline {
+  const char* semantics;
+  double pages_per_query = 0.0;
+  uint64_t checksum = 0;
+};
+
+/// \brief Cold-pass figures of the exact workload `--smoke` runs (tier-0
+/// dataset, 20 queries, seed 42). A full run embeds these in its JSON as
+/// "smoke_baseline", which is what tools/check_bench.py compares a CI
+/// smoke run's results against: same tier, same queries, so checksums
+/// must match bit for bit and pages/query may only drift within the
+/// regression budget. Deliberately metrics-silent -- the "obs" snapshot
+/// in the JSON stays a pure tier-1 capture.
+std::vector<SmokeBaseline> MeasureSmokeBaseline(const BenchConfig& cfg,
+                                                uint32_t num_queries) {
+  Dataset ds = MakeTwitter(cfg, /*tier=*/0);
+  auto index = BuildI3(ds, cfg.eta);
+  QueryGenerator qgen(ds);
+  std::vector<SmokeBaseline> out;
+  for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
+    auto queries = qgen.Freq(cfg.default_qn, num_queries, /*k=*/10, sem,
+                             /*seed=*/42);
+    SmokeBaseline b;
+    b.semantics = SemanticsName(sem);
+    index->ClearCache();
+    index->ResetIoStats();
+    for (const Query& q : queries) {
+      auto res = index->Search(q, cfg.default_alpha);
+      if (!res.ok()) {
+        std::fprintf(stderr, "smoke baseline search failed: %s\n",
+                     res.status().ToString().c_str());
+        std::abort();
+      }
+      for (const ScoredDoc& d : res.ValueOrDie()) b.checksum += d.doc;
+    }
+    b.pages_per_query =
+        static_cast<double>(index->io_stats().TotalReads()) / queries.size();
+    out.push_back(b);
+  }
+  return out;
+}
+
 int Main(int argc, char** argv) {
   BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
   bool smoke = false;
@@ -175,10 +217,30 @@ int Main(int argc, char** argv) {
                  r.alloc_count_per_query, r.pages_per_query, r.checksum,
                  i + 1 < results.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n");
+  // Full runs additionally record the smoke-tier workload's cold-pass
+  // figures so the committed BENCH_hotpath.json doubles as the baseline
+  // the CI bench-regression gate (tools/check_bench.py) checks smoke runs
+  // against. The obs snapshot is captured first, so it stays a pure
+  // tier-1 measurement.
+  const std::string obs_json = MetricsSnapshotJson("  ");
+  if (!smoke) {
+    std::printf("measuring smoke baseline (%s)...\n", kTwitterNames[0]);
+    const auto baseline = MeasureSmokeBaseline(cfg, /*num_queries=*/20);
+    std::fprintf(f, "  \"smoke_baseline\": [\n");
+    for (size_t i = 0; i < baseline.size(); ++i) {
+      const SmokeBaseline& b = baseline[i];
+      std::fprintf(f,
+                   "    {\"semantics\": \"%s\", \"pages_per_query\": %.2f, "
+                   "\"checksum\": %" PRIu64 "}%s\n",
+                   b.semantics, b.pages_per_query, b.checksum,
+                   i + 1 < baseline.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+  }
   // Process-wide metrics snapshot (query/update histograms, buffer pool,
   // per-category I/O, search-stat counters) for scrapers and the CI gate.
-  std::fprintf(f, "  ],\n  \"obs\":\n%s\n}\n",
-               MetricsSnapshotJson("  ").c_str());
+  std::fprintf(f, "  \"obs\":\n%s\n}\n", obs_json.c_str());
   DumpMetricsIfRequested(cfg);
   std::fclose(f);
   std::printf("wrote %s\n", json_path.c_str());

@@ -1,0 +1,630 @@
+#include "i3/cell_codec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "i3/data_file.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define I3_UNPACK_X86 1
+#include <immintrin.h>
+#endif
+
+namespace i3 {
+namespace codec {
+
+namespace {
+
+// ------------------------------------------------------- little-endian I/O
+
+template <typename T>
+T LoadLe(const uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void StoreLe(uint8_t* p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, 8);
+  return u;
+}
+
+double BitsDouble(uint64_t u) {
+  double d;
+  std::memcpy(&d, &u, 8);
+  return d;
+}
+
+uint32_t BitsFor(uint32_t v) {
+  return v == 0 ? 0 : 32u - static_cast<uint32_t>(__builtin_clz(v));
+}
+
+/// Significant low bytes of an XOR residual: byte count covering the
+/// highest set bit (0 for a zero residual).
+uint32_t SigBytes(uint64_t x) {
+  if (x == 0) return 0;
+  return (64u - static_cast<uint32_t>(__builtin_clzll(x)) + 7u) / 8u;
+}
+
+// -------------------------------------------------------------- weight q16
+
+constexpr uint8_t kWeightRaw = 0;    // 4B float32 per tuple
+constexpr uint8_t kWeightQ16 = 1;    // w_min + q * w_step, 2B per tuple
+constexpr uint8_t kWeightConst = 2;  // one float32 for the whole group
+
+uint32_t QuantizeQ16(float w, float w_min, float w_step) {
+  const double q = std::lrint((static_cast<double>(w) - w_min) / w_step);
+  if (q < 0.0) return 0;
+  if (q > 65535.0) return 65535;
+  return static_cast<uint32_t>(q);
+}
+
+// ------------------------------------------------------------ page planning
+
+struct GroupPlan {
+  uint32_t source = 0;
+  uint32_t term = 0;
+  uint32_t min_doc = 0;
+  uint8_t doc_bits = 0;
+  uint8_t weight_mode = kWeightRaw;
+  uint8_t x_bytes = 0;
+  uint8_t y_bytes = 0;
+  float w_min = 0.0f;   // q16 minimum / constant value
+  float w_step = 0.0f;  // q16 step
+  float block_max = 0.0f;
+  double base_x = 0.0;
+  double base_y = 0.0;
+  size_t bytes = 0;  // group header + payload (directory entry excluded)
+  std::vector<uint32_t> members;  // slot indexes, in slot order
+};
+
+size_t GroupHeaderBytes(uint8_t weight_mode) {
+  return 24 + (weight_mode == kWeightQ16 ? 8 : 0) +
+         (weight_mode == kWeightConst ? 4 : 0);
+}
+
+struct PagePlan {
+  std::vector<GroupPlan> groups;  // first-appearance order of sources
+  size_t total = 0;
+};
+
+PagePlan PlanPage(const StoredTuple* slots, size_t n) {
+  PagePlan plan;
+  for (size_t s = 0; s < n; ++s) {
+    GroupPlan* g = nullptr;
+    for (GroupPlan& cand : plan.groups) {
+      if (cand.source == slots[s].source) {
+        g = &cand;
+        break;
+      }
+    }
+    if (g == nullptr) {
+      plan.groups.emplace_back();
+      g = &plan.groups.back();
+      g->source = slots[s].source;
+      g->term = slots[s].tuple.term;
+      g->base_x = slots[s].tuple.location.x;
+      g->base_y = slots[s].tuple.location.y;
+    }
+    g->members.push_back(static_cast<uint32_t>(s));
+  }
+
+  plan.total = kV2PageHeaderBytes + plan.groups.size() * kV2DirEntryBytes;
+  for (GroupPlan& g : plan.groups) {
+    uint32_t min_doc = UINT32_MAX, max_doc = 0;
+    float w_min = 0.0f, w_max = 0.0f;
+    uint32_t xb = 0, yb = 0;
+    bool first = true;
+    for (uint32_t s : g.members) {
+      const SpatialTuple& t = slots[s].tuple;
+      min_doc = std::min(min_doc, t.doc);
+      max_doc = std::max(max_doc, t.doc);
+      if (first) {
+        w_min = w_max = t.weight;
+        first = false;
+      } else {
+        w_min = std::min(w_min, t.weight);
+        w_max = std::max(w_max, t.weight);
+      }
+      xb = std::max(xb, SigBytes(DoubleBits(t.location.x) ^
+                                 DoubleBits(g.base_x)));
+      yb = std::max(yb, SigBytes(DoubleBits(t.location.y) ^
+                                 DoubleBits(g.base_y)));
+    }
+    g.min_doc = min_doc;
+    g.doc_bits = static_cast<uint8_t>(BitsFor(max_doc - min_doc));
+    g.x_bytes = static_cast<uint8_t>(xb);
+    g.y_bytes = static_cast<uint8_t>(yb);
+    g.block_max = w_max;
+
+    if (w_min == w_max) {
+      g.weight_mode = kWeightConst;
+      g.w_min = w_min;
+    } else {
+      // Try exact 16-bit quantization; keep it only when every weight
+      // round-trips bit for bit (the search path must replay v1 scores).
+      const float step = (w_max - w_min) / 65535.0f;
+      bool exact = step > 0.0f;
+      for (uint32_t s : g.members) {
+        const float w = slots[s].tuple.weight;
+        if (!exact) break;
+        const uint32_t q = QuantizeQ16(w, w_min, step);
+        exact = (w_min + static_cast<float>(q) * step) == w;
+      }
+      if (exact) {
+        g.weight_mode = kWeightQ16;
+        g.w_min = w_min;
+        g.w_step = step;
+      } else {
+        g.weight_mode = kWeightRaw;
+      }
+    }
+
+    const size_t count = g.members.size();
+    g.bytes = GroupHeaderBytes(g.weight_mode) +
+              (count * g.doc_bits + 7) / 8 +
+              (g.weight_mode == kWeightRaw
+                   ? 4 * count
+                   : (g.weight_mode == kWeightQ16 ? 2 * count : 0)) +
+              count * (g.x_bytes + g.y_bytes);
+    plan.total += g.bytes;
+  }
+  return plan;
+}
+
+}  // namespace
+
+bool IsV2Page(const uint8_t* page, size_t page_size) {
+  if (page_size < kV2PageHeaderBytes) return false;
+  return LoadLe<uint32_t>(page) == kV2PageMagic &&
+         LoadLe<uint16_t>(page + 4) == kV2FormatVersion;
+}
+
+size_t EncodedPageSize(const StoredTuple* slots, size_t n) {
+  return PlanPage(slots, n).total;
+}
+
+size_t CellEnvelopeBytes(const SpatialTuple* tuples, size_t n) {
+  if (n == 0) return kV2PageHeaderBytes;
+  uint32_t min_doc = tuples[0].doc;
+  uint32_t max_doc = tuples[0].doc;
+  const uint64_t bx = DoubleBits(tuples[0].location.x);
+  const uint64_t by = DoubleBits(tuples[0].location.y);
+  uint32_t xb = 0;
+  uint32_t yb = 0;
+  for (size_t i = 0; i < n; ++i) {
+    min_doc = std::min(min_doc, tuples[i].doc);
+    max_doc = std::max(max_doc, tuples[i].doc);
+    xb = std::max(xb, SigBytes(DoubleBits(tuples[i].location.x) ^ bx));
+    yb = std::max(yb, SigBytes(DoubleBits(tuples[i].location.y) ^ by));
+  }
+  const uint32_t doc_bits = BitsFor(max_doc - min_doc);
+  // Weight term: the worse of mode 0 (24B header + 4B/tuple) and mode 1
+  // (32B header + 2B/tuple), so whichever mode any subset lands on is
+  // covered; mode 2 is smaller than both.
+  const size_t weight_bytes = std::max<size_t>(4 * n, 8 + 2 * n);
+  return kV2PageHeaderBytes + kV2DirEntryBytes + 24 +
+         (n * static_cast<size_t>(doc_bits) + 7) / 8 + weight_bytes +
+         static_cast<size_t>(xb + yb) * n;
+}
+
+Result<size_t> EncodePage(const StoredTuple* slots, size_t n, uint8_t* out,
+                          size_t page_size) {
+  PagePlan plan = PlanPage(slots, n);
+  if (plan.total > page_size) {
+    return Status::ResourceExhausted(
+        "v2 page encoding needs " + std::to_string(plan.total) +
+        " bytes, page holds " + std::to_string(page_size));
+  }
+  if (plan.groups.size() > UINT16_MAX) {
+    return Status::ResourceExhausted("too many keyword cells on one page");
+  }
+
+  StoreLe<uint32_t>(out, kV2PageMagic);
+  StoreLe<uint16_t>(out + 4, kV2FormatVersion);
+  StoreLe<uint16_t>(out + 6, static_cast<uint16_t>(plan.groups.size()));
+  StoreLe<uint32_t>(out + 8, static_cast<uint32_t>(plan.total));
+
+  std::vector<uint32_t> deltas;
+  size_t off = kV2PageHeaderBytes + plan.groups.size() * kV2DirEntryBytes;
+  for (size_t gi = 0; gi < plan.groups.size(); ++gi) {
+    const GroupPlan& g = plan.groups[gi];
+    const uint32_t count = static_cast<uint32_t>(g.members.size());
+
+    uint8_t* dir = out + kV2PageHeaderBytes + gi * kV2DirEntryBytes;
+    StoreLe<uint32_t>(dir + 0, g.source);
+    StoreLe<uint32_t>(dir + 4, g.term);
+    StoreLe<uint32_t>(dir + 8, count);
+    StoreLe<uint32_t>(dir + 12, static_cast<uint32_t>(off));
+    StoreLe<float>(dir + 16, g.block_max);
+
+    uint8_t* p = out + off;
+    StoreLe<uint32_t>(p + 0, g.min_doc);
+    p[4] = g.doc_bits;
+    p[5] = g.weight_mode;
+    p[6] = g.x_bytes;
+    p[7] = g.y_bytes;
+    StoreLe<double>(p + 8, g.base_x);
+    StoreLe<double>(p + 16, g.base_y);
+    p += 24;
+    if (g.weight_mode == kWeightQ16) {
+      StoreLe<float>(p, g.w_min);
+      StoreLe<float>(p + 4, g.w_step);
+      p += 8;
+    } else if (g.weight_mode == kWeightConst) {
+      StoreLe<float>(p, g.w_min);
+      p += 4;
+    }
+
+    deltas.clear();
+    deltas.reserve(count);
+    for (uint32_t s : g.members) {
+      deltas.push_back(slots[s].tuple.doc - g.min_doc);
+    }
+    internal::PackBits(deltas.data(), count, g.doc_bits, p);
+    p += (static_cast<size_t>(count) * g.doc_bits + 7) / 8;
+
+    if (g.weight_mode == kWeightRaw) {
+      for (uint32_t s : g.members) {
+        StoreLe<float>(p, slots[s].tuple.weight);
+        p += 4;
+      }
+    } else if (g.weight_mode == kWeightQ16) {
+      for (uint32_t s : g.members) {
+        StoreLe<uint16_t>(
+            p, static_cast<uint16_t>(
+                   QuantizeQ16(slots[s].tuple.weight, g.w_min, g.w_step)));
+        p += 2;
+      }
+    }
+
+    const uint64_t bx = DoubleBits(g.base_x);
+    for (uint32_t s : g.members) {
+      const uint64_t r = DoubleBits(slots[s].tuple.location.x) ^ bx;
+      std::memcpy(p, &r, g.x_bytes);  // low bytes, little-endian
+      p += g.x_bytes;
+    }
+    const uint64_t by = DoubleBits(g.base_y);
+    for (uint32_t s : g.members) {
+      const uint64_t r = DoubleBits(slots[s].tuple.location.y) ^ by;
+      std::memcpy(p, &r, g.y_bytes);
+      p += g.y_bytes;
+    }
+
+    assert(static_cast<size_t>(p - out) == off + g.bytes);
+    off += g.bytes;
+  }
+  assert(off == plan.total);
+  return plan.total;
+}
+
+// ---------------------------------------------------------------- read path
+
+Result<uint32_t> GroupCount(const uint8_t* page, size_t page_size) {
+  if (!IsV2Page(page, page_size)) {
+    return Status::Corruption("not a v2 page");
+  }
+  const uint32_t gc = LoadLe<uint16_t>(page + 6);
+  const uint32_t used = LoadLe<uint32_t>(page + 8);
+  if (used > page_size ||
+      kV2PageHeaderBytes + static_cast<size_t>(gc) * kV2DirEntryBytes >
+          used) {
+    return Status::Corruption("v2 page header out of bounds");
+  }
+  return gc;
+}
+
+Status ReadGroupRef(const uint8_t* page, size_t page_size, uint32_t g,
+                    GroupRef* out) {
+  auto gc = GroupCount(page, page_size);
+  if (!gc.ok()) return gc.status();
+  if (g >= gc.ValueOrDie()) {
+    return Status::Corruption("v2 group index out of range");
+  }
+  const uint8_t* dir =
+      page + kV2PageHeaderBytes + static_cast<size_t>(g) * kV2DirEntryBytes;
+  out->source = LoadLe<uint32_t>(dir + 0);
+  out->term = LoadLe<uint32_t>(dir + 4);
+  out->count = LoadLe<uint32_t>(dir + 8);
+  out->offset = LoadLe<uint32_t>(dir + 12);
+  out->block_max = LoadLe<float>(dir + 16);
+  return Status::OK();
+}
+
+Result<bool> FindGroup(const uint8_t* page, size_t page_size, uint32_t source,
+                       GroupRef* out) {
+  auto gc_res = GroupCount(page, page_size);
+  if (!gc_res.ok()) return gc_res.status();
+  const uint32_t gc = gc_res.ValueOrDie();
+  for (uint32_t g = 0; g < gc; ++g) {
+    const uint8_t* dir =
+        page + kV2PageHeaderBytes + static_cast<size_t>(g) * kV2DirEntryBytes;
+    if (LoadLe<uint32_t>(dir) == source) {
+      I3_RETURN_NOT_OK(ReadGroupRef(page, page_size, g, out));
+      return true;
+    }
+  }
+  return false;
+}
+
+// ------------------------------------------------------------ decode scratch
+
+namespace {
+
+struct ScratchBufs {
+  std::vector<uint32_t> docs;
+  std::vector<float> weights;
+  std::vector<double> xs, ys;
+
+  void Ensure(uint32_t n) {
+    if (docs.size() < n) {
+      docs.resize(n);
+      weights.resize(n);
+      xs.resize(n);
+      ys.resize(n);
+    }
+  }
+};
+
+struct ScratchStack {
+  std::vector<std::unique_ptr<ScratchBufs>> levels;
+  size_t depth = 0;
+};
+thread_local ScratchStack t_decode_scratch;
+
+}  // namespace
+
+DecodeScratch::DecodeScratch() {
+  ScratchStack& s = t_decode_scratch;
+  if (s.depth == s.levels.size()) {
+    s.levels.push_back(std::make_unique<ScratchBufs>());
+  }
+  slot_ = s.levels[s.depth].get();
+  ++s.depth;
+}
+
+DecodeScratch::~DecodeScratch() {
+  assert(t_decode_scratch.depth > 0);
+  --t_decode_scratch.depth;
+}
+
+Status DecodeGroup(const uint8_t* page, size_t page_size, const GroupRef& g,
+                   DecodeScratch* scratch, DecodedGroup* out) {
+  const uint32_t used = LoadLe<uint32_t>(page + 8);
+  // Sanity cap: a directory count larger than the bit capacity of the page
+  // cannot be honest (it would also make the scratch resize unbounded).
+  if (g.count == 0 || g.count > page_size * 8) {
+    return Status::Corruption("v2 group count out of bounds");
+  }
+  if (g.offset < kV2PageHeaderBytes ||
+      static_cast<size_t>(g.offset) + 24 > used || used > page_size) {
+    return Status::Corruption("v2 group header out of bounds");
+  }
+
+  const uint8_t* p = page + g.offset;
+  const uint32_t min_doc = LoadLe<uint32_t>(p + 0);
+  const uint8_t doc_bits = p[4];
+  const uint8_t weight_mode = p[5];
+  const uint8_t x_bytes = p[6];
+  const uint8_t y_bytes = p[7];
+  const double base_x = LoadLe<double>(p + 8);
+  const double base_y = LoadLe<double>(p + 16);
+  if (doc_bits > 32 || weight_mode > kWeightConst || x_bytes > 8 ||
+      y_bytes > 8) {
+    return Status::Corruption("v2 group field out of range");
+  }
+
+  const size_t n = g.count;
+  const size_t header = GroupHeaderBytes(weight_mode);
+  const size_t delta_bytes = (n * doc_bits + 7) / 8;
+  const size_t weight_bytes =
+      weight_mode == kWeightRaw ? 4 * n : (weight_mode == kWeightQ16 ? 2 * n
+                                                                     : 0);
+  const size_t total =
+      header + delta_bytes + weight_bytes + n * (x_bytes + y_bytes);
+  if (static_cast<size_t>(g.offset) + total > used) {
+    return Status::Corruption("v2 group payload out of bounds");
+  }
+
+  ScratchBufs* bufs = static_cast<ScratchBufs*>(scratch->slot_);
+  bufs->Ensure(g.count);
+  uint32_t* docs = bufs->docs.data();
+  float* weights = bufs->weights.data();
+  double* xs = bufs->xs.data();
+  double* ys = bufs->ys.data();
+
+  const uint8_t* deltas = p + header;
+  internal::UnpackBits(deltas, page_size - (g.offset + header),
+                       g.count, doc_bits, docs);
+  for (size_t i = 0; i < n; ++i) docs[i] += min_doc;
+
+  const uint8_t* wp = deltas + delta_bytes;
+  if (weight_mode == kWeightRaw) {
+    for (size_t i = 0; i < n; ++i) weights[i] = LoadLe<float>(wp + 4 * i);
+  } else if (weight_mode == kWeightQ16) {
+    const float w_min = LoadLe<float>(p + 24);
+    const float w_step = LoadLe<float>(p + 28);
+    for (size_t i = 0; i < n; ++i) {
+      weights[i] =
+          w_min + static_cast<float>(LoadLe<uint16_t>(wp + 2 * i)) * w_step;
+    }
+  } else {
+    const float w = LoadLe<float>(p + 24);
+    for (size_t i = 0; i < n; ++i) weights[i] = w;
+  }
+
+  const uint8_t* xp = wp + weight_bytes;
+  const uint64_t bx = DoubleBits(base_x);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t r = 0;
+    std::memcpy(&r, xp + i * x_bytes, x_bytes);
+    xs[i] = BitsDouble(r ^ bx);
+  }
+  const uint8_t* yp = xp + n * x_bytes;
+  const uint64_t by = DoubleBits(base_y);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t r = 0;
+    std::memcpy(&r, yp + i * y_bytes, y_bytes);
+    ys[i] = BitsDouble(r ^ by);
+  }
+
+  out->docs = docs;
+  out->weights = weights;
+  out->xs = xs;
+  out->ys = ys;
+  out->n = g.count;
+  return Status::OK();
+}
+
+// -------------------------------------------------------------- bit packing
+
+namespace internal {
+
+void PackBits(const uint32_t* vals, uint32_t n, uint32_t bits, uint8_t* dst) {
+  if (bits == 0) return;
+  const uint64_t mask = bits == 32 ? 0xFFFFFFFFull : ((1ull << bits) - 1);
+  uint64_t buf = 0;
+  uint32_t have = 0;
+  uint8_t* p = dst;
+  for (uint32_t i = 0; i < n; ++i) {
+    buf |= (static_cast<uint64_t>(vals[i]) & mask) << have;
+    have += bits;
+    while (have >= 8) {
+      *p++ = static_cast<uint8_t>(buf & 0xFF);
+      buf >>= 8;
+      have -= 8;
+    }
+  }
+  if (have != 0) *p = static_cast<uint8_t>(buf & 0xFF);
+}
+
+void UnpackBitsPortable(const uint8_t* src, uint32_t n, uint32_t bits,
+                        uint32_t* out) {
+  if (bits == 0) {
+    std::fill(out, out + n, 0u);
+    return;
+  }
+  const uint64_t mask = bits == 32 ? 0xFFFFFFFFull : ((1ull << bits) - 1);
+  uint64_t buf = 0;
+  uint32_t have = 0;
+  const uint8_t* p = src;
+  for (uint32_t i = 0; i < n; ++i) {
+    while (have < bits) {
+      buf |= static_cast<uint64_t>(*p++) << have;
+      have += 8;
+    }
+    out[i] = static_cast<uint32_t>(buf & mask);
+    buf >>= bits;
+    have -= bits;
+  }
+}
+
+#ifdef I3_UNPACK_X86
+
+// Eight values per iteration: gather the 32-bit window containing each
+// value's first bit, shift it into place, mask. Sound for widths <= 25 (a
+// window shifted by at most 7 bits still holds 25 payload bits); wider
+// deltas -- astronomically rare at real cell sizes -- take the portable
+// loop. The wrapper guarantees every gathered window lies inside the page.
+__attribute__((target("avx2"))) void UnpackBitsAvx2(const uint8_t* src,
+                                                    uint32_t n, uint32_t bits,
+                                                    uint32_t* out) {
+  const uint32_t mask = (1u << bits) - 1;
+  const __m256i vmask = _mm256_set1_epi32(static_cast<int>(mask));
+  const __m256i vseven = _mm256_set1_epi32(7);
+  const __m256i lane_bits = _mm256_mullo_epi32(
+      _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+      _mm256_set1_epi32(static_cast<int>(bits)));
+  uint32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i bitpos = _mm256_add_epi32(
+        _mm256_set1_epi32(static_cast<int>(i * bits)), lane_bits);
+    const __m256i byteoff = _mm256_srli_epi32(bitpos, 3);
+    const __m256i shift = _mm256_and_si256(bitpos, vseven);
+    __m256i w = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(src), byteoff, 1);
+    w = _mm256_and_si256(_mm256_srlv_epi32(w, shift), vmask);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), w);
+  }
+  for (; i < n; ++i) {
+    const uint64_t bp = static_cast<uint64_t>(i) * bits;
+    uint32_t w;
+    std::memcpy(&w, src + (bp >> 3), 4);
+    out[i] = (w >> (bp & 7)) & mask;
+  }
+}
+
+// The SIMD path must reproduce the portable unpacker bit for bit across
+// every dispatchable width, random payloads, and ragged counts before it
+// is allowed to serve (the checksum.cc discipline).
+bool SelfTestAvx2() {
+  uint8_t packed[256];
+  uint32_t vals[48], got[48];
+  uint64_t lcg = 0x9E3779B97F4A7C15ull;
+  for (uint32_t bits = 1; bits <= 25; ++bits) {
+    const uint64_t mask = (1ull << bits) - 1;
+    for (uint32_t n : {1u, 7u, 8u, 9u, 31u, 48u}) {
+      for (uint32_t i = 0; i < n; ++i) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        vals[i] = static_cast<uint32_t>((lcg >> 23) & mask);
+      }
+      std::memset(packed, 0, sizeof(packed));
+      PackBits(vals, n, bits, packed);
+      UnpackBitsAvx2(packed, n, bits, got);
+      for (uint32_t i = 0; i < n; ++i) {
+        if (got[i] != vals[i]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool ChooseSimd() {
+  return __builtin_cpu_supports("avx2") && SelfTestAvx2();
+}
+
+#else  // !I3_UNPACK_X86
+
+bool ChooseSimd() { return false; }
+
+#endif  // I3_UNPACK_X86
+
+namespace {
+const bool g_use_simd = ChooseSimd();
+}  // namespace
+
+bool UsingSimdUnpack() { return g_use_simd; }
+
+void UnpackBits(const uint8_t* src, size_t src_readable, uint32_t n,
+                uint32_t bits, uint32_t* out) {
+  if (bits == 0) {
+    std::fill(out, out + n, 0u);
+    return;
+  }
+#ifdef I3_UNPACK_X86
+  if (g_use_simd && bits <= 25 && n >= 8) {
+    // Every gathered/memcpy'd window is 4 bytes at offset (i*bits)/8.
+    const size_t need = (static_cast<size_t>(n - 1) * bits) / 8 + 4;
+    if (need <= src_readable) {
+      UnpackBitsAvx2(src, n, bits, out);
+      return;
+    }
+  }
+#endif
+  UnpackBitsPortable(src, n, bits, out);
+}
+
+}  // namespace internal
+
+}  // namespace codec
+}  // namespace i3

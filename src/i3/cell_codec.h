@@ -1,0 +1,201 @@
+// The v2 compressed keyword-cell page encoding and its block decoder.
+//
+// Motivation (Navarro & Valenzuela; Hon/Shah/Thankachan, PAPERS.md): most
+// of the I3 query cost is page reads whose tuples never enter the top-k
+// heap. Packing several times more tuples into each 4KB page shrinks the
+// data file -- and with it the cold-cache pages/query figure the paper
+// reports -- without changing a single byte of any answer.
+//
+// A v2 page groups its tuples by keyword cell (source id) and encodes each
+// group column-wise. Every transform is *lossless*: doc ids are offsets
+// from the group minimum, bit-packed at the narrowest sufficient width;
+// term weights are raw float32 unless the whole group survives an exact
+// round-trip through 16-bit quantization (or is constant); coordinates are
+// stored as the XOR of each double against the group's first tuple,
+// truncated to the bytes that actually differ -- tuples of one keyword cell
+// are spatially close, so their doubles share sign/exponent/high-mantissa
+// bytes. Within-group tuple order is the original slot order, so a v2 page
+// replays the exact visit sequence of its v1 counterpart and search results
+// are byte-identical.
+//
+// Page layout (little-endian; all offsets from the page start):
+//
+//   header  (12B): u32 magic "I3V2" | u16 version | u16 group_count |
+//                  u32 used_bytes
+//   directory (group_count x 20B): u32 source | u32 term | u32 count |
+//                  u32 offset | f32 block_max   (per-group max term weight)
+//   groups, each at its directory offset:
+//     u32 min_doc | u8 doc_bits | u8 weight_mode | u8 x_bytes | u8 y_bytes |
+//     f64 base_x | f64 base_y |
+//     [mode 1: f32 w_min, f32 w_step] [mode 2: f32 w_const] |
+//     doc deltas   ceil(count * doc_bits / 8) bytes (LSB-first bit stream) |
+//     weights      mode 0: 4*count, mode 1: 2*count, mode 2: 0 bytes |
+//     x residuals  x_bytes * count | y residuals  y_bytes * count
+//
+// The directory makes group location and the per-cell block-max bound
+// readable without decoding any payload; the block_max field mirrors the
+// summary-node max_s for the cell's tuples on this page (cross-checked by
+// the invariant tests, usable for page-local skipping diagnostics).
+//
+// The hot-path decoder is runtime-dispatched like storage/checksum.cc: an
+// AVX2 gather/variable-shift bit-unpacker is self-tested against the
+// portable implementation at startup and only then allowed to serve.
+// Decoding is bounds-checked end to end -- a truncated or bit-flipped page
+// surfaces as Status::Corruption, never as out-of-bounds reads -- because
+// with checksums disabled this is the only line of defense.
+//
+// A v1 page is recognized by the absence of the magic (v1 slot 0 starts
+// with a source id, allocated sequentially from 1 and nowhere near the
+// magic value), so v1 and v2 pages coexist in one file and old indexes
+// stay readable with compression enabled.
+
+#ifndef I3_I3_CELL_CODEC_H_
+#define I3_I3_CELL_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace i3 {
+
+struct StoredTuple;   // i3/data_file.h
+struct SpatialTuple;  // model/document.h
+
+namespace codec {
+
+/// "I3V2" little-endian.
+constexpr uint32_t kV2PageMagic = 0x32563349u;
+constexpr uint16_t kV2FormatVersion = 2;
+
+constexpr size_t kV2PageHeaderBytes = 12;
+constexpr size_t kV2DirEntryBytes = 20;
+/// Group header plus the largest weight-mode extension (mode 1: 8 bytes).
+constexpr size_t kV2MaxGroupHeaderBytes = 24 + 8;
+/// Worst case per tuple: 4B doc delta + 4B raw weight + 8B per coordinate.
+constexpr size_t kV2MaxTupleBytes = 24;
+
+/// \brief Upper bound on the bytes a *new* group of `n` tuples adds to a
+/// page (directory entry + group header + worst-case payload). Used by
+/// placement: a page whose free-byte count covers this bound is guaranteed
+/// to accept the cell, so FindPageWithFreeSlots keeps its v1 contract.
+inline size_t NewCellUpperBoundBytes(size_t n) {
+  return kV2DirEntryBytes + kV2MaxGroupHeaderBytes + n * kV2MaxTupleBytes;
+}
+
+/// \brief Smallest page size the v2 encoding is used for. Maintenance
+/// needs a fresh page to always hold one relocated or spilled cell of up
+/// to capacity + 1 = P/32 + 1 tuples, i.e. NewCellUpperBoundBytes(P/32+1)
+/// = 76 + 0.75 P <= P - 12, which holds from P = 352; below that (tiny
+/// pages appear only in tests) the data file silently stays v1 -- the two
+/// formats return identical results anyway.
+constexpr size_t kV2MinPageSize = 512;
+
+/// \brief Subset-stable one-page envelope of a keyword cell: an upper
+/// bound on the encoded size of `tuples[0..n)` alone on a page that also
+/// bounds every *subset* of them (re-based to the subset's own first
+/// tuple). Doc-delta widths and coordinate-residual widths only shrink
+/// under subsetting -- SigBytes(a^b) never exceeds the wider of
+/// SigBytes(a), SigBytes(b), so re-basing cannot widen a residual -- and
+/// the weight term takes the worse of raw and quantized layouts. This is
+/// the v2 split trigger: while a cell stays under the envelope, the cell
+/// itself *and every quadrant piece a split produces* are guaranteed to
+/// fit alone on a fresh page, so maintenance never wedges.
+size_t CellEnvelopeBytes(const SpatialTuple* tuples, size_t n);
+
+/// True if the page bytes carry the v2 magic + version.
+bool IsV2Page(const uint8_t* page, size_t page_size);
+
+// ------------------------------------------------------------- write path
+
+/// \brief Exact encoded size of `slots[0..n)` as one v2 page.
+size_t EncodedPageSize(const StoredTuple* slots, size_t n);
+
+/// \brief Encodes `slots[0..n)` into `out` (page_size bytes, pre-zeroed by
+/// the caller); groups appear in first-appearance order of their source and
+/// tuples keep their slot order within a group. Returns the bytes used, or
+/// ResourceExhausted when the encoding exceeds `page_size` (nothing is
+/// written then).
+Result<size_t> EncodePage(const StoredTuple* slots, size_t n, uint8_t* out,
+                          size_t page_size);
+
+// -------------------------------------------------------------- read path
+
+/// One directory entry, decoded.
+struct GroupRef {
+  uint32_t source = 0;
+  uint32_t term = 0;
+  uint32_t count = 0;
+  uint32_t offset = 0;
+  float block_max = 0.0f;
+};
+
+/// \brief Validated group count of a v2 page (header + directory bounds).
+Result<uint32_t> GroupCount(const uint8_t* page, size_t page_size);
+
+/// \brief Reads directory entry `g` with bounds checks.
+Status ReadGroupRef(const uint8_t* page, size_t page_size, uint32_t g,
+                    GroupRef* out);
+
+/// \brief Locates the group of `source`; false if the page has none.
+Result<bool> FindGroup(const uint8_t* page, size_t page_size, uint32_t source,
+                       GroupRef* out);
+
+/// Columnar view of one decoded group; pointers live in a DecodeScratch
+/// lease and stay valid until the lease is released.
+struct DecodedGroup {
+  const uint32_t* docs = nullptr;
+  const float* weights = nullptr;
+  const double* xs = nullptr;
+  const double* ys = nullptr;
+  uint32_t n = 0;
+};
+
+/// \brief RAII lease on one level of the per-thread decode scratch stack
+/// (stacked like DataFile's view scratch, so nested decodes -- an invariant
+/// checker holding one view while opening another -- never alias). Steady
+/// state allocates nothing.
+class DecodeScratch {
+ public:
+  DecodeScratch();
+  ~DecodeScratch();
+  DecodeScratch(const DecodeScratch&) = delete;
+  DecodeScratch& operator=(const DecodeScratch&) = delete;
+
+ private:
+  friend Status DecodeGroup(const uint8_t*, size_t, const GroupRef&,
+                            DecodeScratch*, DecodedGroup*);
+  void* slot_;  // internal buffer set
+};
+
+/// \brief Decodes group `g` into `scratch`, publishing the columnar arrays
+/// through `out`. Every field and payload extent is validated against
+/// `page_size`; damage surfaces as Status::Corruption.
+Status DecodeGroup(const uint8_t* page, size_t page_size, const GroupRef& g,
+                   DecodeScratch* scratch, DecodedGroup* out);
+
+namespace internal {
+
+/// Reference bit-unpacker (LSB-first stream of `bits`-wide values).
+void UnpackBitsPortable(const uint8_t* src, uint32_t n, uint32_t bits,
+                        uint32_t* out);
+
+/// \brief Dispatched bit-unpacker. `src_readable` is the number of bytes
+/// that may be touched from `src` onward (the SIMD path reads whole 32-bit
+/// windows and falls back to the portable loop near the end of the
+/// readable range).
+void UnpackBits(const uint8_t* src, size_t src_readable, uint32_t n,
+                uint32_t bits, uint32_t* out);
+
+/// Reference packer (write path; scalar only).
+void PackBits(const uint32_t* vals, uint32_t n, uint32_t bits, uint8_t* dst);
+
+/// True when the startup self-test selected the SIMD unpacker.
+bool UsingSimdUnpack();
+
+}  // namespace internal
+
+}  // namespace codec
+}  // namespace i3
+
+#endif  // I3_I3_CELL_CODEC_H_

@@ -48,9 +48,11 @@ PageView& PageView::operator=(PageView&& o) noexcept {
   pin_ = std::move(o.pin_);  // releases any pin this view held
   data_ = o.data_;
   capacity_ = o.capacity_;
+  page_size_ = o.page_size_;
   owns_scratch_ = o.owns_scratch_;
   o.data_ = nullptr;
   o.capacity_ = 0;
+  o.page_size_ = 0;
   o.owns_scratch_ = false;
   return *this;
 }
@@ -83,28 +85,84 @@ bool TuplePage::AllFromSource(SourceId source) const {
   return !slots.empty();
 }
 
-DataFile::DataFile(size_t page_size, BufferPoolOptions pool_options)
-    : DataFile(std::make_unique<InMemoryPageFile>(page_size), pool_options) {}
+DataFile::DataFile(size_t page_size, BufferPoolOptions pool_options,
+                   bool compress)
+    : DataFile(std::make_unique<InMemoryPageFile>(page_size), pool_options,
+               compress) {}
 
 DataFile::DataFile(std::unique_ptr<PageFile> file,
-                   BufferPoolOptions pool_options)
+                   BufferPoolOptions pool_options, bool compress)
     : file_(std::move(file)),
       pool_(file_.get(), pool_options),
-      fsm_(static_cast<uint32_t>(file_->page_size() / kTupleBytes)),
+      fsm_(static_cast<uint32_t>(file_->page_size()),
+           static_cast<uint32_t>(kTupleBytes)),
       capacity_(static_cast<uint32_t>(file_->page_size() / kTupleBytes)),
+      compress_(compress && file_->page_size() >= codec::kV2MinPageSize),
       scratch_(file_->page_size(), 0) {}
 
 Result<std::unique_ptr<DataFile>> DataFile::CreateOnDisk(
-    const std::string& path, size_t page_size,
-    BufferPoolOptions pool_options) {
+    const std::string& path, size_t page_size, BufferPoolOptions pool_options,
+    bool compress) {
   auto file_res = OnDiskPageFile::Create(path, page_size);
   if (!file_res.ok()) return file_res.status();
   return std::unique_ptr<DataFile>(
-      new DataFile(std::move(file_res.ValueOrDie()), pool_options));
+      new DataFile(std::move(file_res.ValueOrDie()), pool_options, compress));
+}
+
+bool DataFile::Fits(const TuplePage& page) const {
+  if (!compress_) return page.slots.size() <= capacity_;
+  return codec::EncodedPageSize(page.slots.data(), page.slots.size()) <=
+         file_->page_size();
+}
+
+bool DataFile::CellMustSplit(const TuplePage& page, SourceId source,
+                             const SpatialTuple& incoming) const {
+  if (!compress_) {
+    // v1: the cell holds P/B tuples, so with `incoming` it can no longer
+    // live on one page.
+    return page.CountSource(source) >= capacity_;
+  }
+  std::vector<SpatialTuple> cell;
+  for (const StoredTuple& st : page.slots) {
+    if (st.source == source) cell.push_back(st.tuple);
+  }
+  cell.push_back(incoming);
+  return codec::CellEnvelopeBytes(cell.data(), cell.size()) >
+         file_->page_size();
+}
+
+bool DataFile::CellOversized(const std::vector<SpatialTuple>& tuples) const {
+  if (!compress_) return tuples.size() > capacity_;
+  return codec::CellEnvelopeBytes(tuples.data(), tuples.size()) >
+         file_->page_size();
 }
 
 Result<PageId> DataFile::PageWithFreeSlots(uint32_t want) {
-  PageId id = fsm_.FindPageWithFreeSlots(want);
+  // v1 pages need `want` slots; a v2 page is guaranteed to accept a *new*
+  // cell whose worst-case footprint (directory entry + group header +
+  // uncompressed payload) fits its free bytes -- group encodings are
+  // independent, so adding one never grows the others.
+  const uint32_t want_bytes =
+      compress_ ? static_cast<uint32_t>(codec::NewCellUpperBoundBytes(want))
+                : want * static_cast<uint32_t>(kTupleBytes);
+  PageId id = fsm_.FindPageWithFreeSlots(want_bytes);
+  if (id != kInvalidPageId) return id;
+  return AllocatePage();
+}
+
+Result<PageId> DataFile::PageWithRoomForGroup(
+    const std::vector<StoredTuple>& group) {
+  // v1 keeps the slot-count request (identical to PageWithFreeSlots, so
+  // the v1 placement sequence is unchanged); v2 asks for the group's exact
+  // encoded footprint: EncodedPageSize of the group alone is page header +
+  // directory entry + group bytes, and dropping the page header leaves
+  // exactly what the group adds to any existing page.
+  const uint32_t want_bytes =
+      compress_ ? static_cast<uint32_t>(
+                      codec::EncodedPageSize(group.data(), group.size()) -
+                      codec::kV2PageHeaderBytes)
+                : static_cast<uint32_t>(group.size() * kTupleBytes);
+  PageId id = fsm_.FindPageWithFreeSlots(want_bytes);
   if (id != kInvalidPageId) return id;
   return AllocatePage();
 }
@@ -120,6 +178,7 @@ Result<PageId> DataFile::AllocatePage() {
 Result<PageView> DataFile::View(PageId id) {
   PageView view;
   view.capacity_ = capacity_;
+  view.page_size_ = file_->page_size();
   uint8_t* scratch = AcquireViewScratch(file_->page_size());
   if (pool_.Pinnable()) {
     // Zero-copy window: the view reads straight out of the pinned frame;
@@ -152,28 +211,41 @@ Result<TuplePage> DataFile::Read(PageId id) {
   const PageView& view = view_res.ValueOrDie();
   TuplePage page;
   page.slots.reserve(capacity_);
-  view.ForEachSlot([&page](SourceId source, const SpatialTuple& t) {
-    page.slots.push_back({source, t});
-  });
+  I3_RETURN_NOT_OK(
+      view.VisitSlots([&page](SourceId source, const SpatialTuple& t) {
+        page.slots.push_back({source, t});
+      }));
   return page;
 }
 
 Status DataFile::Write(PageId id, const TuplePage& page) {
-  if (page.slots.size() > capacity_) {
-    return Status::InvalidArgument("page overflow: " +
-                                   std::to_string(page.slots.size()) +
-                                   " tuples");
-  }
   std::memset(scratch_.data(), 0, scratch_.size());
-  for (size_t s = 0; s < page.slots.size(); ++s) {
-    EncodeSlot(scratch_.data() + s * kTupleBytes, page.slots[s]);
+  uint32_t free_bytes;
+  if (compress_) {
+    auto used = codec::EncodePage(page.slots.data(), page.slots.size(),
+                                  scratch_.data(), scratch_.size());
+    if (!used.ok()) {
+      return Status::InvalidArgument(
+          "page overflow: " + std::to_string(page.slots.size()) +
+          " tuples (" + used.status().message() + ")");
+    }
+    free_bytes = static_cast<uint32_t>(scratch_.size()) -
+                 static_cast<uint32_t>(used.ValueOrDie());
+  } else {
+    if (page.slots.size() > capacity_) {
+      return Status::InvalidArgument("page overflow: " +
+                                     std::to_string(page.slots.size()) +
+                                     " tuples");
+    }
+    for (size_t s = 0; s < page.slots.size(); ++s) {
+      EncodeSlot(scratch_.data() + s * kTupleBytes, page.slots[s]);
+    }
+    free_bytes = (capacity_ - static_cast<uint32_t>(page.slots.size())) *
+                 static_cast<uint32_t>(kTupleBytes);
   }
   I3_RETURN_NOT_OK(pool_.WritePage(id, scratch_.data(),
                                    IoCategory::kI3DataFile));
-  const uint32_t new_free =
-      capacity_ - static_cast<uint32_t>(page.slots.size());
-  const uint32_t prev_free = fsm_.FreeSlots(id);
-  fsm_.Consume(id, static_cast<int>(prev_free) - static_cast<int>(new_free));
+  fsm_.SetFree(id, free_bytes);
   return Status::OK();
 }
 
@@ -182,11 +254,11 @@ Status DataFile::Insert(PageId id, SourceId source,
   auto page_res = Read(id);
   if (!page_res.ok()) return page_res.status();
   TuplePage page = page_res.MoveValue();
-  if (page.slots.size() >= capacity_) {
+  page.slots.push_back({source, tuple});
+  if (!Fits(page)) {
     return Status::ResourceExhausted("page " + std::to_string(id) +
                                      " is full");
   }
-  page.slots.push_back({source, tuple});
   return Write(id, page);
 }
 
@@ -228,13 +300,13 @@ Status DataFile::InsertAll(PageId id, SourceId source,
   auto page_res = Read(id);
   if (!page_res.ok()) return page_res.status();
   TuplePage page = page_res.MoveValue();
-  if (page.slots.size() + tuples.size() > capacity_) {
-    return Status::ResourceExhausted("page " + std::to_string(id) +
-                                     " lacks " +
-                                     std::to_string(tuples.size()) +
-                                     " free slots");
-  }
   for (const SpatialTuple& t : tuples) page.slots.push_back({source, t});
+  if (!Fits(page)) {
+    return Status::ResourceExhausted("page " + std::to_string(id) +
+                                     " lacks room for " +
+                                     std::to_string(tuples.size()) +
+                                     " tuples");
+  }
   return Write(id, page);
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "i3/cell_codec.h"
 #include "model/document.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
@@ -138,34 +139,147 @@ class PageView {
     }
   }
 
+  /// True when the underlying bytes carry the v2 compressed encoding.
+  /// (A v1 page starts with a slot-0 source id -- small, sequential -- and
+  /// can never alias the v2 magic; fresh zeroed pages read as empty v1.)
+  bool compressed() const {
+    return codec::IsV2Page(data_, page_size_);
+  }
+
+  /// \brief Format-agnostic ForEachOfSource: visits every tuple of
+  /// `source`, decoding v2 groups through the block decoder. Returns the
+  /// number visited, or Corruption when a damaged v2 page fails to decode.
+  template <typename Fn>
+  Result<uint32_t> VisitSource(SourceId source, Fn&& fn) const {
+    if (!compressed()) return ForEachOfSource(source, std::forward<Fn>(fn));
+    codec::GroupRef g;
+    auto found = codec::FindGroup(data_, page_size_, source, &g);
+    if (!found.ok()) return found.status();
+    if (!found.ValueOrDie()) return 0u;
+    codec::DecodeScratch scratch;
+    codec::DecodedGroup d;
+    I3_RETURN_NOT_OK(codec::DecodeGroup(data_, page_size_, g, &scratch, &d));
+    SpatialTuple t;
+    t.term = g.term;
+    for (uint32_t i = 0; i < d.n; ++i) {
+      t.doc = d.docs[i];
+      t.location.x = d.xs[i];
+      t.location.y = d.ys[i];
+      t.weight = d.weights[i];
+      fn(t);
+    }
+    return d.n;
+  }
+
+  /// \brief Format-agnostic ForEachSlot: visits every stored tuple with its
+  /// source tag. v2 pages are visited group by group (first-appearance
+  /// order, slot order within a group -- the exact v1 visit sequence).
+  template <typename Fn>
+  Status VisitSlots(Fn&& fn) const {
+    if (!compressed()) {
+      ForEachSlot(std::forward<Fn>(fn));
+      return Status::OK();
+    }
+    auto gc = codec::GroupCount(data_, page_size_);
+    if (!gc.ok()) return gc.status();
+    codec::DecodeScratch scratch;
+    for (uint32_t gi = 0; gi < gc.ValueOrDie(); ++gi) {
+      codec::GroupRef g;
+      I3_RETURN_NOT_OK(codec::ReadGroupRef(data_, page_size_, gi, &g));
+      codec::DecodedGroup d;
+      I3_RETURN_NOT_OK(
+          codec::DecodeGroup(data_, page_size_, g, &scratch, &d));
+      SpatialTuple t;
+      t.term = g.term;
+      for (uint32_t i = 0; i < d.n; ++i) {
+        t.doc = d.docs[i];
+        t.location.x = d.xs[i];
+        t.location.y = d.ys[i];
+        t.weight = d.weights[i];
+        fn(g.source, t);
+      }
+    }
+    return Status::OK();
+  }
+
  private:
   friend class DataFile;
 
   BufferPool::PinnedPage pin_;
   const uint8_t* data_ = nullptr;
   uint32_t capacity_ = 0;
+  size_t page_size_ = 0;
   bool owns_scratch_ = false;  // holds the top of the thread scratch stack
 };
 
 /// \brief Page-slot storage for spatial tuples with free-space tracking.
+///
+/// Two on-page encodings are supported. With `compress` off every page is
+/// the fixed-width v1 slot array above; with it on, written pages use the
+/// v2 grouped encoding of i3/cell_codec.h (several times more tuples per
+/// page). Reads sniff the per-page magic, so v1 and v2 pages coexist in one
+/// file and an index built without compression stays readable with it on.
+/// Free space is tracked in bytes (quantized to kTupleBytes buckets), which
+/// reduces to the original per-slot bookkeeping for pure-v1 files.
 class DataFile {
  public:
   /// In-memory backing.
   explicit DataFile(size_t page_size = kDefaultPageSize,
-                    BufferPoolOptions pool_options = {});
+                    BufferPoolOptions pool_options = {},
+                    bool compress = false);
   /// Custom backing (disk files, fault injection, ...).
-  DataFile(std::unique_ptr<PageFile> file, BufferPoolOptions pool_options);
+  DataFile(std::unique_ptr<PageFile> file, BufferPoolOptions pool_options,
+           bool compress = false);
   /// Disk backing at `path`.
   static Result<std::unique_ptr<DataFile>> CreateOnDisk(
       const std::string& path, size_t page_size = kDefaultPageSize,
-      BufferPoolOptions pool_options = {});
+      BufferPoolOptions pool_options = {}, bool compress = false);
 
-  /// Tuples per page (P/B).
+  /// Tuples per page in the v1 encoding (P/B); the split threshold of
+  /// Algorithms 2-3 under the v1 format (see CellMustSplit for v2).
   uint32_t capacity() const { return capacity_; }
 
-  /// \brief A page with at least `want` free slots, allocating a new page
-  /// if none qualifies.
+  /// \brief The density test of Algorithms 2-3: true when the keyword cell
+  /// `source` on `page`, grown by `incoming`, must split. v1: the cell
+  /// reaches the P/B slot capacity. v2: the cell's one-page *envelope*
+  /// (codec::CellEnvelopeBytes -- an upper bound covering every subset, so
+  /// splits and relocations of an under-threshold cell always land) would
+  /// exceed the page size; cells therefore pack several times more tuples
+  /// before splitting, which is where the compressed format's page-count
+  /// reduction comes from. The quadtree gets a different (shallower) shape
+  /// than under v1, but search is exact under any shape, so query results
+  /// are identical either way.
+  bool CellMustSplit(const TuplePage& page, SourceId source,
+                     const SpatialTuple& incoming) const;
+
+  /// \brief Invariant-checker companion of CellMustSplit: true when a
+  /// stored cell with these tuples is larger than the split threshold ever
+  /// allows (v1: above slot capacity; v2: envelope above the page size).
+  bool CellOversized(const std::vector<SpatialTuple>& tuples) const;
+
+  /// Whether written pages use the v2 compressed encoding.
+  bool compress() const { return compress_; }
+
+  /// Page size in bytes.
+  size_t page_size() const { return file_->page_size(); }
+
+  /// \brief True when `page` can be written to one page under the active
+  /// encoding (v1: slot count; v2: exact encoded size).
+  bool Fits(const TuplePage& page) const;
+
+  /// \brief A page guaranteed to accept a *new* cell of `want` tuples
+  /// (v1: `want` free slots; v2: the worst-case encoded footprint of a new
+  /// group), allocating a fresh page if none qualifies.
   Result<PageId> PageWithFreeSlots(uint32_t want);
+
+  /// \brief A page guaranteed to accept the *specific* new cell `group`
+  /// (all one source, not currently on any page). Unlike PageWithFreeSlots
+  /// this sizes the request by the group's exact encoding -- group
+  /// encodings are independent, so adding this group to any page costs
+  /// exactly its directory entry + header + payload -- which packs far
+  /// tighter than the worst-case bound when cells are large. Falls back to
+  /// a fresh page if no page qualifies.
+  Result<PageId> PageWithRoomForGroup(const std::vector<StoredTuple>& group);
 
   /// \brief Unconditionally appends a fresh empty page (deserialization
   /// path; normal insertion goes through PageWithFreeSlots).
@@ -183,8 +297,8 @@ class DataFile {
   /// the free-space map.
   Status Write(PageId id, const TuplePage& page);
 
-  /// \brief Inserts one tuple into a free slot of `id`; fails with
-  /// ResourceExhausted if the page is full.
+  /// \brief Inserts one tuple into `id`; fails with ResourceExhausted if
+  /// the page cannot hold it (v1: no free slot; v2: encoded overflow).
   Status Insert(PageId id, SourceId source, const SpatialTuple& tuple);
 
   /// \brief Removes the tuple of `doc` tagged `source`; returns true if one
@@ -196,12 +310,15 @@ class DataFile {
   Result<std::vector<SpatialTuple>> TakeSource(PageId id, SourceId source);
 
   /// \brief Inserts `tuples` under `source` into `id`; the page must have
-  /// enough free slots.
+  /// enough room under the active encoding.
   Status InsertAll(PageId id, SourceId source,
                    const std::vector<SpatialTuple>& tuples);
 
-  /// Free slots currently on `id`.
-  uint32_t FreeSlots(PageId id) const { return fsm_.FreeSlots(id); }
+  /// Free capacity of `id`, expressed in tuple-slot units (free bytes /
+  /// kTupleBytes) so existing v1 callers keep their semantics.
+  uint32_t FreeSlots(PageId id) const {
+    return fsm_.FreeSlots(id) / static_cast<uint32_t>(kTupleBytes);
+  }
 
   PageId PageCount() const { return file_->PageCount(); }
   uint64_t SizeBytes() const { return file_->SizeBytes(); }
@@ -213,8 +330,9 @@ class DataFile {
  private:
   std::unique_ptr<PageFile> file_;
   BufferPool pool_;
-  FreeSpaceMap fsm_;
+  FreeSpaceMap fsm_;  // free bytes per page, kTupleBytes-quantized buckets
   uint32_t capacity_;
+  bool compress_;
   std::vector<uint8_t> scratch_;  // page-size encode buffer (write path only;
                                   // Read uses a local buffer so concurrent
                                   // readers do not share state)

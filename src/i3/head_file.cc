@@ -1,5 +1,7 @@
 #include "i3/head_file.h"
 
+#include <algorithm>
+
 namespace i3 {
 
 NodeId HeadFile::Allocate() {
@@ -19,6 +21,59 @@ uint64_t HeadFile::NodeBytes() const {
   // kind (1B) + page/node ref (4B) + source id (4B) per child pointer.
   const uint64_t child_ptr_bytes = 9;
   return 5 * entry_bytes + kQuadrants * child_ptr_bytes;
+}
+
+void HeadFile::ConfigurePager(size_t page_size, uint32_t pool_pages) {
+  std::lock_guard<std::mutex> lock(pager_mutex_);
+  nodes_per_page_ =
+      static_cast<uint32_t>(std::max<uint64_t>(1, page_size / NodeBytes()));
+  pool_pages_ = pool_pages;
+  resident_.clear();
+  lru_prev_.clear();
+  lru_next_.clear();
+  lru_head_ = lru_tail_ = UINT32_MAX;
+  resident_count_ = 0;
+}
+
+void HeadFile::ClearCache() {
+  std::lock_guard<std::mutex> lock(pager_mutex_);
+  std::fill(resident_.begin(), resident_.end(), 0);
+  lru_head_ = lru_tail_ = UINT32_MAX;
+  resident_count_ = 0;
+}
+
+void HeadFile::TouchPage(uint32_t pg) {
+  std::lock_guard<std::mutex> lock(pager_mutex_);
+  if (pg >= resident_.size()) {
+    resident_.resize(pg + 1, 0);
+    lru_prev_.resize(pg + 1, UINT32_MAX);
+    lru_next_.resize(pg + 1, UINT32_MAX);
+  }
+  if (resident_[pg]) {
+    if (lru_head_ == pg) return;  // already MRU
+    // Unlink, then relink at the head.
+    const uint32_t p = lru_prev_[pg], n = lru_next_[pg];
+    if (p != UINT32_MAX) lru_next_[p] = n;
+    if (n != UINT32_MAX) lru_prev_[n] = p;
+    if (lru_tail_ == pg) lru_tail_ = p;
+  } else {
+    io_stats_.RecordRead(IoCategory::kI3HeadFile);
+    resident_[pg] = 1;
+    ++resident_count_;
+    if (resident_count_ > pool_pages_) {
+      const uint32_t victim = lru_tail_;
+      resident_[victim] = 0;
+      lru_tail_ = lru_prev_[victim];
+      if (lru_tail_ != UINT32_MAX) lru_next_[lru_tail_] = UINT32_MAX;
+      if (lru_head_ == victim) lru_head_ = UINT32_MAX;
+      --resident_count_;
+    }
+  }
+  lru_prev_[pg] = UINT32_MAX;
+  lru_next_[pg] = lru_head_;
+  if (lru_head_ != UINT32_MAX) lru_prev_[lru_head_] = pg;
+  lru_head_ = pg;
+  if (lru_tail_ == UINT32_MAX) lru_tail_ = pg;
 }
 
 }  // namespace i3

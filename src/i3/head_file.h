@@ -16,6 +16,7 @@
 #define I3_I3_HEAD_FILE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "i3/data_file.h"
@@ -115,9 +116,26 @@ class HeadFile {
   /// \brief Allocates a node with empty summaries.
   NodeId Allocate();
 
-  /// \brief Read access to a node; charges one head-file read.
+  /// \brief Enables page-granular read charging: nodes are grouped
+  /// page_size / NodeBytes() to a page, and a read is charged only when
+  /// the node's page misses an LRU pool of `pool_pages` pages -- the same
+  /// working-buffer model the data file gets from its buffer pool.
+  /// `pool_pages` == 0 restores the legacy one-charge-per-node model.
+  void ConfigurePager(size_t page_size, uint32_t pool_pages);
+
+  /// Drops every resident pager page (benchmark cold-start; a no-op in the
+  /// legacy charging model).
+  void ClearCache();
+
+  /// \brief Read access to a node; charges one head-file read (or, with
+  /// the pager configured, one read per page fault). Safe for concurrent
+  /// readers.
   const SummaryNode& Read(NodeId id) {
-    io_stats_.RecordRead(IoCategory::kI3HeadFile);
+    if (pool_pages_ == 0) {
+      io_stats_.RecordRead(IoCategory::kI3HeadFile);
+    } else {
+      TouchPage(static_cast<uint32_t>(id / nodes_per_page_));
+    }
     return nodes_[id];
   }
 
@@ -154,9 +172,24 @@ class HeadFile {
   IoStats* mutable_io_stats() { return &io_stats_; }
 
  private:
+  /// Marks `pg` most-recently-used, charging one read if it was not
+  /// resident (and evicting the LRU page when the pool overflows).
+  void TouchPage(uint32_t pg);
+
   uint32_t signature_bits_;
   std::vector<SummaryNode> nodes_;
   IoStats io_stats_;
+
+  // --- pager state (ConfigurePager). Intrusive LRU over page numbers so
+  // the steady state allocates nothing; the mutex makes Read safe for the
+  // concurrent searches the index supports.
+  uint32_t nodes_per_page_ = 1;
+  uint32_t pool_pages_ = 0;
+  std::mutex pager_mutex_;
+  std::vector<uint8_t> resident_;
+  std::vector<uint32_t> lru_prev_, lru_next_;  // indexed by page number
+  uint32_t lru_head_ = UINT32_MAX, lru_tail_ = UINT32_MAX;
+  uint32_t resident_count_ = 0;
 };
 
 }  // namespace i3

@@ -36,7 +36,8 @@ std::unique_ptr<DataFile> MakeDataFile(const I3Options& options) {
           ? options.page_file_factory(physical)
           : std::make_unique<InMemoryPageFile>(physical);
   return std::make_unique<DataFile>(WithIntegrity(options, std::move(base)),
-                                    options.buffer_pool);
+                                    options.buffer_pool,
+                                    options.compress_pages);
 }
 
 }  // namespace
@@ -49,6 +50,7 @@ I3Index::I3Index(I3Options options)
       stats_emitter_("I3", View(I3SearchStats{})) {
   assert(options_.max_split_level >= 1);
   assert(options_.signature_bits >= 1);
+  head_.ConfigurePager(options_.page_size, options_.head_pool_pages);
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   search_latency_us_[0] =
       reg.GetHistogram("i3_query_latency_us", "End-to-end Search latency.",
@@ -62,6 +64,16 @@ I3Index::I3Index(I3Options options)
   delete_latency_us_ =
       reg.GetHistogram("i3_update_latency_us", "Insert/Delete latency.",
                        {{"index", "I3"}, {"op", "delete"}});
+  cells_skipped_total_ = reg.GetCounter(
+      "i3_cells_skipped_total",
+      "Keyword cells whose deferred page fetch never happened: the "
+      "candidate carrying them died (or the search terminated) first.",
+      {{"index", "I3"}});
+  blockmax_prunes_total_ = reg.GetCounter(
+      "i3_blockmax_prunes_total",
+      "Deferred candidates discarded at pop time because the exact "
+      "re-derived upper bound no longer beats the k-th heap score.",
+      {{"index", "I3"}});
 }
 
 Result<std::unique_ptr<I3Index>> I3Index::Create(I3Options options) {
@@ -71,7 +83,8 @@ Result<std::unique_ptr<I3Index>> I3Index::Create(I3Options options) {
                                        PhysicalPageSize(options));
     if (!file.ok()) return file.status();
     index->data_ = std::make_unique<DataFile>(
-        WithIntegrity(options, file.MoveValue()), options.buffer_pool);
+        WithIntegrity(options, file.MoveValue()), options.buffer_pool,
+        options.compress_pages);
   }
   return index;
 }
@@ -143,19 +156,19 @@ Status I3Index::InsertNewKeyword(const SpatialTuple& t) {
   return Status::OK();
 }
 
-// Algorithm 2: insertNonDenseKwd.
+// Algorithm 2: insertNonDenseKwd. The density test is on the *cell*, not
+// the page: under v1 it is the cell's tuple count against the P/B capacity
+// (equivalent to Algorithm 2's "page full and all tuples ours" -- a cell
+// can only reach capacity alone on its page); under v2 it is the cell's
+// encoded one-page envelope (see DataFile::CellMustSplit), so compressed
+// cells pack several times more tuples before going dense.
 Status I3Index::InsertNonDenseRoot(const SpatialTuple& t,
                                    LookupEntry* entry) {
   auto page_res = data_->Read(entry->page);
   if (!page_res.ok()) return page_res.status();
   TuplePage page = page_res.MoveValue();
 
-  if (page.slots.size() < data_->capacity()) {
-    page.slots.push_back({entry->source, t});
-    return data_->Write(entry->page, page);
-  }
-
-  if (page.AllFromSource(entry->source)) {
+  if (data_->CellMustSplit(page, entry->source, t)) {
     // The keyword becomes dense in the root cell: split and re-insert.
     auto node_res =
         SplitCell(options_.space, entry->page, std::move(page),
@@ -168,7 +181,13 @@ Status I3Index::InsertNonDenseRoot(const SpatialTuple& t,
     return InsertDense(t, entry->node, CellId::Root(), options_.space);
   }
 
-  // Mixed page: relocate this keyword cell to a roomier page.
+  page.slots.push_back({entry->source, t});
+  if (data_->Fits(page)) {
+    return data_->Write(entry->page, page);
+  }
+  page.slots.pop_back();
+
+  // Full page: relocate this keyword cell to a roomier page.
   auto new_page = RelocateCell(entry->page, &page, entry->source, {t});
   if (!new_page.ok()) return new_page.status();
   entry->page = new_page.ValueOrDie();
@@ -216,23 +235,44 @@ Status I3Index::InsertDense(const SpatialTuple& t, NodeId node_id,
         if (!page_res.ok()) return page_res.status();
         TuplePage page = page_res.MoveValue();
 
-        if (page.slots.size() < data_->capacity()) {
-          page.slots.push_back({ref.source, t});
-          return data_->Write(ref.page, page);
-        }
-
-        if (page.AllFromSource(ref.source)) {
+        // Density test on the cell (see InsertNonDenseRoot: slot capacity
+        // under v1, the encoded one-page envelope under v2).
+        if (data_->CellMustSplit(page, ref.source, t)) {
           if (cell.level() >= options_.max_split_level) {
-            // Cannot split further: extend the overflow chain.
+            // Cannot split further: extend the overflow chain. Whether a
+            // page has room is encoding-dependent, so each candidate --
+            // the primary page first, then the chain -- is simply tried;
+            // a full page answers ResourceExhausted and the scan moves on.
+            Status primary = data_->Insert(ref.page, ref.source, t);
+            if (primary.code() != StatusCode::kResourceExhausted) {
+              return primary;
+            }
             for (PageId op : ref.overflow) {
-              if (data_->FreeSlots(op) > 0) {
-                return data_->Insert(op, ref.source, t);
-              }
+              Status st = data_->Insert(op, ref.source, t);
+              if (st.code() != StatusCode::kResourceExhausted) return st;
             }
             auto extra_res = data_->PageWithFreeSlots(1);
             if (!extra_res.ok()) return extra_res.status();
-            const PageId extra = extra_res.ValueOrDie();
-            I3_RETURN_NOT_OK(data_->Insert(extra, ref.source, t));
+            PageId extra = extra_res.ValueOrDie();
+            Status st = Status::ResourceExhausted("chain page reuse");
+            if (extra != ref.page) {
+              // (The primary page may well have free bytes, but the chain
+              // must stay a set of distinct pages, so it is never reused.)
+              st = data_->Insert(extra, ref.source, t);
+              if (!st.ok() &&
+                  st.code() != StatusCode::kResourceExhausted) {
+                return st;
+              }
+            }
+            if (!st.ok()) {
+              // Free bytes promised a *new* cell fits; growing an existing
+              // group of this cell can still overflow. A fresh page never
+              // does.
+              auto fresh = data_->AllocatePage();
+              if (!fresh.ok()) return fresh.status();
+              extra = fresh.ValueOrDie();
+              I3_RETURN_NOT_OK(data_->Insert(extra, ref.source, t));
+            }
             ref.overflow.push_back(extra);
             return Status::OK();
           }
@@ -249,7 +289,13 @@ Status I3Index::InsertDense(const SpatialTuple& t, NodeId node_id,
           continue;
         }
 
-        // Mixed full page (Algorithm 3, lines 12-16): move the cell.
+        page.slots.push_back({ref.source, t});
+        if (data_->Fits(page)) {
+          return data_->Write(ref.page, page);
+        }
+        page.slots.pop_back();
+
+        // Full page (Algorithm 3, lines 12-16): move the cell.
         auto new_page = RelocateCell(ref.page, &page, ref.source, {t});
         if (!new_page.ok()) return new_page.status();
         ref.page = new_page.ValueOrDie();
@@ -273,9 +319,47 @@ Result<NodeId> I3Index::SplitCell(const Rect& rect, PageId page,
     st.source = child_sources[q];  // retag in place
     node->child_summary[q].Add(st.tuple.doc, st.tuple.weight);
   }
+  PageId child_pages[kQuadrants];
+  for (int q = 0; q < kQuadrants; ++q) child_pages[q] = page;
+
+  // The v1 layout always re-fits (retagging preserves the slot count), but
+  // the v2 encoding can grow: the split turns one group into up to four,
+  // each with its own directory entry, header, and bases. When the page
+  // overflows, child cells are spilled -- whole groups at a time -- to
+  // pages with room until the rest fits; a child cell is a unit, so every
+  // ChildRef still names exactly one primary page.
+  for (int q = 0; q < kQuadrants && !data_->Fits(page_img); ++q) {
+    if (child_sources[q] == kFreeSlot) continue;
+    std::vector<StoredTuple> kept;
+    std::vector<SpatialTuple> moved;
+    for (const StoredTuple& st : page_img.slots) {
+      if (st.source == child_sources[q]) {
+        moved.push_back(st.tuple);
+      } else {
+        kept.push_back(st);
+      }
+    }
+    std::vector<StoredTuple> group;
+    group.reserve(moved.size());
+    for (const SpatialTuple& t : moved) group.push_back({child_sources[q], t});
+    auto target_res = data_->PageWithRoomForGroup(group);
+    if (!target_res.ok()) return target_res.status();
+    PageId target = target_res.ValueOrDie();
+    if (target == page) {
+      // The free-space map still reflects the pre-split page; a fresh page
+      // always has room for one spilled cell.
+      auto fresh = data_->AllocatePage();
+      if (!fresh.ok()) return fresh.status();
+      target = fresh.ValueOrDie();
+    }
+    I3_RETURN_NOT_OK(data_->InsertAll(target, child_sources[q], moved));
+    child_pages[q] = target;
+    page_img.slots = std::move(kept);
+  }
+
   for (int q = 0; q < kQuadrants; ++q) {
     if (child_sources[q] != kFreeSlot) {
-      node->child[q] = ChildRef::ToPage(page, child_sources[q]);
+      node->child[q] = ChildRef::ToPage(child_pages[q], child_sources[q]);
     }
   }
   node->RebuildSelf();
@@ -293,12 +377,16 @@ Result<PageId> I3Index::RelocateCell(PageId page, TuplePage* image,
   }
   for (const SpatialTuple& t : extra) moved.push_back({source, t});
 
-  auto target_res =
-      data_->PageWithFreeSlots(static_cast<uint32_t>(moved.size()));
+  auto target_res = data_->PageWithRoomForGroup(moved);
   if (!target_res.ok()) return target_res.status();
-  const PageId target = target_res.ValueOrDie();
+  PageId target = target_res.ValueOrDie();
   if (target == page) {
-    return Status::Internal("relocation target equals the full source page");
+    // Unreachable for v1 pages (the source page is slot-full), but a v2
+    // page can show free bytes while the grown cell's exact encoding
+    // overflows it; relocation must leave the page either way.
+    auto fresh = data_->AllocatePage();
+    if (!fresh.ok()) return fresh.status();
+    target = fresh.ValueOrDie();
   }
 
   image->slots = std::move(kept);
@@ -492,7 +580,7 @@ Result<uint64_t> I3Index::CheckInvariants() {
       if (tuples.empty()) {
         return Status::Corruption("non-dense keyword with zero tuples");
       }
-      if (tuples.size() > data_->capacity()) {
+      if (data_->CellOversized(tuples)) {
         return Status::Corruption("non-dense root cell above capacity");
       }
       if (!seen_sources.insert(entry.source).second) {
@@ -552,7 +640,7 @@ Result<uint64_t> I3Index::CheckInvariants() {
         if (tuples.empty()) {
           return Status::Corruption("page-backed child cell with no tuples");
         }
-        if (tuples.size() > data_->capacity() &&
+        if (data_->CellOversized(tuples) &&
             static_cast<uint8_t>(f.level + 1) < options_.max_split_level) {
           return Status::Corruption("splittable cell above capacity");
         }

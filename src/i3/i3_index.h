@@ -41,6 +41,13 @@ struct I3SearchStats {
   uint64_t cells_pruned_coverage = 0;
   uint64_t cells_pruned_score = 0;
   uint64_t docs_scored = 0;
+  /// Keyword cells whose page fetch was deferred at push time and never
+  /// happened -- the candidate (or the cell itself) died first.
+  uint64_t cells_skipped = 0;
+  /// Deferred cells discarded at pop time because the candidate's
+  /// re-derived upper bound could no longer beat the k-th heap score
+  /// (the WAND-style block-max prune).
+  uint64_t blockmax_prunes = 0;
 };
 
 inline SearchStatsView View(const I3SearchStats& s) {
@@ -51,6 +58,8 @@ inline SearchStatsView View(const I3SearchStats& s) {
   v.Set("cells_pruned_coverage", s.cells_pruned_coverage);
   v.Set("cells_pruned_score", s.cells_pruned_score);
   v.Set("docs_scored", s.docs_scored);
+  v.Set("cells_skipped", s.cells_skipped);
+  v.Set("blockmax_prunes", s.blockmax_prunes);
   return v;
 }
 
@@ -109,7 +118,10 @@ class I3Index final : public SpatialKeywordIndex {
 
   const IoStats& io_stats() const override;
   void ResetIoStats() override;
-  void ClearCache() override { data_->ClearCache(); }
+  void ClearCache() override {
+    data_->ClearCache();
+    head_.ClearCache();
+  }
 
   /// Statistics of the most recent completed Search call (snapshot; under
   /// concurrent readers "most recent" is whichever search published last).
@@ -200,12 +212,14 @@ class I3Index final : public SpatialKeywordIndex {
                          SourceId source, Fn&& fn) {
     auto view = data_->View(page);
     if (!view.ok()) return view.status();
-    view.ValueOrDie().ForEachOfSource(source, fn);
+    auto n = view.ValueOrDie().VisitSource(source, fn);
+    if (!n.ok()) return n.status();
     if (overflow != nullptr) {
       for (PageId op : *overflow) {
         auto ov = data_->View(op);  // nested after `view`: LIFO-safe
         if (!ov.ok()) return ov.status();
-        ov.ValueOrDie().ForEachOfSource(source, fn);
+        auto on = ov.ValueOrDie().VisitSource(source, fn);
+        if (!on.ok()) return on.status();
       }
     }
     return Status::OK();
@@ -230,6 +244,11 @@ class I3Index final : public SpatialKeywordIndex {
   obs::Histogram* search_latency_us_[2];
   obs::Histogram* insert_latency_us_;
   obs::Histogram* delete_latency_us_;
+  // Dedicated series for the block-max pruning counters (the per-stat
+  // i3_search_stat_total family carries them too; these are the names the
+  // bench-regression gate asserts on).
+  obs::Counter* cells_skipped_total_;
+  obs::Counter* blockmax_prunes_total_;
   SearchStatsEmitter stats_emitter_;
 };
 

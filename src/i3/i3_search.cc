@@ -56,6 +56,21 @@ struct I3Index::Candidate {
     float w;
   };
 
+  /// A keyword cell whose page fetch is deferred (WAND-style): the parent's
+  /// summary E stands in as the candidate's upper-bound evidence, and the
+  /// pages are read only if the candidate is popped while its bound still
+  /// beats the k-th heap score. Candidates that die first -- screened at
+  /// push, drained at termination -- never pay these reads. The overflow
+  /// pointer aims into a head-file node; the node vector is stable for the
+  /// duration of a search (no writer runs).
+  struct PendingFetch {
+    uint8_t qidx;
+    PageId page;
+    SourceId source;
+    const std::vector<PageId>* overflow;
+    const SummaryEntry* entry;  ///< the proxy summary standing in
+  };
+
   /// A document discovered through keywords that stopped being dense on
   /// the path to this cell, with the term weights fetched so far.
   struct PartialDoc {
@@ -75,6 +90,7 @@ struct I3Index::Candidate {
   Rect rect;
   double upper = 0.0;
   SmallVec<DenseKwd, 8> dense;
+  SmallVec<PendingFetch, 8> pending;
   FlatMap<DocId, PartialDoc> docs;
   Candidate* next_free = nullptr;  ///< freelist link while recycled
 
@@ -82,6 +98,7 @@ struct I3Index::Candidate {
   void Recycle() {
     upper = 0.0;
     dense.Clear();
+    pending.Clear();
     docs.Clear();
     next_free = nullptr;
   }
@@ -174,6 +191,14 @@ class I3Index::SearchContext {
     pq_.PopBack();
     ++stats_->candidates_popped;
     return c;
+  }
+
+  /// Deferred fetches of every candidate still queued; counted as skipped
+  /// cells when the search terminates with the queue non-empty.
+  uint64_t QueuedPendingCount() const {
+    uint64_t n = 0;
+    for (const Candidate* c : pq_) n += c->pending.size();
+    return n;
   }
 
   /// Algorithm 5 (AND) / Section 5.3 (OR). Returns true if the candidate
@@ -363,11 +388,19 @@ Result<std::vector<ScoredDoc>> I3Index::Search(const Query& q_in,
   search_latency_us_[q_in.semantics == Semantics::kAnd ? 0 : 1]->Record(
       (obs::NowNanos() - start_ns) / 1000);
   stats_emitter_.Emit(View(stats));
+  if (stats.cells_skipped != 0) {
+    cells_skipped_total_->Increment(stats.cells_skipped);
+  }
+  if (stats.blockmax_prunes != 0) {
+    blockmax_prunes_total_->Increment(stats.blockmax_prunes);
+  }
   if (trace != nullptr) {
     // Time this query lost to transient-read retry backoff (buffer pool).
     if (backoff_ns != 0) trace->AddStage("retry_backoff", backoff_ns);
     trace->Annotate("candidates_popped", stats.candidates_popped);
     trace->Annotate("docs_scored", stats.docs_scored);
+    trace->Annotate("cells_skipped", stats.cells_skipped);
+    trace->Annotate("blockmax_prunes", stats.blockmax_prunes);
     if (result.ok()) trace->Annotate("results", result.ValueOrDie().size());
     obs::Tracer::Global().Finish(std::move(*trace));
   }
@@ -459,8 +492,65 @@ Result<std::vector<ScoredDoc>> I3Index::SearchImpl(const Query& q_in,
         return Status::DeadlineExceeded("query deadline exceeded");
       }
     }
-    // Lines 4-5: global termination.
-    if (c->upper <= ctx.Threshold()) break;
+    // Lines 4-5: global termination. The queue is bound-ordered, so
+    // nothing at or below this candidate can beat the heap; every page
+    // fetch still deferred -- on this candidate and in the drained queue --
+    // is I/O the lazy discipline saved outright.
+    if (c->upper <= ctx.Threshold()) {
+      ctx.stats()->cells_skipped +=
+          c->pending.size() + ctx.QueuedPendingCount();
+      break;
+    }
+
+    // Block-max pop-time gate: this candidate was pushed on summary
+    // evidence alone (see the kPage case below). Now that it won the queue
+    // while still beating the threshold, resolve ONE deferred cell -- the
+    // one with the largest summary bound, so the re-derived bound tightens
+    // fastest -- swap its exact tuples in for the proxy, and re-queue (or
+    // kill) the candidate under the new bound. One cell per pop maximizes
+    // laziness: every intervening threshold rise gets a chance to kill the
+    // candidate before its next page read, and a candidate that dies
+    // mid-cascade skips all its remaining cells unfetched.
+    if (!c->pending.empty()) {
+      uint32_t best = 0;
+      for (uint32_t i = 1; i < c->pending.size(); ++i) {
+        if (c->pending[i].entry->max_s > c->pending[best].entry->max_s) {
+          best = i;
+        }
+      }
+      const Candidate::PendingFetch pf = c->pending[best];
+      c->pending[best] = c->pending[c->pending.size() - 1];
+      c->pending.PopBack();
+      uint32_t w = 0;
+      for (uint32_t d = 0; d < c->dense.size(); ++d) {
+        const Candidate::DenseKwd& dk = c->dense[d];
+        if (dk.node == kInvalidNodeId && dk.qidx == pf.qidx) continue;
+        c->dense[w++] = c->dense[d];
+      }
+      c->dense.Truncate(w);
+      {
+        const uint8_t qidx = pf.qidx;
+        obs::ScopedStage stage(trace, "page_decode");
+        I3_RETURN_NOT_OK(VisitCellTuples(
+            pf.page, pf.overflow, pf.source, [&](const SpatialTuple& t) {
+              c->MergeTuple(arena, qidx, t);
+            }));
+      }
+      if ((c->dense.empty() && c->docs.empty()) || TracedPrune(c)) {
+        ctx.stats()->cells_skipped += c->pending.size();
+        ctx.Free(c);
+        continue;
+      }
+      c->upper = TracedUpperBound(c);
+      if (c->upper <= ctx.Threshold()) {
+        ++ctx.stats()->blockmax_prunes;
+        ctx.stats()->cells_skipped += c->pending.size();
+        ctx.Free(c);
+        continue;
+      }
+      ctx.PqPush(c);
+      continue;
+    }
 
     // Lines 6-10: fully resolved cell -- score its documents.
     if (c->dense.empty()) {
@@ -499,17 +589,12 @@ Result<std::vector<ScoredDoc>> I3Index::SearchImpl(const Query& q_in,
       }
 
       // Keywords that stop being dense in this child are *not* fetched
-      // yet: their summaries E (stored in the parent's node, already in
-      // hand) stand in so the child can be pruned without touching the
-      // data file. Only survivors pay the page reads.
-      struct PendingFetch {
-        uint8_t qidx;
-        PageId page;
-        SourceId source;
-        const std::vector<PageId>* overflow;
-      };
-      SmallVec<PendingFetch, 8> pending;
-
+      // here: their summaries E (stored in the parent's node, already in
+      // hand) stand in so the child can be screened -- and queued -- without
+      // touching the data file. The fetch stays deferred on the candidate
+      // until it is popped still beating the threshold (the block-max gate
+      // at the top of the loop); children that die before then never pay
+      // their page reads at all.
       for (uint32_t d = 0; d < c->dense.size(); ++d) {
         const ChildRef& ref = nodes[d]->child[quad];
         switch (ref.kind) {
@@ -527,8 +612,9 @@ Result<std::vector<ScoredDoc>> I3Index::SearchImpl(const Query& q_in,
               child->dense.PushBack(arena,
                                     {c->dense[d].qidx, kInvalidNodeId,
                                      &nodes[d]->child_summary[quad]});
-              pending.PushBack(arena, {c->dense[d].qidx, ref.page, ref.source,
-                                       &ref.overflow});
+              child->pending.PushBack(
+                  arena, {c->dense[d].qidx, ref.page, ref.source,
+                          &ref.overflow, &nodes[d]->child_summary[quad]});
             } else {
               // Ablation / literal Algorithm 4: fetch eagerly.
               const uint8_t qidx = c->dense[d].qidx;
@@ -545,45 +631,16 @@ Result<std::vector<ScoredDoc>> I3Index::SearchImpl(const Query& q_in,
 
       if ((child->dense.empty() && child->docs.empty()) ||
           TracedPrune(child)) {
+        ctx.stats()->cells_skipped += child->pending.size();
         ctx.Free(child);
         continue;
       }
       child->upper = TracedUpperBound(child);
       if (child->upper <= ctx.Threshold()) {
         ++ctx.stats()->cells_pruned_score;
+        ctx.stats()->cells_skipped += child->pending.size();
         ctx.Free(child);
         continue;
-      }
-
-      if (!pending.empty()) {
-        // The child survived the summary-only screen: fetch the pages of
-        // its non-dense keyword cells and re-evaluate with exact tuples.
-        uint32_t w = 0;
-        for (uint32_t d = 0; d < child->dense.size(); ++d) {
-          if (child->dense[d].node != kInvalidNodeId) {
-            child->dense[w++] = child->dense[d];
-          }
-        }
-        child->dense.Truncate(w);
-        for (const PendingFetch& pf : pending) {
-          const uint8_t qidx = pf.qidx;
-          obs::ScopedStage stage(trace, "page_scan");
-          I3_RETURN_NOT_OK(VisitCellTuples(
-              pf.page, pf.overflow, pf.source, [&](const SpatialTuple& t) {
-                child->MergeTuple(arena, qidx, t);
-              }));
-        }
-        if ((child->dense.empty() && child->docs.empty()) ||
-            TracedPrune(child)) {
-          ctx.Free(child);
-          continue;
-        }
-        child->upper = TracedUpperBound(child);
-        if (child->upper <= ctx.Threshold()) {
-          ++ctx.stats()->cells_pruned_score;
-          ctx.Free(child);
-          continue;
-        }
       }
 
       ctx.PqPush(child);

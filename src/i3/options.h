@@ -50,6 +50,23 @@ struct I3Options {
   /// access (cache hits never pay it). Disable only for ablation.
   bool checksum_pages = true;
 
+  /// Store data-file pages in the v2 compressed cell encoding
+  /// (i3/cell_codec.h): per-cell delta + bit-packed doc ids, exactly
+  /// round-tripped quantized weights, XOR-residual coordinates, and a
+  /// per-cell block-max directory. Several times more tuples fit per 4KB
+  /// page, which is where the pages/query reduction comes from; results
+  /// are byte-identical to the uncompressed layout. Pages written before
+  /// the option flips (e.g. a persisted v1 index) remain readable -- the
+  /// format is sniffed per page.
+  bool compress_pages = true;
+
+  /// Head-file pager: summary nodes are charged per *page* of
+  /// page_size / node-bytes nodes through an LRU pool of this many pages
+  /// (the same working-buffer model the data file's buffer pool applies),
+  /// instead of one charged read per node access. 0 restores the legacy
+  /// per-node charging.
+  uint32_t head_pool_pages = 128;
+
   /// When non-empty, the data file is stored on disk at this path;
   /// otherwise it lives in memory (with identical I/O accounting).
   std::string data_file_path;

@@ -101,10 +101,12 @@ Status OnDiskPageFile::WritePage(PageId id, const void* buf,
 
 // ------------------------------------------------------------ free-space map
 
-FreeSpaceMap::FreeSpaceMap(uint32_t slots_per_page)
-    : slots_per_page_(slots_per_page),
-      bucket_head_(slots_per_page + 1, kInvalidPageId) {
-  assert(slots_per_page > 0);
+FreeSpaceMap::FreeSpaceMap(uint32_t units_per_page, uint32_t quantum)
+    : units_per_page_(units_per_page),
+      quantum_(quantum),
+      bucket_head_(units_per_page / quantum + 1, kInvalidPageId) {
+  assert(units_per_page > 0);
+  assert(quantum > 0 && quantum <= units_per_page);
 }
 
 void FreeSpaceMap::AddPage(PageId id) {
@@ -113,7 +115,7 @@ void FreeSpaceMap::AddPage(PageId id) {
     next_.resize(id + 1, kInvalidPageId);
     prev_.resize(id + 1, kInvalidPageId);
   }
-  free_count_[id] = slots_per_page_;
+  free_count_[id] = units_per_page_;
   Link(id);
 }
 
@@ -126,24 +128,39 @@ void FreeSpaceMap::Consume(PageId id, int delta) {
   assert(id < free_count_.size());
   Unlink(id);
   assert(delta <= static_cast<int>(free_count_[id]));
-  assert(-delta <= static_cast<int>(slots_per_page_ - free_count_[id]));
+  assert(-delta <= static_cast<int>(units_per_page_ - free_count_[id]));
   free_count_[id] = static_cast<uint32_t>(
       static_cast<int>(free_count_[id]) - delta);
+  Link(id);
+}
+
+void FreeSpaceMap::SetFree(PageId id, uint32_t units) {
+  assert(id < free_count_.size());
+  assert(units <= units_per_page_);
+  Unlink(id);
+  free_count_[id] = units;
   Link(id);
 }
 
 PageId FreeSpaceMap::FindPageWithFreeSlots(uint32_t want) const {
   // Prefer the fullest page that still fits, to keep storage utilization
   // high (the paper highlights I3's packing of multiple keyword cells per
-  // page as its storage advantage).
-  for (uint32_t b = want; b <= slots_per_page_; ++b) {
+  // page as its storage advantage). The `want` bucket can hold pages just
+  // below the requested amount, so it is scanned with an exact check;
+  // every page in a higher bucket qualifies outright.
+  if (want > units_per_page_) return kInvalidPageId;
+  const uint32_t b0 = Bucket(want);
+  for (PageId id = bucket_head_[b0]; id != kInvalidPageId; id = next_[id]) {
+    if (free_count_[id] >= want) return id;
+  }
+  for (size_t b = b0 + 1; b < bucket_head_.size(); ++b) {
     if (bucket_head_[b] != kInvalidPageId) return bucket_head_[b];
   }
   return kInvalidPageId;
 }
 
 void FreeSpaceMap::Unlink(PageId id) {
-  const uint32_t b = free_count_[id];
+  const uint32_t b = Bucket(free_count_[id]);
   if (prev_[id] != kInvalidPageId) {
     next_[prev_[id]] = next_[id];
   } else if (bucket_head_[b] == id) {
@@ -154,7 +171,7 @@ void FreeSpaceMap::Unlink(PageId id) {
 }
 
 void FreeSpaceMap::Link(PageId id) {
-  const uint32_t b = free_count_[id];
+  const uint32_t b = Bucket(free_count_[id]);
   next_[id] = bucket_head_[b];
   prev_[id] = kInvalidPageId;
   if (bucket_head_[b] != kInvalidPageId) prev_[bucket_head_[b]] = id;

@@ -126,37 +126,52 @@ class OnDiskPageFile final : public PageFile {
 
 /// \brief Tracks free capacity per page so callers can answer the paper's
 /// placement questions: "select any page with an empty slot" and "find a
-/// page with at least n empty slots" (Algorithms 1-3).
+/// page with at least n empty units" (Algorithms 1-3).
 ///
-/// Buckets pages by free-slot count; both queries are O(1) amortized.
+/// Free space is measured in caller-chosen *units* (fixed-width slots for
+/// the v1 tuple pages, bytes for the v2 compressed pages). Pages are
+/// bucketed by free units quantized to `quantum`; the find query scans the
+/// exact-match bucket (whose pages may straddle the requested amount) and
+/// takes the head of any higher bucket, so both operations stay O(1)
+/// amortized. With quantum = 1 the map reduces to the original per-slot
+/// bucketing, bit for bit.
 class FreeSpaceMap {
  public:
-  /// \param slots_per_page capacity of every page.
-  explicit FreeSpaceMap(uint32_t slots_per_page);
+  /// \param units_per_page capacity of every page, in units.
+  /// \param quantum bucket granularity; must divide into reasonable bucket
+  ///        counts (units_per_page / quantum + 1 buckets are allocated).
+  explicit FreeSpaceMap(uint32_t units_per_page, uint32_t quantum = 1);
 
   /// Registers a freshly allocated (empty) page.
   void AddPage(PageId id);
 
-  /// Current free-slot count of `id`.
+  /// Current free units of `id`.
   uint32_t FreeSlots(PageId id) const;
 
-  /// Updates the bookkeeping after `delta` slots were consumed (positive) or
-  /// released (negative) on `id`.
+  /// Updates the bookkeeping after `delta` units were consumed (positive)
+  /// or released (negative) on `id`.
   void Consume(PageId id, int delta);
 
-  /// \brief Any page with >= `want` free slots, or kInvalidPageId.
+  /// Sets the free units of `id` to an absolute value (the v2 write path
+  /// recomputes a page's usage on every encode).
+  void SetFree(PageId id, uint32_t units);
+
+  /// \brief Any page with >= `want` free units, or kInvalidPageId.
   PageId FindPageWithFreeSlots(uint32_t want) const;
 
-  uint32_t slots_per_page() const { return slots_per_page_; }
+  uint32_t slots_per_page() const { return units_per_page_; }
+  uint32_t quantum() const { return quantum_; }
   size_t page_count() const { return free_count_.size(); }
 
  private:
+  uint32_t Bucket(uint32_t free) const { return free / quantum_; }
   void Unlink(PageId id);
   void Link(PageId id);
 
-  const uint32_t slots_per_page_;
-  std::vector<uint32_t> free_count_;  // per page
-  // Intrusive doubly-linked lists, one per free-count bucket [0..slots].
+  const uint32_t units_per_page_;
+  const uint32_t quantum_;
+  std::vector<uint32_t> free_count_;  // per page, in units
+  // Intrusive doubly-linked lists, one per quantized free-count bucket.
   std::vector<PageId> bucket_head_;
   std::vector<PageId> next_, prev_;
 };

@@ -1,0 +1,418 @@
+// Unit tests of the v2 compressed cell-page codec (i3/cell_codec.h):
+// lossless round-trips across all three weight modes, directory block-max
+// semantics, SIMD-vs-portable bit-unpacker parity, the subset-stable cell
+// envelope that drives the v2 split rule, and -- because compression can
+// run with page checksums disabled -- the promise that truncated or
+// bit-flipped pages surface as clean Status::Corruption, never as
+// out-of-bounds reads or garbage accepted silently at the structural layer.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "i3/cell_codec.h"
+#include "i3/data_file.h"
+
+namespace i3 {
+namespace codec {
+namespace {
+
+// Deterministic tuple soup: `sources` cells, round-robin interleaved the
+// way real pages store them, spatially clustered per cell so coordinate
+// residuals exercise the truncated-XOR path.
+std::vector<StoredTuple> MakeSlots(uint32_t sources, uint32_t per_source,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<StoredTuple> slots;
+  std::vector<double> cx(sources), cy(sources);
+  for (uint32_t s = 0; s < sources; ++s) {
+    cx[s] = rng.UniformDouble(0.0, 100.0);
+    cy[s] = rng.UniformDouble(0.0, 100.0);
+  }
+  for (uint32_t i = 0; i < per_source; ++i) {
+    for (uint32_t s = 0; s < sources; ++s) {
+      StoredTuple st;
+      st.source = s + 1;
+      st.tuple.term = s + 100;
+      st.tuple.doc = rng.UniformInt(0, 1 << 20);
+      st.tuple.location = {cx[s] + rng.UniformDouble(-0.5, 0.5),
+                           cy[s] + rng.UniformDouble(-0.5, 0.5)};
+      st.tuple.weight = static_cast<float>(rng.UniformDouble(0.05, 1.0));
+      slots.push_back(st);
+    }
+  }
+  return slots;
+}
+
+// Full read pipeline: header -> directory -> per-group decode, rebuilding
+// source -> tuples (slot order preserved within a group).
+Status DecodeWholePage(const uint8_t* page, size_t page_size,
+                       std::map<SourceId, std::vector<SpatialTuple>>* out) {
+  auto count = GroupCount(page, page_size);
+  if (!count.ok()) return count.status();
+  for (uint32_t g = 0; g < count.ValueOrDie(); ++g) {
+    GroupRef ref;
+    I3_RETURN_NOT_OK(ReadGroupRef(page, page_size, g, &ref));
+    DecodeScratch scratch;
+    DecodedGroup dec;
+    I3_RETURN_NOT_OK(DecodeGroup(page, page_size, ref, &scratch, &dec));
+    std::vector<SpatialTuple>& tuples = (*out)[ref.source];
+    for (uint32_t i = 0; i < dec.n; ++i) {
+      SpatialTuple t;
+      t.term = ref.term;
+      t.doc = dec.docs[i];
+      t.location = {dec.xs[i], dec.ys[i]};
+      t.weight = dec.weights[i];
+      tuples.push_back(t);
+    }
+  }
+  return Status::OK();
+}
+
+std::map<SourceId, std::vector<SpatialTuple>> BySource(
+    const std::vector<StoredTuple>& slots) {
+  std::map<SourceId, std::vector<SpatialTuple>> out;
+  for (const StoredTuple& st : slots) out[st.source].push_back(st.tuple);
+  return out;
+}
+
+void ExpectExactEqual(
+    const std::map<SourceId, std::vector<SpatialTuple>>& want,
+    const std::map<SourceId, std::vector<SpatialTuple>>& got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (const auto& [source, tuples] : want) {
+    auto it = got.find(source);
+    ASSERT_NE(it, got.end()) << "missing source " << source;
+    ASSERT_EQ(tuples.size(), it->second.size()) << "source " << source;
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      // Bit-exact, not approximate: the codec's contract is losslessness.
+      EXPECT_EQ(tuples[i].doc, it->second[i].doc);
+      EXPECT_EQ(tuples[i].term, it->second[i].term);
+      EXPECT_EQ(tuples[i].location.x, it->second[i].location.x);
+      EXPECT_EQ(tuples[i].location.y, it->second[i].location.y);
+      EXPECT_EQ(tuples[i].weight, it->second[i].weight);
+    }
+  }
+}
+
+TEST(CellCodecTest, RoundTripInterleavedGroups) {
+  const std::vector<StoredTuple> slots = MakeSlots(5, 35, 7);
+  std::vector<uint8_t> page(kDefaultPageSize, 0);
+  auto used = EncodePage(slots.data(), slots.size(), page.data(), page.size());
+  ASSERT_TRUE(used.ok()) << used.status().message();
+  EXPECT_EQ(used.ValueOrDie(),
+            EncodedPageSize(slots.data(), slots.size()));
+  EXPECT_TRUE(IsV2Page(page.data(), page.size()));
+
+  std::map<SourceId, std::vector<SpatialTuple>> got;
+  ASSERT_TRUE(DecodeWholePage(page.data(), page.size(), &got).ok());
+  ExpectExactEqual(BySource(slots), got);
+}
+
+TEST(CellCodecTest, EmptyAndSingleTuplePages) {
+  std::vector<uint8_t> page(kDefaultPageSize, 0);
+  auto used = EncodePage(nullptr, 0, page.data(), page.size());
+  ASSERT_TRUE(used.ok());
+  EXPECT_EQ(used.ValueOrDie(), kV2PageHeaderBytes);
+  auto count = GroupCount(page.data(), page.size());
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.ValueOrDie(), 0u);
+
+  const std::vector<StoredTuple> one = MakeSlots(1, 1, 3);
+  std::fill(page.begin(), page.end(), 0);
+  ASSERT_TRUE(
+      EncodePage(one.data(), one.size(), page.data(), page.size()).ok());
+  std::map<SourceId, std::vector<SpatialTuple>> got;
+  ASSERT_TRUE(DecodeWholePage(page.data(), page.size(), &got).ok());
+  ExpectExactEqual(BySource(one), got);
+}
+
+// Weight-mode selection is observable through the group header byte
+// (offset + 5 per the layout comment) and through the encoded size.
+uint8_t WeightModeOf(const uint8_t* page, size_t page_size, uint32_t g) {
+  GroupRef ref;
+  EXPECT_TRUE(ReadGroupRef(page, page_size, g, &ref).ok());
+  return page[ref.offset + 5];
+}
+
+TEST(CellCodecTest, WeightModesRoundTripExactly) {
+  // Mode 2 (constant): every weight identical.
+  std::vector<StoredTuple> constant = MakeSlots(1, 60, 11);
+  for (StoredTuple& st : constant) st.tuple.weight = 0.625f;
+  // Mode 1 (q16): weights on an exactly representable lattice
+  // (step = (max - min) / 65535 = 1.0f, integer offsets round-trip).
+  std::vector<StoredTuple> lattice = MakeSlots(1, 60, 13);
+  for (size_t i = 0; i < lattice.size(); ++i) {
+    lattice[i].tuple.weight = static_cast<float>(i * 1000);
+  }
+  lattice.back().tuple.weight = 65535.0f;
+  // Mode 0 (raw): arbitrary floats that defeat exact quantization.
+  const std::vector<StoredTuple> raw = MakeSlots(1, 60, 17);
+
+  const std::vector<StoredTuple>* groups[] = {&constant, &lattice, &raw};
+  for (const std::vector<StoredTuple>* slots : groups) {
+    std::vector<uint8_t> page(kDefaultPageSize, 0);
+    ASSERT_TRUE(EncodePage(slots->data(), slots->size(), page.data(),
+                           page.size())
+                    .ok());
+    std::map<SourceId, std::vector<SpatialTuple>> got;
+    ASSERT_TRUE(DecodeWholePage(page.data(), page.size(), &got).ok());
+    ExpectExactEqual(BySource(*slots), got);
+  }
+
+  std::vector<uint8_t> page(kDefaultPageSize, 0);
+  ASSERT_TRUE(EncodePage(constant.data(), constant.size(), page.data(),
+                         page.size())
+                  .ok());
+  EXPECT_EQ(WeightModeOf(page.data(), page.size(), 0), 2);
+  std::fill(page.begin(), page.end(), 0);
+  ASSERT_TRUE(EncodePage(lattice.data(), lattice.size(), page.data(),
+                         page.size())
+                  .ok());
+  EXPECT_EQ(WeightModeOf(page.data(), page.size(), 0), 1);
+  // Constant and quantized layouts must actually be smaller than raw.
+  EXPECT_LT(EncodedPageSize(constant.data(), constant.size()),
+            EncodedPageSize(raw.data(), raw.size()));
+  EXPECT_LT(EncodedPageSize(lattice.data(), lattice.size()),
+            EncodedPageSize(raw.data(), raw.size()));
+}
+
+TEST(CellCodecTest, BlockMaxIsTheGroupMaximumWeight) {
+  const std::vector<StoredTuple> slots = MakeSlots(4, 30, 23);
+  std::vector<uint8_t> page(kDefaultPageSize, 0);
+  ASSERT_TRUE(
+      EncodePage(slots.data(), slots.size(), page.data(), page.size()).ok());
+  auto count = GroupCount(page.data(), page.size());
+  ASSERT_TRUE(count.ok());
+  ASSERT_EQ(count.ValueOrDie(), 4u);
+  for (uint32_t g = 0; g < 4; ++g) {
+    GroupRef ref;
+    ASSERT_TRUE(ReadGroupRef(page.data(), page.size(), g, &ref).ok());
+    float want = 0.0f;
+    for (const StoredTuple& st : slots) {
+      if (st.source == ref.source) want = std::max(want, st.tuple.weight);
+    }
+    EXPECT_EQ(ref.block_max, want) << "group " << g;
+  }
+}
+
+TEST(CellCodecTest, FindGroupLocatesEverySourceAndRejectsOthers) {
+  const std::vector<StoredTuple> slots = MakeSlots(6, 10, 29);
+  std::vector<uint8_t> page(kDefaultPageSize, 0);
+  ASSERT_TRUE(
+      EncodePage(slots.data(), slots.size(), page.data(), page.size()).ok());
+  for (uint32_t s = 1; s <= 6; ++s) {
+    GroupRef ref;
+    auto found = FindGroup(page.data(), page.size(), s, &ref);
+    ASSERT_TRUE(found.ok());
+    EXPECT_TRUE(found.ValueOrDie());
+    EXPECT_EQ(ref.source, s);
+    EXPECT_EQ(ref.count, 10u);
+  }
+  GroupRef ref;
+  auto found = FindGroup(page.data(), page.size(), 999, &ref);
+  ASSERT_TRUE(found.ok());
+  EXPECT_FALSE(found.ValueOrDie());
+}
+
+TEST(CellCodecTest, PackUnpackParityAtEveryWidth) {
+  Rng rng(31);
+  for (uint32_t bits = 1; bits <= 32; ++bits) {
+    const uint32_t n = 97;
+    const uint64_t mask =
+        bits == 32 ? 0xFFFFFFFFull : ((1ull << bits) - 1);
+    std::vector<uint32_t> vals(n);
+    for (uint32_t& v : vals) {
+      v = static_cast<uint32_t>(
+          static_cast<uint64_t>(rng.UniformInt(0, 1 << 30)) * 7919 & mask);
+    }
+    // Pad like a real page: the SIMD path may read whole 32-bit windows
+    // past the packed bytes as long as they are within `src_readable`.
+    std::vector<uint8_t> packed((n * bits + 7) / 8 + 16, 0xAB);
+    internal::PackBits(vals.data(), n, bits, packed.data());
+    std::vector<uint32_t> portable(n, 0), dispatched(n, 0);
+    internal::UnpackBitsPortable(packed.data(), n, bits, portable.data());
+    internal::UnpackBits(packed.data(), packed.size(), n, bits,
+                         dispatched.data());
+    EXPECT_EQ(vals, portable) << "portable, bits=" << bits;
+    EXPECT_EQ(portable, dispatched) << "dispatched, bits=" << bits;
+  }
+}
+
+TEST(CellCodecTest, TruncationIsDetectedNeverOverread) {
+  const std::vector<StoredTuple> slots = MakeSlots(3, 25, 37);
+  std::vector<uint8_t> page(kDefaultPageSize, 0);
+  auto used_res =
+      EncodePage(slots.data(), slots.size(), page.data(), page.size());
+  ASSERT_TRUE(used_res.ok());
+  const size_t used = used_res.ValueOrDie();
+
+  const auto want = BySource(slots);
+  for (size_t cut = 0; cut <= used + 8; ++cut) {
+    // A fresh exactly-sized buffer, so any overread trips ASan.
+    std::vector<uint8_t> trunc(page.begin(), page.begin() + cut);
+    std::map<SourceId, std::vector<SpatialTuple>> got;
+    const Status st = DecodeWholePage(trunc.data(), trunc.size(), &got);
+    if (st.ok()) {
+      // Decoding may only succeed once every group's payload survived --
+      // and then it must be the exact original data.
+      EXPECT_GE(cut, used) << "decode succeeded on a truncated page";
+      ExpectExactEqual(want, got);
+    } else {
+      EXPECT_TRUE(st.IsCorruption()) << st.message();
+    }
+  }
+}
+
+TEST(CellCodecTest, BitFlipsNeverCrashAndErrorsAreCorruption) {
+  const std::vector<StoredTuple> slots = MakeSlots(2, 20, 41);
+  std::vector<uint8_t> page(1024, 0);
+  auto used_res =
+      EncodePage(slots.data(), slots.size(), page.data(), page.size());
+  ASSERT_TRUE(used_res.ok());
+  const size_t used = used_res.ValueOrDie();
+
+  for (size_t byte = 0; byte < used; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> damaged = page;
+      damaged[byte] ^= static_cast<uint8_t>(1u << bit);
+      std::map<SourceId, std::vector<SpatialTuple>> got;
+      if (IsV2Page(damaged.data(), damaged.size())) {
+        const Status st =
+            DecodeWholePage(damaged.data(), damaged.size(), &got);
+        // Payload flips can decode to wrong-but-well-formed values (that
+        // is what checksum_pages is for); structural damage must be a
+        // clean Corruption. Either way: no crash, no overread, and no
+        // status class other than Corruption.
+        if (!st.ok()) {
+          EXPECT_TRUE(st.IsCorruption()) << st.message();
+        }
+      }
+      // else: the flip hit the magic/version -- the page now reads as v1,
+      // which is the sniffing contract, not an error.
+    }
+  }
+}
+
+TEST(CellCodecTest, EnvelopeBoundsTheCellAndEverySubset) {
+  Rng rng(43);
+  const std::vector<StoredTuple> slots = MakeSlots(1, 200, 47);
+  std::vector<SpatialTuple> cell;
+  for (const StoredTuple& st : slots) cell.push_back(st.tuple);
+
+  const size_t env = CellEnvelopeBytes(cell.data(), cell.size());
+  EXPECT_GE(env, EncodedPageSize(slots.data(), slots.size()));
+
+  // Random subsets, re-based to their own first tuple exactly like a
+  // quadrant split would store them: the parent envelope must still bound
+  // both their envelope and their exact encoding.
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<StoredTuple> sub_slots;
+    std::vector<SpatialTuple> sub;
+    for (const StoredTuple& st : slots) {
+      if (rng.Chance(0.4)) {
+        sub_slots.push_back(st);
+        sub.push_back(st.tuple);
+      }
+    }
+    if (sub.empty()) continue;
+    EXPECT_LE(CellEnvelopeBytes(sub.data(), sub.size()), env);
+    EXPECT_LE(EncodedPageSize(sub_slots.data(), sub_slots.size()), env);
+  }
+}
+
+TEST(CellCodecTest, V1BytesAreNotMistakenForV2) {
+  std::vector<uint8_t> page(kDefaultPageSize, 0);
+  EXPECT_FALSE(IsV2Page(page.data(), page.size()));
+  // A v1 page starts with a slot whose source id counts up from 1 --
+  // nowhere near the magic.
+  StoredTuple st;
+  st.source = 1;
+  st.tuple = {5, 42, {1.0, 2.0}, 0.5f};
+  std::memcpy(page.data(), &st.source, 4);
+  EXPECT_FALSE(IsV2Page(page.data(), page.size()));
+  EXPECT_FALSE(IsV2Page(page.data(), 4));  // shorter than the header
+}
+
+TEST(CellCodecTest, OverflowingEncodeWritesNothing) {
+  const std::vector<StoredTuple> slots = MakeSlots(2, 40, 53);
+  ASSERT_GT(EncodedPageSize(slots.data(), slots.size()), 256u);
+  std::vector<uint8_t> page(256, 0);
+  auto used = EncodePage(slots.data(), slots.size(), page.data(), page.size());
+  ASSERT_FALSE(used.ok());
+  EXPECT_EQ(used.status().code(), StatusCode::kResourceExhausted);
+  for (uint8_t b : page) EXPECT_EQ(b, 0);
+}
+
+// Forwards to a test-owned backing so two DataFile generations can look at
+// the same physical pages (the DataFile ctor takes ownership of its file).
+class SharedPageFile final : public PageFile {
+ public:
+  explicit SharedPageFile(PageFile* base)
+      : PageFile(base->page_size()), base_(base) {}
+  PageId PageCount() const override { return base_->PageCount(); }
+  Result<PageId> AllocatePage() override { return base_->AllocatePage(); }
+  Status ReadPage(PageId id, void* buf, IoCategory category) override {
+    return base_->ReadPage(id, buf, category);
+  }
+  Status WritePage(PageId id, const void* buf,
+                   IoCategory category) override {
+    return base_->WritePage(id, buf, category);
+  }
+  const uint8_t* PeekPage(PageId id) const override {
+    return base_->PeekPage(id);
+  }
+
+ private:
+  PageFile* base_;
+};
+
+TEST(CellCodecTest, V1PagesStayReadableWithCompressionOn) {
+  InMemoryPageFile backing(kDefaultPageSize);
+
+  // Generation 1: uncompressed writer fills a page with v1 slots.
+  TuplePage original;
+  for (const StoredTuple& st : MakeSlots(3, 15, 59)) {
+    original.slots.push_back(st);
+  }
+  {
+    DataFile v1(std::make_unique<SharedPageFile>(&backing), {},
+                /*compress=*/false);
+    auto page = v1.AllocatePage();
+    ASSERT_TRUE(page.ok());
+    ASSERT_EQ(page.ValueOrDie(), 0u);
+    ASSERT_TRUE(v1.Write(0, original).ok());
+  }
+  ASSERT_FALSE(IsV2Page(backing.PeekPage(0), kDefaultPageSize));
+
+  // Generation 2: the same physical page, opened by a compressed-mode
+  // data file. The per-page sniff must hand back the identical tuples.
+  DataFile v2(std::make_unique<SharedPageFile>(&backing), {},
+              /*compress=*/true);
+  ASSERT_TRUE(v2.compress());
+  auto read = v2.Read(0);
+  ASSERT_TRUE(read.ok()) << read.status().message();
+  const TuplePage& got = read.ValueOrDie();
+  ASSERT_EQ(got.slots.size(), original.slots.size());
+  for (size_t i = 0; i < got.slots.size(); ++i) {
+    EXPECT_EQ(got.slots[i].source, original.slots[i].source);
+    EXPECT_TRUE(got.slots[i].tuple == original.slots[i].tuple);
+  }
+
+  // And a page this generation writes itself comes out v2.
+  auto fresh = v2.AllocatePage();
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(v2.Write(fresh.ValueOrDie(), original).ok());
+  EXPECT_TRUE(
+      IsV2Page(backing.PeekPage(fresh.ValueOrDie()), kDefaultPageSize));
+  auto reread = v2.Read(fresh.ValueOrDie());
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread.ValueOrDie().slots.size(), original.slots.size());
+}
+
+}  // namespace
+}  // namespace codec
+}  // namespace i3

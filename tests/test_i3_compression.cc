@@ -1,0 +1,353 @@
+// Differential tests of the v2 compressed page format against the v1
+// baseline. The codec's losslessness plus the deterministic score/doc-id
+// tie-break of the top-k heap make the exact answer independent of the
+// quadtree shape and page layout, so v1 and v2 indexes over the same
+// corpus must return *byte-identical* top-k lists -- not merely
+// score-equivalent ones -- across semantics, k, alpha, and eta. Also
+// covered: the density win that motivates the format, structural
+// invariants under insert/delete churn, clean error paths when a
+// compressed block is damaged with page checksums disabled, and
+// persistence across format generations (the backward-compat guarantee
+// that an index built before compression existed opens and answers
+// correctly with compression enabled).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "i3/i3_index.h"
+#include "i3/cell_codec.h"
+#include "storage/fault_injection.h"
+#include "test_util.h"
+
+namespace i3 {
+namespace {
+
+using testutil::CorpusOptions;
+using testutil::MakeCorpus;
+using testutil::MakeQueries;
+
+// A corpus whose keywords go dense under both formats: ~9000 tuples over a
+// 15-term vocabulary means hundreds of tuples per keyword, far past the v1
+// capacity of 128 and past the v2 one-page envelope.
+CorpusOptions DenseCorpus() {
+  CorpusOptions opt;
+  opt.num_docs = 3000;
+  opt.vocab_size = 15;
+  opt.max_terms = 4;
+  return opt;
+}
+
+I3Options Options(bool compress, uint32_t eta = 64) {
+  I3Options opt;
+  opt.space = {0.0, 0.0, 100.0, 100.0};
+  opt.page_size = kDefaultPageSize;  // v2 engages only at realistic sizes
+  opt.signature_bits = eta;
+  opt.compress_pages = compress;
+  return opt;
+}
+
+std::unique_ptr<I3Index> Build(const std::vector<SpatialDocument>& docs,
+                               const I3Options& opt) {
+  auto index = std::make_unique<I3Index>(opt);
+  for (const SpatialDocument& d : docs) {
+    EXPECT_TRUE(index->Insert(d).ok());
+  }
+  return index;
+}
+
+// Byte-identical result lists: same docs in the same order with bit-equal
+// scores. SameScores' epsilon tolerance is deliberately NOT used here.
+void ExpectIdenticalResults(const std::vector<ScoredDoc>& a,
+                            const std::vector<ScoredDoc>& b,
+                            const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].doc, b[i].doc) << what << " rank " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << what << " rank " << i;
+  }
+}
+
+void ExpectIdenticalAnswers(I3Index* v1, I3Index* v2, const Query& q,
+                            double alpha, const std::string& what) {
+  auto r1 = v1->Search(q, alpha);
+  auto r2 = v2->Search(q, alpha);
+  ASSERT_TRUE(r1.ok()) << what << ": " << r1.status().message();
+  ASSERT_TRUE(r2.ok()) << what << ": " << r2.status().message();
+  ExpectIdenticalResults(r1.ValueOrDie(), r2.ValueOrDie(), what);
+}
+
+TEST(I3CompressionTest, TopKIsByteIdenticalAcrossFormats) {
+  const CorpusOptions copt = DenseCorpus();
+  const auto docs = MakeCorpus(copt, 1);
+  auto v1 = Build(docs, Options(/*compress=*/false));
+  auto v2 = Build(docs, Options(/*compress=*/true));
+
+  for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
+    for (uint32_t k : {1u, 5u, 20u}) {
+      for (double alpha : {0.0, 0.5, 1.0}) {
+        const auto queries = MakeQueries(copt, 10, 2, k, sem, 99 + k);
+        for (size_t i = 0; i < queries.size(); ++i) {
+          ExpectIdenticalAnswers(
+              v1.get(), v2.get(), queries[i], alpha,
+              std::string(SemanticsName(sem)) + " k=" + std::to_string(k) +
+                  " alpha=" + std::to_string(alpha) + " q=" +
+                  std::to_string(i));
+        }
+      }
+    }
+  }
+}
+
+TEST(I3CompressionTest, TopKIsByteIdenticalAcrossEta) {
+  CorpusOptions copt = DenseCorpus();
+  copt.num_docs = 1200;
+  const auto docs = MakeCorpus(copt, 2);
+  for (uint32_t eta : {32u, 64u, 300u}) {
+    auto v1 = Build(docs, Options(false, eta));
+    auto v2 = Build(docs, Options(true, eta));
+    for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
+      const auto queries = MakeQueries(copt, 8, 2, 10, sem, eta);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        ExpectIdenticalAnswers(v1.get(), v2.get(), queries[i], 0.5,
+                               std::string(SemanticsName(sem)) + " eta=" +
+                                   std::to_string(eta) + " q=" +
+                                   std::to_string(i));
+      }
+    }
+  }
+}
+
+TEST(I3CompressionTest, CompressionPacksSubstantiallyMorePerPage) {
+  const auto docs = MakeCorpus(DenseCorpus(), 3);
+  auto v1 = Build(docs, Options(false));
+  auto v2 = Build(docs, Options(true));
+
+  // The tentpole claim in storage terms: byte-based cells hold more tuples
+  // before splitting, so the compressed index needs fewer data pages and a
+  // shallower quadtree (fewer summary nodes). This synthetic corpus has
+  // full-precision random coordinates -- the format's worst case, since
+  // coordinate residuals dominate -- so the margin asserted here is
+  // conservative; the clustered benchmark corpus packs far denser (see
+  // EXPERIMENTS.md).
+  EXPECT_LE(v2->DataPageCount() * 5, v1->DataPageCount() * 4)
+      << "v2 pages " << v2->DataPageCount() << " vs v1 "
+      << v1->DataPageCount();
+  EXPECT_LT(v2->SummaryNodeCount(), v1->SummaryNodeCount());
+}
+
+TEST(I3CompressionTest, InvariantsHoldAfterChurnAndAnswersStayIdentical) {
+  CorpusOptions copt = DenseCorpus();
+  copt.num_docs = 1200;
+  const auto docs = MakeCorpus(copt, 4);
+  auto v1 = Build(docs, Options(false));
+  auto v2 = Build(docs, Options(true));
+
+  uint64_t tuples = 0;
+  for (const auto& d : docs) tuples += d.terms.size();
+  auto check = v2->CheckInvariants();
+  ASSERT_TRUE(check.ok()) << check.status().message();
+  EXPECT_EQ(check.ValueOrDie(), tuples);
+
+  for (size_t i = 0; i < docs.size(); i += 3) {
+    ASSERT_TRUE(v1->Delete(docs[i]).ok());
+    ASSERT_TRUE(v2->Delete(docs[i]).ok());
+    tuples -= docs[i].terms.size();
+  }
+  check = v2->CheckInvariants();
+  ASSERT_TRUE(check.ok()) << check.status().message();
+  EXPECT_EQ(check.ValueOrDie(), tuples);
+
+  for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
+    const auto queries = MakeQueries(copt, 10, 2, 10, sem, 7);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ExpectIdenticalAnswers(v1.get(), v2.get(), queries[i], 0.5,
+                             std::string("post-churn ") +
+                                 SemanticsName(sem) + " q=" +
+                                 std::to_string(i));
+    }
+  }
+}
+
+TEST(I3CompressionTest, DeferredFetchPruningFires) {
+  const CorpusOptions copt = DenseCorpus();
+  auto index = Build(MakeCorpus(copt, 5), Options(true));
+  uint64_t skipped = 0, pruned = 0;
+  for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
+    for (const Query& q : MakeQueries(copt, 20, 2, 5, sem, 11)) {
+      ASSERT_TRUE(index->Search(q, 0.5).ok());
+      const I3SearchStats stats = index->last_search_stats();
+      skipped += stats.cells_skipped;
+      pruned += stats.blockmax_prunes;
+    }
+  }
+  // The lazy-fetch machinery must actually be saving page reads on a
+  // workload this dense, not just sitting inert.
+  EXPECT_GT(skipped + pruned, 0u);
+}
+
+// ------------------------------------------------------------ fault paths
+
+struct FaultHarness {
+  FaultInjectionPageFile* injector = nullptr;
+  InMemoryPageFile* backing = nullptr;  // the physical bytes under it
+  std::unique_ptr<I3Index> index;
+};
+
+FaultHarness MakeFaultHarness(const std::vector<SpatialDocument>& docs) {
+  FaultHarness h;
+  I3Options opt = Options(/*compress=*/true);
+  // Checksums off: the codec's own bounds checks are the only line of
+  // defense, which is exactly what these tests probe.
+  opt.checksum_pages = false;
+  opt.page_file_factory = [&h](size_t page_size) {
+    auto base = std::make_unique<InMemoryPageFile>(page_size);
+    h.backing = base.get();
+    auto file = std::make_unique<FaultInjectionPageFile>(std::move(base));
+    h.injector = file.get();
+    return file;
+  };
+  h.index = std::make_unique<I3Index>(opt);
+  for (const SpatialDocument& d : docs) {
+    EXPECT_TRUE(h.index->Insert(d).ok());
+  }
+  return h;
+}
+
+TEST(I3CompressionTest, CorruptedBlocksFailCleanlyAndHeal) {
+  CorpusOptions copt = DenseCorpus();
+  copt.num_docs = 800;
+  const auto docs = MakeCorpus(copt, 6);
+  FaultHarness h = MakeFaultHarness(docs);
+  auto reference = Build(docs, Options(true));
+  const auto queries = MakeQueries(copt, 20, 2, 10, Semantics::kOr, 13);
+
+  // Phase 1 -- transient wire damage: every page read comes back with a
+  // random flipped byte. A flip may land in a payload (decodes to wrong
+  // values; that is the failure mode checksum_pages exists for) or in the
+  // structure, which must surface as Status::Corruption -- never a crash
+  // or an out-of-bounds read (ASan-checked in the sanitizer matrix).
+  FaultProfile profile;
+  profile.seed = 17;
+  profile.corrupt_rate = 1.0;
+  h.injector->injector()->SetProfile(profile);
+  h.index->ClearCache();
+  for (const Query& q : queries) {
+    auto res = h.index->Search(q, 0.5);
+    if (!res.ok()) {
+      EXPECT_TRUE(res.status().IsCorruption()) << res.status().message();
+    }
+    h.index->ClearCache();  // force the next query back to the device
+  }
+  h.injector->injector()->Heal();
+
+  // Phase 2 -- deterministic structural damage: blow up the used-bytes
+  // header field of every stored v2 page. Any query that touches a data
+  // page must now report Corruption, and with the top-k heap empty-handed
+  // until a page decodes, every query touches at least one.
+  std::vector<std::pair<PageId, uint8_t>> saved;
+  for (PageId p = 0; p < h.backing->PageCount(); ++p) {
+    uint8_t* bytes = const_cast<uint8_t*>(h.backing->PeekPage(p));
+    if (codec::IsV2Page(bytes, kDefaultPageSize)) {
+      saved.emplace_back(p, bytes[11]);
+      bytes[11] = 0xFF;  // used_bytes far beyond the page size
+    }
+  }
+  ASSERT_FALSE(saved.empty());
+  h.index->ClearCache();
+  uint64_t corrupt_seen = 0;
+  for (const Query& q : queries) {
+    auto res = h.index->Search(q, 0.5);
+    if (!res.ok()) {
+      EXPECT_TRUE(res.status().IsCorruption()) << res.status().message();
+      ++corrupt_seen;
+    } else {
+      // Only a query that never reached a data page may still succeed,
+      // and then it cannot have produced any results.
+      EXPECT_TRUE(res.ValueOrDie().empty());
+    }
+  }
+  EXPECT_GT(corrupt_seen, 0u);
+  for (const auto& [p, byte] : saved) {
+    const_cast<uint8_t*>(h.backing->PeekPage(p))[11] = byte;
+  }
+
+  // Hard I/O failure is passed through untranslated.
+  h.injector->injector()->set_fail_all(true);
+  h.index->ClearCache();
+  auto res = h.index->Search(queries[0], 0.5);
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsIOError()) << res.status().message();
+
+  // After the device heals, the index is intact: answers match a clean
+  // index byte for byte.
+  h.injector->injector()->Heal();
+  h.index->ClearCache();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectIdenticalAnswers(reference.get(), h.index.get(), queries[i], 0.5,
+                           "healed q=" + std::to_string(i));
+  }
+  auto check = h.index->CheckInvariants();
+  ASSERT_TRUE(check.ok()) << check.status().message();
+}
+
+// ------------------------------------------------------------ persistence
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name)
+      : path(testing::TempDir() + "/" + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(I3CompressionTest, PersistRoundTripsAcrossFormatGenerations) {
+  CorpusOptions copt = DenseCorpus();
+  copt.num_docs = 900;
+  const auto docs = MakeCorpus(copt, 8);
+  const auto queries = MakeQueries(copt, 12, 2, 10, Semantics::kAnd, 19);
+
+  struct Case {
+    bool build_compressed;
+    bool load_compressed;
+    const char* name;
+  };
+  // v1 file -> compressed runtime is the backward-compat guarantee: an
+  // index persisted before the v2 format existed must open and answer
+  // correctly with compression enabled.
+  const Case cases[] = {{false, false, "v1->v1"},
+                        {false, true, "v1->v2"},
+                        {true, true, "v2->v2"}};
+  for (const Case& c : cases) {
+    auto source = Build(docs, Options(c.build_compressed));
+    TempFile file(std::string("i3_compression_") + c.name + ".idx");
+    ASSERT_TRUE(source->SaveTo(file.path).ok()) << c.name;
+
+    auto loaded_res = I3Index::LoadFrom(file.path, Options(c.load_compressed));
+    ASSERT_TRUE(loaded_res.ok())
+        << c.name << ": " << loaded_res.status().message();
+    auto loaded = loaded_res.MoveValue();
+    EXPECT_EQ(loaded->DocumentCount(), source->DocumentCount()) << c.name;
+
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ExpectIdenticalAnswers(source.get(), loaded.get(), queries[i], 0.5,
+                             std::string(c.name) + " q=" +
+                                 std::to_string(i));
+    }
+
+    // The loaded index must stay fully maintainable in its new format.
+    CorpusOptions extra = copt;
+    extra.num_docs = 100;
+    extra.first_id = 10000;
+    for (const SpatialDocument& d : MakeCorpus(extra, 9)) {
+      ASSERT_TRUE(loaded->Insert(d).ok()) << c.name;
+    }
+    auto check = loaded->CheckInvariants();
+    ASSERT_TRUE(check.ok()) << c.name << ": " << check.status().message();
+  }
+}
+
+}  // namespace
+}  // namespace i3

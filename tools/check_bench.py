@@ -1,0 +1,307 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate for the I3 hot path.
+
+Compares a fresh ``bench_hotpath --smoke`` run against the smoke baseline
+embedded in the committed ``BENCH_hotpath.json`` and fails when:
+
+  * a result checksum differs -- the smoke workload is fully deterministic
+    (same tier-0 dataset, same 20 queries, same seed), so any drift means
+    query *answers* changed, which the compressed-format work promises
+    never happens;
+  * ``pages_per_query`` regresses more than the budget (default 10%)
+    against the baseline -- the paper's own cost metric, and the figure
+    the compressed-cell + block-max tentpole exists to shrink;
+  * a required metric series is missing from the run's "obs" snapshot:
+    the query-latency histogram, buffer-pool and per-category I/O
+    counters, and the pruning counters ``i3_cells_skipped_total`` /
+    ``i3_blockmax_prunes_total`` (which must also show the machinery
+    actually fired).
+
+Timing figures (qps, percentiles) are deliberately NOT gated: CI runners
+are too noisy. Checksums and page counts are noise-free.
+
+Usage:
+  check_bench.py --candidate BENCH_hotpath_smoke.json \
+                 --baseline BENCH_hotpath.json [--max-regress 0.10]
+  check_bench.py --self-test
+
+``--self-test`` feeds the checker doctored inputs (checksum drift, page
+regression, missing metric series) and fails unless every one is caught;
+CI runs it before the real comparison so the gate itself is gated.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+
+class GateFailure(Exception):
+    """A condition the gate must fail the build for."""
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def baseline_entries(baseline):
+    """The per-semantics smoke figures of the committed baseline.
+
+    A full-run BENCH_hotpath.json carries them under "smoke_baseline"; a
+    smoke-run file's own "results" are accepted too, so two smoke runs
+    can be compared directly.
+    """
+    if "smoke_baseline" in baseline:
+        entries = baseline["smoke_baseline"]
+    elif baseline.get("config", {}).get("smoke"):
+        entries = baseline["results"]
+    else:
+        raise GateFailure(
+            "baseline JSON has no 'smoke_baseline' section and is not a "
+            "smoke run; regenerate BENCH_hotpath.json with a full "
+            "bench_hotpath run"
+        )
+    return {e["semantics"]: e for e in entries}
+
+
+def check_results(candidate, baseline, max_regress):
+    if not candidate.get("config", {}).get("smoke"):
+        raise GateFailure("candidate JSON is not a --smoke run")
+    base = baseline_entries(baseline)
+    results = candidate.get("results", [])
+    if not results:
+        raise GateFailure("candidate JSON has no results")
+    for r in results:
+        sem = r["semantics"]
+        if sem not in base:
+            raise GateFailure(f"baseline has no {sem} entry")
+        b = base[sem]
+        if r["checksum"] != b["checksum"]:
+            raise GateFailure(
+                f"{sem}: result checksum {r['checksum']} != baseline "
+                f"{b['checksum']} -- query answers changed"
+            )
+        budget = b["pages_per_query"] * (1.0 + max_regress)
+        if r["pages_per_query"] > budget:
+            raise GateFailure(
+                f"{sem}: pages_per_query {r['pages_per_query']:.2f} "
+                f"exceeds baseline {b['pages_per_query']:.2f} "
+                f"+{max_regress:.0%} budget ({budget:.2f})"
+            )
+        delta = r["pages_per_query"] - b["pages_per_query"]
+        print(
+            f"  {sem}: checksum {r['checksum']} OK, pages/query "
+            f"{r['pages_per_query']:.2f} vs baseline "
+            f"{b['pages_per_query']:.2f} ({delta:+.2f})"
+        )
+
+
+def check_metrics(candidate):
+    for r in candidate.get("results", []):
+        for field in ("p50_us", "p90_us", "p99_us", "max_us"):
+            if field not in r:
+                raise GateFailure(f"missing {field} in results")
+
+    metrics = candidate["obs"]["metrics"]
+    by_name = {}
+    for m in metrics:
+        by_name.setdefault(m["name"], []).append(m)
+
+    def require(name, check, what):
+        if name not in by_name:
+            raise GateFailure(f"missing metric family {name}")
+        ok = [m for m in by_name[name] if check(m)]
+        if not ok:
+            raise GateFailure(f"{name}: no series satisfies: {what}")
+        return ok
+
+    require(
+        "i3_query_latency_us",
+        lambda m: m["type"] == "histogram"
+        and m["count"] > 0
+        and m["labels"].get("index") == "I3",
+        "non-empty I3 query latency histogram",
+    )
+    hits = require(
+        "i3_buffer_pool_hits_total", lambda m: m["value"] > 0, "non-zero hits"
+    )
+    misses = require(
+        "i3_buffer_pool_misses_total", lambda m: True, "misses series present"
+    )
+    total = hits[0]["value"] + misses[0]["value"]
+    if total <= 0:
+        raise GateFailure("buffer pool saw no traffic")
+    print(f"  buffer pool hit rate: {hits[0]['value'] / total:.2%}")
+    require(
+        "i3_io_pages_total",
+        lambda m: m["labels"].get("op") == "read" and m["value"] > 0,
+        "non-zero per-category read counter",
+    )
+    # The block-max pruning series introduced with the compressed format:
+    # both must exist, and together they must show the deferred-fetch
+    # machinery actually killed work on the smoke workload.
+    skipped = require(
+        "i3_cells_skipped_total", lambda m: True, "series present"
+    )
+    pruned = require(
+        "i3_blockmax_prunes_total", lambda m: True, "series present"
+    )
+    if skipped[0]["value"] + pruned[0]["value"] <= 0:
+        raise GateFailure(
+            "i3_cells_skipped_total + i3_blockmax_prunes_total is zero: "
+            "block-max pruning never fired"
+        )
+    print(
+        f"  pruning: {skipped[0]['value']:.0f} cells skipped, "
+        f"{pruned[0]['value']:.0f} block-max prunes"
+    )
+    print(f"  metrics OK: {len(metrics)} series")
+
+
+def run_gate(candidate, baseline, max_regress):
+    check_results(candidate, baseline, max_regress)
+    check_metrics(candidate)
+
+
+def expect_failure(what, candidate, baseline, max_regress=0.10):
+    try:
+        run_gate(candidate, baseline, max_regress)
+    except GateFailure as e:
+        print(f"  correctly rejected {what}: {e}")
+        return
+    raise SystemExit(f"self-test: doctored input NOT caught: {what}")
+
+
+def self_test():
+    """The gate must fail on doctored JSON; prove it on synthetic inputs."""
+    good = {
+        "config": {"smoke": True},
+        "results": [
+            {
+                "semantics": "AND",
+                "pages_per_query": 20.0,
+                "checksum": 111,
+                "p50_us": 1,
+                "p90_us": 1,
+                "p99_us": 1,
+                "max_us": 1,
+            }
+        ],
+        "obs": {
+            "metrics": [
+                {
+                    "name": "i3_query_latency_us",
+                    "type": "histogram",
+                    "count": 5,
+                    "labels": {"index": "I3"},
+                },
+                {
+                    "name": "i3_buffer_pool_hits_total",
+                    "type": "counter",
+                    "value": 10,
+                    "labels": {},
+                },
+                {
+                    "name": "i3_buffer_pool_misses_total",
+                    "type": "counter",
+                    "value": 2,
+                    "labels": {},
+                },
+                {
+                    "name": "i3_io_pages_total",
+                    "type": "counter",
+                    "value": 40,
+                    "labels": {"op": "read"},
+                },
+                {
+                    "name": "i3_cells_skipped_total",
+                    "type": "counter",
+                    "value": 7,
+                    "labels": {},
+                },
+                {
+                    "name": "i3_blockmax_prunes_total",
+                    "type": "counter",
+                    "value": 3,
+                    "labels": {},
+                },
+            ]
+        },
+    }
+    baseline = {
+        "smoke_baseline": [
+            {"semantics": "AND", "pages_per_query": 20.0, "checksum": 111}
+        ]
+    }
+
+    print("self-test: clean input passes")
+    run_gate(copy.deepcopy(good), baseline, 0.10)
+
+    doctored = copy.deepcopy(good)
+    doctored["results"][0]["checksum"] = 222
+    expect_failure("checksum drift", doctored, baseline)
+
+    doctored = copy.deepcopy(good)
+    doctored["results"][0]["pages_per_query"] = 22.5  # +12.5% > 10% budget
+    expect_failure("pages/query regression", doctored, baseline)
+
+    doctored = copy.deepcopy(good)
+    doctored["obs"]["metrics"] = [
+        m
+        for m in doctored["obs"]["metrics"]
+        if m["name"] != "i3_blockmax_prunes_total"
+    ]
+    expect_failure("missing pruning metric series", doctored, baseline)
+
+    doctored = copy.deepcopy(good)
+    for m in doctored["obs"]["metrics"]:
+        if m["name"] in ("i3_cells_skipped_total", "i3_blockmax_prunes_total"):
+            m["value"] = 0
+    expect_failure("pruning counters all zero", doctored, baseline)
+
+    # Within-budget drift must NOT fail.
+    tolerable = copy.deepcopy(good)
+    tolerable["results"][0]["pages_per_query"] = 21.5  # +7.5%
+    run_gate(tolerable, baseline, 0.10)
+    print("self-test: tolerable drift passes")
+    print("self-test OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--candidate", help="smoke-run JSON to gate")
+    ap.add_argument(
+        "--baseline",
+        default="BENCH_hotpath.json",
+        help="committed baseline JSON (default: BENCH_hotpath.json)",
+    )
+    ap.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.10,
+        help="pages_per_query regression budget (default 0.10 = 10%%)",
+    )
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the gate rejects doctored inputs, then exit",
+    )
+    args = ap.parse_args()
+
+    if args.self_test:
+        self_test()
+        return
+    if not args.candidate:
+        ap.error("--candidate is required (or use --self-test)")
+
+    try:
+        run_gate(load(args.candidate), load(args.baseline), args.max_regress)
+    except GateFailure as e:
+        print(f"BENCH GATE FAILED: {e}", file=sys.stderr)
+        sys.exit(1)
+    print("bench gate OK")
+
+
+if __name__ == "__main__":
+    main()
