@@ -45,8 +45,9 @@ constexpr uint32_t kDiskLatencyUs = 100;
 
 /// Runs `threads` clients, each issuing kQueriesPerThread round-robin
 /// queries, and returns aggregate queries per second.
-double MeasureQps(SpatialKeywordIndex* index, const std::vector<Query>& queries,
-                  double alpha, int threads) {
+double MeasureQps(SpatialKeywordIndex* index,
+                  const std::vector<Query>& queries, double alpha,
+                  int threads) {
   std::atomic<bool> go{false};
   std::atomic<int> bad{0};
   std::vector<std::thread> clients;

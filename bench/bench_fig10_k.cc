@@ -30,14 +30,16 @@ void Panels(const BenchConfig& cfg, const Dataset& ds, bool irtree_bulk) {
                 ? qgen.Rest(cfg.num_queries, k, sem, /*seed=*/1000 + k)
                 : qgen.Freq(cfg.default_qn, cfg.num_queries, k, sem,
                             /*seed=*/1000 + k);
-        const auto c_i3 =
-            RunQuerySet(i3x.get(), queries, cfg.default_alpha, cfg.io_latency_us);
-        const auto c_s2i =
-            RunQuerySet(s2i.get(), queries, cfg.default_alpha, cfg.io_latency_us);
+        const auto c_i3 = RunQuerySet(i3x.get(), queries, cfg.default_alpha,
+                                      cfg.io_latency_us);
+        const auto c_s2i = RunQuerySet(s2i.get(), queries,
+                                       cfg.default_alpha, cfg.io_latency_us);
         std::string ir_ms = "skipped";
         if (ir != nullptr) {
-          ir_ms = Fmt(
-              RunQuerySet(ir.get(), queries, cfg.default_alpha, cfg.io_latency_us).avg_ms, 3);
+          ir_ms = Fmt(RunQuerySet(ir.get(), queries, cfg.default_alpha,
+                                  cfg.io_latency_us)
+                          .avg_ms,
+                      3);
         }
         PrintRow({std::to_string(k), Fmt(c_i3.avg_ms, 3),
                   Fmt(c_s2i.avg_ms, 3), ir_ms});

@@ -29,11 +29,15 @@ void Panels(const BenchConfig& cfg, const Dataset& ds, bool irtree_bulk) {
             : qgen.Freq(cfg.default_qn, cfg.num_queries, cfg.default_k,
                         Semantics::kOr, /*seed=*/1100);
     for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-      const auto c_i3 = RunQuerySet(i3x.get(), queries, alpha, cfg.io_latency_us);
-      const auto c_s2i = RunQuerySet(s2i.get(), queries, alpha, cfg.io_latency_us);
+      const auto c_i3 =
+          RunQuerySet(i3x.get(), queries, alpha, cfg.io_latency_us);
+      const auto c_s2i =
+          RunQuerySet(s2i.get(), queries, alpha, cfg.io_latency_us);
       std::string ir_ms = "skipped";
       if (ir != nullptr) {
-        ir_ms = Fmt(RunQuerySet(ir.get(), queries, alpha, cfg.io_latency_us).avg_ms, 3);
+        ir_ms = Fmt(
+            RunQuerySet(ir.get(), queries, alpha, cfg.io_latency_us).avg_ms,
+            3);
       }
       PrintRow({Fmt(alpha, 1), Fmt(c_i3.avg_ms, 3), Fmt(c_s2i.avg_ms, 3),
                 ir_ms});

@@ -44,15 +44,16 @@ int main(int argc, char** argv) {
                             /*seed=*/1200)
                 : qgen.Freq(cfg.default_qn, cfg.num_queries, cfg.default_k,
                             sem, /*seed=*/1200);
-        const auto c_i3 =
-            RunQuerySet(b.i3.get(), queries, cfg.default_alpha, cfg.io_latency_us);
-        const auto c_s2i =
-            RunQuerySet(b.s2i.get(), queries, cfg.default_alpha, cfg.io_latency_us);
+        const auto c_i3 = RunQuerySet(b.i3.get(), queries,
+                                      cfg.default_alpha, cfg.io_latency_us);
+        const auto c_s2i = RunQuerySet(b.s2i.get(), queries,
+                                       cfg.default_alpha, cfg.io_latency_us);
         std::string ir_ms = "skipped";
         if (b.ir != nullptr) {
-          ir_ms = Fmt(
-              RunQuerySet(b.ir.get(), queries, cfg.default_alpha, cfg.io_latency_us).avg_ms,
-              3);
+          ir_ms = Fmt(RunQuerySet(b.ir.get(), queries, cfg.default_alpha,
+                                  cfg.io_latency_us)
+                          .avg_ms,
+                      3);
         }
         PrintRow({b.ds.name, Fmt(c_i3.avg_ms, 3), Fmt(c_s2i.avg_ms, 3),
                   ir_ms});

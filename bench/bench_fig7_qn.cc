@@ -26,13 +26,15 @@ void Panel(const BenchConfig& cfg, const Dataset& ds, bool irtree_bulk) {
     for (uint32_t qn = 2; qn <= 5; ++qn) {
       auto queries = qgen.Freq(qn, cfg.num_queries, cfg.default_k, sem,
                                /*seed=*/700 + qn);
-      const auto c_i3 =
-          RunQuerySet(i3x.get(), queries, cfg.default_alpha, cfg.io_latency_us);
-      const auto c_s2i =
-          RunQuerySet(s2i.get(), queries, cfg.default_alpha, cfg.io_latency_us);
+      const auto c_i3 = RunQuerySet(i3x.get(), queries, cfg.default_alpha,
+                                    cfg.io_latency_us);
+      const auto c_s2i = RunQuerySet(s2i.get(), queries, cfg.default_alpha,
+                                     cfg.io_latency_us);
       std::string ir_ms = "skipped";
       if (ir != nullptr) {
-        ir_ms = Fmt(RunQuerySet(ir.get(), queries, cfg.default_alpha, cfg.io_latency_us).avg_ms,
+        ir_ms = Fmt(RunQuerySet(ir.get(), queries, cfg.default_alpha,
+                                cfg.io_latency_us)
+                        .avg_ms,
                     3);
       }
       PrintRow({std::to_string(qn), Fmt(c_i3.avg_ms, 3),

@@ -29,11 +29,14 @@ int main(int argc, char** argv) {
   for (uint32_t qn = 2; qn <= 5; ++qn) {
     auto queries = qgen.Freq(qn, cfg.num_queries, cfg.default_k,
                              Semantics::kOr, /*seed=*/900 + qn);
-    const auto c_i3 = RunQuerySet(i3x.get(), queries, cfg.default_alpha, cfg.io_latency_us);
-    const auto c_s2i = RunQuerySet(s2i.get(), queries, cfg.default_alpha, cfg.io_latency_us);
+    const auto c_i3 =
+        RunQuerySet(i3x.get(), queries, cfg.default_alpha, cfg.io_latency_us);
+    const auto c_s2i =
+        RunQuerySet(s2i.get(), queries, cfg.default_alpha, cfg.io_latency_us);
     std::string ir_tree = "skipped", ir_inv = "skipped";
     if (ir != nullptr) {
-      const auto c_ir = RunQuerySet(ir.get(), queries, cfg.default_alpha, cfg.io_latency_us);
+      const auto c_ir =
+          RunQuerySet(ir.get(), queries, cfg.default_alpha, cfg.io_latency_us);
       ir_tree = Fmt(
           c_ir.avg_reads_by_cat[static_cast<int>(IoCategory::kRTreeNode)],
           1);

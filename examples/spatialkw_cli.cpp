@@ -5,10 +5,13 @@
 //   id <TAB> lng <TAB> lat <TAB> free text...
 //
 // Usage:
-//   spatialkw_cli build  <corpus.tsv> <index-prefix> [minlng minlat maxlng maxlat]
+//   spatialkw_cli build  <corpus.tsv> <index-prefix>
+//                        [minlng minlat maxlng maxlat]
 //   spatialkw_cli stats  <index-prefix>
-//   spatialkw_cli query  <index-prefix> <lng> <lat> <k> <alpha> <and|or> <text...>
-//   spatialkw_cli range  <index-prefix> <minlng> <minlat> <maxlng> <maxlat> <and|or> <text...>
+//   spatialkw_cli query  <index-prefix> <lng> <lat> <k> <alpha>
+//                        <and|or> <text...>
+//   spatialkw_cli range  <index-prefix> <minlng> <minlat> <maxlng> <maxlat>
+//                        <and|or> <text...>
 //
 // `build` writes <prefix>.i3 (the index) and <prefix>.vocab (the term
 // dictionary with document frequencies, needed to interpret query text).

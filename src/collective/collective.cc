@@ -131,8 +131,9 @@ Result<CollectiveResult> CollectiveSearcher::SolveSum(
   // Canonical order.
   std::vector<size_t> idx(result.docs.size());
   for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
-  std::sort(idx.begin(), idx.end(),
-            [&](size_t a, size_t b) { return result.docs[a] < result.docs[b]; });
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    return result.docs[a] < result.docs[b];
+  });
   CollectiveResult sorted = result;
   for (size_t i = 0; i < idx.size(); ++i) {
     sorted.docs[i] = result.docs[idx[i]];
@@ -195,8 +196,9 @@ Result<CollectiveResult> CollectiveSearcher::SolveMaxDiameter(
 
   std::vector<size_t> idx(result.docs.size());
   for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
-  std::sort(idx.begin(), idx.end(),
-            [&](size_t a, size_t b) { return result.docs[a] < result.docs[b]; });
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    return result.docs[a] < result.docs[b];
+  });
   CollectiveResult sorted = result;
   for (size_t i = 0; i < idx.size(); ++i) {
     sorted.docs[i] = result.docs[idx[i]];

@@ -58,7 +58,9 @@ class Signature {
   /// Number of set bits.
   uint32_t PopCount() const {
     uint32_t n = 0;
-    for (uint64_t w : words_) n += static_cast<uint32_t>(__builtin_popcountll(w));
+    for (uint64_t w : words_) {
+      n += static_cast<uint32_t>(__builtin_popcountll(w));
+    }
     return n;
   }
 

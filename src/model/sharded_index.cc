@@ -221,7 +221,8 @@ Result<std::vector<ScoredDoc>> ShardedIndex::SearchFanOut(
     return SearchSequential(q, alpha, trace, outcome);
   }
   std::vector<Result<std::vector<ScoredDoc>>> results(
-      shards_.size(), Result<std::vector<ScoredDoc>>(std::vector<ScoredDoc>{}));
+      shards_.size(),
+      Result<std::vector<ScoredDoc>>(std::vector<ScoredDoc>{}));
   // Per-shard wall times are captured in a preallocated slot per shard (no
   // shared trace mutation from the workers) and folded into the trace
   // after the barrier.

@@ -173,7 +173,8 @@ TEST(ChecksummedPageFileTest, DetectsHeaderDamage) {
       file->base()->WritePage(0, raw.data(), IoCategory::kOther).ok());
 
   std::vector<uint8_t> got(128);
-  EXPECT_TRUE(file->ReadPage(0, got.data(), IoCategory::kOther).IsCorruption());
+  EXPECT_TRUE(
+      file->ReadPage(0, got.data(), IoCategory::kOther).IsCorruption());
 }
 
 TEST(ChecksummedPageFileTest, DetectsMisdirectedWrite) {
@@ -194,7 +195,8 @@ TEST(ChecksummedPageFileTest, DetectsMisdirectedWrite) {
 
   std::vector<uint8_t> got(128);
   ASSERT_TRUE(file->ReadPage(0, got.data(), IoCategory::kOther).ok());
-  EXPECT_TRUE(file->ReadPage(1, got.data(), IoCategory::kOther).IsCorruption());
+  EXPECT_TRUE(
+      file->ReadPage(1, got.data(), IoCategory::kOther).IsCorruption());
 }
 
 TEST(ChecksummedPageFileTest, ChargesExactlyOnePhysicalAccessPerLogical) {
@@ -240,7 +242,8 @@ TEST(BufferPoolRecoveryTest, RetriesTransientReadError) {
   PoolRig rig = MakePoolRig(128, {.capacity_pages = 2});
   ASSERT_TRUE(rig.pool->AllocatePage().ok());
   const auto data = Pattern(128, 11);
-  ASSERT_TRUE(rig.pool->WritePage(0, data.data(), IoCategory::kI3DataFile).ok());
+  ASSERT_TRUE(
+      rig.pool->WritePage(0, data.data(), IoCategory::kI3DataFile).ok());
   rig.pool->Clear();
 
   // The next attempted operation (the device read below) fails once; the
@@ -259,7 +262,8 @@ TEST(BufferPoolRecoveryTest, PersistentReadErrorPropagatesAfterRetries) {
                         .max_read_retries = 2, .retry_backoff_us = 1});
   ASSERT_TRUE(rig.pool->AllocatePage().ok());
   const auto data = Pattern(128, 12);
-  ASSERT_TRUE(rig.pool->WritePage(0, data.data(), IoCategory::kI3DataFile).ok());
+  ASSERT_TRUE(
+      rig.pool->WritePage(0, data.data(), IoCategory::kI3DataFile).ok());
   rig.pool->Clear();
 
   rig.faults->set_fail_all(true);
@@ -278,8 +282,8 @@ TEST(BufferPoolRecoveryTest, WriteErrorsAreNotRetried) {
   ASSERT_TRUE(rig.pool->AllocatePage().ok());
   rig.faults->injector()->SetProfile(MustParse("schedule=0:write_error"));
   const auto data = Pattern(128, 13);
-  EXPECT_TRUE(
-      rig.pool->WritePage(0, data.data(), IoCategory::kI3DataFile).IsIOError());
+  EXPECT_TRUE(rig.pool->WritePage(0, data.data(), IoCategory::kI3DataFile)
+                  .IsIOError());
   EXPECT_EQ(rig.pool->retries(), 0u);
 }
 
@@ -287,7 +291,8 @@ TEST(BufferPoolRecoveryTest, QuarantinesCorruptPageUntilVerifiedRead) {
   PoolRig rig = MakePoolRig(128, {.capacity_pages = 4});
   ASSERT_TRUE(rig.pool->AllocatePage().ok());
   const auto data = Pattern(128, 21);
-  ASSERT_TRUE(rig.pool->WritePage(0, data.data(), IoCategory::kI3DataFile).ok());
+  ASSERT_TRUE(
+      rig.pool->WritePage(0, data.data(), IoCategory::kI3DataFile).ok());
   rig.pool->Clear();
 
   // Every device read returns damaged bytes; the checksum layer converts
@@ -302,8 +307,8 @@ TEST(BufferPoolRecoveryTest, QuarantinesCorruptPageUntilVerifiedRead) {
 
   // Still quarantined: repeated reads keep going to the (still corrupting)
   // device instead of serving any cached frame.
-  EXPECT_TRUE(
-      rig.pool->ReadPage(0, got.data(), IoCategory::kI3DataFile).IsCorruption());
+  EXPECT_TRUE(rig.pool->ReadPage(0, got.data(), IoCategory::kI3DataFile)
+                  .IsCorruption());
 
   // Read-side corruption is transient: after Heal the stored page is
   // intact, the verified read clears the quarantine.
@@ -318,20 +323,22 @@ TEST(BufferPoolRecoveryTest, WriteThroughClearsQuarantine) {
   PoolRig rig = MakePoolRig(128, {.capacity_pages = 4});
   ASSERT_TRUE(rig.pool->AllocatePage().ok());
   const auto data = Pattern(128, 22);
-  ASSERT_TRUE(rig.pool->WritePage(0, data.data(), IoCategory::kI3DataFile).ok());
+  ASSERT_TRUE(
+      rig.pool->WritePage(0, data.data(), IoCategory::kI3DataFile).ok());
   rig.pool->Clear();
 
   rig.faults->injector()->SetProfile(MustParse("corrupt=1.0"));
   std::vector<uint8_t> got(128);
-  ASSERT_TRUE(
-      rig.pool->ReadPage(0, got.data(), IoCategory::kI3DataFile).IsCorruption());
+  ASSERT_TRUE(rig.pool->ReadPage(0, got.data(), IoCategory::kI3DataFile)
+                  .IsCorruption());
   ASSERT_TRUE(rig.pool->IsQuarantined(0));
 
   // A successful write-through replaces the page image and re-caches it;
   // the quarantine lifts and the (clean) frame is servable even though
   // device reads still corrupt.
   const auto fresh = Pattern(128, 23);
-  ASSERT_TRUE(rig.pool->WritePage(0, fresh.data(), IoCategory::kI3DataFile).ok());
+  ASSERT_TRUE(
+      rig.pool->WritePage(0, fresh.data(), IoCategory::kI3DataFile).ok());
   EXPECT_FALSE(rig.pool->IsQuarantined(0));
   ASSERT_TRUE(rig.pool->ReadPage(0, got.data(), IoCategory::kI3DataFile).ok());
   EXPECT_EQ(got, fresh);
@@ -341,7 +348,8 @@ TEST(BufferPoolRecoveryTest, CachedFrameOfCorruptPageIsDropped) {
   PoolRig rig = MakePoolRig(128, {.capacity_pages = 4});
   ASSERT_TRUE(rig.pool->AllocatePage().ok());
   const auto data = Pattern(128, 24);
-  ASSERT_TRUE(rig.pool->WritePage(0, data.data(), IoCategory::kI3DataFile).ok());
+  ASSERT_TRUE(
+      rig.pool->WritePage(0, data.data(), IoCategory::kI3DataFile).ok());
   // The write-through cached a clean frame. Hit it once to prove it.
   std::vector<uint8_t> got(128);
   ASSERT_TRUE(rig.pool->ReadPage(0, got.data(), IoCategory::kI3DataFile).ok());
@@ -352,8 +360,8 @@ TEST(BufferPoolRecoveryTest, CachedFrameOfCorruptPageIsDropped) {
   // before the Clear must not resurrect later.
   rig.pool->Clear();
   rig.faults->injector()->SetProfile(MustParse("corrupt=1.0"));
-  ASSERT_TRUE(
-      rig.pool->ReadPage(0, got.data(), IoCategory::kI3DataFile).IsCorruption());
+  ASSERT_TRUE(rig.pool->ReadPage(0, got.data(), IoCategory::kI3DataFile)
+                  .IsCorruption());
   rig.faults->Heal();
   ASSERT_TRUE(rig.pool->ReadPage(0, got.data(), IoCategory::kI3DataFile).ok());
   EXPECT_EQ(got, data);

@@ -20,8 +20,8 @@ namespace {
 // occasional slot-count shortfall leaving free slots.
 TuplePage RandomPage(Rng* rng, uint32_t capacity, uint32_t n_sources) {
   TuplePage page;
-  const uint32_t n =
-      static_cast<uint32_t>(rng->UniformInt(0, static_cast<int64_t>(capacity)));
+  const uint32_t n = static_cast<uint32_t>(
+      rng->UniformInt(0, static_cast<int64_t>(capacity)));
   for (uint32_t s = 0; s < n; ++s) {
     StoredTuple st;
     st.source = static_cast<SourceId>(rng->UniformInt(1, n_sources));
