@@ -1,0 +1,318 @@
+// Serving-stack benchmark: the full wire path (client -> TCP -> epoll
+// loop -> admission -> SearchBatch -> response) against an in-process
+// net::Server, plus a forced-overload phase measuring shed behavior.
+//
+// Differential anchor: the query workload is EXACTLY the hot-path smoke
+// workload (tier-0 Twitter stand-in, 20 queries per semantics, seed 42,
+// k=10), and the doc-id-sum checksum is folded exactly like
+// bench_hotpath's smoke baseline -- so tools/check_bench.py can assert
+// that answers served over the wire are the very answers the committed
+// BENCH_hotpath.json baseline records, across the whole serving stack.
+// Within the run, a second (order- and score-sensitive) checksum proves
+// wire results byte-identical to direct ShardedIndex::Search calls.
+//
+// Shed phase: a fresh server with a starvation-level default tenant
+// budget takes a burst; the gate requires shed > 0 with zero errors.
+// Throughput/latency figures are recorded for trend-watching but NOT
+// gated (CI timing noise); checksums and outcome counts are noise-free.
+//
+// Flags (on top of the shared bench flags): --smoke (tiny config for CI),
+// --json=PATH (default BENCH_serving.json), --reps=N.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "model/sharded_index.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "obs/clock.h"
+#include "obs/histogram.h"
+
+namespace i3 {
+namespace bench {
+namespace {
+
+struct ServingResult {
+  const char* semantics;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  /// Order+score-sensitive FNV fold over the wire responses, and the same
+  /// fold over direct ShardedIndex::Search -- equal iff the wire serves
+  /// byte-identical results.
+  uint64_t wire_checksum = 0;
+  uint64_t direct_checksum = 0;
+  /// Doc-id sum folded like bench_hotpath's smoke baseline -- comparable
+  /// against the committed BENCH_hotpath.json "smoke_baseline" entry.
+  uint64_t docsum_checksum = 0;
+};
+
+/// FNV-fold a per-query result checksum into a workload checksum.
+void FoldChecksum(uint64_t* acc, uint64_t qsum) {
+  for (int i = 0; i < 8; ++i) {
+    *acc ^= qsum >> (i * 8) & 0xff;
+    *acc *= 1099511628211ull;
+  }
+}
+
+net::Request ToRequest(const Query& q, uint64_t id, double alpha) {
+  net::Request req;
+  req.request_id = id;
+  req.k = q.k;
+  req.semantics = q.semantics;
+  req.x = q.location.x;
+  req.y = q.location.y;
+  req.alpha = alpha;
+  req.terms = q.terms;
+  return req;
+}
+
+ServingResult MeasureSemantics(net::Client* client, ShardedIndex* index,
+                               const std::vector<Query>& queries,
+                               double alpha, uint32_t reps) {
+  ServingResult r;
+  r.semantics = SemanticsName(queries.front().semantics);
+  r.wire_checksum = 1469598103934665603ull;
+  r.direct_checksum = 1469598103934665603ull;
+
+  // Checksum pass: wire vs direct on identical queries.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto wire = client->Call(ToRequest(queries[i], i, alpha));
+    if (!wire.ok() ||
+        wire.ValueOrDie().outcome != net::ResponseOutcome::kOk) {
+      std::fprintf(stderr, "wire search failed: %s\n",
+                   wire.ok() ? wire.ValueOrDie().message.c_str()
+                             : wire.status().ToString().c_str());
+      std::abort();
+    }
+    FoldChecksum(&r.wire_checksum,
+                 net::ResultChecksum(wire.ValueOrDie().results));
+    for (const ScoredDoc& d : wire.ValueOrDie().results) {
+      r.docsum_checksum += d.doc;
+    }
+    auto direct = index->Search(queries[i], alpha);
+    if (!direct.ok()) {
+      std::fprintf(stderr, "direct search failed: %s\n",
+                   direct.status().ToString().c_str());
+      std::abort();
+    }
+    FoldChecksum(&r.direct_checksum,
+                 net::ResultChecksum(direct.ValueOrDie()));
+  }
+
+  // Timed closed-loop passes over the warm index.
+  obs::HistogramSnapshot latencies_us;
+  Timer timer;
+  for (uint32_t rep = 0; rep < reps; ++rep) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const uint64_t q0 = obs::NowNanos();
+      auto wire = client->Call(ToRequest(queries[i], i, alpha));
+      latencies_us.Record((obs::NowNanos() - q0) / 1000);
+      if (!wire.ok() ||
+          wire.ValueOrDie().outcome != net::ResponseOutcome::kOk) {
+        std::fprintf(stderr, "timed wire search failed\n");
+        std::abort();
+      }
+    }
+  }
+  const double secs = timer.ElapsedMillis() / 1e3;
+  const double n = static_cast<double>(queries.size()) * reps;
+  r.qps = n / secs;
+  r.p50_us = static_cast<double>(latencies_us.Quantile(0.50));
+  r.p99_us = static_cast<double>(latencies_us.Quantile(0.99));
+  return r;
+}
+
+struct ShedResult {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t error = 0;
+  double shed_p50_us = 0.0;
+  double shed_p99_us = 0.0;
+};
+
+/// Overload phase: a starvation-level default budget (burst 5, 1/s) takes
+/// a burst of `sent` requests; everything past the burst must shed, fast.
+ShedResult MeasureShedding(ShardedIndex* index, const Query& query,
+                           double alpha) {
+  ShedResult out;
+  net::ServerOptions sopts;
+  sopts.worker_threads = 2;
+  sopts.default_limit = {.rate = 1.0, .burst = 5.0};
+  net::Server server(index, sopts);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "shed-phase server failed to start\n");
+    std::abort();
+  }
+  net::ClientOptions copts;
+  copts.port = server.port();
+  copts.recv_timeout_ms = 30000;
+  auto client = net::Client::Connect(copts);
+  if (!client.ok()) {
+    std::fprintf(stderr, "shed-phase connect failed\n");
+    std::abort();
+  }
+  obs::HistogramSnapshot shed_us;
+  constexpr uint64_t kBurst = 100;
+  for (uint64_t i = 0; i < kBurst; ++i) {
+    const uint64_t q0 = obs::NowNanos();
+    auto resp = client.ValueOrDie()->Call(ToRequest(query, i, alpha));
+    const uint64_t us = (obs::NowNanos() - q0) / 1000;
+    if (!resp.ok()) {
+      std::fprintf(stderr, "shed-phase request failed: %s\n",
+                   resp.status().ToString().c_str());
+      std::abort();
+    }
+    ++out.sent;
+    switch (resp.ValueOrDie().outcome) {
+      case net::ResponseOutcome::kOk:
+        ++out.ok;
+        break;
+      case net::ResponseOutcome::kShed:
+        ++out.shed;
+        shed_us.Record(us);
+        break;
+      case net::ResponseOutcome::kError:
+        ++out.error;
+        break;
+    }
+  }
+  out.shed_p50_us = static_cast<double>(shed_us.Quantile(0.50));
+  out.shed_p99_us = static_cast<double>(shed_us.Quantile(0.99));
+  server.Stop();
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  bool smoke = false;
+  uint32_t reps = 0;
+  std::string json_path = "BENCH_serving.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = static_cast<uint32_t>(std::atoi(argv[i] + 7));
+    }
+  }
+  const int tier = smoke ? 0 : 1;
+  // The smoke workload mirrors bench_hotpath's smoke baseline exactly
+  // (tier 0, 20 queries, seed 42, k=10) so the docsum checksum is
+  // comparable against the committed BENCH_hotpath.json.
+  const uint32_t num_queries = smoke ? 20 : 100;
+  if (reps == 0) reps = smoke ? 3 : 20;
+
+  std::printf("building %s (scale %.2f)...\n", kTwitterNames[tier],
+              cfg.scale);
+  Dataset ds = MakeTwitter(cfg, tier);
+  auto inner = BuildI3(ds, cfg.eta);
+  std::vector<std::unique_ptr<SpatialKeywordIndex>> shards;
+  shards.push_back(std::move(inner));
+  ShardedIndex index(std::move(shards));
+  QueryGenerator qgen(ds);
+
+  net::ServerOptions sopts;
+  sopts.worker_threads = 2;
+  net::Server server(&index, sopts);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "server failed to start\n");
+    return 1;
+  }
+  net::ClientOptions copts;
+  copts.port = server.port();
+  copts.recv_timeout_ms = 30000;
+  auto client = net::Client::Connect(copts);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<ServingResult> results;
+  std::vector<Query> shed_query;
+  for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
+    auto queries = qgen.Freq(cfg.default_qn, num_queries, /*k=*/10, sem,
+                             /*seed=*/42);
+    if (shed_query.empty()) shed_query.push_back(queries.front());
+    results.push_back(MeasureSemantics(client.ValueOrDie().get(), &index,
+                                       queries, cfg.default_alpha, reps));
+  }
+  server.Stop();
+
+  const ShedResult shed =
+      MeasureShedding(&index, shed_query.front(), cfg.default_alpha);
+
+  PrintRule(5, 12);
+  PrintRow({"semantics", "qps", "p50us", "p99us", "wire==direct"}, 12);
+  PrintRule(5, 12);
+  for (const ServingResult& r : results) {
+    PrintRow({r.semantics, Fmt(r.qps, 0), Fmt(r.p50_us, 0),
+              Fmt(r.p99_us, 0),
+              r.wire_checksum == r.direct_checksum ? "yes" : "NO"},
+             12);
+  }
+  PrintRule(5, 12);
+  std::printf("shed phase: %" PRIu64 "/%" PRIu64
+              " shed (%" PRIu64 " ok, %" PRIu64 " error), "
+              "shed p50 %.0fus p99 %.0fus\n",
+              shed.shed, shed.sent, shed.ok, shed.error, shed.shed_p50_us,
+              shed.shed_p99_us);
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"serving\",\n"
+               "  \"dataset\": {\"name\": \"%s\", \"docs\": %zu},\n"
+               "  \"config\": {\"k\": 10, \"qn\": %u, \"eta\": %u, "
+               "\"alpha\": %.2f, \"queries\": %u, \"reps\": %u, "
+               "\"smoke\": %s},\n"
+               "  \"results\": [\n",
+               ds.name.c_str(), ds.docs.size(), cfg.default_qn, cfg.eta,
+               cfg.default_alpha, num_queries, reps,
+               smoke ? "true" : "false");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ServingResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"semantics\": \"%s\", \"qps\": %.1f, "
+                 "\"p50_us\": %.0f, \"p99_us\": %.0f, "
+                 "\"wire_checksum\": %" PRIu64 ", "
+                 "\"direct_checksum\": %" PRIu64 ", "
+                 "\"docsum_checksum\": %" PRIu64 "}%s\n",
+                 r.semantics, r.qps, r.p50_us, r.p99_us, r.wire_checksum,
+                 r.direct_checksum, r.docsum_checksum,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"shed\": {\"sent\": %" PRIu64 ", \"ok\": %" PRIu64 ", "
+               "\"shed\": %" PRIu64 ", \"error\": %" PRIu64 ", "
+               "\"shed_p50_us\": %.0f, \"shed_p99_us\": %.0f},\n",
+               shed.sent, shed.ok, shed.shed, shed.error, shed.shed_p50_us,
+               shed.shed_p99_us);
+  // Process-wide metrics snapshot: includes the serving families
+  // (i3_net_requests_total, i3_requests_shed_total, i3_request_latency_us,
+  // ...) the CI gate requires to exist and move.
+  std::fprintf(f, "  \"obs\":\n%s\n}\n",
+               MetricsSnapshotJson("  ").c_str());
+  DumpMetricsIfRequested(cfg);
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace i3
+
+int main(int argc, char** argv) { return i3::bench::Main(argc, argv); }

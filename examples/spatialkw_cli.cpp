@@ -12,6 +12,17 @@
 //                        <and|or> <text...>
 //   spatialkw_cli range  <index-prefix> <minlng> <minlat> <maxlng> <maxlat>
 //                        <and|or> <text...>
+//   spatialkw_cli serve  <index-prefix> [--port=N] [--workers=N]
+//                        [--batch=N] [--rate=R] [--burst=B]
+//                        [--max-queue=N]
+//
+// `serve` loads the index and answers the binary query protocol
+// (src/net/protocol.h) over TCP, plus `GET /metrics` on the same port;
+// --port=0 (the default) picks an ephemeral port, printed as
+// "serving on port N" for scripts (tools/loadgen) to scrape. --rate/
+// --burst set the default per-tenant admission budget (requests/second
+// and bucket size; 0 = unlimited). The process serves until SIGINT or
+// SIGTERM.
 //
 // `build` writes <prefix>.i3 (the index) and <prefix>.vocab (the term
 // dictionary with document frequencies, needed to interpret query text).
@@ -25,6 +36,7 @@
 // "seed=7,read_error=0.01,corrupt=0.005") to exercise the error paths;
 // --deadline-ms=N bounds each query, returning DeadlineExceeded on overrun.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,8 +46,11 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/timer.h"
 #include "i3/i3_index.h"
+#include "model/sharded_index.h"
+#include "net/server.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -314,6 +329,61 @@ int CmdRange(int argc, char** argv) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_stop_serving = 0;
+void HandleStopSignal(int) { g_stop_serving = 1; }
+
+int CmdServe(int argc, char** argv) {
+  if (argc < 3) return Fail("serve needs <index-prefix>");
+  const std::string prefix = argv[2];
+  net::ServerOptions sopts;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      sopts.port = static_cast<uint16_t>(std::atoi(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      sopts.worker_threads = static_cast<uint32_t>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+      sopts.batch_max = static_cast<uint32_t>(std::atoi(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--rate=", 7) == 0) {
+      sopts.default_limit.rate = std::atof(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--burst=", 8) == 0) {
+      sopts.default_limit.burst = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--max-queue=", 12) == 0) {
+      sopts.max_queue = static_cast<size_t>(std::atoll(argv[i] + 12));
+    } else {
+      return Fail(std::string("unknown serve flag: ") + argv[i]);
+    }
+  }
+
+  auto res = LoadIndex(prefix);
+  if (!res.ok()) return Fail(res.status().ToString());
+  // The server runs over the sharded fan-out layer; a loaded single index
+  // is a one-shard instance of it (same results, same degradation
+  // contract).
+  std::vector<std::unique_ptr<SpatialKeywordIndex>> shards;
+  shards.push_back(res.MoveValue());
+  ShardedIndex index(std::move(shards));
+  std::printf("loaded %s.i3: %llu documents\n", prefix.c_str(),
+              static_cast<unsigned long long>(index.DocumentCount()));
+
+  net::Server server(&index, sopts);
+  auto st = server.Start();
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("serving on port %u\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_serving == 0) {
+    DeadlineTimer::SleepFor(/*us=*/100000);
+  }
+  std::printf("shutting down: %llu ok, %llu shed, %llu error\n",
+              static_cast<unsigned long long>(server.requests_ok()),
+              static_cast<unsigned long long>(server.requests_shed()),
+              static_cast<unsigned long long>(server.requests_error()));
+  server.Stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -343,7 +413,8 @@ int main(int argc, char** argv) {
 
   if (argc < 2) {
     std::printf(
-        "usage: %s build|stats|query|range ... (see the file header)\n",
+        "usage: %s build|stats|query|range|serve ... (see the file "
+        "header)\n",
         argv[0]);
     return 1;
   }
@@ -356,6 +427,8 @@ int main(int argc, char** argv) {
     rc = CmdQuery(argc, argv);
   } else if (std::strcmp(argv[1], "range") == 0) {
     rc = CmdRange(argc, argv);
+  } else if (std::strcmp(argv[1], "serve") == 0) {
+    rc = CmdServe(argc, argv);
   } else {
     return Fail(std::string("unknown command: ") + argv[1]);
   }

@@ -291,6 +291,40 @@ Result<std::vector<std::vector<ScoredDoc>>> ShardedIndex::SearchMany(
   return out;
 }
 
+std::vector<ShardedIndex::BatchItemResult> ShardedIndex::SearchBatch(
+    const std::vector<BatchItem>& items) {
+  std::vector<BatchItemResult> out(items.size());
+  auto run_one = [&](size_t i) {
+    const uint64_t t0 = obs::NowNanos();
+    FanOutOutcome outcome;
+    auto res = SearchSequential(items[i].query, items[i].alpha,
+                                /*trace=*/nullptr, &outcome);
+    search_latency_us_[items[i].query.semantics == Semantics::kAnd ? 0 : 1]
+        ->Record((obs::NowNanos() - t0) / 1000);
+    BatchItemResult& r = out[i];
+    r.failed_shards = outcome.failed;
+    if (!res.ok()) {
+      r.status = res.status();
+      return;
+    }
+    r.results = res.MoveValue();
+    r.degraded = outcome.failed > 0;
+    if (r.degraded) degraded_metric_->Increment(1);
+  };
+  if (pool_ == nullptr || items.size() <= 1) {
+    for (size_t i = 0; i < items.size(); ++i) run_one(i);
+  } else {
+    pool_->ParallelFor(items.size(), run_one);
+  }
+  if (!items.empty()) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    for (const BatchItemResult& r : out) {
+      if (r.degraded) ++degraded_queries_;
+    }
+  }
+  return out;
+}
+
 uint64_t ShardedIndex::DocumentCount() const {
   uint64_t total = 0;
   for (const auto& s : shards_) {

@@ -108,6 +108,39 @@ class ShardedIndex final : public SpatialKeywordIndex {
   Result<std::vector<std::vector<ScoredDoc>>> SearchMany(
       const std::vector<Query>& queries, double alpha);
 
+  /// \brief One request of a SearchBatch: a query plus its own alpha (the
+  /// serving wire protocol carries alpha per request, unlike SearchMany's
+  /// shared alpha).
+  struct BatchItem {
+    Query query;
+    double alpha = 0.5;
+  };
+
+  /// \brief Per-item outcome of a SearchBatch. Unlike SearchMany (strict:
+  /// the first error aborts the whole batch) every item gets an
+  /// independent disposition, and unlike Search the degraded flag is
+  /// returned in-band instead of through LastSearchStats -- the serving
+  /// front end answers many interleaved requests and cannot rely on a
+  /// last-query stats slot.
+  struct BatchItemResult {
+    /// ok() => `results` is a valid (possibly degraded) top-k.
+    Status status;
+    std::vector<ScoredDoc> results;
+    /// Some -- but not all -- shards failed; see the degradation contract.
+    bool degraded = false;
+    uint32_t failed_shards = 0;
+  };
+
+  /// \brief The serving batch hook: answers every item under the
+  /// per-query degradation contract (partial top-k with `degraded` set
+  /// when some shards fail; an error status only when all fail or the
+  /// deadline expired before any shard answered). Items run in parallel
+  /// on the internal pool when search_threads > 0, sequentially
+  /// otherwise; results come back in item order either way. Never
+  /// returns a short vector -- out.size() == items.size() always.
+  std::vector<BatchItemResult> SearchBatch(
+      const std::vector<BatchItem>& items);
+
   bool SupportsConcurrentSearch() const override { return true; }
 
   /// \brief Stats of the most recent Search (any thread): shards queried,

@@ -1,0 +1,189 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/deadline.h"
+
+namespace i3 {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+Result<int> ConnectOnce(const std::string& host, uint16_t port,
+                        uint32_t recv_timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st = Errno("connect");
+    ::close(fd);
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = static_cast<long>(recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  return fd;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(const ClientOptions& opts) {
+  Status last = Status::IOError("no connect attempt made");
+  for (uint32_t attempt = 0; attempt <= opts.connect_retries; ++attempt) {
+    if (attempt > 0) {
+      DeadlineTimer::SleepFor(uint64_t{opts.retry_delay_ms} * 1000);
+    }
+    auto fd = ConnectOnce(opts.host, opts.port, opts.recv_timeout_ms);
+    if (fd.ok()) {
+      return std::unique_ptr<Client>(new Client(fd.ValueOrDie(), opts));
+    }
+    last = fd.status();
+  }
+  return last;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::SendBytes(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < len) {
+    size_t n = len - sent;
+    if (opts_.write_chunk > 0) n = std::min(n, opts_.write_chunk);
+    const ssize_t w = ::send(fd_, p + sent, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(w);
+    if (opts_.write_chunk > 0 && opts_.write_chunk_delay_us > 0 &&
+        sent < len) {
+      DeadlineTimer::SleepFor(opts_.write_chunk_delay_us);
+    }
+  }
+  return Status::OK();
+}
+
+Status Client::Send(const Request& req) {
+  std::string frame;
+  EncodeRequest(req, &frame);
+  return SendBytes(frame.data(), frame.size());
+}
+
+Result<Response> Client::ReadResponse() {
+  char chunk[4096];
+  while (true) {
+    uint32_t payload_len = 0;
+    const FrameStatus fs =
+        NextFrame(reinterpret_cast<const uint8_t*>(read_buf_.data()),
+                  read_buf_.size(), &payload_len);
+    if (fs == FrameStatus::kTooLarge) {
+      return Status::Corruption("oversized response frame");
+    }
+    if (fs == FrameStatus::kReady) {
+      auto resp = DecodeResponse(
+          reinterpret_cast<const uint8_t*>(read_buf_.data()) +
+              kFrameHeaderBytes,
+          payload_len);
+      read_buf_.erase(0, kFrameHeaderBytes + payload_len);
+      return resp;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      read_buf_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed by server");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("response read timed out");
+    }
+    return Errno("recv");
+  }
+}
+
+Result<Response> Client::Call(const Request& req) {
+  I3_RETURN_NOT_OK(Send(req));
+  return ReadResponse();
+}
+
+Status Client::Ping() {
+  Request req;
+  req.type = MessageType::kPing;
+  req.request_id = 0xFFFFFFFF00000001ull;
+  auto resp = Call(req);
+  if (!resp.ok()) return resp.status();
+  if (resp.ValueOrDie().outcome != ResponseOutcome::kOk ||
+      resp.ValueOrDie().request_id != req.request_id) {
+    return Status::Internal("bad pong");
+  }
+  return Status::OK();
+}
+
+void Client::CloseWrite() { ::shutdown(fd_, SHUT_WR); }
+
+Result<std::string> HttpGet(const std::string& host, uint16_t port,
+                            const std::string& path) {
+  auto fd = ConnectOnce(host, port, /*recv_timeout_ms=*/10000);
+  if (!fd.ok()) return fd.status();
+  const int sock = fd.ValueOrDie();
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: " + host + "\r\n\r\n";
+  size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t w =
+        ::send(sock, req.data() + sent, req.size() - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      const Status st = Errno("send");
+      ::close(sock);
+      return st;
+    }
+    sent += static_cast<size_t>(w);
+  }
+  std::string out;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(sock, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      out.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // server closes after the one-shot response
+  }
+  ::close(sock);
+  if (out.empty()) return Status::IOError("empty HTTP response");
+  return out;
+}
+
+}  // namespace net
+}  // namespace i3

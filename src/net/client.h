@@ -1,0 +1,91 @@
+// Blocking client for the serving protocol: used by tools/loadgen, the
+// loopback test suites, and bench_serving. Deliberately simple -- one
+// in-flight pipeline per connection, synchronous syscalls -- because its
+// jobs are correctness checking and load generation, not throughput
+// records.
+//
+// The fuzz/property tests also drive the raw edges: SendBytes writes
+// arbitrary (possibly damaged) bytes, write_chunk simulates slow clients
+// dribbling a frame across many packets, and ReadResponse cleanly reports
+// a server-side close.
+
+#ifndef I3_NET_CLIENT_H_
+#define I3_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/protocol.h"
+
+namespace i3 {
+namespace net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Extra connect attempts (the CI integration test races server
+  /// startup), retry_delay_ms apart.
+  uint32_t connect_retries = 0;
+  uint32_t retry_delay_ms = 50;
+  /// When > 0, writes go out in chunks of at most this many bytes with
+  /// write_chunk_delay_us between them -- a slow/partial-write client.
+  size_t write_chunk = 0;
+  uint32_t write_chunk_delay_us = 0;
+  /// SO_RCVTIMEO in milliseconds; 0 blocks forever. Reads that time out
+  /// return Status::DeadlineExceeded.
+  uint32_t recv_timeout_ms = 0;
+};
+
+/// \brief One blocking protocol connection.
+class Client {
+ public:
+  static Result<std::unique_ptr<Client>> Connect(const ClientOptions& opts);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// \brief Encodes and writes one request frame (honoring write_chunk).
+  Status Send(const Request& req);
+
+  /// \brief Writes raw bytes verbatim -- the fuzz tests' entry point for
+  /// damaged frames and hostile length prefixes.
+  Status SendBytes(const void* data, size_t len);
+
+  /// \brief Blocks for the next response frame. A clean server-side
+  /// close is IOError("connection closed by server"); an undecodable
+  /// response is Corruption.
+  Result<Response> ReadResponse();
+
+  /// \brief Send + ReadResponse. With pipelining in flight, match ids
+  /// yourself instead.
+  Result<Response> Call(const Request& req);
+
+  /// \brief Round-trips a ping.
+  Status Ping();
+
+  /// \brief Half-close (shutdown write side); reads still drain.
+  void CloseWrite();
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd, ClientOptions opts)
+      : fd_(fd), opts_(std::move(opts)) {}
+
+  int fd_;
+  ClientOptions opts_;
+  std::string read_buf_;
+};
+
+/// \brief One-shot HTTP GET against the server's metrics side channel;
+/// returns the raw response (status line + headers + body).
+Result<std::string> HttpGet(const std::string& host, uint16_t port,
+                            const std::string& path);
+
+}  // namespace net
+}  // namespace i3
+
+#endif  // I3_NET_CLIENT_H_

@@ -1,0 +1,571 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/clock.h"
+#include "obs/export.h"
+
+namespace i3 {
+namespace net {
+
+namespace {
+
+/// epoll user-data tags for the two non-connection descriptors;
+/// connection ids start above them.
+constexpr uint64_t kListenerTag = 0;
+constexpr uint64_t kWakeTag = 1;
+constexpr uint64_t kFirstConnId = 2;
+
+constexpr size_t kReadChunk = 4096;
+/// An HTTP request line + headers larger than this is not /metrics.
+constexpr size_t kMaxHttpHeader = 8192;
+
+/// Best-effort request id of an undecodable-but-framed payload, so the
+/// error response still matches the client's outstanding request.
+uint64_t PeekRequestId(const uint8_t* payload, size_t len) {
+  if (len < 12) return 0;
+  const uint16_t magic = static_cast<uint16_t>(payload[0]) |
+                         static_cast<uint16_t>(payload[1]) << 8;
+  if (magic != kRequestMagic) return 0;
+  uint64_t id = 0;
+  for (int i = 7; i >= 0; --i) id = id << 8 | payload[4 + i];
+  return id;
+}
+
+Response ErrorResponse(uint64_t request_id, const Status& st) {
+  Response resp;
+  resp.outcome = ResponseOutcome::kError;
+  resp.request_id = request_id;
+  resp.code = st.code();
+  resp.message = st.message().substr(0, kMaxErrorMessage);
+  return resp;
+}
+
+}  // namespace
+
+/// Loop-thread-only per-connection state.
+struct Server::Connection {
+  uint64_t id = 0;
+  int fd = -1;
+  /// Unconsumed inbound bytes (partial frames accumulate here).
+  std::vector<uint8_t> read_buf;
+  /// Encoded-but-unsent outbound bytes.
+  std::string write_buf;
+  size_t write_pos = 0;
+  /// Protocol sniffed from the first bytes: binary frames or one-shot
+  /// HTTP (metrics scrape).
+  enum class Mode { kUnknown, kBinary, kHttp } mode = Mode::kUnknown;
+  /// Set when the connection must close once write_buf drains.
+  bool close_after_flush = false;
+  /// Whether EPOLLOUT is currently armed.
+  bool want_write = false;
+};
+
+Server::Server(ShardedIndex* index, ServerOptions options)
+    : index_(index),
+      options_(std::move(options)),
+      limiter_(options_.default_limit) {
+  for (const auto& [tenant, limit] : options_.tenant_limits) {
+    limiter_.SetLimit(tenant, limit);
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  connections_gauge_ =
+      reg.GetGauge("i3_net_connections", "Open client connections.");
+  queue_depth_gauge_ = reg.GetGauge(
+      "i3_net_queue_depth", "Admitted requests waiting for a worker.");
+  shed_metric_ = reg.GetCounter(
+      "i3_requests_shed_total",
+      "Requests rejected by admission control (token bucket or queue "
+      "bound) before reaching the index.");
+  protocol_errors_metric_ = reg.GetCounter(
+      "i3_net_protocol_errors_total",
+      "Frames rejected as malformed, oversized, or desynchronized.");
+  degraded_metric_ = reg.GetCounter(
+      "i3_net_degraded_responses_total",
+      "OK responses flagged degraded (partial top-k after shard "
+      "failures).");
+  const char* outcomes[3] = {"ok", "shed", "error"};
+  for (int i = 0; i < 3; ++i) {
+    requests_metric_[i] =
+        reg.GetCounter("i3_net_requests_total", "Requests by disposition.",
+                       {{"outcome", outcomes[i]}});
+    latency_us_[i] = reg.GetHistogram(
+        "i3_request_latency_us",
+        "Wire-request latency from admission to response enqueue.",
+        {{"outcome", outcomes[i]}});
+  }
+  batch_size_ = reg.GetHistogram(
+      "i3_net_batch_size", "Requests answered per SearchBatch call.");
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load()) return Status::InvalidArgument("already running");
+  if (index_ == nullptr) return Status::InvalidArgument("null index");
+  if (options_.worker_threads == 0) {
+    return Status::InvalidArgument("worker_threads must be >= 1");
+  }
+  if (options_.batch_max == 0) {
+    return Status::InvalidArgument("batch_max must be >= 1");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return Status::IOError("socket: " + std::string(
+                                                 std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    Stop();
+    return Status::InvalidArgument("bad host: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st = Status::IOError("bind: " +
+                                      std::string(std::strerror(errno)));
+    Stop();
+    return st;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const Status st = Status::IOError("listen: " +
+                                      std::string(std::strerror(errno)));
+    Stop();
+    return st;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Stop();
+    return Status::IOError("epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  stopping_.store(false);
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { RunLoop(); });
+  workers_.reserve(options_.worker_threads);
+  for (uint32_t i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { RunWorker(); });
+  }
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!stopping_.exchange(true)) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      // Wake every worker so they observe stopping_.
+    }
+    queue_cv_.notify_all();
+    if (wake_fd_ >= 0) {
+      const uint64_t one = 1;
+      [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+    }
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // The loop closed every connection on exit; tear down the listener and
+  // loop descriptors here so a failed Start() can also call Stop().
+  for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.clear();
+  }
+  queue_depth_gauge_->Set(0);
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::RunLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout=*/100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kListenerTag) {
+        AcceptAll();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        uint64_t drain;
+        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        DrainOutbox();
+        continue;
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;
+      Connection* conn = it->second.get();
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(conn);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) {
+        HandleReadable(conn);
+        if (conns_.find(tag) == conns_.end()) continue;  // closed above
+      }
+      if (events[i].events & EPOLLOUT) HandleWritable(conn);
+    }
+    // Responses may have been posted while epoll_wait slept between
+    // eventfd notifications; drain opportunistically.
+    DrainOutbox();
+  }
+  // Shutdown: close every connection (pending responses are dropped; the
+  // peers see a clean close).
+  std::vector<Connection*> open;
+  open.reserve(conns_.size());
+  for (auto& [id, conn] : conns_) open.push_back(conn.get());
+  for (Connection* conn : open) CloseConnection(conn);
+}
+
+void Server::AcceptAll() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error; epoll will re-arm
+    if (conns_.size() >= options_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    connections_gauge_->Add(1);
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void Server::HandleReadable(Connection* conn) {
+  uint8_t chunk[kReadChunk];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn->read_buf.insert(conn->read_buf.end(), chunk, chunk + n);
+      if (n < static_cast<ssize_t>(sizeof(chunk))) break;
+      continue;
+    }
+    if (n == 0) {  // orderly peer close
+      CloseConnection(conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn);
+    return;
+  }
+  if (conn->read_buf.empty()) return;
+  if (conn->mode == Connection::Mode::kUnknown) {
+    // Sniff once: an HTTP metrics scrape starts with "GET "; anything
+    // else is the binary protocol (whose length prefix can never spell
+    // ASCII "GET " -- that value exceeds kMaxFramePayload).
+    if (conn->read_buf.size() < 4) return;
+    conn->mode = std::memcmp(conn->read_buf.data(), "GET ", 4) == 0
+                     ? Connection::Mode::kHttp
+                     : Connection::Mode::kBinary;
+  }
+  const bool keep = conn->mode == Connection::Mode::kHttp
+                        ? ConsumeHttp(conn)
+                        : ConsumeFrames(conn);
+  // A protocol violation (or a one-shot HTTP exchange) closes after any
+  // queued response drains. FlushWrites may free conn, so it is the last
+  // thing this handler touches.
+  if (!keep) conn->close_after_flush = true;
+  FlushWrites(conn);
+}
+
+void Server::HandleWritable(Connection* conn) { FlushWrites(conn); }
+
+bool Server::ConsumeFrames(Connection* conn) {
+  size_t consumed = 0;
+  const uint64_t arrival_ns = obs::NowNanos();
+  while (true) {
+    const uint8_t* base = conn->read_buf.data() + consumed;
+    const size_t avail = conn->read_buf.size() - consumed;
+    uint32_t payload_len = 0;
+    const FrameStatus fs = NextFrame(base, avail, &payload_len);
+    if (fs == FrameStatus::kNeedMore) break;
+    if (fs == FrameStatus::kTooLarge) {
+      protocol_errors_metric_->Increment();
+      QueueResponse(
+          conn, ErrorResponse(0, Status::InvalidArgument(
+                                     "frame exceeds maximum payload size")));
+      conn->read_buf.clear();
+      return false;  // stream cannot be resynchronized
+    }
+    const uint8_t* payload = base + kFrameHeaderBytes;
+    auto req = DecodeRequest(payload, payload_len);
+    consumed += kFrameHeaderBytes + payload_len;
+    if (!req.ok()) {
+      protocol_errors_metric_->Increment();
+      QueueResponse(conn, ErrorResponse(PeekRequestId(payload, payload_len),
+                                        req.status()));
+      // Framing is still sound (the length prefix was honored), so the
+      // connection survives a malformed payload.
+      continue;
+    }
+    DispatchRequest(conn, req.MoveValue(), arrival_ns);
+  }
+  conn->read_buf.erase(conn->read_buf.begin(),
+                       conn->read_buf.begin() + consumed);
+  return true;
+}
+
+void Server::DispatchRequest(Connection* conn, Request req,
+                             uint64_t arrival_ns) {
+  if (req.type == MessageType::kPing) {
+    Response pong;
+    pong.request_id = req.request_id;
+    QueueResponse(conn, pong);
+    return;
+  }
+  // Admission control, on the loop thread: a rejected request costs one
+  // bucket probe and an immediate response -- it never queues behind
+  // index work, which is what keeps shed latency bounded under overload.
+  const char* shed_reason = nullptr;
+  if (!limiter_.Admit(req.tenant, arrival_ns)) {
+    shed_reason = "tenant rate limit exceeded";
+  } else {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_.size() >= options_.max_queue) {
+      shed_reason = "server overloaded (queue full)";
+    } else {
+      WorkItem item;
+      item.conn_id = conn->id;
+      item.request_id = req.request_id;
+      item.arrival_ns = arrival_ns;
+      item.item.query = req.ToQuery();
+      if (req.deadline_ms > 0) {
+        // Propagate the wire deadline: anchor the absolute budget now so
+        // queue wait is charged against it.
+        item.item.query.control =
+            QueryControl::AfterMicros(uint64_t{req.deadline_ms} * 1000);
+      }
+      item.item.alpha = req.alpha;
+      queue_.push_back(std::move(item));
+      queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+    }
+  }
+  if (shed_reason != nullptr) {
+    shed_metric_->Increment();
+    Response shed;
+    shed.outcome = ResponseOutcome::kShed;
+    shed.request_id = req.request_id;
+    shed.message = shed_reason;
+    QueueResponse(conn, shed);
+    RecordOutcome(ResponseOutcome::kShed, /*degraded=*/false, arrival_ns);
+    return;
+  }
+  queue_cv_.notify_one();
+}
+
+bool Server::ConsumeHttp(Connection* conn) {
+  static constexpr char kDelim[] = "\r\n\r\n";
+  const auto& buf = conn->read_buf;
+  auto it = std::search(buf.begin(), buf.end(), kDelim, kDelim + 4);
+  if (it == buf.end()) {
+    return buf.size() <= kMaxHttpHeader;  // keep reading headers
+  }
+  const std::string request_line(buf.begin(), it);
+  const size_t path_begin = request_line.find(' ');
+  const size_t path_end = request_line.find(' ', path_begin + 1);
+  std::string path = "/";
+  if (path_begin != std::string::npos && path_end != std::string::npos) {
+    path = request_line.substr(path_begin + 1, path_end - path_begin - 1);
+  }
+  std::string body, status_line;
+  if (path == "/metrics") {
+    status_line = "HTTP/1.1 200 OK";
+    body = obs::ToPrometheusText(obs::MetricsRegistry::Global().Snapshot());
+  } else {
+    status_line = "HTTP/1.1 404 Not Found";
+    body = "not found\n";
+  }
+  conn->write_buf += status_line +
+                     "\r\nContent-Type: text/plain; version=0.0.4"
+                     "\r\nConnection: close"
+                     "\r\nContent-Length: " +
+                     std::to_string(body.size()) + "\r\n\r\n" + body;
+  return false;  // one-shot: close after the response flushes
+}
+
+void Server::QueueResponse(Connection* conn, const Response& resp) {
+  // Append-only: the caller flushes when it is done touching conn
+  // (FlushWrites may close and free the connection).
+  EncodeResponse(resp, &conn->write_buf);
+}
+
+void Server::PostResponse(uint64_t conn_id, const Response& resp) {
+  Outbound out;
+  out.conn_id = conn_id;
+  EncodeResponse(resp, &out.bytes);
+  {
+    std::lock_guard<std::mutex> lock(outbox_mutex_);
+    outbox_.push_back(std::move(out));
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::DrainOutbox() {
+  std::vector<Outbound> batch;
+  {
+    std::lock_guard<std::mutex> lock(outbox_mutex_);
+    batch.swap(outbox_);
+  }
+  for (Outbound& out : batch) {
+    auto it = conns_.find(out.conn_id);
+    if (it == conns_.end()) continue;  // client left; drop the response
+    Connection* conn = it->second.get();
+    conn->write_buf += out.bytes;
+    FlushWrites(conn);
+  }
+}
+
+void Server::FlushWrites(Connection* conn) {
+  while (conn->write_pos < conn->write_buf.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->write_buf.data() + conn->write_pos,
+               conn->write_buf.size() - conn->write_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->write_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!conn->want_write) {
+        conn->want_write = true;
+        UpdateEpoll(conn);
+      }
+      return;
+    }
+    CloseConnection(conn);
+    return;
+  }
+  conn->write_buf.clear();
+  conn->write_pos = 0;
+  if (conn->want_write) {
+    conn->want_write = false;
+    UpdateEpoll(conn);
+  }
+  if (conn->close_after_flush) CloseConnection(conn);
+}
+
+void Server::UpdateEpoll(Connection* conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (conn->want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = conn->id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void Server::CloseConnection(Connection* conn) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  connections_gauge_->Sub(1);
+  conns_.erase(conn->id);  // frees conn
+}
+
+void Server::RecordOutcome(ResponseOutcome outcome, bool degraded,
+                           uint64_t arrival_ns) {
+  const int idx = static_cast<int>(outcome);
+  requests_metric_[idx]->Increment();
+  latency_us_[idx]->Record((obs::NowNanos() - arrival_ns) / 1000);
+  switch (outcome) {
+    case ResponseOutcome::kOk:
+      ok_count_.fetch_add(1, std::memory_order_relaxed);
+      if (degraded) degraded_metric_->Increment();
+      break;
+    case ResponseOutcome::kShed:
+      shed_count_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseOutcome::kError:
+      error_count_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+void Server::RunWorker() {
+  std::vector<WorkItem> taken;
+  std::vector<ShardedIndex::BatchItem> items;
+  while (true) {
+    taken.clear();
+    items.clear();
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) || !queue_.empty();
+      });
+      if (stopping_.load(std::memory_order_acquire)) return;
+      const size_t take = std::min<size_t>(options_.batch_max, queue_.size());
+      for (size_t i = 0; i < take; ++i) {
+        taken.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+      if (!queue_.empty()) queue_cv_.notify_one();
+    }
+    batch_size_->Record(taken.size());
+    items.reserve(taken.size());
+    for (const WorkItem& w : taken) items.push_back(w.item);
+    const auto results = index_->SearchBatch(items);
+    for (size_t i = 0; i < taken.size(); ++i) {
+      const auto& r = results[i];
+      Response resp;
+      resp.request_id = taken[i].request_id;
+      if (r.status.ok()) {
+        resp.outcome = ResponseOutcome::kOk;
+        resp.degraded = r.degraded;
+        resp.results = r.results;
+      } else {
+        resp = ErrorResponse(taken[i].request_id, r.status);
+      }
+      RecordOutcome(resp.outcome, resp.degraded, taken[i].arrival_ns);
+      PostResponse(taken[i].conn_id, resp);
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace i3

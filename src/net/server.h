@@ -1,0 +1,206 @@
+// The async network serving front end: an epoll-based event-loop TCP
+// server answering the length-prefixed query protocol (net/protocol.h)
+// over a ShardedIndex.
+//
+// Architecture (DESIGN.md §12):
+//
+//   accept/read/write ──> [event-loop thread] ──decode──> admission
+//        ▲                                                 │
+//        │  eventfd                                 shed?──┴──> queue
+//        │                                                       │
+//   [outbox] <──encode── [worker threads] <──batch (SearchBatch)─┘
+//
+//  - One event-loop thread owns the listener, every connection, and all
+//    epoll state; no connection structure is ever touched off-loop, so
+//    the I/O plane needs no locks.
+//  - Parsed requests pass admission control (per-tenant token buckets +
+//    a global queue-depth bound) on the loop thread. Rejected requests
+//    get an immediate "shed" response that never waits behind index
+//    work -- the fast path a saturating tenant cannot congest.
+//  - Admitted requests are queued; worker threads drain them in batches
+//    of up to `batch_max` and answer each batch with one
+//    ShardedIndex::SearchBatch call (per-item alpha and degraded
+//    outcome). Encoded responses go to the outbox; an eventfd wakes the
+//    loop to write them out, with partial writes buffered under
+//    EPOLLOUT.
+//  - Deadlines propagate from the wire: a request's relative
+//    `deadline_ms` becomes an absolute QueryControl deadline at
+//    admission, so queue wait counts against the budget and an overrun
+//    degrades or fails exactly like a library-level deadline.
+//  - A connection whose first bytes are an HTTP request line is served
+//    as a one-shot HTTP client: `GET /metrics` returns the process
+//    metrics registry in Prometheus text format, anything else 404.
+//
+// Protocol violations (bad magic, oversized length prefix) answer with a
+// clean error response and close the connection -- a desynchronized
+// stream cannot be trusted further. Malformed-but-framed requests answer
+// with an error and keep the connection (framing is still sound).
+
+#ifndef I3_NET_SERVER_H_
+#define I3_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "model/sharded_index.h"
+#include "net/protocol.h"
+#include "net/token_bucket.h"
+#include "obs/metrics.h"
+
+namespace i3 {
+namespace net {
+
+struct ServerOptions {
+  /// Interface to bind ("127.0.0.1" for loopback-only serving).
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (see Server::port()).
+  uint16_t port = 0;
+  /// Search worker threads draining the request queue.
+  uint32_t worker_threads = 2;
+  /// Requests a worker answers with one SearchBatch call. Larger batches
+  /// amortize wakeups under load; a batch never waits for fill -- a
+  /// worker takes whatever is queued, up to this cap.
+  uint32_t batch_max = 16;
+  /// Default per-tenant admission limit (rate <= 0 = unlimited).
+  TenantLimit default_limit;
+  /// Per-tenant overrides.
+  std::vector<std::pair<uint32_t, TenantLimit>> tenant_limits;
+  /// Admitted-but-unserved requests the queue may hold before the server
+  /// sheds regardless of tenant budgets (overload backstop). 0 sheds
+  /// every search request -- useful to tests, not to production.
+  size_t max_queue = 4096;
+  /// Accepted connections beyond this are closed immediately.
+  size_t max_connections = 1024;
+};
+
+/// \brief The serving front end. Start() binds and spawns the event loop
+/// and workers; Stop() (or destruction) shuts everything down. Searches
+/// run against the caller-owned index, which must outlive the server.
+class Server {
+ public:
+  Server(ShardedIndex* index, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// \brief Binds, listens, and starts serving. InvalidArgument /
+  /// IOError on bad options or socket failure.
+  Status Start();
+
+  /// \brief Stops accepting, closes every connection, joins all
+  /// threads. Idempotent. Queued-but-unanswered requests are dropped
+  /// (their connections are closing anyway).
+  void Stop();
+
+  /// The bound port (after Start(); with options.port == 0 this is the
+  /// kernel-assigned ephemeral port).
+  uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Cumulative dispositions (also exported as metrics; these accessors
+  /// keep tests independent of registry state).
+  uint64_t requests_ok() const { return ok_count_.load(); }
+  uint64_t requests_shed() const { return shed_count_.load(); }
+  uint64_t requests_error() const { return error_count_.load(); }
+
+ private:
+  struct Connection;
+
+  /// One admitted request travelling loop -> worker.
+  struct WorkItem {
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;
+    uint64_t arrival_ns = 0;
+    ShardedIndex::BatchItem item;
+  };
+
+  /// One encoded response travelling worker -> loop.
+  struct Outbound {
+    uint64_t conn_id = 0;
+    std::string bytes;
+  };
+
+  void RunLoop();
+  void RunWorker();
+
+  void AcceptAll();
+  void HandleReadable(Connection* conn);
+  void HandleWritable(Connection* conn);
+  /// Consumes complete frames from conn's read buffer; returns false if
+  /// the connection must close (protocol violation).
+  bool ConsumeFrames(Connection* conn);
+  /// Dispatches one decoded request: ping, shed, or enqueue for workers.
+  void DispatchRequest(Connection* conn, Request req, uint64_t arrival_ns);
+  /// Serves the HTTP side channel; returns false to close.
+  bool ConsumeHttp(Connection* conn);
+
+  /// Appends an encoded response to conn's write buffer (loop thread);
+  /// the caller flushes once it is done touching conn.
+  void QueueResponse(Connection* conn, const Response& resp);
+  /// Worker-side: encode + hand to the outbox, wake the loop.
+  void PostResponse(uint64_t conn_id, const Response& resp);
+  void DrainOutbox();
+  void FlushWrites(Connection* conn);
+  void CloseConnection(Connection* conn);
+  void UpdateEpoll(Connection* conn);
+
+  void RecordOutcome(ResponseOutcome outcome, bool degraded,
+                     uint64_t arrival_ns);
+
+  ShardedIndex* index_;
+  ServerOptions options_;
+  TenantRateLimiter limiter_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  /// Loop-thread-only connection table (id -> connection). Ids start
+  /// above the reserved epoll tags (listener, wake eventfd).
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 2;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<WorkItem> queue_;
+
+  std::mutex outbox_mutex_;
+  std::vector<Outbound> outbox_;
+
+  std::atomic<uint64_t> ok_count_{0};
+  std::atomic<uint64_t> shed_count_{0};
+  std::atomic<uint64_t> error_count_{0};
+
+  // Cached metric handles (registration is slow-path; see obs/metrics.h).
+  obs::Gauge* connections_gauge_;
+  obs::Gauge* queue_depth_gauge_;
+  obs::Counter* shed_metric_;
+  obs::Counter* protocol_errors_metric_;
+  obs::Counter* degraded_metric_;
+  obs::Counter* requests_metric_[3];   ///< by ResponseOutcome
+  obs::Histogram* latency_us_[3];      ///< by ResponseOutcome
+  obs::Histogram* batch_size_;
+};
+
+}  // namespace net
+}  // namespace i3
+
+#endif  // I3_NET_SERVER_H_

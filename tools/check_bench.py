@@ -17,12 +17,31 @@ embedded in the committed ``BENCH_hotpath.json`` and fails when:
     ``i3_blockmax_prunes_total`` (which must also show the machinery
     actually fired).
 
+The serving stack has its own gate: ``--serving-candidate`` takes a
+``bench_serving --smoke`` JSON and fails when:
+
+  * a wire checksum differs from the in-process direct-search checksum
+    (the server must serve byte-identical results, scores and order
+    included);
+  * a wire ``docsum_checksum`` differs from the committed hot-path
+    smoke baseline's ``checksum`` -- the serving workload is the exact
+    hot-path smoke workload, so the answers served over TCP must be the
+    very answers the committed baseline records;
+  * the forced-overload phase shed nothing, produced errors, or lost
+    requests (``ok + shed != sent``);
+  * a required serving metric series is missing or never moved:
+    ``i3_requests_shed_total``, the ``i3_net_requests_total`` outcome
+    counters, and the ``i3_request_latency_us`` histogram.
+
 Timing figures (qps, percentiles) are deliberately NOT gated: CI runners
-are too noisy. Checksums and page counts are noise-free.
+are too noisy. Checksums, outcome counts, and page counts are
+noise-free.
 
 Usage:
   check_bench.py --candidate BENCH_hotpath_smoke.json \
                  --baseline BENCH_hotpath.json [--max-regress 0.10]
+  check_bench.py --serving-candidate BENCH_serving_smoke.json \
+                 --baseline BENCH_hotpath.json
   check_bench.py --self-test
 
 ``--self-test`` feeds the checker doctored inputs (checksum drift, page
@@ -104,17 +123,10 @@ def check_metrics(candidate):
                 raise GateFailure(f"missing {field} in results")
 
     metrics = candidate["obs"]["metrics"]
-    by_name = {}
-    for m in metrics:
-        by_name.setdefault(m["name"], []).append(m)
+    by_name = metric_index(candidate)
 
     def require(name, check, what):
-        if name not in by_name:
-            raise GateFailure(f"missing metric family {name}")
-        ok = [m for m in by_name[name] if check(m)]
-        if not ok:
-            raise GateFailure(f"{name}: no series satisfies: {what}")
-        return ok
+        return require_metric(by_name, name, check, what)
 
     require(
         "i3_query_latency_us",
@@ -157,6 +169,118 @@ def check_metrics(candidate):
         f"{pruned[0]['value']:.0f} block-max prunes"
     )
     print(f"  metrics OK: {len(metrics)} series")
+
+
+def metric_index(candidate):
+    by_name = {}
+    for m in candidate["obs"]["metrics"]:
+        by_name.setdefault(m["name"], []).append(m)
+    return by_name
+
+
+def require_metric(by_name, name, check, what):
+    if name not in by_name:
+        raise GateFailure(f"missing metric family {name}")
+    ok = [m for m in by_name[name] if check(m)]
+    if not ok:
+        raise GateFailure(f"{name}: no series satisfies: {what}")
+    return ok
+
+
+def check_serving(serving, baseline):
+    """Gates a ``bench_serving --smoke`` run (see module docstring)."""
+    if not serving.get("config", {}).get("smoke"):
+        raise GateFailure("serving candidate JSON is not a --smoke run")
+    base = baseline_entries(baseline)
+    # qps / shed-latency in the embedded serving_smoke entry are reference
+    # figures only (timing is never gated); its checksums are.
+    serving_base = {
+        e["semantics"]: e
+        for e in baseline.get("serving_smoke", {}).get("results", [])
+    }
+    results = serving.get("results", [])
+    if not results:
+        raise GateFailure("serving candidate JSON has no results")
+    for r in results:
+        sem = r["semantics"]
+        if r["wire_checksum"] != r["direct_checksum"]:
+            raise GateFailure(
+                f"serving {sem}: wire checksum {r['wire_checksum']} != "
+                f"direct {r['direct_checksum']} -- the server returned "
+                "different results than ShardedIndex::Search"
+            )
+        if sem not in base:
+            raise GateFailure(f"baseline has no {sem} entry")
+        if r["docsum_checksum"] != base[sem]["checksum"]:
+            raise GateFailure(
+                f"serving {sem}: wire docsum {r['docsum_checksum']} != "
+                f"committed hot-path baseline {base[sem]['checksum']} -- "
+                "answers served over the wire drifted from the baseline"
+            )
+        if sem in serving_base and (
+            r["docsum_checksum"] != serving_base[sem]["checksum"]
+        ):
+            raise GateFailure(
+                f"serving {sem}: wire docsum {r['docsum_checksum']} != "
+                f"serving_smoke baseline {serving_base[sem]['checksum']}"
+            )
+        ref = (
+            f", qps {r.get('qps', 0):.0f} vs baseline "
+            f"{serving_base[sem]['qps']:.0f} (not gated)"
+            if sem in serving_base
+            else ""
+        )
+        print(
+            f"  serving {sem}: wire == direct == committed baseline "
+            f"({r['docsum_checksum']}){ref}"
+        )
+
+    shed = serving.get("shed", {})
+    if shed.get("sent", 0) <= 0:
+        raise GateFailure("serving shed phase sent no requests")
+    if shed.get("shed", 0) <= 0:
+        raise GateFailure(
+            "serving shed phase shed nothing: admission control never "
+            "fired under a starvation-level tenant budget"
+        )
+    if shed.get("error", 0) != 0:
+        raise GateFailure(
+            f"serving shed phase produced {shed['error']} errors; "
+            "overload must shed cleanly, not fail"
+        )
+    if shed.get("ok", 0) + shed["shed"] != shed["sent"]:
+        raise GateFailure(
+            f"serving shed phase lost requests: ok {shed.get('ok', 0)} + "
+            f"shed {shed['shed']} != sent {shed['sent']}"
+        )
+    print(
+        f"  serving shed phase: {shed['shed']}/{shed['sent']} shed, "
+        f"0 errors, shed p99 {shed.get('shed_p99_us', 0):.0f}us"
+    )
+
+    by_name = metric_index(serving)
+    require_metric(
+        by_name,
+        "i3_requests_shed_total",
+        lambda m: m["value"] > 0,
+        "non-zero shed counter",
+    )
+    require_metric(
+        by_name,
+        "i3_net_requests_total",
+        lambda m: m["labels"].get("outcome") == "ok" and m["value"] > 0,
+        "non-zero ok outcome counter",
+    )
+    require_metric(
+        by_name,
+        "i3_request_latency_us",
+        lambda m: m["type"] == "histogram" and m["count"] > 0,
+        "non-empty request latency histogram",
+    )
+    require_metric(
+        by_name, "i3_net_connections", lambda m: True, "series present"
+    )
+    print(f"  serving metrics OK: {len(serving['obs']['metrics'])} series")
 
 
 def run_gate(candidate, baseline, max_regress):
@@ -265,12 +389,109 @@ def self_test():
     tolerable["results"][0]["pages_per_query"] = 21.5  # +7.5%
     run_gate(tolerable, baseline, 0.10)
     print("self-test: tolerable drift passes")
+
+    serving_self_test(baseline)
     print("self-test OK")
+
+
+def expect_serving_failure(what, serving, baseline):
+    try:
+        check_serving(serving, baseline)
+    except GateFailure as e:
+        print(f"  correctly rejected {what}: {e}")
+        return
+    raise SystemExit(f"self-test: doctored serving input NOT caught: {what}")
+
+
+def serving_self_test(baseline):
+    good = {
+        "config": {"smoke": True},
+        "results": [
+            {
+                "semantics": "AND",
+                "wire_checksum": 999,
+                "direct_checksum": 999,
+                "docsum_checksum": 111,
+            }
+        ],
+        "shed": {"sent": 100, "ok": 5, "shed": 95, "error": 0,
+                 "shed_p99_us": 20},
+        "obs": {
+            "metrics": [
+                {
+                    "name": "i3_requests_shed_total",
+                    "type": "counter",
+                    "value": 95,
+                    "labels": {},
+                },
+                {
+                    "name": "i3_net_requests_total",
+                    "type": "counter",
+                    "value": 45,
+                    "labels": {"outcome": "ok"},
+                },
+                {
+                    "name": "i3_request_latency_us",
+                    "type": "histogram",
+                    "count": 45,
+                    "labels": {"outcome": "ok"},
+                },
+                {
+                    "name": "i3_net_connections",
+                    "type": "gauge",
+                    "value": 0,
+                    "labels": {},
+                },
+            ]
+        },
+    }
+
+    print("self-test: clean serving input passes")
+    check_serving(copy.deepcopy(good), baseline)
+
+    doctored = copy.deepcopy(good)
+    doctored["results"][0]["wire_checksum"] = 998
+    expect_serving_failure("wire/direct checksum split", doctored, baseline)
+
+    doctored = copy.deepcopy(good)
+    doctored["results"][0]["wire_checksum"] = 222
+    doctored["results"][0]["direct_checksum"] = 222
+    doctored["results"][0]["docsum_checksum"] = 222
+    expect_serving_failure(
+        "wire drift from committed baseline", doctored, baseline
+    )
+
+    doctored = copy.deepcopy(good)
+    doctored["shed"]["shed"] = 0
+    doctored["shed"]["ok"] = 100
+    expect_serving_failure("overload that never shed", doctored, baseline)
+
+    doctored = copy.deepcopy(good)
+    doctored["shed"]["error"] = 3
+    doctored["shed"]["ok"] = 2
+    expect_serving_failure("errors under overload", doctored, baseline)
+
+    doctored = copy.deepcopy(good)
+    doctored["shed"]["ok"] = 3  # 3 + 95 != 100
+    expect_serving_failure("lost requests under overload", doctored,
+                           baseline)
+
+    doctored = copy.deepcopy(good)
+    doctored["obs"]["metrics"] = [
+        m
+        for m in doctored["obs"]["metrics"]
+        if m["name"] != "i3_requests_shed_total"
+    ]
+    expect_serving_failure("missing shed metric series", doctored, baseline)
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--candidate", help="smoke-run JSON to gate")
+    ap.add_argument(
+        "--serving-candidate",
+        help="bench_serving --smoke JSON to gate against the same baseline",
+    )
     ap.add_argument(
         "--baseline",
         default="BENCH_hotpath.json",
@@ -292,11 +513,18 @@ def main():
     if args.self_test:
         self_test()
         return
-    if not args.candidate:
-        ap.error("--candidate is required (or use --self-test)")
+    if not args.candidate and not args.serving_candidate:
+        ap.error(
+            "--candidate and/or --serving-candidate is required "
+            "(or use --self-test)"
+        )
 
     try:
-        run_gate(load(args.candidate), load(args.baseline), args.max_regress)
+        baseline = load(args.baseline)
+        if args.candidate:
+            run_gate(load(args.candidate), baseline, args.max_regress)
+        if args.serving_candidate:
+            check_serving(load(args.serving_candidate), baseline)
     except GateFailure as e:
         print(f"BENCH GATE FAILED: {e}", file=sys.stderr)
         sys.exit(1)
