@@ -38,6 +38,14 @@ BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
       cfg.fault_profile = a + 16;
     } else if (std::strncmp(a, "--deadline-ms=", 14) == 0) {
       cfg.deadline_ms = std::strtoull(a + 14, nullptr, 10);
+    } else if (std::strncmp(a, "--pool-pages=", 13) == 0) {
+      cfg.pool_pages = static_cast<uint32_t>(std::atoi(a + 13));
+    } else if (std::strncmp(a, "--head-pool-pages=", 18) == 0) {
+      cfg.head_pool_pages = static_cast<uint32_t>(std::atoi(a + 18));
+    } else if (std::strncmp(a, "--cell-cache-mb=", 16) == 0) {
+      cfg.cell_cache_mb = static_cast<size_t>(std::atoi(a + 16));
+    } else if (std::strncmp(a, "--result-cache-entries=", 23) == 0) {
+      cfg.result_cache_entries = static_cast<size_t>(std::atoi(a + 23));
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
           "flags: --scale=X (dataset scale, default 1) --queries=N "
@@ -46,7 +54,10 @@ BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
           "--trace-sample-rate=R (fraction of queries traced) "
           "--fault-profile=SPEC (storage fault injection, see "
           "storage/fault_injection.h) --deadline-ms=N (per-query "
-          "deadline)\n");
+          "deadline) --pool-pages=N (data-file buffer pool, 0 = uncached) "
+          "--head-pool-pages=N (head-file pager, 0 = per-node charging) "
+          "--cell-cache-mb=N (decoded-cell cache budget, 0 = off) "
+          "--result-cache-entries=N (serving result cache, 0 = off)\n");
       std::exit(0);
     }
   }
@@ -84,21 +95,25 @@ std::unique_ptr<I3Index> BuildI3(const Dataset& ds, uint32_t eta) {
 }
 
 std::unique_ptr<I3Index> BuildI3(const Dataset& ds, const BenchConfig& cfg) {
-  if (cfg.fault_profile.empty()) return BuildI3(ds, cfg.eta);
-  auto parsed = FaultProfile::Parse(cfg.fault_profile);
-  if (!parsed.ok()) {
-    std::fprintf(stderr, "bad --fault-profile: %s\n",
-                 parsed.status().ToString().c_str());
-    std::abort();
-  }
-  const FaultProfile profile = parsed.ValueOrDie();
   I3Options opt;
   opt.space = ds.space;
   opt.signature_bits = cfg.eta;
-  opt.page_file_factory = [profile](size_t page_size) {
-    return std::make_unique<FaultInjectionPageFile>(
-        std::make_unique<InMemoryPageFile>(page_size), profile);
-  };
+  opt.buffer_pool.capacity_pages = cfg.pool_pages;
+  opt.head_pool_pages = cfg.head_pool_pages;
+  opt.cell_cache_bytes = cfg.cell_cache_mb << 20;
+  if (!cfg.fault_profile.empty()) {
+    auto parsed = FaultProfile::Parse(cfg.fault_profile);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad --fault-profile: %s\n",
+                   parsed.status().ToString().c_str());
+      std::abort();
+    }
+    const FaultProfile profile = parsed.ValueOrDie();
+    opt.page_file_factory = [profile](size_t page_size) {
+      return std::make_unique<FaultInjectionPageFile>(
+          std::make_unique<InMemoryPageFile>(page_size), profile);
+    };
+  }
   auto index = std::make_unique<I3Index>(opt);
   for (const auto& d : ds.docs) {
     auto st = index->Insert(d);

@@ -63,10 +63,23 @@ struct BenchConfig {
   /// --deadline-ms=N: per-query deadline; overruns degrade or fail instead
   /// of running to completion. 0 = unbounded.
   uint64_t deadline_ms = 0;
+  /// --pool-pages=N: data-file buffer-pool capacity (0 = uncached,
+  /// deterministic I/O). Mirrors I3Options::buffer_pool.
+  uint32_t pool_pages = 512;
+  /// --head-pool-pages=N: head-file pager capacity (0 = legacy per-node
+  /// charging). Mirrors I3Options::head_pool_pages.
+  uint32_t head_pool_pages = 128;
+  /// --cell-cache-mb=N: decoded-cell cache budget in MB (0 disables; also
+  /// forced off when pool_pages == 0). Mirrors I3Options::cell_cache_bytes.
+  size_t cell_cache_mb = 16;
+  /// --result-cache-entries=N: whole-query result cache of the serving
+  /// front end (bench_serving only; 0 disables).
+  size_t result_cache_entries = 4096;
 
   /// Parses --scale=X --queries=N --skip-irtree --eta=N --iolat=US
   /// --metrics[=PATH] --trace-sample-rate=R --fault-profile=SPEC
-  /// --deadline-ms=N.
+  /// --deadline-ms=N --pool-pages=N --head-pool-pages=N --cell-cache-mb=N
+  /// --result-cache-entries=N.
   static BenchConfig FromArgs(int argc, char** argv);
 };
 

@@ -108,6 +108,63 @@ struct SmokeBaseline {
   uint64_t checksum = 0;
 };
 
+/// \brief Warm repeated-query figures of the smoke workload: the cache
+/// hierarchy's own benchmark. One cold pass fills the buffer pool and the
+/// decoded-cell cache, then `reps` timed passes replay the identical
+/// query set. The checksum is folded on every pass and must not move --
+/// a warm cache that changes an answer is a correctness bug, not a perf
+/// win -- and pages_per_query counts device reads during the warm passes
+/// (near zero when the hierarchy holds the working set).
+struct WarmSmoke {
+  const char* semantics;
+  double qps = 0.0;
+  double pages_per_query = 0.0;
+  uint64_t checksum = 0;
+};
+
+WarmSmoke MeasureWarmSmoke(I3Index* index, const std::vector<Query>& queries,
+                           double alpha, uint32_t reps) {
+  WarmSmoke w;
+  w.semantics = SemanticsName(queries.front().semantics);
+  auto run_set = [&](uint64_t* fold) {
+    for (const Query& q : queries) {
+      auto res = index->Search(q, alpha);
+      if (!res.ok()) {
+        std::fprintf(stderr, "warm smoke search failed: %s\n",
+                     res.status().ToString().c_str());
+        std::abort();
+      }
+      if (fold != nullptr) {
+        for (const ScoredDoc& d : res.ValueOrDie()) *fold += d.doc;
+      }
+    }
+  };
+  index->ClearCache();
+  run_set(nullptr);  // cold fill pass
+  index->ResetIoStats();
+  Timer timer;
+  for (uint32_t rep = 0; rep < reps; ++rep) {
+    uint64_t sum = 0;
+    run_set(&sum);
+    if (rep == 0) {
+      w.checksum = sum;
+    } else if (sum != w.checksum) {
+      std::fprintf(stderr,
+                   "warm smoke checksum drifted between passes "
+                   "(%" PRIu64 " != %" PRIu64 "): the cache hierarchy "
+                   "changed an answer\n",
+                   sum, w.checksum);
+      std::abort();
+    }
+  }
+  const double secs = timer.ElapsedMillis() / 1e3;
+  const double n = static_cast<double>(queries.size()) * reps;
+  w.qps = n / secs;
+  w.pages_per_query =
+      static_cast<double>(index->io_stats().TotalReads()) / n;
+  return w;
+}
+
 /// \brief Cold-pass figures of the exact workload `--smoke` runs (tier-0
 /// dataset, 20 queries, seed 42). A full run embeds these in its JSON as
 /// "smoke_baseline", which is what tools/check_bench.py compares a CI
@@ -115,10 +172,11 @@ struct SmokeBaseline {
 /// must match bit for bit and pages/query may only drift within the
 /// regression budget. Deliberately metrics-silent -- the "obs" snapshot
 /// in the JSON stays a pure tier-1 capture.
-std::vector<SmokeBaseline> MeasureSmokeBaseline(const BenchConfig& cfg,
-                                                uint32_t num_queries) {
+std::vector<SmokeBaseline> MeasureSmokeBaseline(
+    const BenchConfig& cfg, uint32_t num_queries,
+    std::vector<WarmSmoke>* warm_out) {
   Dataset ds = MakeTwitter(cfg, /*tier=*/0);
-  auto index = BuildI3(ds, cfg.eta);
+  auto index = BuildI3(ds, cfg);
   QueryGenerator qgen(ds);
   std::vector<SmokeBaseline> out;
   for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
@@ -140,6 +198,10 @@ std::vector<SmokeBaseline> MeasureSmokeBaseline(const BenchConfig& cfg,
     b.pages_per_query =
         static_cast<double>(index->io_stats().TotalReads()) / queries.size();
     out.push_back(b);
+    if (warm_out != nullptr) {
+      warm_out->push_back(MeasureWarmSmoke(index.get(), queries,
+                                           cfg.default_alpha, /*reps=*/5));
+    }
   }
   return out;
 }
@@ -163,15 +225,23 @@ int Main(int argc, char** argv) {
   std::printf("building %s (scale %.2f)...\n", kTwitterNames[tier],
               cfg.scale);
   Dataset ds = MakeTwitter(cfg, tier);
-  auto index = BuildI3(ds, cfg.eta);
+  auto index = BuildI3(ds, cfg);
   QueryGenerator qgen(ds);
 
   std::vector<HotpathResult> results;
+  std::vector<WarmSmoke> warm;
   for (Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
     auto queries = qgen.Freq(cfg.default_qn, num_queries, /*k=*/10, sem,
                              /*seed=*/42);
     results.push_back(MeasureSemantics(index.get(), queries,
                                        cfg.default_alpha, reps));
+    // Smoke runs measure the warm repeated-query figures on the smoke
+    // index itself (it IS the smoke-tier workload); full runs measure
+    // them on the separately built smoke-tier index below.
+    if (smoke) {
+      warm.push_back(MeasureWarmSmoke(index.get(), queries,
+                                      cfg.default_alpha, /*reps=*/5));
+    }
   }
 
   PrintRule(9, 11);
@@ -226,7 +296,8 @@ int Main(int argc, char** argv) {
   const std::string obs_json = MetricsSnapshotJson("  ");
   if (!smoke) {
     std::printf("measuring smoke baseline (%s)...\n", kTwitterNames[0]);
-    const auto baseline = MeasureSmokeBaseline(cfg, /*num_queries=*/20);
+    const auto baseline =
+        MeasureSmokeBaseline(cfg, /*num_queries=*/20, &warm);
     std::fprintf(f, "  \"smoke_baseline\": [\n");
     for (size_t i = 0; i < baseline.size(); ++i) {
       const SmokeBaseline& b = baseline[i];
@@ -238,6 +309,23 @@ int Main(int argc, char** argv) {
     }
     std::fprintf(f, "  ],\n");
   }
+  // Warm repeated-query figures of the smoke workload (same entries in
+  // smoke and full runs, so a smoke candidate gates against a committed
+  // full run): the checksum must equal the cold smoke checksum -- caches
+  // may only make answers faster, never different -- and pages_per_query
+  // bounds device reads once the hierarchy is warm.
+  std::fprintf(f, "  \"warm_smoke\": [\n");
+  for (size_t i = 0; i < warm.size(); ++i) {
+    const WarmSmoke& w = warm[i];
+    std::printf("warm smoke %s: %.0f qps, %.3f pages/query\n", w.semantics,
+                w.qps, w.pages_per_query);
+    std::fprintf(f,
+                 "    {\"semantics\": \"%s\", \"qps\": %.1f, "
+                 "\"pages_per_query\": %.3f, \"checksum\": %" PRIu64 "}%s\n",
+                 w.semantics, w.qps, w.pages_per_query, w.checksum,
+                 i + 1 < warm.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   // Process-wide metrics snapshot (query/update histograms, buffer pool,
   // per-category I/O, search-stat counters) for scrapers and the CI gate.
   std::fprintf(f, "  \"obs\":\n%s\n}\n", obs_json.c_str());

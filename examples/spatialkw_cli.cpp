@@ -34,7 +34,10 @@
 // the loaded index onto a fault-injecting in-memory backing (see
 // storage/fault_injection.h for the spec grammar -- e.g.
 // "seed=7,read_error=0.01,corrupt=0.005") to exercise the error paths;
-// --deadline-ms=N bounds each query, returning DeadlineExceeded on overrun.
+// --deadline-ms=N bounds each query, returning DeadlineExceeded on
+// overrun; --pool-pages=N sizes the data-file buffer pool (0 = uncached)
+// and --cell-cache-mb=N the decoded-cell cache (0 = off) of every loaded
+// index.
 
 #include <csignal>
 #include <cstdio>
@@ -67,6 +70,10 @@ namespace {
 struct GlobalOptions {
   std::string fault_profile;
   uint64_t deadline_ms = 0;
+  /// --pool-pages / --cell-cache-mb: cache sizing of loaded indexes;
+  /// negative = keep the I3Options default.
+  int64_t pool_pages = -1;
+  int64_t cell_cache_mb = -1;
 };
 GlobalOptions g_opts;
 
@@ -75,6 +82,13 @@ GlobalOptions g_opts;
 /// it catches injected payload corruption).
 Result<std::unique_ptr<I3Index>> LoadIndex(const std::string& prefix) {
   I3Options opt;
+  if (g_opts.pool_pages >= 0) {
+    opt.buffer_pool.capacity_pages =
+        static_cast<size_t>(g_opts.pool_pages);
+  }
+  if (g_opts.cell_cache_mb >= 0) {
+    opt.cell_cache_bytes = static_cast<size_t>(g_opts.cell_cache_mb) << 20;
+  }
   if (!g_opts.fault_profile.empty()) {
     auto parsed = FaultProfile::Parse(g_opts.fault_profile);
     if (!parsed.ok()) return parsed.status();
@@ -349,6 +363,9 @@ int CmdServe(int argc, char** argv) {
       sopts.default_limit.burst = std::atof(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--max-queue=", 12) == 0) {
       sopts.max_queue = static_cast<size_t>(std::atoll(argv[i] + 12));
+    } else if (std::strncmp(argv[i], "--result-cache-entries=", 23) == 0) {
+      sopts.result_cache_entries =
+          static_cast<size_t>(std::atoll(argv[i] + 23));
     } else {
       return Fail(std::string("unknown serve flag: ") + argv[i]);
     }
@@ -405,6 +422,10 @@ int main(int argc, char** argv) {
       g_opts.fault_profile = argv[i] + 16;
     } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
       g_opts.deadline_ms = std::strtoull(argv[i] + 14, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--pool-pages=", 13) == 0) {
+      g_opts.pool_pages = std::atoll(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--cell-cache-mb=", 16) == 0) {
+      g_opts.cell_cache_mb = std::atoll(argv[i] + 16);
     } else {
       argv[kept++] = argv[i];
     }

@@ -1,0 +1,195 @@
+// Decoded-cell cache: level 2 of the cache hierarchy (DESIGN.md §13).
+//
+// The buffer pool caches page *bytes*; a hit on a compressed v2 page still
+// pays the full group decode (delta-unpack doc ids, dequantize weights,
+// XOR-undelta coordinates) on every visit. This cache memoizes the decoded
+// image of one keyword cell on one page, keyed by (page, source) and
+// versioned by the page's buffer-pool write epoch: an entry is served only
+// while its epoch matches the page's current epoch, so a rewritten,
+// corrupted-and-quarantined, or healed page can never serve stale decoded
+// tuples (the quarantine path bumps the epoch too).
+//
+// Sized in bytes with the same SIEVE/CLOCK policy as the buffer pool --
+// hits set an atomic reference bit, the hand evicts the first unreferenced
+// entry, new entries enter unreferenced (scan-resistant). Striped by key;
+// lookups take the stripe lock in shared mode, so concurrent readers of
+// the same hot cell visit it in parallel.
+
+#ifndef I3_I3_CELL_CACHE_H_
+#define I3_I3_CELL_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "model/document.h"
+#include "obs/metrics.h"
+#include "storage/page_file.h"
+
+namespace i3 {
+
+/// \brief Options controlling CellCache behaviour.
+struct CellCacheOptions {
+  /// Total resident-byte budget across all stripes; 0 disables the cache.
+  size_t capacity_bytes = 0;
+  /// Lock stripes; 0 picks 8 (entries are small and keys hash well, so a
+  /// fixed small power of two suffices).
+  size_t stripes = 0;
+};
+
+/// \brief Striped, byte-bounded, epoch-validated cache of decoded keyword
+/// cells. Thread-safe; see file comment for the policy.
+class CellCache {
+ public:
+  explicit CellCache(CellCacheOptions options);
+
+  bool enabled() const { return options_.capacity_bytes > 0; }
+
+  /// Cache key of the cell `source` on `page`.
+  static uint64_t Key(PageId page, uint32_t source) {
+    return static_cast<uint64_t>(page) << 32 | source;
+  }
+
+  /// \brief Visits every tuple of the entry at `key` if it is resident and
+  /// its epoch matches `epoch`; `fn(const SpatialTuple&)`. Returns the
+  /// number visited on a hit, or -1 on a miss (absent or stale -- a stale
+  /// entry is dropped on the spot). `fn` runs under the stripe's shared
+  /// lock: it must not re-enter the cache.
+  template <typename Fn>
+  int64_t VisitIfFresh(uint64_t key, uint64_t epoch, Fn&& fn) {
+    if (!enabled()) return -1;
+    Stripe& s = StripeOf(key);
+    {
+      std::shared_lock<std::shared_mutex> lock(s.mutex);
+      auto it = s.index.find(key);
+      if (it != s.index.end()) {
+        const Entry& e = s.entries[it->second];
+        if (e.epoch == epoch) {
+          e.visited.store(1, std::memory_order_relaxed);
+          hits_metric_->Increment(1);
+          SpatialTuple t;
+          t.term = e.term;
+          for (size_t i = 0; i < e.docs.size(); ++i) {
+            t.doc = e.docs[i];
+            t.location.x = e.xs[i];
+            t.location.y = e.ys[i];
+            t.weight = e.weights[i];
+            fn(t);
+          }
+          return static_cast<int64_t>(e.docs.size());
+        }
+      }
+    }
+    DropStale(s, key, epoch);
+    misses_metric_->Increment(1);
+    return -1;
+  }
+
+  /// \brief Collector for the miss path: accumulates the tuples a page
+  /// visit streams by, for insertion afterwards. A cell whose tuples carry
+  /// more than one term id is never cached (a keyword cell is one term's
+  /// quadtree cell; a mixed tag would make the memoized `term` wrong).
+  class Collector {
+   public:
+    void Add(const SpatialTuple& t) {
+      if (docs_.empty()) {
+        term_ = t.term;
+      } else if (t.term != term_) {
+        mixed_ = true;
+      }
+      docs_.push_back(t.doc);
+      weights_.push_back(t.weight);
+      xs_.push_back(t.location.x);
+      ys_.push_back(t.location.y);
+    }
+    bool cacheable() const { return !mixed_; }
+
+   private:
+    friend class CellCache;
+    uint32_t term_ = 0;
+    bool mixed_ = false;
+    std::vector<DocId> docs_;
+    std::vector<float> weights_;
+    std::vector<double> xs_;
+    std::vector<double> ys_;
+  };
+
+  /// \brief Inserts the collected cell under (`key`, `epoch`), evicting
+  /// SIEVE victims until it fits the stripe's byte budget. Oversized cells
+  /// (bigger than one stripe's whole budget) and uncacheable collections
+  /// are dropped. An existing entry for `key` is replaced.
+  void Insert(uint64_t key, uint64_t epoch, Collector&& c);
+
+  /// \brief Drops every entry (cold-cache reset; pairs with
+  /// BufferPool::Clear in DataFile::ClearCache).
+  void Clear();
+
+  size_t resident_bytes() const {
+    return resident_bytes_.load(std::memory_order_relaxed);
+  }
+  size_t entry_count() const;
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t epoch = 0;
+    uint32_t term = 0;
+    bool live = false;
+    mutable std::atomic<uint8_t> visited{0};
+    std::vector<DocId> docs;
+    std::vector<float> weights;
+    std::vector<double> xs;
+    std::vector<double> ys;
+  };
+
+  struct Stripe {
+    mutable std::shared_mutex mutex;
+    std::deque<Entry> entries;  // stable addresses; recycled via free list
+    std::vector<uint32_t> free;
+    std::unordered_map<uint64_t, uint32_t> index;
+    size_t hand = 0;
+    size_t bytes = 0;
+    size_t capacity_bytes = 0;
+  };
+
+  Stripe& StripeOf(uint64_t key) {
+    // SplitMix64-style mix: adjacent (page, source) keys spread stripes.
+    uint64_t h = key + 0x9e3779b97f4a7c15ull;
+    h = (h ^ h >> 30) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ h >> 27) * 0x94d049bb133111ebull;
+    return *stripes_[(h ^ h >> 31) % stripes_.size()];
+  }
+
+  static size_t EntryBytes(size_t n) {
+    return sizeof(Entry) + n * (sizeof(DocId) + sizeof(float) +
+                                2 * sizeof(double));
+  }
+
+  /// Erases the entry at `key` iff it is still resident with a stale epoch
+  /// (takes the stripe lock exclusively; re-checks under it).
+  void DropStale(Stripe& s, uint64_t key, uint64_t epoch);
+  /// Evicts one SIEVE victim; returns false when the stripe is empty.
+  /// Guarded by s.mutex (exclusive).
+  bool EvictOne(Stripe& s);
+  void EraseEntry(Stripe& s, uint32_t idx);
+
+  const CellCacheOptions options_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<size_t> resident_bytes_{0};
+
+  obs::Counter* hits_metric_;
+  obs::Counter* misses_metric_;
+  obs::Counter* evictions_metric_;
+  obs::Counter* insertions_metric_;
+  obs::Gauge* bytes_metric_;
+};
+
+}  // namespace i3
+
+#endif  // I3_I3_CELL_CACHE_H_

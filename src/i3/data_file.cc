@@ -86,14 +86,20 @@ bool TuplePage::AllFromSource(SourceId source) const {
 }
 
 DataFile::DataFile(size_t page_size, BufferPoolOptions pool_options,
-                   bool compress)
+                   bool compress, size_t cell_cache_bytes)
     : DataFile(std::make_unique<InMemoryPageFile>(page_size), pool_options,
-               compress) {}
+               compress, cell_cache_bytes) {}
 
 DataFile::DataFile(std::unique_ptr<PageFile> file,
-                   BufferPoolOptions pool_options, bool compress)
+                   BufferPoolOptions pool_options, bool compress,
+                   size_t cell_cache_bytes)
     : file_(std::move(file)),
       pool_(file_.get(), pool_options),
+      // An uncached pool is the deterministic-I/O mode (every access
+      // charged); serving decoded cells from memory would break it, so the
+      // cell cache follows the pool off.
+      cell_cache_(CellCacheOptions{
+          pool_options.capacity_pages > 0 ? cell_cache_bytes : 0, 0}),
       fsm_(static_cast<uint32_t>(file_->page_size()),
            static_cast<uint32_t>(kTupleBytes)),
       capacity_(static_cast<uint32_t>(file_->page_size() / kTupleBytes)),
@@ -102,11 +108,12 @@ DataFile::DataFile(std::unique_ptr<PageFile> file,
 
 Result<std::unique_ptr<DataFile>> DataFile::CreateOnDisk(
     const std::string& path, size_t page_size, BufferPoolOptions pool_options,
-    bool compress) {
+    bool compress, size_t cell_cache_bytes) {
   auto file_res = OnDiskPageFile::Create(path, page_size);
   if (!file_res.ok()) return file_res.status();
   return std::unique_ptr<DataFile>(
-      new DataFile(std::move(file_res.ValueOrDie()), pool_options, compress));
+      new DataFile(std::move(file_res.ValueOrDie()), pool_options, compress,
+                   cell_cache_bytes));
 }
 
 bool DataFile::Fits(const TuplePage& page) const {

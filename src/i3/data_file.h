@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "i3/cell_cache.h"
 #include "i3/cell_codec.h"
 #include "model/document.h"
 #include "storage/buffer_pool.h"
@@ -223,17 +224,20 @@ class PageView {
 /// reduces to the original per-slot bookkeeping for pure-v1 files.
 class DataFile {
  public:
-  /// In-memory backing.
+  /// In-memory backing. `cell_cache_bytes` bounds the decoded-cell cache
+  /// (0 disables it; it is also forced off for an uncached pool, whose
+  /// deterministic-I/O contract every access must charge).
   explicit DataFile(size_t page_size = kDefaultPageSize,
                     BufferPoolOptions pool_options = {},
-                    bool compress = false);
+                    bool compress = false, size_t cell_cache_bytes = 0);
   /// Custom backing (disk files, fault injection, ...).
   DataFile(std::unique_ptr<PageFile> file, BufferPoolOptions pool_options,
-           bool compress = false);
+           bool compress = false, size_t cell_cache_bytes = 0);
   /// Disk backing at `path`.
   static Result<std::unique_ptr<DataFile>> CreateOnDisk(
       const std::string& path, size_t page_size = kDefaultPageSize,
-      BufferPoolOptions pool_options = {}, bool compress = false);
+      BufferPoolOptions pool_options = {}, bool compress = false,
+      size_t cell_cache_bytes = 0);
 
   /// Tuples per page in the v1 encoding (P/B); the split threshold of
   /// Algorithms 2-3 under the v1 format (see CellMustSplit for v2).
@@ -293,6 +297,41 @@ class DataFile {
   /// read). See PageView for the lifetime rules.
   Result<PageView> View(PageId id);
 
+  /// \brief Visits every tuple of the keyword cell `source` on page `id`
+  /// through the decoded-cell cache: a fresh entry (matching the page's
+  /// current write epoch) is replayed without touching the page at all; a
+  /// miss views the page once, streams the tuples to `fn` *and* collects
+  /// them for insertion at the pinned frame's epoch. Returns the number
+  /// visited. Falls back to a plain page visit when the cache is disabled.
+  /// Same exclusion contract as View: no concurrent writer.
+  template <typename Fn>
+  Result<uint32_t> VisitSourceCached(PageId id, SourceId source, Fn&& fn) {
+    if (!cell_cache_.enabled() || !pool_.Pinnable()) {
+      auto view = View(id);
+      if (!view.ok()) return view.status();
+      return view.ValueOrDie().VisitSource(source, std::forward<Fn>(fn));
+    }
+    const uint64_t key = CellCache::Key(id, source);
+    const int64_t hit =
+        cell_cache_.VisitIfFresh(key, pool_.PageEpoch(id), fn);
+    if (hit >= 0) return static_cast<uint32_t>(hit);
+    auto view = View(id);
+    if (!view.ok()) return view.status();
+    CellCache::Collector collect;
+    auto n = view.ValueOrDie().VisitSource(
+        source, [&fn, &collect](const SpatialTuple& t) {
+          collect.Add(t);
+          fn(t);
+        });
+    if (!n.ok()) return n.status();
+    // Keyed to the epoch captured *at pin time*: if the page is rewritten
+    // between this visit and the next probe, the bumped epoch makes the
+    // entry invisible.
+    cell_cache_.Insert(key, view.ValueOrDie().pin_.epoch(),
+                       std::move(collect));
+    return n;
+  }
+
   /// \brief Encodes and writes `page` to `id` (one charged write); updates
   /// the free-space map.
   Status Write(PageId id, const TuplePage& page);
@@ -325,11 +364,19 @@ class DataFile {
 
   const IoStats& io_stats() const { return file_->io_stats(); }
   IoStats* mutable_io_stats() { return file_->mutable_io_stats(); }
-  void ClearCache() { pool_.Clear(); }
+  /// Cold-cache reset: drops cached page frames *and* decoded cells.
+  void ClearCache() {
+    pool_.Clear();
+    cell_cache_.Clear();
+  }
+
+  const BufferPool& pool() const { return pool_; }
+  const CellCache& cell_cache() const { return cell_cache_; }
 
  private:
   std::unique_ptr<PageFile> file_;
   BufferPool pool_;
+  CellCache cell_cache_;
   FreeSpaceMap fsm_;  // free bytes per page, kTupleBytes-quantized buckets
   uint32_t capacity_;
   bool compress_;

@@ -37,7 +37,8 @@ std::unique_ptr<DataFile> MakeDataFile(const I3Options& options) {
           : std::make_unique<InMemoryPageFile>(physical);
   return std::make_unique<DataFile>(WithIntegrity(options, std::move(base)),
                                     options.buffer_pool,
-                                    options.compress_pages);
+                                    options.compress_pages,
+                                    options.cell_cache_bytes);
 }
 
 }  // namespace

@@ -210,15 +210,15 @@ class I3Index final : public SpatialKeywordIndex {
   template <typename Fn>
   Status VisitCellTuples(PageId page, const std::vector<PageId>* overflow,
                          SourceId source, Fn&& fn) {
-    auto view = data_->View(page);
-    if (!view.ok()) return view.status();
-    auto n = view.ValueOrDie().VisitSource(source, fn);
+    // Routed through the decoded-cell cache: a fresh entry replays the
+    // cell's tuples without a page view (or decode) at all; a miss views
+    // the page once and memoizes. Overflow pages cache independently
+    // under their own (page, source) keys.
+    auto n = data_->VisitSourceCached(page, source, fn);
     if (!n.ok()) return n.status();
     if (overflow != nullptr) {
       for (PageId op : *overflow) {
-        auto ov = data_->View(op);  // nested after `view`: LIFO-safe
-        if (!ov.ok()) return ov.status();
-        auto on = ov.ValueOrDie().VisitSource(source, fn);
+        auto on = data_->VisitSourceCached(op, source, fn);
         if (!on.ok()) return on.status();
       }
     }

@@ -85,17 +85,34 @@ uint32_t ShardedIndex::ShardOf(DocId doc) const {
 Status ShardedIndex::Insert(const SpatialDocument& doc) {
   Shard& s = *shards_[ShardOf(doc.id)];
   std::unique_lock lock(s.mutex);
-  return s.index->Insert(doc);
+  const Status st = s.index->Insert(doc);
+  lock.unlock();
+  // Bumped *after* the mutation: a result cached under a generation
+  // captured before its search began is then stale the moment any write
+  // that could have raced that search completes. (Bumping before the
+  // write would let a search started in between carry the new generation
+  // while reading pre-mutation pages.) Failed writes bump too -- they may
+  // have touched pages before erroring.
+  generation_.fetch_add(1, std::memory_order_release);
+  return st;
 }
 
 Status ShardedIndex::Delete(const SpatialDocument& doc) {
   Shard& s = *shards_[ShardOf(doc.id)];
   std::unique_lock lock(s.mutex);
-  return s.index->Delete(doc);
+  const Status st = s.index->Delete(doc);
+  lock.unlock();
+  generation_.fetch_add(1, std::memory_order_release);  // see Insert
+  return st;
 }
 
 Status ShardedIndex::Update(const SpatialDocument& old_doc,
                             const SpatialDocument& new_doc) {
+  // Every return path below bumps the generation (see Insert).
+  struct BumpOnExit {
+    std::atomic<uint64_t>* gen;
+    ~BumpOnExit() { gen->fetch_add(1, std::memory_order_release); }
+  } bump{&generation_};
   const uint32_t from = ShardOf(old_doc.id);
   const uint32_t to = ShardOf(new_doc.id);
   if (from == to) {
@@ -368,6 +385,10 @@ void ShardedIndex::ClearCache() {
     std::unique_lock lock(s->mutex);
     s->index->ClearCache();
   }
+  // ClearCache is a request for cold behavior: bump the generation so
+  // result caches keyed on it (net/result_cache.h) stop serving answers
+  // computed before the clear as well.
+  generation_.fetch_add(1, std::memory_order_release);
 }
 
 }  // namespace i3

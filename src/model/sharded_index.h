@@ -169,6 +169,16 @@ class ShardedIndex final : public SpatialKeywordIndex {
     return static_cast<uint32_t>(shards_.size());
   }
 
+  /// \brief Monotonic index-generation counter: bumped by every Insert,
+  /// Delete, and Update (attempted mutations count -- a failed write may
+  /// still have changed pages, so invalidation stays conservative).
+  /// Result caches (net/result_cache.h) tag entries with the generation
+  /// current when their search *started* and serve them only while it
+  /// still matches, so a cached response can never outlive a mutation.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
   /// Which shard holds `doc`.
   uint32_t ShardOf(DocId doc) const;
 
@@ -228,6 +238,9 @@ class ShardedIndex final : public SpatialKeywordIndex {
   std::vector<std::unique_ptr<Shard>> shards_;
   ShardedIndexOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // present iff search_threads > 0
+  /// See generation(). fetch_add with release so a reader that observes
+  /// the new generation also observes the mutation's writes.
+  std::atomic<uint64_t> generation_{0};
   mutable std::mutex stats_mutex_;
   mutable IoStats merged_stats_;  // scratch for io_stats()
   /// Last query's fan-out stats; guarded by stats_mutex_.

@@ -137,7 +137,9 @@ void EncodeRequest(const Request& req, std::string* out) {
   PutU32(&payload, req.tenant);
   PutU32(&payload, req.k);
   PutU8(&payload, req.semantics == Semantics::kAnd ? 0 : 1);
-  PutU8(&payload, 0);  // reserved flags
+  // Flags byte: bit 0 = no_cache (result-cache opt-out). Bits 1..7 stay
+  // reserved and must be zero.
+  PutU8(&payload, req.no_cache ? 1 : 0);
   PutU32(&payload, req.deadline_ms);
   PutF64(&payload, req.x);
   PutF64(&payload, req.y);
@@ -204,10 +206,12 @@ Result<Request> DecodeRequest(const uint8_t* payload, size_t len) {
     return Malformed("truncated request");
   }
   if (semantics > 1) return Malformed("bad semantics");
-  // Version 1 defines no flags; a nonzero byte is damage, not a feature.
-  // Rejecting it keeps decode(payload) canonical: whatever decodes
-  // re-encodes byte-identically (asserted by the protocol fuzz tests).
-  if (reserved != 0) return Malformed("reserved flags set");
+  // Flags byte: bit 0 (no_cache) is the only defined flag; any other bit
+  // is damage, not a feature. Rejecting the rest keeps decode(payload)
+  // canonical: whatever decodes re-encodes byte-identically (asserted by
+  // the protocol fuzz tests).
+  if ((reserved & ~uint8_t{1}) != 0) return Malformed("reserved flags set");
+  req.no_cache = (reserved & 1) != 0;
   req.semantics = semantics == 0 ? Semantics::kAnd : Semantics::kOr;
   if (req.type == MessageType::kSearch) {
     if (req.k == 0 || req.k > kMaxK) return Malformed("k out of range");

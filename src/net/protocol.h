@@ -93,6 +93,9 @@ struct Request {
   double y = 0.0;
   /// Spatial/textual weighting in [0, 1].
   double alpha = 0.5;
+  /// Opt out of the server's whole-query result cache (wire flags bit 0):
+  /// the request always reaches the index and its response is not cached.
+  bool no_cache = false;
   std::vector<TermId> terms;
 
   /// \brief The library query this request describes. Deadline/cancel

@@ -75,7 +75,8 @@ struct Server::Connection {
 Server::Server(ShardedIndex* index, ServerOptions options)
     : index_(index),
       options_(std::move(options)),
-      limiter_(options_.default_limit) {
+      limiter_(options_.default_limit),
+      result_cache_(ResultCacheOptions{options_.result_cache_entries, 0}) {
   for (const auto& [tenant, limit] : options_.tenant_limits) {
     limiter_.SetLimit(tenant, limit);
   }
@@ -368,6 +369,27 @@ void Server::DispatchRequest(Connection* conn, Request req,
   if (!limiter_.Admit(req.tenant, arrival_ns)) {
     shed_reason = "tenant rate limit exceeded";
   } else {
+    // Result-cache probe, after admission (a cached answer still spends
+    // tenant tokens -- the cache must not turn one tenant's hot query
+    // into free capacity) but before the queue: a hit is answered right
+    // here on the loop thread and never touches a worker or the index.
+    std::string cache_key;
+    if (result_cache_.enabled()) {
+      if (req.no_cache) {
+        result_cache_.CountBypass();
+      } else {
+        cache_key = ResultCache::KeyOf(req);
+        Response cached;
+        if (result_cache_.Lookup(cache_key, index_->generation(),
+                                 &cached)) {
+          cached.request_id = req.request_id;
+          QueueResponse(conn, cached);
+          RecordOutcome(ResponseOutcome::kOk, /*degraded=*/false,
+                        arrival_ns);
+          return;
+        }
+      }
+    }
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (queue_.size() >= options_.max_queue) {
       shed_reason = "server overloaded (queue full)";
@@ -376,6 +398,7 @@ void Server::DispatchRequest(Connection* conn, Request req,
       item.conn_id = conn->id;
       item.request_id = req.request_id;
       item.arrival_ns = arrival_ns;
+      item.cache_key = std::move(cache_key);
       item.item.query = req.ToQuery();
       if (req.deadline_ms > 0) {
         // Propagate the wire deadline: anchor the absolute budget now so
@@ -549,6 +572,11 @@ void Server::RunWorker() {
     batch_size_->Record(taken.size());
     items.reserve(taken.size());
     for (const WorkItem& w : taken) items.push_back(w.item);
+    // Capture the generation BEFORE the search: a mutation completing
+    // mid-search bumps the counter past this value, so the entry we tag
+    // with it can never be served after that mutation (Lookup requires
+    // an exact match against the current generation).
+    const uint64_t generation = index_->generation();
     const auto results = index_->SearchBatch(items);
     for (size_t i = 0; i < taken.size(); ++i) {
       const auto& r = results[i];
@@ -558,6 +586,13 @@ void Server::RunWorker() {
         resp.outcome = ResponseOutcome::kOk;
         resp.degraded = r.degraded;
         resp.results = r.results;
+        // Only complete answers are cacheable: a degraded top-k is
+        // missing failed shards' documents and must not outlive the
+        // failure.
+        if (!resp.degraded && !taken[i].cache_key.empty()) {
+          result_cache_.Insert(taken[i].cache_key, generation,
+                               resp.results);
+        }
       } else {
         resp = ErrorResponse(taken[i].request_id, r.status);
       }

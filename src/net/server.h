@@ -53,6 +53,7 @@
 #include "common/status.h"
 #include "model/sharded_index.h"
 #include "net/protocol.h"
+#include "net/result_cache.h"
 #include "net/token_bucket.h"
 #include "obs/metrics.h"
 
@@ -80,6 +81,10 @@ struct ServerOptions {
   size_t max_queue = 4096;
   /// Accepted connections beyond this are closed immediately.
   size_t max_connections = 1024;
+  /// Whole-query result cache entries (net/result_cache.h); 0 disables.
+  /// Hits are answered on the loop thread after admission, so cached
+  /// requests still spend tenant tokens but skip the queue and the index.
+  size_t result_cache_entries = 4096;
 };
 
 /// \brief The serving front end. Start() binds and spawns the event loop
@@ -122,6 +127,9 @@ class Server {
     uint64_t conn_id = 0;
     uint64_t request_id = 0;
     uint64_t arrival_ns = 0;
+    /// Canonical result-cache key; empty when the response must not be
+    /// cached (cache disabled or the request opted out via no_cache).
+    std::string cache_key;
     ShardedIndex::BatchItem item;
   };
 
@@ -161,6 +169,7 @@ class Server {
   ShardedIndex* index_;
   ServerOptions options_;
   TenantRateLimiter limiter_;
+  ResultCache result_cache_;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;

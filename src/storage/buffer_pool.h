@@ -1,4 +1,4 @@
-// A small LRU buffer pool over a PageFile.
+// A striped, scan-resistant buffer pool over a PageFile.
 //
 // The paper's experiments clear the OS cache before each query set, so
 // within a set some pages are served from memory. The buffer pool makes that
@@ -7,12 +7,24 @@
 // figures), and Clear() re-creates the cold-cache condition. An optional
 // simulated per-miss latency lets timing experiments follow the I/O shape of
 // a disk-resident deployment even when the backing PageFile is in memory.
+//
+// Concurrency: pages hash to independently locked stripes (stripe =
+// id % stripes; ids are dense, so modulo striping is also perfectly
+// balanced), so concurrent shard readers no longer serialize on one global
+// mutex. Eviction within a stripe is SIEVE/CLOCK rather than strict LRU: a
+// hit sets an atomic reference bit, and the clock hand evicts the first
+// unreferenced unpinned frame, clearing bits as it sweeps. New frames enter
+// unreferenced, which is what makes the policy scan-resistant — a one-shot
+// scan's pages are reclaimed before they can displace the referenced hot
+// set, and the hit path never performs LRU list surgery.
 
 #ifndef I3_STORAGE_BUFFER_POOL_H_
 #define I3_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
-#include <list>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <unordered_set>
 #include <utility>
@@ -46,33 +58,46 @@ struct BufferPoolOptions {
   uint32_t max_read_retries = 2;
   /// First retry waits this long; each further retry doubles it.
   uint32_t retry_backoff_us = 100;
+  /// Lock stripes. 0 picks automatically: roughly one stripe per 32 frames,
+  /// capped at 16, so tiny pools (unit tests, head pools) keep one stripe
+  /// and fully deterministic eviction order.
+  size_t stripes = 0;
 };
 
-/// \brief Write-through LRU cache of pages, layered on a PageFile.
+/// \brief Write-through striped page cache, layered on a PageFile.
 ///
 /// Page accesses are internally synchronized so that concurrent readers
 /// (model/concurrent_index.h, model/sharded_index.h) can share the cache;
-/// the critical section covers only the LRU bookkeeping plus the underlying
-/// page copy. Writers still require external exclusion against readers:
-/// the pool orders accesses to itself, not to the index structures that
-/// decide which pages to touch.
+/// each page belongs to exactly one stripe and the critical section covers
+/// only that stripe's bookkeeping plus the underlying page copy. Writers
+/// still require external exclusion against readers: the pool orders
+/// accesses to itself, not to the index structures that decide which pages
+/// to touch.
 ///
 /// Zero-copy reads: PinPage hands out a pointer directly into the cached
 /// frame instead of copying the page out. A pinned frame is exempt from
 /// eviction (and from Clear()) until its PinnedPage is destroyed, so the
 /// pointer stays valid for the pin's lifetime even while other readers churn
-/// the LRU. The frame bytes themselves are immutable while any reader runs
-/// (the writer-exclusion contract above); pinning protects against
+/// the stripe. The frame bytes themselves are immutable while any reader
+/// runs (the writer-exclusion contract above); pinning protects against
 /// *recycling*, not against writers.
+///
+/// Write epochs: every page carries a monotonic epoch, bumped by WritePage
+/// and by corruption quarantine, and captured by PinnedPage at pin time.
+/// Derived caches (i3/cell_cache.h) key their entries on it: an entry is
+/// valid only while its epoch matches the page's current epoch, so a
+/// rewritten or quarantined/healed page can never serve stale decoded
+/// state. Epochs live in per-stripe side tables (not in frames) so they
+/// survive eviction.
 class BufferPool {
  public:
   BufferPool(PageFile* file, BufferPoolOptions options);
 
   /// \brief RAII pin on one cached page frame (movable, not copyable).
   /// data() stays valid until destruction/Release. Pins are cheap (one
-  /// mutex acquisition each way) but should be scoped tightly: a pinned
-  /// frame cannot be evicted, so long-lived pins inflate the pool past its
-  /// configured capacity.
+  /// stripe-mutex acquisition each way) but should be scoped tightly: a
+  /// pinned frame cannot be evicted, so long-lived pins inflate the pool
+  /// past its configured capacity.
   class PinnedPage {
    public:
     PinnedPage() = default;
@@ -81,8 +106,10 @@ class BufferPool {
       Release();
       pool_ = o.pool_;
       frame_ = o.frame_;
+      epoch_ = o.epoch_;
       o.pool_ = nullptr;
       o.frame_ = nullptr;
+      o.epoch_ = 0;
       return *this;
     }
     PinnedPage(const PinnedPage&) = delete;
@@ -91,14 +118,18 @@ class BufferPool {
 
     const uint8_t* data() const;
     bool valid() const { return frame_ != nullptr; }
+    /// The page's write epoch at pin time (see class comment).
+    uint64_t epoch() const { return epoch_; }
     void Release();
 
    private:
     friend class BufferPool;
-    PinnedPage(BufferPool* pool, void* frame) : pool_(pool), frame_(frame) {}
+    PinnedPage(BufferPool* pool, void* frame, uint64_t epoch)
+        : pool_(pool), frame_(frame), epoch_(epoch) {}
 
     BufferPool* pool_ = nullptr;
     void* frame_ = nullptr;  // Frame*; opaque to callers
+    uint64_t epoch_ = 0;
   };
 
   /// True if PinPage is usable (a capacity-0 pool has no frames to pin;
@@ -114,7 +145,8 @@ class BufferPool {
   /// \brief Reads page `id` (through the cache) into `buf`.
   Status ReadPage(PageId id, void* buf, IoCategory category);
 
-  /// \brief Writes page `id` through to the file and refreshes the cache.
+  /// \brief Writes page `id` through to the file, refreshes the cache, and
+  /// bumps the page's write epoch (invalidating derived cache entries).
   Status WritePage(PageId id, const void* buf, IoCategory category);
 
   /// \brief Allocates a page in the underlying file.
@@ -124,44 +156,51 @@ class BufferPool {
   /// Frames pinned at the moment of the call survive it (their pointers
   /// must stay valid); that keeps at most a few in-flight pages warm, and
   /// none in the single-threaded benchmark setup, where no pin spans a
-  /// Clear.
+  /// Clear. Epochs are *not* reset: they version page contents, which
+  /// Clear does not change.
   void Clear();
 
-  uint64_t hits() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return hits_;
-  }
-  uint64_t misses() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return misses_;
-  }
+  /// \brief Current write epoch of `id` (0 if never written through this
+  /// pool). Takes only the page's stripe lock.
+  uint64_t PageEpoch(PageId id) const;
+
+  // Stats are relaxed atomics: reading them never contends with the pin
+  // path, and individual counters are exact (totals across counters are
+  // not snapshot-consistent, which no caller needs).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   /// Frames dropped to make room (victim recycles) or by Clear().
   uint64_t evictions() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return evictions_;
+    return evictions_.load(std::memory_order_relaxed);
   }
   /// Evictions that reused the victim's buffer in place (no allocation).
   uint64_t frame_recycles() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return frame_recycles_;
+    return frame_recycles_.load(std::memory_order_relaxed);
   }
   /// Read retries performed after transient errors.
   uint64_t retries() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return retries_;
+    return retries_.load(std::memory_order_relaxed);
   }
+  /// Number of lock stripes (>= 1, even for a capacity-0 pool, which still
+  /// tracks quarantine and epochs per stripe).
+  size_t stripe_count() const { return stripes_.size(); }
 
   /// \brief True while `id` is quarantined: a read of it returned
   /// Corruption, its cached frame (if any, and unpinned) was dropped, and
   /// until a verified read or a write-through succeeds the cache is
   /// bypassed for it -- a poisoned frame is never served.
   bool IsQuarantined(PageId id) const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return quarantined_.count(id) != 0;
+    const Stripe& s = StripeOf(id);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.quarantined.count(id) != 0;
   }
   size_t quarantined_count() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return quarantined_.size();
+    size_t n = 0;
+    for (const auto& s : stripes_) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      n += s->quarantined.size();
+    }
+    return n;
   }
 
   PageFile* file() { return file_; }
@@ -169,63 +208,111 @@ class BufferPool {
 
  private:
   struct Frame {
-    PageId id;
+    PageId id = kInvalidPageId;
     std::vector<uint8_t> data;
-    /// Open pins; a frame with pins > 0 is never evicted. Guarded by
-    /// mutex_ like the rest of the frame bookkeeping (the *bytes* are
-    /// stable while pinned, so readers decode them outside the lock).
+    /// Open pins; a frame with pins > 0 is never evicted. Guarded by the
+    /// stripe mutex like the rest of the frame bookkeeping (the *bytes*
+    /// are stable while pinned, so readers decode them outside the lock).
     uint32_t pins = 0;
+    /// Owning stripe index; fixed at creation (frames never migrate).
+    uint32_t stripe = 0;
+    /// SIEVE reference bit: set on hit, cleared by the sweeping hand.
+    std::atomic<uint8_t> visited{0};
   };
 
-  void Touch(std::list<Frame>::iterator it);
-  /// Inserts (or refreshes the LRU position of) `id`; returns the frame.
-  /// `buf` is copied only into a newly created frame -- an existing frame
-  /// already holds the current bytes (write-through invariant) and may be
-  /// concurrently mapped by a pinned reader.
-  Frame* InsertFrame(PageId id, const void* buf);
+  /// One lock stripe. Frames live in a deque (stable addresses -- pinned
+  /// readers hold raw Frame pointers) and are recycled in place; the slot
+  /// tables are direct-indexed by slot = id / stripe-count because PageIds
+  /// are dense (files allocate them sequentially from zero), so a miss's
+  /// several lookups (hit check, duplicate check, victim replacement) skip
+  /// hashing entirely.
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::deque<Frame> frames;
+    /// Indices of empty frames (freed by Clear or quarantine), reused
+    /// before the hand evicts anything.
+    std::vector<uint32_t> free;
+    /// slot -> frame index; meaningful only while present[slot] is set.
+    std::vector<uint32_t> table;
+    std::vector<uint8_t> present;
+    /// slot -> write epoch. Lives here, not in frames, so an epoch
+    /// survives its frame's eviction (a re-cached page must not restart
+    /// at 0 and collide with stale derived-cache entries).
+    std::vector<uint64_t> epochs;
+    /// CLOCK hand: index of the next frame the sweep examines.
+    size_t hand = 0;
+    size_t capacity = 0;
+    /// Pages whose last device read returned Corruption.
+    std::unordered_set<PageId> quarantined;
+  };
 
-  /// Frame lookup. PageIds are dense (files allocate them sequentially from
-  /// zero), so the id->frame map is a direct-indexed array rather than a
-  /// hash table: a miss performs several lookups (hit check, duplicate
-  /// check, victim replacement) and hashing was measurable next to the page
-  /// copy on the query hot path. Guarded by mutex_.
-  std::list<Frame>::iterator* Lookup(PageId id) {
-    return (id < present_.size() && present_[id]) ? &table_[id] : nullptr;
+  size_t SlotOf(PageId id) const { return id / stripes_.size(); }
+  Stripe& StripeOf(PageId id) { return *stripes_[id % stripes_.size()]; }
+  const Stripe& StripeOf(PageId id) const {
+    return *stripes_[id % stripes_.size()];
   }
-  void Remember(PageId id, std::list<Frame>::iterator it) {
-    if (id >= present_.size()) {
-      present_.resize(id + 1, 0);
-      table_.resize(id + 1);
+
+  /// Frame lookup within `s` (kNoFrame if absent). Indices, not pointers:
+  /// frames live in a deque, so index arithmetic is the only valid way to
+  /// name a frame's slot-table entry. Guarded by s.mutex.
+  static constexpr uint32_t kNoFrame = UINT32_MAX;
+  uint32_t LookupIndex(const Stripe& s, PageId id) const {
+    const size_t slot = SlotOf(id);
+    if (slot >= s.present.size() || !s.present[slot]) return kNoFrame;
+    return s.table[slot];
+  }
+  void Remember(Stripe& s, PageId id, uint32_t frame_index) {
+    const size_t slot = SlotOf(id);
+    if (slot >= s.present.size()) {
+      s.present.resize(slot + 1, 0);
+      s.table.resize(slot + 1);
     }
-    table_[id] = it;
-    present_[id] = 1;
+    s.table[slot] = frame_index;
+    s.present[slot] = 1;
   }
-  void Forget(PageId id) { present_[id] = 0; }
+  void Forget(Stripe& s, PageId id) { s.present[SlotOf(id)] = 0; }
+
+  /// Inserts (or refreshes the reference bit of) `id`; returns the frame.
+  /// `buf` is copied only into a newly created or recycled frame -- an
+  /// existing frame already holds the current bytes (write-through
+  /// invariant) and may be concurrently mapped by a pinned reader.
+  Frame* InsertFrame(Stripe& s, PageId id, const void* buf);
+  /// Marks `f` empty and reusable; counts one eviction. Guarded by s.mutex.
+  void FreeFrame(Stripe& s, uint32_t frame_index);
+
+  /// Epoch slot accessor (grows the table on demand). Guarded by s.mutex.
+  uint64_t& EpochSlot(Stripe& s, PageId id) {
+    const size_t slot = SlotOf(id);
+    if (slot >= s.epochs.size()) s.epochs.resize(slot + 1, 0);
+    return s.epochs[slot];
+  }
+  uint64_t EpochOf(const Stripe& s, PageId id) const {
+    const size_t slot = SlotOf(id);
+    return slot < s.epochs.size() ? s.epochs[slot] : 0;
+  }
+
   void Unpin(Frame* frame);
   void SimulateMiss() const;
   /// Cache hit gate: false when `id` is quarantined (bypass to the device).
-  bool Servable(PageId id) const {
-    return quarantined_.empty() || quarantined_.count(id) == 0;
+  bool Servable(const Stripe& s, PageId id) const {
+    return s.quarantined.empty() || s.quarantined.count(id) == 0;
   }
   /// \brief Device read with bounded exponential-backoff retry of transient
-  /// IOErrors; on Corruption, quarantines `id` (drops its unpinned frame).
+  /// IOErrors; on Corruption, quarantines `id` (drops its unpinned frame
+  /// and bumps the page epoch so derived caches discard decoded state).
   Status ReadWithRetry(PageId id, void* buf, IoCategory category);
 
   PageFile* file_;
   const BufferPoolOptions options_;
-  mutable std::mutex mutex_;  // guards lru_, the table, and local counters
-  std::list<Frame> lru_;      // front = most recent
-  /// Direct-indexed id->frame table (see Lookup); table_[id] is only
-  /// meaningful while present_[id] is set.
-  std::vector<std::list<Frame>::iterator> table_;
-  std::vector<uint8_t> present_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t frame_recycles_ = 0;
-  uint64_t retries_ = 0;
-  /// Pages whose last device read returned Corruption; guarded by mutex_.
-  std::unordered_set<PageId> quarantined_;
+  /// unique_ptr elements: Stripe holds a mutex and is neither movable nor
+  /// copyable; the vector itself is sized once in the constructor.
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> frame_recycles_{0};
+  std::atomic<uint64_t> retries_{0};
 
   // Process-wide counters, cached at construction (every pool instance
   // feeds the same series; per-pool numbers come from the accessors).

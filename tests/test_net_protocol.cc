@@ -40,6 +40,7 @@ Request MakeSearchRequest() {
   req.x = 42.5;
   req.y = -17.25;
   req.alpha = 0.75;
+  req.no_cache = true;
   req.terms = {3, 1, 4, 15, 92};
   return req;
 }
@@ -62,6 +63,7 @@ Request RandomRequest(Rng* rng) {
                    static_cast<uint32_t>(rng->UniformInt(0, 1 << 30));
   req.tenant = static_cast<uint32_t>(rng->UniformInt(0, 1000));
   req.deadline_ms = static_cast<uint32_t>(rng->UniformInt(0, 100000));
+  req.no_cache = rng->Chance(0.25);
   if (req.type == MessageType::kSearch) {
     req.k = static_cast<uint32_t>(rng->UniformInt(1, kMaxK));
     req.semantics = rng->Chance(0.5) ? Semantics::kAnd : Semantics::kOr;
@@ -103,6 +105,7 @@ void ExpectRequestEq(const Request& a, const Request& b) {
   EXPECT_EQ(a.request_id, b.request_id);
   EXPECT_EQ(a.tenant, b.tenant);
   EXPECT_EQ(a.deadline_ms, b.deadline_ms);
+  EXPECT_EQ(a.no_cache, b.no_cache);
   if (a.type == MessageType::kSearch) {
     EXPECT_EQ(a.k, b.k);
     EXPECT_EQ(a.semantics, b.semantics);
@@ -344,6 +347,8 @@ TEST(NetProtocolTest, FieldRangeViolationsReject) {
       {16, {0, 0, 0, 0}, "k == 0"},
       {16, {0xff, 0xff, 0, 0}, "k > kMaxK"},
       {20, {2}, "semantics out of range"},
+      {21, {2}, "reserved flag bit 1 set"},
+      {21, {0xfe}, "all reserved flag bits set"},
       {26, nan_bytes, "NaN x"},
       {34, nan_bytes, "NaN y"},
       {42, nan_bytes, "NaN alpha"},

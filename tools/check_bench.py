@@ -13,9 +13,16 @@ embedded in the committed ``BENCH_hotpath.json`` and fails when:
     the compressed-cell + block-max tentpole exists to shrink;
   * a required metric series is missing from the run's "obs" snapshot:
     the query-latency histogram, buffer-pool and per-category I/O
-    counters, and the pruning counters ``i3_cells_skipped_total`` /
+    counters, the pruning counters ``i3_cells_skipped_total`` /
     ``i3_blockmax_prunes_total`` (which must also show the machinery
-    actually fired).
+    actually fired), the striped-pool gauge ``i3_buffer_pool_stripes``,
+    and ``i3_cell_cache_hits_total`` (the decoded-cell cache must have
+    served the warm passes);
+  * the "warm_smoke" section is missing, a warm checksum differs from the
+    cold smoke checksum (a cache changed an answer), or warm
+    ``pages_per_query`` regresses against the committed warm baseline --
+    device reads with the hierarchy warm are the figure the cache
+    tentpole exists to eliminate.
 
 The serving stack has its own gate: ``--serving-candidate`` takes a
 ``bench_serving --smoke`` JSON and fails when:
@@ -27,11 +34,16 @@ The serving stack has its own gate: ``--serving-candidate`` takes a
     smoke baseline's ``checksum`` -- the serving workload is the exact
     hot-path smoke workload, so the answers served over TCP must be the
     very answers the committed baseline records;
+  * a ``warm_wire_checksum`` differs from ``wire_checksum`` -- the warm
+    passes are served by the whole-query result cache, so a mismatch
+    means a cached response was not byte-identical to the uncached one;
   * the forced-overload phase shed nothing, produced errors, or lost
     requests (``ok + shed != sent``);
   * a required serving metric series is missing or never moved:
     ``i3_requests_shed_total``, the ``i3_net_requests_total`` outcome
-    counters, and the ``i3_request_latency_us`` histogram.
+    counters, the ``i3_request_latency_us`` histogram, and
+    ``i3_result_cache_hits_total`` (the result cache must have served
+    the repeated warm passes).
 
 Timing figures (qps, percentiles) are deliberately NOT gated: CI runners
 are too noisy. Checksums, outcome counts, and page counts are
@@ -116,6 +128,56 @@ def check_results(candidate, baseline, max_regress):
         )
 
 
+def check_warm_smoke(candidate, baseline, max_regress):
+    """Gates the repeated-query ("warm") smoke passes.
+
+    Two promises: the cache hierarchy may only make answers *faster*,
+    never *different* (warm checksum == cold smoke checksum), and it must
+    actually absorb the working set (warm pages/query stays within
+    budget of the committed warm baseline, which is ~0 when the
+    hierarchy holds everything).
+    """
+    warm = {e["semantics"]: e for e in candidate.get("warm_smoke", [])}
+    if not warm:
+        raise GateFailure(
+            "candidate JSON has no 'warm_smoke' section; bench_hotpath "
+            "must emit warm repeated-query figures"
+        )
+    base = baseline_entries(baseline)
+    base_warm = {
+        e["semantics"]: e for e in baseline.get("warm_smoke", [])
+    }
+    for sem, r in sorted(warm.items()):
+        if sem not in base:
+            raise GateFailure(f"baseline has no {sem} smoke entry")
+        if r["checksum"] != base[sem]["checksum"]:
+            raise GateFailure(
+                f"warm {sem}: checksum {r['checksum']} != cold smoke "
+                f"baseline {base[sem]['checksum']} -- a cache changed "
+                "an answer"
+            )
+        if sem not in base_warm:
+            raise GateFailure(
+                f"baseline has no warm_smoke {sem} entry; regenerate "
+                "BENCH_hotpath.json with a full bench_hotpath run"
+            )
+        bp = base_warm[sem]["pages_per_query"]
+        # Warm pages sit near zero, so a pure relative budget would
+        # reject noise; allow the larger of the relative budget and a
+        # half-page absolute slack.
+        budget = max(bp * (1.0 + max_regress), bp + 0.5)
+        if r["pages_per_query"] > budget:
+            raise GateFailure(
+                f"warm {sem}: pages_per_query {r['pages_per_query']:.3f} "
+                f"exceeds warm baseline {bp:.3f} budget ({budget:.3f}) "
+                "-- the cache hierarchy stopped absorbing the working set"
+            )
+        print(
+            f"  warm {sem}: checksum {r['checksum']} OK, pages/query "
+            f"{r['pages_per_query']:.3f} vs warm baseline {bp:.3f}"
+        )
+
+
 def check_metrics(candidate):
     for r in candidate.get("results", []):
         for field in ("p50_us", "p90_us", "p99_us", "max_us"):
@@ -168,6 +230,21 @@ def check_metrics(candidate):
         f"  pruning: {skipped[0]['value']:.0f} cells skipped, "
         f"{pruned[0]['value']:.0f} block-max prunes"
     )
+    # The cache-hierarchy series: the warm passes must have been served
+    # from the decoded-cell cache, and the buffer pool must report its
+    # stripe layout (the striped rewrite registers the gauge at
+    # construction, so a zero means the pool was never built striped).
+    cell_hits = require(
+        "i3_cell_cache_hits_total",
+        lambda m: m["value"] > 0,
+        "non-zero decoded-cell cache hits",
+    )
+    require(
+        "i3_buffer_pool_stripes",
+        lambda m: m["value"] > 0,
+        "non-zero stripe-count gauge",
+    )
+    print(f"  cell cache: {cell_hits[0]['value']:.0f} decode hits")
     print(f"  metrics OK: {len(metrics)} series")
 
 
@@ -208,6 +285,18 @@ def check_serving(serving, baseline):
                 f"serving {sem}: wire checksum {r['wire_checksum']} != "
                 f"direct {r['direct_checksum']} -- the server returned "
                 "different results than ShardedIndex::Search"
+            )
+        if "warm_wire_checksum" not in r:
+            raise GateFailure(
+                f"serving {sem}: no warm_wire_checksum; bench_serving "
+                "must fold the cached warm passes"
+            )
+        if r["warm_wire_checksum"] != r["wire_checksum"]:
+            raise GateFailure(
+                f"serving {sem}: warm wire checksum "
+                f"{r['warm_wire_checksum']} != cold {r['wire_checksum']} "
+                "-- a result-cache hit was not byte-identical to the "
+                "uncached response"
             )
         if sem not in base:
             raise GateFailure(f"baseline has no {sem} entry")
@@ -280,11 +369,20 @@ def check_serving(serving, baseline):
     require_metric(
         by_name, "i3_net_connections", lambda m: True, "series present"
     )
+    # The warm timed passes repeat the exact same requests, so the
+    # whole-query result cache must have answered most of them.
+    require_metric(
+        by_name,
+        "i3_result_cache_hits_total",
+        lambda m: m["value"] > 0,
+        "non-zero result-cache hit counter",
+    )
     print(f"  serving metrics OK: {len(serving['obs']['metrics'])} series")
 
 
 def run_gate(candidate, baseline, max_regress):
     check_results(candidate, baseline, max_regress)
+    check_warm_smoke(candidate, baseline, max_regress)
     check_metrics(candidate)
 
 
@@ -310,6 +408,14 @@ def self_test():
                 "p90_us": 1,
                 "p99_us": 1,
                 "max_us": 1,
+            }
+        ],
+        "warm_smoke": [
+            {
+                "semantics": "AND",
+                "qps": 1000.0,
+                "pages_per_query": 0.0,
+                "checksum": 111,
             }
         ],
         "obs": {
@@ -350,13 +456,28 @@ def self_test():
                     "value": 3,
                     "labels": {},
                 },
+                {
+                    "name": "i3_cell_cache_hits_total",
+                    "type": "counter",
+                    "value": 30,
+                    "labels": {},
+                },
+                {
+                    "name": "i3_buffer_pool_stripes",
+                    "type": "gauge",
+                    "value": 8,
+                    "labels": {},
+                },
             ]
         },
     }
     baseline = {
         "smoke_baseline": [
             {"semantics": "AND", "pages_per_query": 20.0, "checksum": 111}
-        ]
+        ],
+        "warm_smoke": [
+            {"semantics": "AND", "pages_per_query": 0.0, "checksum": 111}
+        ],
     }
 
     print("self-test: clean input passes")
@@ -383,6 +504,32 @@ def self_test():
         if m["name"] in ("i3_cells_skipped_total", "i3_blockmax_prunes_total"):
             m["value"] = 0
     expect_failure("pruning counters all zero", doctored, baseline)
+
+    doctored = copy.deepcopy(good)
+    del doctored["warm_smoke"]
+    expect_failure("missing warm_smoke section", doctored, baseline)
+
+    doctored = copy.deepcopy(good)
+    doctored["warm_smoke"][0]["checksum"] = 333
+    expect_failure("warm checksum drift from cold smoke", doctored, baseline)
+
+    doctored = copy.deepcopy(good)
+    doctored["warm_smoke"][0]["pages_per_query"] = 5.0  # > 0.0 + 0.5 slack
+    expect_failure("warm pages/query regression", doctored, baseline)
+
+    doctored = copy.deepcopy(good)
+    doctored["obs"]["metrics"] = [
+        m
+        for m in doctored["obs"]["metrics"]
+        if m["name"] != "i3_cell_cache_hits_total"
+    ]
+    expect_failure("missing cell-cache metric series", doctored, baseline)
+
+    doctored = copy.deepcopy(good)
+    for m in doctored["obs"]["metrics"]:
+        if m["name"] == "i3_buffer_pool_stripes":
+            m["value"] = 0
+    expect_failure("zero buffer-pool stripe gauge", doctored, baseline)
 
     # Within-budget drift must NOT fail.
     tolerable = copy.deepcopy(good)
@@ -411,6 +558,7 @@ def serving_self_test(baseline):
                 "semantics": "AND",
                 "wire_checksum": 999,
                 "direct_checksum": 999,
+                "warm_wire_checksum": 999,
                 "docsum_checksum": 111,
             }
         ],
@@ -442,6 +590,12 @@ def serving_self_test(baseline):
                     "value": 0,
                     "labels": {},
                 },
+                {
+                    "name": "i3_result_cache_hits_total",
+                    "type": "counter",
+                    "value": 80,
+                    "labels": {},
+                },
             ]
         },
     }
@@ -456,6 +610,7 @@ def serving_self_test(baseline):
     doctored = copy.deepcopy(good)
     doctored["results"][0]["wire_checksum"] = 222
     doctored["results"][0]["direct_checksum"] = 222
+    doctored["results"][0]["warm_wire_checksum"] = 222
     doctored["results"][0]["docsum_checksum"] = 222
     expect_serving_failure(
         "wire drift from committed baseline", doctored, baseline
@@ -477,12 +632,30 @@ def serving_self_test(baseline):
                            baseline)
 
     doctored = copy.deepcopy(good)
+    doctored["results"][0]["warm_wire_checksum"] = 997
+    expect_serving_failure(
+        "cached response diverged from uncached", doctored, baseline
+    )
+
+    doctored = copy.deepcopy(good)
+    del doctored["results"][0]["warm_wire_checksum"]
+    expect_serving_failure("missing warm wire checksum", doctored, baseline)
+
+    doctored = copy.deepcopy(good)
     doctored["obs"]["metrics"] = [
         m
         for m in doctored["obs"]["metrics"]
         if m["name"] != "i3_requests_shed_total"
     ]
     expect_serving_failure("missing shed metric series", doctored, baseline)
+
+    doctored = copy.deepcopy(good)
+    for m in doctored["obs"]["metrics"]:
+        if m["name"] == "i3_result_cache_hits_total":
+            m["value"] = 0
+    expect_serving_failure(
+        "result cache never hit on warm passes", doctored, baseline
+    )
 
 
 def main():
