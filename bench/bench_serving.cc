@@ -16,6 +16,12 @@
 // Throughput/latency figures are recorded for trend-watching but NOT
 // gated (CI timing noise); checksums and outcome counts are noise-free.
 //
+// Observability phase: a fresh server with the slow-query threshold on
+// the floor serves traced requests; the gate requires every response to
+// carry a consistent span timeline, every request to land in the slow
+// log, and the i3_slow_queries_total / i3_net_traced_requests_total /
+// i3_slo_window_* series to exist and move in the "obs" snapshot.
+//
 // Flags (on top of the shared bench flags): --smoke (tiny config for CI),
 // --json=PATH (default BENCH_serving.json), --reps=N.
 
@@ -205,6 +211,67 @@ ShedResult MeasureShedding(ShardedIndex* index, const Query& query,
   return out;
 }
 
+struct ObsPhaseResult {
+  uint64_t sent = 0;
+  /// Responses that came back with a non-empty span timeline.
+  uint64_t traced_responses = 0;
+  /// Timelines where no stage outruns the end-to-end time.
+  uint64_t timeline_consistent = 0;
+  /// Slow-query log records on the phase's server (threshold 0: all).
+  uint64_t slow_recorded = 0;
+};
+
+/// Observability phase: every request is traced and the slow-query
+/// threshold is 0, so every request must return a timeline and land in
+/// the slow log -- and the traced/slow/SLO metric series must move.
+ObsPhaseResult MeasureObservability(ShardedIndex* index,
+                                    const std::vector<Query>& queries,
+                                    double alpha) {
+  ObsPhaseResult out;
+  net::ServerOptions sopts;
+  sopts.worker_threads = 2;
+  sopts.slow_threshold_us = 0;
+  net::Server server(index, sopts);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "obs-phase server failed to start\n");
+    std::abort();
+  }
+  net::ClientOptions copts;
+  copts.port = server.port();
+  copts.recv_timeout_ms = 30000;
+  auto client = net::Client::Connect(copts);
+  if (!client.ok()) {
+    std::fprintf(stderr, "obs-phase connect failed\n");
+    std::abort();
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    net::Request req = ToRequest(queries[i], i, alpha);
+    req.trace = true;
+    req.no_cache = true;  // exercise the full queue + index path
+    auto resp = client.ValueOrDie()->Call(req);
+    if (!resp.ok() ||
+        resp.ValueOrDie().outcome != net::ResponseOutcome::kOk) {
+      std::fprintf(stderr, "obs-phase request failed\n");
+      std::abort();
+    }
+    ++out.sent;
+    const net::Response& r = resp.ValueOrDie();
+    if (r.has_trace && r.trace.total_ns > 0 && !r.trace.spans.empty()) {
+      ++out.traced_responses;
+      bool consistent = true;
+      for (const net::WireTraceSpan& s : r.trace.spans) {
+        if (s.total_ns > r.trace.total_ns) consistent = false;
+      }
+      if (consistent) ++out.timeline_consistent;
+    }
+  }
+  out.slow_recorded = server.slow_log().recorded();
+  // Stop() pulls a final SLO export into the global registry, so the
+  // i3_slo_window_* gauges below reflect this phase's traffic.
+  server.Stop();
+  return out;
+}
+
 int Main(int argc, char** argv) {
   BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
   bool smoke = false;
@@ -265,6 +332,12 @@ int Main(int argc, char** argv) {
   const ShedResult shed =
       MeasureShedding(&index, shed_query.front(), cfg.default_alpha);
 
+  const ObsPhaseResult obs_phase = MeasureObservability(
+      &index,
+      qgen.Freq(cfg.default_qn, num_queries, /*k=*/10, Semantics::kOr,
+                /*seed=*/42),
+      cfg.default_alpha);
+
   PrintRule(5, 12);
   PrintRow({"semantics", "qps", "p50us", "p99us", "wire==direct"}, 12);
   PrintRule(5, 12);
@@ -280,6 +353,10 @@ int Main(int argc, char** argv) {
               "shed p50 %.0fus p99 %.0fus\n",
               shed.shed, shed.sent, shed.ok, shed.error, shed.shed_p50_us,
               shed.shed_p99_us);
+  std::printf("obs phase: %" PRIu64 "/%" PRIu64 " traced (%" PRIu64
+              " consistent), %" PRIu64 " slow-log records\n",
+              obs_phase.traced_responses, obs_phase.sent,
+              obs_phase.timeline_consistent, obs_phase.slow_recorded);
 
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
@@ -317,6 +394,13 @@ int Main(int argc, char** argv) {
                "\"shed_p50_us\": %.0f, \"shed_p99_us\": %.0f},\n",
                shed.sent, shed.ok, shed.shed, shed.error, shed.shed_p50_us,
                shed.shed_p99_us);
+  std::fprintf(f,
+               "  \"obs_phase\": {\"sent\": %" PRIu64
+               ", \"traced_responses\": %" PRIu64
+               ", \"timeline_consistent\": %" PRIu64
+               ", \"slow_recorded\": %" PRIu64 "},\n",
+               obs_phase.sent, obs_phase.traced_responses,
+               obs_phase.timeline_consistent, obs_phase.slow_recorded);
   // Process-wide metrics snapshot: includes the serving families
   // (i3_net_requests_total, i3_requests_shed_total, i3_request_latency_us,
   // ...) the CI gate requires to exist and move.

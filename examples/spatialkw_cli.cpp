@@ -14,15 +14,18 @@
 //                        <and|or> <text...>
 //   spatialkw_cli serve  <index-prefix> [--port=N] [--workers=N]
 //                        [--batch=N] [--rate=R] [--burst=B]
-//                        [--max-queue=N]
+//                        [--max-queue=N] [--slow-threshold-us=N]
 //
 // `serve` loads the index and answers the binary query protocol
-// (src/net/protocol.h) over TCP, plus `GET /metrics` on the same port;
-// --port=0 (the default) picks an ephemeral port, printed as
-// "serving on port N" for scripts (tools/loadgen) to scrape. --rate/
-// --burst set the default per-tenant admission budget (requests/second
-// and bucket size; 0 = unlimited). The process serves until SIGINT or
-// SIGTERM.
+// (src/net/protocol.h) over TCP, plus `GET /metrics`, `/statusz`,
+// `/tracez`, `/cachez`, and `/healthz` on the same port; --port=0 (the
+// default) picks an ephemeral port, printed as "serving on port N" for
+// scripts (tools/loadgen) to scrape. --rate/--burst set the default
+// per-tenant admission budget (requests/second and bucket size; 0 =
+// unlimited); --slow-threshold-us sets the slow-query-log bar. The
+// process serves until SIGINT or SIGTERM; SIGUSR1 dumps a JSON metrics
+// snapshot to stdout without stopping, and a clean shutdown prints a
+// final snapshot.
 //
 // `build` writes <prefix>.i3 (the index) and <prefix>.vocab (the term
 // dictionary with document frequencies, needed to interpret query text).
@@ -346,6 +349,9 @@ int CmdRange(int argc, char** argv) {
 volatile std::sig_atomic_t g_stop_serving = 0;
 void HandleStopSignal(int) { g_stop_serving = 1; }
 
+volatile std::sig_atomic_t g_dump_metrics = 0;
+void HandleDumpSignal(int) { g_dump_metrics = 1; }
+
 int CmdServe(int argc, char** argv) {
   if (argc < 3) return Fail("serve needs <index-prefix>");
   const std::string prefix = argv[2];
@@ -366,6 +372,9 @@ int CmdServe(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--result-cache-entries=", 23) == 0) {
       sopts.result_cache_entries =
           static_cast<size_t>(std::atoll(argv[i] + 23));
+    } else if (std::strncmp(argv[i], "--slow-threshold-us=", 20) == 0) {
+      sopts.slow_threshold_us =
+          static_cast<uint64_t>(std::atoll(argv[i] + 20));
     } else {
       return Fail(std::string("unknown serve flag: ") + argv[i]);
     }
@@ -390,14 +399,28 @@ int CmdServe(int argc, char** argv) {
 
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGUSR1, HandleDumpSignal);
   while (g_stop_serving == 0) {
     DeadlineTimer::SleepFor(/*us=*/100000);
+    if (g_dump_metrics != 0) {
+      // Signal-requested snapshot (the handler only sets a flag; the
+      // formatting and I/O happen here, outside the handler).
+      g_dump_metrics = 0;
+      std::printf(
+          "%s\n",
+          obs::ToJson(obs::MetricsRegistry::Global().Snapshot()).c_str());
+      std::fflush(stdout);
+    }
   }
   std::printf("shutting down: %llu ok, %llu shed, %llu error\n",
               static_cast<unsigned long long>(server.requests_ok()),
               static_cast<unsigned long long>(server.requests_shed()),
               static_cast<unsigned long long>(server.requests_error()));
   server.Stop();
+  // Final snapshot after Stop(): includes the last SLO window refresh.
+  std::printf(
+      "%s\n",
+      obs::ToJson(obs::MetricsRegistry::Global().Snapshot()).c_str());
   return 0;
 }
 

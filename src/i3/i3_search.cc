@@ -376,11 +376,17 @@ class I3Index::SearchContext {
 Result<std::vector<ScoredDoc>> I3Index::Search(const Query& q_in,
                                                double alpha) {
   const uint64_t start_ns = obs::NowNanos();
+  // A request-scoped sink (wire-propagated tracing) takes precedence over
+  // the sampled global tracer: the caller owns the timeline and publishes
+  // it (over the wire / into the slow-query log), so it is not pushed to
+  // the sampled ring here.
+  obs::QueryTrace* request_trace = q_in.control.trace;
   obs::QueryTrace trace_storage;
-  obs::QueryTrace* trace =
-      obs::Tracer::Global().StartTrace("I3.Search", &trace_storage)
-          ? &trace_storage
-          : nullptr;
+  obs::QueryTrace* trace = request_trace;
+  if (trace == nullptr &&
+      obs::Tracer::Global().StartTrace("I3.Search", &trace_storage)) {
+    trace = &trace_storage;
+  }
   I3SearchStats stats;
   const uint64_t backoff_before = internal::t_retry_backoff_ns;
   auto result = SearchImpl(q_in, alpha, &stats, trace);
@@ -402,7 +408,8 @@ Result<std::vector<ScoredDoc>> I3Index::Search(const Query& q_in,
     trace->Annotate("cells_skipped", stats.cells_skipped);
     trace->Annotate("blockmax_prunes", stats.blockmax_prunes);
     if (result.ok()) trace->Annotate("results", result.ValueOrDie().size());
-    obs::Tracer::Global().Finish(std::move(*trace));
+    if (trace != request_trace)
+      obs::Tracer::Global().Finish(std::move(*trace));
   }
   std::lock_guard<std::mutex> lock(stats_mutex_);
   last_search_stats_ = stats;

@@ -15,6 +15,10 @@
 
 namespace i3 {
 
+namespace obs {
+struct QueryTrace;
+}  // namespace obs
+
 /// \brief Textual matching semantics (Section 3).
 enum class Semantics {
   /// Every query keyword must appear in a result document.
@@ -42,6 +46,16 @@ struct QueryControl {
   /// Checked cooperatively at search checkpoints when non-null; the pointee
   /// must outlive the query. Setting it aborts the query at the next check.
   const std::atomic<bool>* cancel = nullptr;
+  /// Server-stamped 64-bit trace id; 0 = untraced. Pure identification --
+  /// it ties wire responses, slow-query records, and /tracez entries to
+  /// one request without affecting execution.
+  uint64_t trace_id = 0;
+  /// Request-scoped span sink: when non-null every layer the query
+  /// touches records its stage timings here instead of relying on the
+  /// sampled global tracer. The pointee must outlive the query; single
+  /// writer (the executing thread) -- fan-out parents aggregate shard
+  /// stages after joining, never concurrently.
+  obs::QueryTrace* trace = nullptr;
 
   bool bounded() const { return deadline_ns != 0 || cancel != nullptr; }
   bool Cancelled() const {

@@ -200,11 +200,15 @@ Result<std::vector<ScoredDoc>> ShardedIndex::SearchSequential(
 Result<std::vector<ScoredDoc>> ShardedIndex::Search(const Query& q,
                                                     double alpha) {
   const uint64_t start_ns = obs::NowNanos();
+  // Request-scoped sink wins over sampling (see I3Index::Search): the
+  // caller publishes the timeline, the sampled ring stays untouched.
+  obs::QueryTrace* request_trace = q.control.trace;
   obs::QueryTrace trace_storage;
-  obs::QueryTrace* trace =
-      obs::Tracer::Global().StartTrace("Sharded.Search", &trace_storage)
-          ? &trace_storage
-          : nullptr;
+  obs::QueryTrace* trace = request_trace;
+  if (trace == nullptr &&
+      obs::Tracer::Global().StartTrace("Sharded.Search", &trace_storage)) {
+    trace = &trace_storage;
+  }
   FanOutOutcome outcome;
   auto result = SearchFanOut(q, alpha, trace, &outcome);
   search_latency_us_[q.semantics == Semantics::kAnd ? 0 : 1]->Record(
@@ -216,7 +220,8 @@ Result<std::vector<ScoredDoc>> ShardedIndex::Search(const Query& q,
     trace->Annotate("failed_shards", outcome.failed);
     if (degraded) trace->Annotate("degraded", 1);
     if (result.ok()) trace->Annotate("results", result.ValueOrDie().size());
-    obs::Tracer::Global().Finish(std::move(*trace));
+    if (trace != request_trace)
+      obs::Tracer::Global().Finish(std::move(*trace));
   }
   SearchStatsView view;
   view.Set("shards", shards_.size());
@@ -245,9 +250,16 @@ Result<std::vector<ScoredDoc>> ShardedIndex::SearchFanOut(
   // after the barrier.
   std::vector<uint64_t> shard_ns;
   if (trace != nullptr) shard_ns.assign(shards_.size(), 0);
+  // The fan-out workers share one Query; a request-scoped span sink is a
+  // single-writer structure, so shards must not write it concurrently.
+  // The parallel path detaches it (per-shard wall times below still reach
+  // the trace after the barrier); only the sequential path gets inner
+  // per-shard stage detail.
+  Query q_shard = q;
+  q_shard.control.trace = nullptr;
   pool_->ParallelFor(shards_.size(), [&](size_t i) {
     const uint64_t t0 = trace != nullptr ? obs::NowNanos() : 0;
-    results[i] = SearchShard(*shards_[i], q, alpha);
+    results[i] = SearchShard(*shards_[i], q_shard, alpha);
     if (trace != nullptr) shard_ns[i] = obs::NowNanos() - t0;
   });
   if (trace != nullptr) {
@@ -314,11 +326,16 @@ std::vector<ShardedIndex::BatchItemResult> ShardedIndex::SearchBatch(
   auto run_one = [&](size_t i) {
     const uint64_t t0 = obs::NowNanos();
     FanOutOutcome outcome;
+    // A traced request rides its span sink in the query control; the
+    // executing worker is the only writer, so per-shard stages land in
+    // the request's own timeline without synchronization.
     auto res = SearchSequential(items[i].query, items[i].alpha,
-                                /*trace=*/nullptr, &outcome);
+                                items[i].query.control.trace, &outcome);
+    const uint64_t elapsed_ns = obs::NowNanos() - t0;
     search_latency_us_[items[i].query.semantics == Semantics::kAnd ? 0 : 1]
-        ->Record((obs::NowNanos() - t0) / 1000);
+        ->Record(elapsed_ns / 1000);
     BatchItemResult& r = out[i];
+    r.search_ns = elapsed_ns;
     r.failed_shards = outcome.failed;
     if (!res.ok()) {
       r.status = res.status();

@@ -129,6 +129,10 @@ class ShardedIndex final : public SpatialKeywordIndex {
     /// Some -- but not all -- shards failed; see the degradation contract.
     bool degraded = false;
     uint32_t failed_shards = 0;
+    /// Wall time this item spent inside the index search, always
+    /// measured (one clock pair per item): the serving layer attributes
+    /// "search" time for slow-query records without a full trace.
+    uint64_t search_ns = 0;
   };
 
   /// \brief The serving batch hook: answers every item under the

@@ -1,7 +1,9 @@
 #include "net/protocol.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <utility>
 
 namespace i3 {
 namespace net {
@@ -137,9 +139,11 @@ void EncodeRequest(const Request& req, std::string* out) {
   PutU32(&payload, req.tenant);
   PutU32(&payload, req.k);
   PutU8(&payload, req.semantics == Semantics::kAnd ? 0 : 1);
-  // Flags byte: bit 0 = no_cache (result-cache opt-out). Bits 1..7 stay
+  // Flags byte: bit 0 = no_cache (result-cache opt-out), bit 1 = trace
+  // ("trace me": the response carries a span timeline). Bits 2..7 stay
   // reserved and must be zero.
-  PutU8(&payload, req.no_cache ? 1 : 0);
+  PutU8(&payload, static_cast<uint8_t>((req.no_cache ? 1 : 0) |
+                                       (req.trace ? 2 : 0)));
   PutU32(&payload, req.deadline_ms);
   PutF64(&payload, req.x);
   PutF64(&payload, req.y);
@@ -151,18 +155,69 @@ void EncodeRequest(const Request& req, std::string* out) {
   out->append(payload);
 }
 
+namespace {
+
+/// Appends one trace name: length byte + bytes, clamped to kMaxTraceName.
+/// Names are never empty on the encode side (an empty name would not
+/// decode); callers filter before reaching here.
+void PutTraceName(std::string* payload, const std::string& name) {
+  const size_t n = std::min<size_t>(name.size(), kMaxTraceName);
+  PutU8(payload, static_cast<uint8_t>(n));
+  payload->append(name, 0, n);
+}
+
+void EncodeTraceSection(const WireTrace& trace, std::string* payload) {
+  PutU64(payload, trace.trace_id);
+  PutU64(payload, trace.total_ns);
+  size_t num_spans = 0;
+  for (const WireTraceSpan& s : trace.spans) {
+    if (!s.name.empty()) ++num_spans;
+    if (num_spans == kMaxTraceSpans) break;
+  }
+  PutU8(payload, static_cast<uint8_t>(num_spans));
+  size_t written = 0;
+  for (const WireTraceSpan& s : trace.spans) {
+    if (s.name.empty()) continue;
+    if (written == num_spans) break;
+    ++written;
+    PutTraceName(payload, s.name);
+    PutU64(payload, s.total_ns);
+    PutU32(payload, s.calls);
+  }
+  size_t num_annotations = 0;
+  for (const WireTraceAnnotation& a : trace.annotations) {
+    if (!a.name.empty()) ++num_annotations;
+    if (num_annotations == kMaxTraceAnnotations) break;
+  }
+  PutU8(payload, static_cast<uint8_t>(num_annotations));
+  written = 0;
+  for (const WireTraceAnnotation& a : trace.annotations) {
+    if (a.name.empty()) continue;
+    if (written == num_annotations) break;
+    ++written;
+    PutTraceName(payload, a.name);
+    PutU64(payload, a.value);
+  }
+}
+
+}  // namespace
+
 void EncodeResponse(const Response& resp, std::string* out) {
   const size_t num_results =
       std::min<size_t>(resp.results.size(), kMaxK);
   const size_t msg_len =
       std::min<size_t>(resp.message.size(), kMaxErrorMessage);
   std::string payload;
-  payload.reserve(20 + msg_len + num_results * 28);
+  payload.reserve(20 + msg_len + num_results * 28 +
+                  (resp.has_trace ? 256 : 0));
   PutU16(&payload, kResponseMagic);
   PutU8(&payload, kProtocolVersion);
   PutU8(&payload, static_cast<uint8_t>(resp.outcome));
   PutU64(&payload, resp.request_id);
-  PutU8(&payload, resp.degraded ? 1 : 0);
+  // Flags byte: bit 0 = degraded partial top-k, bit 1 = trace section
+  // present after the result list. Bits 2..7 reserved, must be zero.
+  PutU8(&payload, static_cast<uint8_t>((resp.degraded ? 1 : 0) |
+                                       (resp.has_trace ? 2 : 0)));
   PutU8(&payload, static_cast<uint8_t>(resp.code));
   PutU16(&payload, static_cast<uint16_t>(msg_len));
   payload.append(resp.message, 0, msg_len);
@@ -174,6 +229,7 @@ void EncodeResponse(const Response& resp, std::string* out) {
     PutF64(&payload, d.location.x);
     PutF64(&payload, d.location.y);
   }
+  if (resp.has_trace) EncodeTraceSection(resp.trace, &payload);
 
   PutU32(out, static_cast<uint32_t>(payload.size()));
   out->append(payload);
@@ -206,12 +262,13 @@ Result<Request> DecodeRequest(const uint8_t* payload, size_t len) {
     return Malformed("truncated request");
   }
   if (semantics > 1) return Malformed("bad semantics");
-  // Flags byte: bit 0 (no_cache) is the only defined flag; any other bit
-  // is damage, not a feature. Rejecting the rest keeps decode(payload)
-  // canonical: whatever decodes re-encodes byte-identically (asserted by
-  // the protocol fuzz tests).
-  if ((reserved & ~uint8_t{1}) != 0) return Malformed("reserved flags set");
+  // Flags byte: bit 0 (no_cache) and bit 1 (trace) are the only defined
+  // flags; any other bit is damage, not a feature. Rejecting the rest
+  // keeps decode(payload) canonical: whatever decodes re-encodes
+  // byte-identically (asserted by the protocol fuzz tests).
+  if ((reserved & ~uint8_t{3}) != 0) return Malformed("reserved flags set");
   req.no_cache = (reserved & 1) != 0;
+  req.trace = (reserved & 2) != 0;
   req.semantics = semantics == 0 ? Semantics::kAnd : Semantics::kOr;
   if (req.type == MessageType::kSearch) {
     if (req.k == 0 || req.k > kMaxK) return Malformed("k out of range");
@@ -260,8 +317,11 @@ Result<Response> DecodeResponse(const uint8_t* payload, size_t len) {
       !c.GetU8(&code) || !c.GetU16(&msg_len)) {
     return Malformed("truncated response");
   }
-  if (degraded > 1) return Malformed("bad degraded flag");
-  resp.degraded = degraded == 1;
+  // Response flags byte: bit 0 = degraded, bit 1 = trace section follows
+  // the result list. Any other bit is damage.
+  if ((degraded & ~uint8_t{3}) != 0) return Malformed("bad response flags");
+  resp.degraded = (degraded & 1) != 0;
+  resp.has_trace = (degraded & 2) != 0;
   if (code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
     return Malformed("unknown status code");
   }
@@ -282,6 +342,46 @@ Result<Response> DecodeResponse(const uint8_t* payload, size_t len) {
     }
     if (!FiniteF64(d.score)) return Malformed("non-finite score");
     resp.results.push_back(d);
+  }
+  if (resp.has_trace) {
+    uint8_t num_spans = 0, num_annotations = 0;
+    if (!c.GetU64(&resp.trace.trace_id) || !c.GetU64(&resp.trace.total_ns) ||
+        !c.GetU8(&num_spans)) {
+      return Malformed("truncated trace section");
+    }
+    if (num_spans > kMaxTraceSpans) return Malformed("trace span overflow");
+    resp.trace.spans.reserve(num_spans);
+    for (uint8_t i = 0; i < num_spans; ++i) {
+      WireTraceSpan s;
+      uint8_t name_len = 0;
+      if (!c.GetU8(&name_len)) return Malformed("truncated trace span");
+      if (name_len == 0 || name_len > kMaxTraceName) {
+        return Malformed("trace span name out of range");
+      }
+      if (!c.GetBytes(&s.name, name_len) || !c.GetU64(&s.total_ns) ||
+          !c.GetU32(&s.calls)) {
+        return Malformed("truncated trace span");
+      }
+      resp.trace.spans.push_back(std::move(s));
+    }
+    if (!c.GetU8(&num_annotations))
+      return Malformed("truncated trace section");
+    if (num_annotations > kMaxTraceAnnotations) {
+      return Malformed("trace annotation overflow");
+    }
+    resp.trace.annotations.reserve(num_annotations);
+    for (uint8_t i = 0; i < num_annotations; ++i) {
+      WireTraceAnnotation a;
+      uint8_t name_len = 0;
+      if (!c.GetU8(&name_len)) return Malformed("truncated trace annotation");
+      if (name_len == 0 || name_len > kMaxTraceName) {
+        return Malformed("trace annotation name out of range");
+      }
+      if (!c.GetBytes(&a.name, name_len) || !c.GetU64(&a.value)) {
+        return Malformed("truncated trace annotation");
+      }
+      resp.trace.annotations.push_back(std::move(a));
+    }
   }
   if (c.remaining() != 0) return Malformed("trailing response bytes");
   return resp;

@@ -50,6 +50,13 @@ inline constexpr uint32_t kMaxTerms = 256;
 inline constexpr uint32_t kMaxK = 1024;
 inline constexpr uint32_t kMaxErrorMessage = 512;
 
+/// Trace-section limits: a traced response carries at most this many
+/// stage spans / annotations, each with a short name. Keeps the section
+/// bounded (~6KB worst case) inside kMaxFramePayload.
+inline constexpr uint32_t kMaxTraceSpans = 64;
+inline constexpr uint32_t kMaxTraceAnnotations = 32;
+inline constexpr uint32_t kMaxTraceName = 48;
+
 /// First two payload bytes of a request / response ("I3" / "3I"): lets a
 /// receiver reject garbage immediately and keeps the two directions from
 /// being confused for one another.
@@ -96,6 +103,12 @@ struct Request {
   /// Opt out of the server's whole-query result cache (wire flags bit 0):
   /// the request always reaches the index and its response is not cached.
   bool no_cache = false;
+  /// "Trace me" (wire flags bit 1): the server stamps a trace id, records
+  /// a span timeline across every serving stage the request touches, and
+  /// returns the timeline in the response's trace section. Results are
+  /// byte-identical to the untraced request (tracing never changes the
+  /// answer, only appends the timeline).
+  bool trace = false;
   std::vector<TermId> terms;
 
   /// \brief The library query this request describes. Deadline/cancel
@@ -112,6 +125,33 @@ struct Request {
   }
 };
 
+/// \brief One stage of a wire-returned span timeline: accumulated time
+/// and call count, mirroring obs::TraceStage.
+struct WireTraceSpan {
+  std::string name;
+  uint64_t total_ns = 0;
+  uint32_t calls = 0;
+};
+
+/// \brief One integer annotation attached to a wire trace (cache_hit,
+/// docs_scored, batch_size, ...).
+struct WireTraceAnnotation {
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// \brief The span timeline a traced response carries back: the server's
+/// 64-bit trace id, its end-to-end wall time, and the per-stage
+/// breakdown (admission, queue wait, cache probes, per-shard search,
+/// encode). Clients subtract `total_ns` from their own observed latency
+/// to attribute the remainder to the network and client stack.
+struct WireTrace {
+  uint64_t trace_id = 0;
+  uint64_t total_ns = 0;
+  std::vector<WireTraceSpan> spans;
+  std::vector<WireTraceAnnotation> annotations;
+};
+
 /// \brief One response.
 struct Response {
   ResponseOutcome outcome = ResponseOutcome::kOk;
@@ -124,6 +164,11 @@ struct Response {
   /// Human-readable failure/shed detail (truncated to kMaxErrorMessage).
   std::string message;
   std::vector<ScoredDoc> results;
+  /// Present iff the request set its trace flag (response flags bit 1);
+  /// the section rides after the result list so the result encoding is
+  /// byte-identical with and without it.
+  bool has_trace = false;
+  WireTrace trace;
 };
 
 /// \brief Appends a length-prefixed request/response frame to `out`.

@@ -44,11 +44,14 @@ std::string ResultCache::KeyOf(const Request& req) {
   // drop because only complete responses are cached (a complete top-k is
   // the same under any deadline that lets it finish); no_cache is always
   // zero here by construction (bypassing requests never reach KeyOf).
+  // trace is observability, not identity: a traced request shares the
+  // cache line of its untraced twin (the hit shows up in its timeline).
   Request canon = req;
   canon.request_id = 0;
   canon.tenant = 0;
   canon.deadline_ms = 0;
   canon.no_cache = false;
+  canon.trace = false;
   std::string key;
   EncodeRequest(canon, &key);
   return key;
@@ -163,6 +166,16 @@ size_t ResultCache::entry_count() const {
     n += sp->index.size();
   }
   return n;
+}
+
+std::vector<size_t> ResultCache::StripeOccupancy() const {
+  std::vector<size_t> out;
+  out.reserve(stripes_.size());
+  for (const auto& sp : stripes_) {
+    std::lock_guard<std::mutex> lock(sp->mutex);
+    out.push_back(sp->index.size());
+  }
+  return out;
 }
 
 }  // namespace net

@@ -78,6 +78,9 @@ class ResultCache {
 
   size_t entry_count() const;
 
+  /// Live entries per stripe (the balance view /cachez renders).
+  std::vector<size_t> StripeOccupancy() const;
+
  private:
   struct Entry {
     std::string key;

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <utility>
 
+#include "net/introspection.h"
 #include "obs/clock.h"
 #include "obs/export.h"
 
@@ -52,6 +53,27 @@ Response ErrorResponse(uint64_t request_id, const Status& st) {
   return resp;
 }
 
+/// SplitMix64 finalizer over the trace-id sequence: ids look random on
+/// the wire (no cross-request guessing of "the next id") while staying a
+/// bijection of a plain counter -- no RNG state, no collisions.
+uint64_t MixTraceId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::string HexEncode(const std::string& bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xf]);
+  }
+  return out;
+}
+
 }  // namespace
 
 /// Loop-thread-only per-connection state.
@@ -76,7 +98,12 @@ Server::Server(ShardedIndex* index, ServerOptions options)
     : index_(index),
       options_(std::move(options)),
       limiter_(options_.default_limit),
-      result_cache_(ResultCacheOptions{options_.result_cache_entries, 0}) {
+      result_cache_(ResultCacheOptions{options_.result_cache_entries, 0}),
+      slow_log_(obs::SlowQueryLog::Options{options_.slow_log_ring,
+                                           options_.slow_log_top,
+                                           options_.slow_threshold_us}),
+      slo_(obs::SloTracker::Options{options_.slo_window_seconds,
+                                    options_.slo_max_tenants}) {
   for (const auto& [tenant, limit] : options_.tenant_limits) {
     limiter_.SetLimit(tenant, limit);
   }
@@ -108,6 +135,14 @@ Server::Server(ShardedIndex* index, ServerOptions options)
   }
   batch_size_ = reg.GetHistogram(
       "i3_net_batch_size", "Requests answered per SearchBatch call.");
+  traced_requests_metric_ = reg.GetCounter(
+      "i3_net_traced_requests_total",
+      "Requests that carried the wire trace flag (span timeline "
+      "returned in-band).");
+  slow_queries_metric_ = reg.GetCounter(
+      "i3_slow_queries_total",
+      "Requests captured by the slow-query log (over the latency "
+      "threshold or among the rolling slowest).");
 }
 
 Server::~Server() { Stop(); }
@@ -167,6 +202,7 @@ Status Server::Start() {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
   stopping_.store(false);
+  start_ns_ = obs::NowNanos();
   running_.store(true, std::memory_order_release);
   loop_thread_ = std::thread([this] { RunLoop(); });
   workers_.reserve(options_.worker_threads);
@@ -178,6 +214,9 @@ Status Server::Start() {
 
 void Server::Stop() {
   if (!stopping_.exchange(true)) {
+    // Final pull-model refresh: an embedding process that snapshots the
+    // registry after Stop() still sees current SLO windows.
+    slo_.ExportMetrics(obs::NowNanos());
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       // Wake every worker so they observe stopping_.
@@ -362,6 +401,16 @@ void Server::DispatchRequest(Connection* conn, Request req,
     QueueResponse(conn, pong);
     return;
   }
+  // Trace opt-in: the server stamps the id (clients cannot forge
+  // cross-request correlation) and carries the flag with the work item.
+  // Untraced requests pay nothing here beyond the flag test.
+  const bool traced = req.trace;
+  uint64_t trace_id = 0;
+  if (traced) {
+    traced_requests_metric_->Increment();
+    trace_id =
+        MixTraceId(next_trace_seq_.fetch_add(1, std::memory_order_relaxed));
+  }
   // Admission control, on the loop thread: a rejected request costs one
   // bucket probe and an immediate response -- it never queues behind
   // index work, which is what keeps shed latency bounded under overload.
@@ -369,6 +418,7 @@ void Server::DispatchRequest(Connection* conn, Request req,
   if (!limiter_.Admit(req.tenant, arrival_ns)) {
     shed_reason = "tenant rate limit exceeded";
   } else {
+    const uint64_t admit_done_ns = traced ? obs::NowNanos() : 0;
     // Result-cache probe, after admission (a cached answer still spends
     // tenant tokens -- the cache must not turn one tenant's hot query
     // into free capacity) but before the queue: a hit is answered right
@@ -383,9 +433,25 @@ void Server::DispatchRequest(Connection* conn, Request req,
         if (result_cache_.Lookup(cache_key, index_->generation(),
                                  &cached)) {
           cached.request_id = req.request_id;
+          const uint64_t done_ns = obs::NowNanos();
+          obs::QueryTrace hit_trace;
+          if (traced) {
+            hit_trace.label = "serve";
+            hit_trace.start_ns = arrival_ns;
+            hit_trace.total_ns = done_ns - arrival_ns;
+            hit_trace.AddStage("admission", admit_done_ns - arrival_ns);
+            hit_trace.AddStage("result_cache", done_ns - admit_done_ns);
+            hit_trace.Annotate("result_cache_hit", 1);
+            cached.has_trace = true;
+            cached.trace =
+                BuildWireTrace(trace_id, hit_trace.total_ns, hit_trace);
+          }
           QueueResponse(conn, cached);
           RecordOutcome(ResponseOutcome::kOk, /*degraded=*/false,
-                        arrival_ns);
+                        /*deadline_miss=*/false, req.tenant, arrival_ns);
+          MaybeLogSlow(req, ResponseOutcome::kOk, trace_id, arrival_ns,
+                       done_ns, /*search_ns=*/0, done_ns,
+                       traced ? &hit_trace : nullptr);
           return;
         }
       }
@@ -398,6 +464,10 @@ void Server::DispatchRequest(Connection* conn, Request req,
       item.conn_id = conn->id;
       item.request_id = req.request_id;
       item.arrival_ns = arrival_ns;
+      item.admitted_ns = obs::NowNanos();
+      item.trace_id = trace_id;
+      item.tenant = req.tenant;
+      item.traced = traced;
       item.cache_key = std::move(cache_key);
       item.item.query = req.ToQuery();
       if (req.deadline_ms > 0) {
@@ -407,6 +477,7 @@ void Server::DispatchRequest(Connection* conn, Request req,
             QueryControl::AfterMicros(uint64_t{req.deadline_ms} * 1000);
       }
       item.item.alpha = req.alpha;
+      item.request = std::move(req);
       queue_.push_back(std::move(item));
       queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
     }
@@ -417,8 +488,24 @@ void Server::DispatchRequest(Connection* conn, Request req,
     shed.outcome = ResponseOutcome::kShed;
     shed.request_id = req.request_id;
     shed.message = shed_reason;
+    const uint64_t done_ns = obs::NowNanos();
+    obs::QueryTrace shed_trace;
+    if (traced) {
+      shed_trace.label = "serve";
+      shed_trace.start_ns = arrival_ns;
+      shed_trace.total_ns = done_ns - arrival_ns;
+      shed_trace.AddStage("admission", done_ns - arrival_ns);
+      shed_trace.Annotate("shed", 1);
+      shed.has_trace = true;
+      shed.trace =
+          BuildWireTrace(trace_id, shed_trace.total_ns, shed_trace);
+    }
     QueueResponse(conn, shed);
-    RecordOutcome(ResponseOutcome::kShed, /*degraded=*/false, arrival_ns);
+    RecordOutcome(ResponseOutcome::kShed, /*degraded=*/false,
+                  /*deadline_miss=*/false, req.tenant, arrival_ns);
+    MaybeLogSlow(req, ResponseOutcome::kShed, trace_id, arrival_ns,
+                 done_ns, /*search_ns=*/0, done_ns,
+                 traced ? &shed_trace : nullptr);
     return;
   }
   queue_cv_.notify_one();
@@ -438,19 +525,61 @@ bool Server::ConsumeHttp(Connection* conn) {
   if (path_begin != std::string::npos && path_end != std::string::npos) {
     path = request_line.substr(path_begin + 1, path_end - path_begin - 1);
   }
-  std::string body, status_line;
+  const uint64_t now_ns = obs::NowNanos();
+  const uint64_t uptime_s =
+      start_ns_ == 0 ? 0 : (now_ns - start_ns_) / 1000000000ull;
+  std::string http;
   if (path == "/metrics") {
-    status_line = "HTTP/1.1 200 OK";
-    body = obs::ToPrometheusText(obs::MetricsRegistry::Global().Snapshot());
+    // Pull-model gauges refresh at scrape time, not per request.
+    slo_.ExportMetrics(now_ns);
+    http = HttpOk(
+        "text/plain; version=0.0.4",
+        obs::ToPrometheusText(obs::MetricsRegistry::Global().Snapshot()));
+  } else if (path == "/statusz") {
+    ServerStatus s;
+    s.build_compiler = __VERSION__;
+#ifdef NDEBUG
+    s.build_mode = "release";
+#else
+    s.build_mode = "debug";
+#endif
+    s.protocol_version = kProtocolVersion;
+    s.shards = index_->num_shards();
+    s.worker_threads = options_.worker_threads;
+    s.batch_max = options_.batch_max;
+    s.max_queue = options_.max_queue;
+    s.max_connections = options_.max_connections;
+    s.result_cache_entries = options_.result_cache_entries;
+    s.slow_threshold_us = slow_log_.threshold_us();
+    s.slo_window_seconds = slo_.window_seconds();
+    s.uptime_s = uptime_s;
+    s.documents = index_->DocumentCount();
+    s.open_connections = conns_.size();  // loop thread owns conns_
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      s.queue_depth = static_cast<int64_t>(queue_.size());
+    }
+    s.requests_ok = requests_ok();
+    s.requests_shed = requests_shed();
+    s.requests_error = requests_error();
+    s.slo_json = slo_.ToJson(now_ns);
+    http = HttpOk("application/json", StatuszJson(s));
+  } else if (path == "/tracez") {
+    http = HttpOk("application/json",
+                  TracezJson(obs::Tracer::Global().sample_rate(),
+                             obs::Tracer::Global().Recent(), slow_log_));
+  } else if (path == "/cachez") {
+    http = HttpOk("application/json",
+                  CachezJson(obs::MetricsRegistry::Global().Snapshot(),
+                             result_cache_.StripeOccupancy()));
+  } else if (path == "/healthz") {
+    const bool healthy = running_.load(std::memory_order_acquire) &&
+                         !stopping_.load(std::memory_order_acquire);
+    http = HttpOk("application/json", HealthzJson(healthy, uptime_s));
   } else {
-    status_line = "HTTP/1.1 404 Not Found";
-    body = "not found\n";
+    http = HttpNotFound();
   }
-  conn->write_buf += status_line +
-                     "\r\nContent-Type: text/plain; version=0.0.4"
-                     "\r\nConnection: close"
-                     "\r\nContent-Length: " +
-                     std::to_string(body.size()) + "\r\n\r\n" + body;
+  conn->write_buf += http;
   return false;  // one-shot: close after the response flushes
 }
 
@@ -531,10 +660,15 @@ void Server::CloseConnection(Connection* conn) {
 }
 
 void Server::RecordOutcome(ResponseOutcome outcome, bool degraded,
+                           bool deadline_miss, uint32_t tenant,
                            uint64_t arrival_ns) {
+  const uint64_t now_ns = obs::NowNanos();
+  const uint64_t latency_us = (now_ns - arrival_ns) / 1000;
   const int idx = static_cast<int>(outcome);
   requests_metric_[idx]->Increment();
-  latency_us_[idx]->Record((obs::NowNanos() - arrival_ns) / 1000);
+  latency_us_[idx]->Record(latency_us);
+  slo_.Record(tenant, latency_us, outcome == ResponseOutcome::kShed,
+              deadline_miss, now_ns);
   switch (outcome) {
     case ResponseOutcome::kOk:
       ok_count_.fetch_add(1, std::memory_order_relaxed);
@@ -549,9 +683,67 @@ void Server::RecordOutcome(ResponseOutcome outcome, bool degraded,
   }
 }
 
+WireTrace Server::BuildWireTrace(uint64_t trace_id, uint64_t total_ns,
+                                 const obs::QueryTrace& trace) {
+  WireTrace wt;
+  wt.trace_id = trace_id;
+  wt.total_ns = total_ns;
+  wt.spans.reserve(trace.stages.size());
+  for (const auto& stage : trace.stages) {
+    WireTraceSpan span;
+    span.name = stage.name;
+    span.total_ns = stage.total_ns;
+    span.calls = static_cast<uint32_t>(
+        std::min<uint64_t>(stage.calls, UINT32_MAX));
+    wt.spans.push_back(std::move(span));
+  }
+  wt.annotations.reserve(trace.annotations.size());
+  for (const auto& [key, value] : trace.annotations) {
+    wt.annotations.push_back(WireTraceAnnotation{key, value});
+  }
+  return wt;
+}
+
+void Server::MaybeLogSlow(const Request& req, ResponseOutcome outcome,
+                          uint64_t trace_id, uint64_t arrival_ns,
+                          uint64_t admitted_ns, uint64_t search_ns,
+                          uint64_t done_ns, const obs::QueryTrace* trace) {
+  const uint64_t total_us = (done_ns - arrival_ns) / 1000;
+  if (!slow_log_.Qualifies(total_us)) return;
+  slow_queries_metric_->Increment();
+  obs::SlowQueryRecord rec;
+  rec.trace_id = trace_id;
+  rec.when_ns = done_ns;
+  rec.total_us = total_us;
+  rec.tenant = req.tenant;
+  rec.outcome = ResponseOutcomeName(outcome);
+  std::string frame;
+  EncodeRequest(req, &frame);
+  rec.request_hex = HexEncode(frame);
+  if (trace != nullptr) {
+    rec.trace = *trace;
+  } else {
+    // Untraced request: synthesize the coarse stages the timestamps
+    // alone can attribute -- admission, index search, and the remainder
+    // (queue wait + batch assembly + dispatch).
+    rec.trace.label = "serve";
+    rec.trace.start_ns = arrival_ns;
+    rec.trace.total_ns = done_ns - arrival_ns;
+    rec.trace.AddStage("admission", admitted_ns - arrival_ns);
+    if (search_ns > 0) rec.trace.AddStage("search", search_ns);
+    const uint64_t accounted = (admitted_ns - arrival_ns) + search_ns;
+    if (rec.trace.total_ns > accounted) {
+      rec.trace.AddStage("queue_and_dispatch",
+                         rec.trace.total_ns - accounted);
+    }
+  }
+  slow_log_.Record(std::move(rec));
+}
+
 void Server::RunWorker() {
   std::vector<WorkItem> taken;
   std::vector<ShardedIndex::BatchItem> items;
+  std::vector<obs::QueryTrace> traces;
   while (true) {
     taken.clear();
     items.clear();
@@ -569,9 +761,27 @@ void Server::RunWorker() {
       queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
       if (!queue_.empty()) queue_cv_.notify_one();
     }
+    const uint64_t dequeue_ns = obs::NowNanos();
     batch_size_->Record(taken.size());
     items.reserve(taken.size());
-    for (const WorkItem& w : taken) items.push_back(w.item);
+    // The traces vector is sized once per batch BEFORE any pointer is
+    // taken; it must not grow while items reference its elements.
+    traces.assign(taken.size(), obs::QueryTrace());
+    for (size_t i = 0; i < taken.size(); ++i) {
+      const WorkItem& w = taken[i];
+      items.push_back(w.item);
+      if (!w.traced) continue;
+      obs::QueryTrace& t = traces[i];
+      t.label = "serve";
+      t.start_ns = w.arrival_ns;
+      t.AddStage("admission", w.admitted_ns - w.arrival_ns);
+      t.AddStage("queue_wait", dequeue_ns - w.admitted_ns);
+      t.Annotate("batch_size", taken.size());
+      // Request-scoped trace: the index layers accumulate their stages
+      // (shard sweeps, descent, cell-cache hits) into this object.
+      items[i].query.control.trace = &t;
+      items[i].query.control.trace_id = w.trace_id;
+    }
     // Capture the generation BEFORE the search: a mutation completing
     // mid-search bumps the counter past this value, so the entry we tag
     // with it can never be served after that mutation (Lookup requires
@@ -596,7 +806,31 @@ void Server::RunWorker() {
       } else {
         resp = ErrorResponse(taken[i].request_id, r.status);
       }
-      RecordOutcome(resp.outcome, resp.degraded, taken[i].arrival_ns);
+      const bool deadline_miss =
+          resp.outcome == ResponseOutcome::kError &&
+          resp.code == StatusCode::kDeadlineExceeded;
+      if (taken[i].traced) {
+        obs::QueryTrace& t = traces[i];
+        // Time the encode against a scratch buffer first -- the real
+        // encode must carry the trace, and the trace must contain the
+        // encode stage. The double encode is traced-path-only cost, and
+        // it keeps the result bytes identical to the untraced twin
+        // (asserted by the differential test).
+        std::string scratch;
+        const uint64_t encode_start_ns = obs::NowNanos();
+        EncodeResponse(resp, &scratch);
+        t.AddStage("encode", obs::NowNanos() - encode_start_ns);
+        t.Annotate("results", resp.results.size());
+        t.total_ns = obs::NowNanos() - taken[i].arrival_ns;
+        resp.has_trace = true;
+        resp.trace = BuildWireTrace(taken[i].trace_id, t.total_ns, t);
+      }
+      const uint64_t done_ns = obs::NowNanos();
+      RecordOutcome(resp.outcome, resp.degraded, deadline_miss,
+                    taken[i].tenant, taken[i].arrival_ns);
+      MaybeLogSlow(taken[i].request, resp.outcome, taken[i].trace_id,
+                   taken[i].arrival_ns, taken[i].admitted_ns, r.search_ns,
+                   done_ns, taken[i].traced ? &traces[i] : nullptr);
       PostResponse(taken[i].conn_id, resp);
     }
   }

@@ -29,7 +29,16 @@
 //    degrades or fails exactly like a library-level deadline.
 //  - A connection whose first bytes are an HTTP request line is served
 //    as a one-shot HTTP client: `GET /metrics` returns the process
-//    metrics registry in Prometheus text format, anything else 404.
+//    metrics registry in Prometheus text format, and /statusz, /tracez,
+//    /cachez, /healthz return live JSON introspection
+//    (net/introspection.h); anything else 404.
+//  - Observability rides the same paths without taxing them: a request
+//    with the wire trace flag gets a server-stamped trace id and a span
+//    timeline (admission, queue wait, per-shard search, encode) returned
+//    in-band; every request's latency feeds per-tenant rolling SLO
+//    windows (obs/slo.h); and requests over a threshold land in the
+//    slow-query log (obs/slow_log.h) with replayable request bytes --
+//    the untraced fast path pays two relaxed loads for all of it.
 //
 // Protocol violations (bad magic, oversized length prefix) answer with a
 // clean error response and close the connection -- a desynchronized
@@ -56,6 +65,9 @@
 #include "net/result_cache.h"
 #include "net/token_bucket.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
 
 namespace i3 {
 namespace net {
@@ -85,6 +97,16 @@ struct ServerOptions {
   /// Hits are answered on the loop thread after admission, so cached
   /// requests still spend tenant tokens but skip the queue and the index.
   size_t result_cache_entries = 4096;
+  /// Slow-query log (obs/slow_log.h): requests finishing at or over this
+  /// latency are captured with their span timeline and canonical request
+  /// bytes. 0 captures every request (tests/diagnosis, not production).
+  uint64_t slow_threshold_us = 50000;
+  /// Over-threshold ring size and rolling slowest-N size.
+  size_t slow_log_ring = 64;
+  size_t slow_log_top = 8;
+  /// Per-tenant rolling SLO window (obs/slo.h).
+  uint32_t slo_window_seconds = 60;
+  uint32_t slo_max_tenants = 16;
 };
 
 /// \brief The serving front end. Start() binds and spawns the event loop
@@ -119,6 +141,11 @@ class Server {
   uint64_t requests_shed() const { return shed_count_.load(); }
   uint64_t requests_error() const { return error_count_.load(); }
 
+  /// The server's slow-query log and SLO windows (read-only views for
+  /// tests and embedding processes; the HTTP side channel renders both).
+  const obs::SlowQueryLog& slow_log() const { return slow_log_; }
+  const obs::SloTracker& slo() const { return slo_; }
+
  private:
   struct Connection;
 
@@ -127,9 +154,20 @@ class Server {
     uint64_t conn_id = 0;
     uint64_t request_id = 0;
     uint64_t arrival_ns = 0;
+    /// When admission + cache probe finished and the request entered the
+    /// queue (the worker charges queue wait against this).
+    uint64_t admitted_ns = 0;
+    /// Wire trace flag and the server-stamped id (0 when untraced).
+    uint64_t trace_id = 0;
+    uint32_t tenant = 0;
+    bool traced = false;
     /// Canonical result-cache key; empty when the response must not be
     /// cached (cache disabled or the request opted out via no_cache).
     std::string cache_key;
+    /// The decoded request, kept for slow-query capture (canonical
+    /// re-encode on the slow path only; holding it here adds no
+    /// allocation -- it is moved, not copied).
+    Request request;
     ShardedIndex::BatchItem item;
   };
 
@@ -164,17 +202,37 @@ class Server {
   void UpdateEpoll(Connection* conn);
 
   void RecordOutcome(ResponseOutcome outcome, bool degraded,
+                     bool deadline_miss, uint32_t tenant,
                      uint64_t arrival_ns);
+
+  /// \brief Files a slow-query record when (done - arrival) qualifies;
+  /// below the bar this is two relaxed loads and a return (the zero-
+  /// allocation fast path). `trace` may be null (untraced request): the
+  /// record then synthesizes coarse server stages from the timestamps.
+  void MaybeLogSlow(const Request& req, ResponseOutcome outcome,
+                    uint64_t trace_id, uint64_t arrival_ns,
+                    uint64_t admitted_ns, uint64_t search_ns,
+                    uint64_t done_ns, const obs::QueryTrace* trace);
+
+  /// \brief Builds the wire trace section from a finished span timeline.
+  static WireTrace BuildWireTrace(uint64_t trace_id, uint64_t total_ns,
+                                  const obs::QueryTrace& trace);
 
   ShardedIndex* index_;
   ServerOptions options_;
   TenantRateLimiter limiter_;
   ResultCache result_cache_;
+  obs::SlowQueryLog slow_log_;
+  obs::SloTracker slo_;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   uint16_t port_ = 0;
+  /// Steady-clock Start() time (uptime on /statusz and /healthz).
+  uint64_t start_ns_ = 0;
+  /// Trace-id generator: mixed counter, stamped per traced request.
+  std::atomic<uint64_t> next_trace_seq_{1};
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
@@ -207,6 +265,8 @@ class Server {
   obs::Counter* requests_metric_[3];   ///< by ResponseOutcome
   obs::Histogram* latency_us_[3];      ///< by ResponseOutcome
   obs::Histogram* batch_size_;
+  obs::Counter* traced_requests_metric_;
+  obs::Counter* slow_queries_metric_;
 };
 
 }  // namespace net

@@ -1,0 +1,170 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace i3 {
+namespace obs {
+
+namespace {
+constexpr uint64_t kNanosPerSecond = 1000000000ull;
+}  // namespace
+
+SloTracker::SloTracker(const Options& options)
+    : window_seconds_(std::max<uint32_t>(options.window_seconds, 1)),
+      max_tenants_(std::max<uint32_t>(options.max_tenants, 1)) {}
+
+SloTracker::Tenant* SloTracker::FindOrCreate(int64_t tenant) {
+  {
+    std::shared_lock lock(table_mutex_);
+    auto it = tenants_.find(tenant);
+    if (it != tenants_.end()) return it->second.get();
+  }
+  std::unique_lock lock(table_mutex_);
+  // A real tenant beyond the cap lands in the overflow aggregate; the
+  // overflow entry itself is exempt from the cap.
+  if (tenant != kOverflowTenant) {
+    size_t tracked = tenants_.size();
+    if (tenants_.count(kOverflowTenant) != 0) --tracked;
+    if (tenants_.count(tenant) == 0 && tracked >= max_tenants_) {
+      lock.unlock();
+      return FindOrCreate(kOverflowTenant);
+    }
+  }
+  auto& slot = tenants_[tenant];
+  if (slot == nullptr) {
+    slot = std::make_unique<Tenant>();
+    slot->slots.resize(window_seconds_);
+  }
+  return slot.get();
+}
+
+const SloTracker::Tenant* SloTracker::Find(int64_t tenant) const {
+  std::shared_lock lock(table_mutex_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+void SloTracker::Record(uint32_t tenant, uint64_t latency_us, bool shed,
+                        bool deadline_miss, uint64_t now_ns) {
+  Tenant* t = FindOrCreate(static_cast<int64_t>(tenant));
+  const uint64_t second = now_ns / kNanosPerSecond;
+  Slot& slot = t->slots[second % window_seconds_];
+  std::lock_guard<std::mutex> lock(t->mutex);
+  if (slot.second != second) {
+    // First touch of a new second: the slot still holds data from
+    // `second - window_seconds`, which just aged out of the window.
+    slot = Slot();
+    slot.second = second;
+  }
+  ++slot.requests;
+  if (shed) {
+    ++slot.sheds;
+  } else {
+    slot.latency_us.Record(latency_us);
+  }
+  if (deadline_miss) ++slot.deadline_misses;
+}
+
+SloTracker::WindowStats SloTracker::WindowLocked(const Tenant& t,
+                                                 uint64_t now_ns) const {
+  const uint64_t now_second = now_ns / kNanosPerSecond;
+  WindowStats stats;
+  HistogramSnapshot merged;
+  std::lock_guard<std::mutex> lock(t.mutex);
+  for (const Slot& slot : t.slots) {
+    if (slot.second == UINT64_MAX) continue;
+    // In-window iff within the last window_seconds (inclusive of the
+    // current, still-filling second).
+    if (slot.second > now_second ||
+        now_second - slot.second >= window_seconds_) {
+      continue;
+    }
+    stats.requests += slot.requests;
+    stats.sheds += slot.sheds;
+    stats.deadline_misses += slot.deadline_misses;
+    merged.MergeFrom(slot.latency_us);
+  }
+  stats.p50_us = merged.Quantile(0.5);
+  stats.p99_us = merged.Quantile(0.99);
+  return stats;
+}
+
+SloTracker::WindowStats SloTracker::Window(int64_t tenant,
+                                           uint64_t now_ns) const {
+  const Tenant* t = Find(tenant);
+  if (t == nullptr) return WindowStats();
+  return WindowLocked(*t, now_ns);
+}
+
+std::vector<std::pair<int64_t, SloTracker::WindowStats>>
+SloTracker::AllWindows(uint64_t now_ns) const {
+  std::vector<std::pair<int64_t, const Tenant*>> entries;
+  {
+    std::shared_lock lock(table_mutex_);
+    entries.reserve(tenants_.size());
+    for (const auto& [id, t] : tenants_) entries.emplace_back(id, t.get());
+  }
+  // Ascending tenant id with the overflow aggregate last.
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    const bool a_over = a.first == kOverflowTenant;
+    const bool b_over = b.first == kOverflowTenant;
+    if (a_over != b_over) return b_over;
+    return a.first < b.first;
+  });
+  std::vector<std::pair<int64_t, WindowStats>> out;
+  out.reserve(entries.size());
+  for (const auto& [id, t] : entries) {
+    out.emplace_back(id, WindowLocked(*t, now_ns));
+  }
+  return out;
+}
+
+void SloTracker::ExportMetrics(uint64_t now_ns) const {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  for (const auto& [id, stats] : AllWindows(now_ns)) {
+    const std::string tenant =
+        id == kOverflowTenant ? "overflow" : std::to_string(id);
+    const Labels labels = {{"tenant", tenant}};
+    reg.GetGauge("i3_slo_window_requests",
+                 "Requests in the rolling SLO window.", labels)
+        ->Set(static_cast<int64_t>(stats.requests));
+    reg.GetGauge("i3_slo_window_sheds",
+                 "Admission sheds in the rolling SLO window.", labels)
+        ->Set(static_cast<int64_t>(stats.sheds));
+    reg.GetGauge("i3_slo_window_deadline_misses",
+                 "Deadline misses in the rolling SLO window.", labels)
+        ->Set(static_cast<int64_t>(stats.deadline_misses));
+    reg.GetGauge("i3_slo_window_p99_us",
+                 "p99 served latency in the rolling SLO window.", labels)
+        ->Set(static_cast<int64_t>(stats.p99_us));
+  }
+}
+
+std::string SloTracker::ToJson(uint64_t now_ns) const {
+  std::ostringstream os;
+  os << "{\"window_seconds\": " << window_seconds_ << ", \"tenants\": [";
+  bool first = true;
+  for (const auto& [id, stats] : AllWindows(now_ns)) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"tenant\": ";
+    if (id == kOverflowTenant) {
+      os << "\"overflow\"";
+    } else {
+      os << id;
+    }
+    os << ", \"requests\": " << stats.requests
+       << ", \"sheds\": " << stats.sheds
+       << ", \"deadline_misses\": " << stats.deadline_misses
+       << ", \"p50_us\": " << stats.p50_us << ", \"p99_us\": " << stats.p99_us
+       << "}";
+  }
+  os << "\n  ]}";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace i3

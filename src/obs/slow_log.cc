@@ -1,0 +1,126 @@
+#include "obs/slow_log.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace i3 {
+namespace obs {
+
+SlowQueryLog::SlowQueryLog(const Options& options)
+    : threshold_us_(options.threshold_us),
+      ring_(std::max<size_t>(options.ring_capacity, 1)),
+      slot_mutexes_(std::max<size_t>(options.ring_capacity, 1)),
+      top_capacity_(std::max<size_t>(options.top_capacity, 1)) {}
+
+void SlowQueryLog::Record(SlowQueryRecord&& rec) {
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  const bool over_threshold =
+      rec.total_us >= threshold_us_.load(std::memory_order_relaxed);
+
+  // Rolling top-N first (it may need a copy before the ring consumes the
+  // record). The bar check is repeated under the lock: Qualifies() is an
+  // optimistic filter, not the admission decision.
+  if (rec.total_us > top_bar_us_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(top_mutex_);
+    const bool full = top_.size() >= top_capacity_;
+    if (!full || rec.total_us > top_.back().total_us) {
+      if (full) top_.pop_back();
+      // Insert keeping slowest-first order.
+      auto pos = std::upper_bound(
+          top_.begin(), top_.end(), rec.total_us,
+          [](uint64_t us, const SlowQueryRecord& r) {
+            return us > r.total_us;
+          });
+      top_.insert(pos, rec);  // copy: the ring below takes the move
+      top_bar_us_.store(
+          top_.size() >= top_capacity_ ? top_.back().total_us : 0,
+          std::memory_order_relaxed);
+    }
+  }
+
+  if (!over_threshold) return;
+  // Lock-free slot claim; the per-slot mutex only serializes the move
+  // against a reader (or a writer lapping the whole ring).
+  const uint64_t claim = ring_claims_.fetch_add(1, std::memory_order_relaxed);
+  const size_t idx = static_cast<size_t>(claim % ring_.size());
+  std::lock_guard<std::mutex> lock(slot_mutexes_[idx]);
+  ring_[idx].seq = claim + 1;
+  ring_[idx].rec = std::move(rec);
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Recent() const {
+  std::vector<std::pair<uint64_t, SlowQueryRecord>> found;
+  found.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(slot_mutexes_[i]);
+    if (ring_[i].seq != 0) found.emplace_back(ring_[i].seq, ring_[i].rec);
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<SlowQueryRecord> out;
+  out.reserve(found.size());
+  for (auto& f : found) out.push_back(std::move(f.second));
+  return out;
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Slowest() const {
+  std::lock_guard<std::mutex> lock(top_mutex_);
+  return top_;
+}
+
+void SlowQueryLog::SetThresholdUs(uint64_t us) {
+  threshold_us_.store(us, std::memory_order_relaxed);
+}
+
+void SlowQueryLog::Clear() {
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(slot_mutexes_[i]);
+    ring_[i].seq = 0;
+    ring_[i].rec = SlowQueryRecord();
+  }
+  {
+    std::lock_guard<std::mutex> lock(top_mutex_);
+    top_.clear();
+    top_bar_us_.store(0, std::memory_order_relaxed);
+  }
+  recorded_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+void AppendRecordJson(std::ostringstream* os, const SlowQueryRecord& r) {
+  // trace_id as a string: JSON numbers lose 64-bit precision past 2^53.
+  *os << "{\"trace_id\": \"" << std::hex << r.trace_id << std::dec
+      << "\", \"when_ns\": " << r.when_ns << ", \"total_us\": " << r.total_us
+      << ", \"tenant\": " << r.tenant << ", \"outcome\": \"" << r.outcome
+      << "\", \"request_hex\": \"" << r.request_hex
+      << "\", \"trace\": " << TraceToJson(r.trace) << "}";
+}
+
+void AppendRecordsJson(std::ostringstream* os,
+                       const std::vector<SlowQueryRecord>& records) {
+  *os << "[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i != 0) *os << ",";
+    *os << "\n    ";
+    AppendRecordJson(os, records[i]);
+  }
+  *os << "\n  ]";
+}
+
+}  // namespace
+
+std::string SlowLogToJson(const SlowQueryLog& log) {
+  std::ostringstream os;
+  os << "{\n  \"threshold_us\": " << log.threshold_us()
+     << ",\n  \"recorded\": " << log.recorded() << ",\n  \"recent\": ";
+  AppendRecordsJson(&os, log.Recent());
+  os << ",\n  \"slowest\": ";
+  AppendRecordsJson(&os, log.Slowest());
+  os << "\n}";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace i3

@@ -123,32 +123,42 @@ void AppendJsonEscaped(std::ostringstream* os, const std::string& s) {
     }
   }
 }
+void AppendTraceJson(std::ostringstream* os, const QueryTrace& tr) {
+  *os << "{\"label\": \"";
+  AppendJsonEscaped(os, tr.label);
+  *os << "\", \"total_ns\": " << tr.total_ns << ", \"stages\": [";
+  for (size_t i = 0; i < tr.stages.size(); ++i) {
+    if (i != 0) *os << ", ";
+    *os << "{\"name\": \"";
+    AppendJsonEscaped(os, tr.stages[i].name);
+    *os << "\", \"total_ns\": " << tr.stages[i].total_ns
+        << ", \"calls\": " << tr.stages[i].calls << "}";
+  }
+  *os << "], \"annotations\": {";
+  for (size_t i = 0; i < tr.annotations.size(); ++i) {
+    if (i != 0) *os << ", ";
+    *os << "\"";
+    AppendJsonEscaped(os, tr.annotations[i].first);
+    *os << "\": " << tr.annotations[i].second;
+  }
+  *os << "}}";
+}
+
 }  // namespace
+
+std::string TraceToJson(const QueryTrace& trace) {
+  std::ostringstream os;
+  AppendTraceJson(&os, trace);
+  return os.str();
+}
 
 std::string TracesToJson(const std::vector<QueryTrace>& traces) {
   std::ostringstream os;
   os << "[";
   for (size_t t = 0; t < traces.size(); ++t) {
-    const QueryTrace& tr = traces[t];
     if (t != 0) os << ",";
-    os << "\n  {\"label\": \"";
-    AppendJsonEscaped(&os, tr.label);
-    os << "\", \"total_ns\": " << tr.total_ns << ", \"stages\": [";
-    for (size_t i = 0; i < tr.stages.size(); ++i) {
-      if (i != 0) os << ", ";
-      os << "{\"name\": \"";
-      AppendJsonEscaped(&os, tr.stages[i].name);
-      os << "\", \"total_ns\": " << tr.stages[i].total_ns
-         << ", \"calls\": " << tr.stages[i].calls << "}";
-    }
-    os << "], \"annotations\": {";
-    for (size_t i = 0; i < tr.annotations.size(); ++i) {
-      if (i != 0) os << ", ";
-      os << "\"";
-      AppendJsonEscaped(&os, tr.annotations[i].first);
-      os << "\": " << tr.annotations[i].second;
-    }
-    os << "}}";
+    os << "\n  ";
+    AppendTraceJson(&os, traces[t]);
   }
   os << "\n]";
   return os.str();

@@ -113,6 +113,10 @@ class Tracer {
   std::deque<QueryTrace> ring_;
 };
 
+/// \brief JSON object for one trace ({"label": ..., "total_ns": ...,
+/// "stages": [...], "annotations": {...}}).
+std::string TraceToJson(const QueryTrace& trace);
+
 /// \brief JSON array of the tracer's recent traces (see export.h for the
 /// metrics counterpart).
 std::string TracesToJson(const std::vector<QueryTrace>& traces);

@@ -41,6 +41,7 @@ Request MakeSearchRequest() {
   req.y = -17.25;
   req.alpha = 0.75;
   req.no_cache = true;
+  req.trace = true;
   req.terms = {3, 1, 4, 15, 92};
   return req;
 }
@@ -53,6 +54,11 @@ Response MakeOkResponse() {
   resp.results = {{10, 0.875, {1.0, 2.0}},
                   {42, 0.5, {-3.5, 7.0}},
                   {7, 0.25, {0.0, 0.0}}};
+  resp.has_trace = true;
+  resp.trace.trace_id = 0x1122334455667788ull;
+  resp.trace.total_ns = 987654;
+  resp.trace.spans = {{"admission", 1200, 1}, {"search", 950000, 1}};
+  resp.trace.annotations = {{"results", 3}, {"batch_size", 4}};
   return resp;
 }
 
@@ -64,6 +70,7 @@ Request RandomRequest(Rng* rng) {
   req.tenant = static_cast<uint32_t>(rng->UniformInt(0, 1000));
   req.deadline_ms = static_cast<uint32_t>(rng->UniformInt(0, 100000));
   req.no_cache = rng->Chance(0.25);
+  req.trace = rng->Chance(0.25);
   if (req.type == MessageType::kSearch) {
     req.k = static_cast<uint32_t>(rng->UniformInt(1, kMaxK));
     req.semantics = rng->Chance(0.5) ? Semantics::kAnd : Semantics::kOr;
@@ -97,6 +104,27 @@ Response RandomResponse(Rng* rng) {
                                rng->UniformDouble(-100, 100)}});
     }
   }
+  if (rng->Chance(0.3)) {
+    resp.has_trace = true;
+    resp.trace.trace_id =
+        static_cast<uint64_t>(rng->UniformInt(1, 1 << 30));
+    resp.trace.total_ns =
+        static_cast<uint64_t>(rng->UniformInt(0, 1 << 30));
+    const int num_spans = rng->UniformInt(0, 6);
+    for (int i = 0; i < num_spans; ++i) {
+      WireTraceSpan span;
+      span.name = "stage" + std::to_string(i);
+      span.total_ns = static_cast<uint64_t>(rng->UniformInt(0, 1 << 30));
+      span.calls = static_cast<uint32_t>(rng->UniformInt(0, 1 << 20));
+      resp.trace.spans.push_back(std::move(span));
+    }
+    const int num_annotations = rng->UniformInt(0, 4);
+    for (int i = 0; i < num_annotations; ++i) {
+      resp.trace.annotations.push_back(
+          {"note" + std::to_string(i),
+           static_cast<uint64_t>(rng->UniformInt(0, 1 << 30))});
+    }
+  }
   return resp;
 }
 
@@ -106,6 +134,7 @@ void ExpectRequestEq(const Request& a, const Request& b) {
   EXPECT_EQ(a.tenant, b.tenant);
   EXPECT_EQ(a.deadline_ms, b.deadline_ms);
   EXPECT_EQ(a.no_cache, b.no_cache);
+  EXPECT_EQ(a.trace, b.trace);
   if (a.type == MessageType::kSearch) {
     EXPECT_EQ(a.k, b.k);
     EXPECT_EQ(a.semantics, b.semantics);
@@ -126,6 +155,23 @@ void ExpectResponseEq(const Response& a, const Response& b) {
   EXPECT_EQ(a.code, b.code);
   EXPECT_EQ(a.message, b.message);
   EXPECT_EQ(ResultChecksum(a.results), ResultChecksum(b.results));
+  ASSERT_EQ(a.has_trace, b.has_trace);
+  if (a.has_trace) {
+    EXPECT_EQ(a.trace.trace_id, b.trace.trace_id);
+    EXPECT_EQ(a.trace.total_ns, b.trace.total_ns);
+    ASSERT_EQ(a.trace.spans.size(), b.trace.spans.size());
+    for (size_t i = 0; i < a.trace.spans.size(); ++i) {
+      EXPECT_EQ(a.trace.spans[i].name, b.trace.spans[i].name);
+      EXPECT_EQ(a.trace.spans[i].total_ns, b.trace.spans[i].total_ns);
+      EXPECT_EQ(a.trace.spans[i].calls, b.trace.spans[i].calls);
+    }
+    ASSERT_EQ(a.trace.annotations.size(), b.trace.annotations.size());
+    for (size_t i = 0; i < a.trace.annotations.size(); ++i) {
+      EXPECT_EQ(a.trace.annotations[i].name, b.trace.annotations[i].name);
+      EXPECT_EQ(a.trace.annotations[i].value,
+                b.trace.annotations[i].value);
+    }
+  }
 }
 
 TEST(NetProtocolTest, RequestRoundTrip) {
@@ -347,8 +393,8 @@ TEST(NetProtocolTest, FieldRangeViolationsReject) {
       {16, {0, 0, 0, 0}, "k == 0"},
       {16, {0xff, 0xff, 0, 0}, "k > kMaxK"},
       {20, {2}, "semantics out of range"},
-      {21, {2}, "reserved flag bit 1 set"},
-      {21, {0xfe}, "all reserved flag bits set"},
+      {21, {4}, "reserved flag bit 2 set"},
+      {21, {0xfc}, "all reserved flag bits set"},
       {26, nan_bytes, "NaN x"},
       {34, nan_bytes, "NaN y"},
       {42, nan_bytes, "NaN alpha"},
@@ -373,6 +419,73 @@ TEST(NetProtocolTest, FieldRangeViolationsReject) {
   ping_payload += std::string(4, '\0');
   const auto buf = Exact(ping_payload);
   EXPECT_FALSE(DecodeRequest(buf.data(), buf.size()).ok());
+}
+
+// The encoder canonicalizes hostile trace input (overlong names clamp,
+// empty names drop, span/annotation counts cap) so whatever it emits
+// decodes, and whatever decodes re-encodes byte-identically.
+TEST(NetProtocolTest, TraceSectionCanonicalizes) {
+  Response resp = MakeOkResponse();
+  resp.trace.spans.clear();
+  resp.trace.annotations.clear();
+  resp.trace.spans.push_back({std::string(100, 'n'), 5, 1});
+  resp.trace.spans.push_back({"", 7, 2});  // dropped: empty name
+  resp.trace.spans.push_back({"search", 9, 3});
+  for (int i = 0; i < 40; ++i) {
+    resp.trace.annotations.push_back({"a" + std::to_string(i),
+                                      static_cast<uint64_t>(i)});
+  }
+  std::string frame;
+  EncodeResponse(resp, &frame);
+  const auto payload = Exact(frame, kFrameHeaderBytes);
+  auto got = DecodeResponse(payload.data(), payload.size());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  const Response& d = got.ValueOrDie();
+  ASSERT_TRUE(d.has_trace);
+  ASSERT_EQ(d.trace.spans.size(), 2u);
+  EXPECT_EQ(d.trace.spans[0].name, std::string(kMaxTraceName, 'n'));
+  EXPECT_EQ(d.trace.spans[1].name, "search");
+  EXPECT_EQ(d.trace.spans[1].calls, 3u);
+  EXPECT_EQ(d.trace.annotations.size(), size_t{kMaxTraceAnnotations});
+  std::string reframe;
+  EncodeResponse(d, &reframe);
+  EXPECT_EQ(reframe, frame);
+}
+
+TEST(NetProtocolTest, TraceSectionDamageRejects) {
+  Response resp;
+  resp.outcome = ResponseOutcome::kOk;
+  resp.request_id = 1;
+  resp.has_trace = true;
+  resp.trace.trace_id = 42;
+  resp.trace.total_ns = 1000;
+  resp.trace.spans.push_back({"s", 10, 1});
+  std::string frame;
+  EncodeResponse(resp, &frame);
+  const std::string payload = frame.substr(kFrameHeaderBytes);
+  // Trace tail layout: ... num_spans(1) [len(1) "s"(1) total(8)
+  // calls(4)] num_annotations(1) -- offsets measured from the end.
+  const size_t num_ann_at = payload.size() - 1;
+  const size_t name_len_at = payload.size() - 15;
+  const size_t num_spans_at = payload.size() - 16;
+  struct Patch {
+    size_t offset;
+    uint8_t value;
+    const char* what;
+  };
+  const std::vector<Patch> patches = {
+      {name_len_at, 0, "zero-length span name"},
+      {name_len_at, kMaxTraceName + 1, "over-length span name"},
+      {num_spans_at, kMaxTraceSpans + 1, "span count over cap"},
+      {num_ann_at, kMaxTraceAnnotations + 1, "annotation count over cap"},
+      {num_ann_at, 1, "annotation promised but absent"},
+  };
+  for (const Patch& p : patches) {
+    std::string damaged = payload;
+    damaged[p.offset] = static_cast<char>(p.value);
+    const auto buf = Exact(damaged);
+    EXPECT_FALSE(DecodeResponse(buf.data(), buf.size()).ok()) << p.what;
+  }
 }
 
 TEST(NetProtocolTest, LimitSizedMessagesRoundTrip) {

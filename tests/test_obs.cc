@@ -4,7 +4,10 @@
 // JSON exporters, the query tracer, and the shared search-stats view.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,6 +17,8 @@
 #include "obs/export.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/slow_log.h"
 #include "obs/trace.h"
 
 namespace i3 {
@@ -536,6 +541,273 @@ TEST(ObsSearchStatsTest, EmitterSumsIntoGlobalCounters) {
       {{"index", "obs-test-index"}, {"stat", "obs_test_stat_b"}});
   ASSERT_NE(b, nullptr);
   EXPECT_EQ(b->value, 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Exporter edge cases.
+
+bool JsonBracesBalance(const std::string& json) {
+  // Cheap well-formedness proxy used where no parser is available; the
+  // CI smoke runs a full python3 -m json.tool parse on live endpoints.
+  long depth = 0;
+  bool in_string = false, escaped = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(ObsExportTest, PathologicalLabelValuesRoundTrip) {
+  const std::vector<std::string> nasties = {
+      "back\\slash", "quo\"te", "new\nline", "tab\there",
+      "trailing\\",  "{weird}= chars,", std::string("nul\0byte", 8),
+      "\xc3\xa9-utf8"};
+  MetricsRegistry reg;
+  for (size_t i = 0; i < nasties.size(); ++i) {
+    reg.GetCounter("obs_nasty_total", "h", {{"v", nasties[i]}})
+        ->Increment(static_cast<uint64_t>(i) + 1);
+  }
+  const std::string text = ToPrometheusText(reg.Snapshot());
+  // Every escaped label value must unescape back to the original.
+  size_t found = 0;
+  size_t pos = 0;
+  while ((pos = text.find("obs_nasty_total{v=\"", pos)) !=
+         std::string::npos) {
+    pos += std::strlen("obs_nasty_total{v=\"");
+    // The value ends at the first unescaped quote.
+    std::string escaped;
+    while (pos < text.size()) {
+      if (text[pos] == '\\' && pos + 1 < text.size()) {
+        escaped += text.substr(pos, 2);
+        pos += 2;
+        continue;
+      }
+      if (text[pos] == '"') break;
+      escaped += text[pos++];
+    }
+    const std::string back = UnescapePrometheusLabelValue(escaped);
+    EXPECT_NE(std::find(nasties.begin(), nasties.end(), back),
+              nasties.end())
+        << "escaped form <" << escaped << "> unescaped to unknown value";
+    ++found;
+  }
+  EXPECT_EQ(found, nasties.size());
+
+  // The JSON exporter must stay well-formed under the same values.
+  const std::string json = ToJson(reg.Snapshot());
+  EXPECT_TRUE(JsonBracesBalance(json)) << json;
+}
+
+TEST(ObsExportTest, EmptySnapshotExports) {
+  MetricsRegistry reg;
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_TRUE(snap.samples.empty());
+  // Prometheus: empty output is the valid exposition of no series.
+  EXPECT_EQ(ToPrometheusText(snap), "");
+  // JSON: still a parseable document with an empty metrics array.
+  const std::string json = ToJson(snap);
+  EXPECT_TRUE(JsonBracesBalance(json)) << json;
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_EQ(json.find("\"name\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Slow-query log.
+
+SlowQueryRecord Rec(uint64_t us, uint64_t id = 0) {
+  SlowQueryRecord r;
+  r.trace_id = id;
+  r.total_us = us;
+  r.outcome = "ok";
+  return r;
+}
+
+TEST(ObsSlowLogTest, ThresholdAndTopBarGateQualifies) {
+  SlowQueryLog log({.ring_capacity = 4, .top_capacity = 2,
+                    .threshold_us = 100});
+  // Until the top-N fills, its bar is 0: anything nonzero qualifies
+  // (the first requests ARE the slowest seen so far).
+  EXPECT_TRUE(log.Qualifies(1));
+  EXPECT_FALSE(log.Qualifies(0));
+  log.Record(Rec(10));
+  log.Record(Rec(20));
+  // Top is full at {20, 10}: the bar is now 10, sub-bar sub-threshold
+  // latencies no longer qualify -- the steady-state fast path.
+  EXPECT_FALSE(log.Qualifies(5));
+  EXPECT_FALSE(log.Qualifies(10));
+  EXPECT_TRUE(log.Qualifies(11));
+  EXPECT_TRUE(log.Qualifies(100));  // at threshold: always
+  const auto top = log.Slowest();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].total_us, 20u);
+  EXPECT_EQ(top[1].total_us, 10u);
+}
+
+TEST(ObsSlowLogTest, RingKeepsRecentOverThresholdOldestFirst) {
+  SlowQueryLog log({.ring_capacity = 3, .top_capacity = 1,
+                    .threshold_us = 100});
+  log.Record(Rec(50, 1));  // under threshold: top only, not the ring
+  for (uint64_t i = 0; i < 5; ++i) log.Record(Rec(100 + i, 10 + i));
+  const auto recent = log.Recent();
+  ASSERT_EQ(recent.size(), 3u);  // ring wrapped; oldest two overwritten
+  EXPECT_EQ(recent[0].trace_id, 12u);
+  EXPECT_EQ(recent[1].trace_id, 13u);
+  EXPECT_EQ(recent[2].trace_id, 14u);
+  EXPECT_EQ(log.recorded(), 6u);
+  const auto top = log.Slowest();
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].total_us, 104u);
+  log.Clear();
+  EXPECT_TRUE(log.Recent().empty());
+  EXPECT_TRUE(log.Slowest().empty());
+  EXPECT_EQ(log.recorded(), 0u);
+}
+
+TEST(ObsSlowLogTest, ConcurrentWritersAndReadersAreClean) {
+  SlowQueryLog log({.ring_capacity = 8, .top_capacity = 4,
+                    .threshold_us = 0});
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 500;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const auto recent = log.Recent();
+      // Published records are never torn: every visible record carries
+      // the outcome a writer set.
+      for (const auto& r : recent) EXPECT_EQ(r.outcome, "ok");
+      (void)log.Slowest();
+      (void)SlowLogToJson(log);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        log.Record(Rec(static_cast<uint64_t>(w * kPerWriter + i + 1),
+                       static_cast<uint64_t>(w) << 32 | i));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(log.recorded(), uint64_t{kWriters} * kPerWriter);
+  // The rolling top holds the genuine maxima across all writers.
+  const auto top = log.Slowest();
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0].total_us, uint64_t{kWriters} * kPerWriter);
+  EXPECT_TRUE(JsonBracesBalance(SlowLogToJson(log)));
+}
+
+// ---------------------------------------------------------------------------
+// Per-tenant rolling SLO windows.
+
+constexpr uint64_t kSecond = 1000000000ull;
+
+TEST(ObsSloTest, WindowCountsAndQuantiles) {
+  SloTracker slo({.window_seconds = 60, .max_tenants = 4});
+  const uint64_t t0 = 1000 * kSecond;
+  for (uint64_t i = 1; i <= 100; ++i) {
+    slo.Record(/*tenant=*/7, /*latency_us=*/i * 10, /*shed=*/false,
+               /*deadline_miss=*/false, t0 + i * 1000);
+  }
+  slo.Record(7, 5, /*shed=*/true, false, t0);
+  slo.Record(7, 100000, /*shed=*/false, /*deadline_miss=*/true, t0);
+  const auto w = slo.Window(7, t0);
+  EXPECT_EQ(w.requests, 102u);
+  EXPECT_EQ(w.sheds, 1u);
+  EXPECT_EQ(w.deadline_misses, 1u);
+  // Sheds stay out of the latency quantiles (their fast rejection time
+  // would drag the distribution toward zero).
+  EXPECT_GE(w.p50_us, 400u);
+  EXPECT_GE(w.p99_us, w.p50_us);
+  // An unknown tenant reads all zeros.
+  EXPECT_EQ(slo.Window(99, t0).requests, 0u);
+}
+
+TEST(ObsSloTest, WindowRollsOverAndAgesOut) {
+  SloTracker slo({.window_seconds = 3, .max_tenants = 4});
+  const uint64_t t0 = 5000 * kSecond;
+  slo.Record(1, 100, false, false, t0);
+  slo.Record(1, 100, false, false, t0 + 1 * kSecond);
+  EXPECT_EQ(slo.Window(1, t0 + 1 * kSecond).requests, 2u);
+  // Two seconds later the first record has aged out of the 3s window...
+  EXPECT_EQ(slo.Window(1, t0 + 3 * kSecond).requests, 1u);
+  // ...and far in the future the window is empty.
+  EXPECT_EQ(slo.Window(1, t0 + 100 * kSecond).requests, 0u);
+  // A write in the far future lazily recycles the stale slots.
+  slo.Record(1, 100, false, false, t0 + 100 * kSecond);
+  EXPECT_EQ(slo.Window(1, t0 + 100 * kSecond).requests, 1u);
+}
+
+TEST(ObsSloTest, OverflowTenantAggregatesBeyondCap) {
+  SloTracker slo({.window_seconds = 60, .max_tenants = 2});
+  const uint64_t t0 = 42 * kSecond;
+  slo.Record(0, 100, false, false, t0);
+  slo.Record(1, 100, false, false, t0);
+  slo.Record(2, 100, false, false, t0);  // beyond the cap
+  slo.Record(3, 100, false, false, t0);  // beyond the cap
+  const auto all = slo.AllWindows(t0);
+  ASSERT_EQ(all.size(), 3u);  // two tracked + one overflow aggregate
+  EXPECT_EQ(all[0].first, 0);
+  EXPECT_EQ(all[1].first, 1);
+  EXPECT_EQ(all[2].first, SloTracker::kOverflowTenant);
+  EXPECT_EQ(all[2].second.requests, 2u);
+}
+
+TEST(ObsSloTest, ExportsMetricsAndJson) {
+  SloTracker slo({.window_seconds = 60, .max_tenants = 4});
+  const uint64_t t0 = 9 * kSecond;
+  slo.Record(3, 250, false, false, t0);
+  slo.Record(3, 5, true, false, t0);
+  slo.ExportMetrics(t0);
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const MetricSample* req =
+      snap.Find("i3_slo_window_requests", {{"tenant", "3"}});
+  ASSERT_NE(req, nullptr);
+  EXPECT_EQ(req->value, 2.0);
+  const MetricSample* sheds =
+      snap.Find("i3_slo_window_sheds", {{"tenant", "3"}});
+  ASSERT_NE(sheds, nullptr);
+  EXPECT_EQ(sheds->value, 1.0);
+  ASSERT_NE(snap.Find("i3_slo_window_p99_us", {{"tenant", "3"}}),
+            nullptr);
+  const std::string json = slo.ToJson(t0);
+  EXPECT_TRUE(JsonBracesBalance(json)) << json;
+  EXPECT_NE(json.find("\"window_seconds\": 60"), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\": 3"), std::string::npos);
+}
+
+TEST(ObsSloTest, ConcurrentTenantsRecordCleanly) {
+  SloTracker slo({.window_seconds = 10, .max_tenants = 8});
+  const uint64_t t0 = 77 * kSecond;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        slo.Record(static_cast<uint32_t>(t % 3), 100 + i % 50, i % 7 == 0,
+                   false, t0 + static_cast<uint64_t>(i) * 1000000);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  uint64_t total = 0;
+  for (const auto& [tenant, w] : slo.AllWindows(t0)) total += w.requests;
+  EXPECT_EQ(total, uint64_t{kThreads} * kPerThread);
 }
 
 }  // namespace

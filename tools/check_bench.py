@@ -43,7 +43,13 @@ The serving stack has its own gate: ``--serving-candidate`` takes a
     ``i3_requests_shed_total``, the ``i3_net_requests_total`` outcome
     counters, the ``i3_request_latency_us`` histogram, and
     ``i3_result_cache_hits_total`` (the result cache must have served
-    the repeated warm passes).
+    the repeated warm passes);
+  * the observability phase ("obs_phase") is missing, a traced request
+    came back without a consistent span timeline, or the
+    threshold-0 slow-query log failed to capture every request;
+  * an observability metric series is missing or never moved:
+    ``i3_net_traced_requests_total``, ``i3_slow_queries_total``, and the
+    per-tenant rolling-window gauge ``i3_slo_window_requests``.
 
 Timing figures (qps, percentiles) are deliberately NOT gated: CI runners
 are too noisy. Checksums, outcome counts, and page counts are
@@ -377,6 +383,57 @@ def check_serving(serving, baseline):
         lambda m: m["value"] > 0,
         "non-zero result-cache hit counter",
     )
+
+    # Observability phase: every traced request must return a timeline
+    # whose stages fit inside the end-to-end time, and the threshold-0
+    # slow-query log must have captured every request.
+    obs_phase = serving.get("obs_phase", {})
+    if obs_phase.get("sent", 0) <= 0:
+        raise GateFailure(
+            "serving obs phase sent no requests; bench_serving must "
+            "exercise the tracing + slow-log path"
+        )
+    if obs_phase.get("traced_responses", 0) != obs_phase["sent"]:
+        raise GateFailure(
+            f"serving obs phase: {obs_phase.get('traced_responses', 0)}/"
+            f"{obs_phase['sent']} responses carried a span timeline; "
+            "every traced request must return one"
+        )
+    if obs_phase.get("timeline_consistent", 0) != obs_phase["sent"]:
+        raise GateFailure(
+            f"serving obs phase: {obs_phase.get('timeline_consistent', 0)}/"
+            f"{obs_phase['sent']} timelines were consistent (a stage "
+            "outran the request's end-to-end time)"
+        )
+    if obs_phase.get("slow_recorded", 0) < obs_phase["sent"]:
+        raise GateFailure(
+            f"serving obs phase: slow-query log captured "
+            f"{obs_phase.get('slow_recorded', 0)} of {obs_phase['sent']} "
+            "requests at threshold 0; the always-on log dropped records"
+        )
+    print(
+        f"  serving obs phase: {obs_phase['traced_responses']}/"
+        f"{obs_phase['sent']} traced+consistent, "
+        f"{obs_phase['slow_recorded']} slow-log records"
+    )
+    require_metric(
+        by_name,
+        "i3_net_traced_requests_total",
+        lambda m: m["value"] > 0,
+        "non-zero traced-request counter",
+    )
+    require_metric(
+        by_name,
+        "i3_slow_queries_total",
+        lambda m: m["value"] > 0,
+        "non-zero slow-query counter",
+    )
+    require_metric(
+        by_name,
+        "i3_slo_window_requests",
+        lambda m: m["value"] > 0,
+        "non-zero rolling-window SLO request gauge",
+    )
     print(f"  serving metrics OK: {len(serving['obs']['metrics'])} series")
 
 
@@ -564,6 +621,12 @@ def serving_self_test(baseline):
         ],
         "shed": {"sent": 100, "ok": 5, "shed": 95, "error": 0,
                  "shed_p99_us": 20},
+        "obs_phase": {
+            "sent": 20,
+            "traced_responses": 20,
+            "timeline_consistent": 20,
+            "slow_recorded": 20,
+        },
         "obs": {
             "metrics": [
                 {
@@ -595,6 +658,24 @@ def serving_self_test(baseline):
                     "type": "counter",
                     "value": 80,
                     "labels": {},
+                },
+                {
+                    "name": "i3_net_traced_requests_total",
+                    "type": "counter",
+                    "value": 20,
+                    "labels": {},
+                },
+                {
+                    "name": "i3_slow_queries_total",
+                    "type": "counter",
+                    "value": 20,
+                    "labels": {},
+                },
+                {
+                    "name": "i3_slo_window_requests",
+                    "type": "gauge",
+                    "value": 20,
+                    "labels": {"tenant": "0"},
                 },
             ]
         },
@@ -655,6 +736,44 @@ def serving_self_test(baseline):
             m["value"] = 0
     expect_serving_failure(
         "result cache never hit on warm passes", doctored, baseline
+    )
+
+    doctored = copy.deepcopy(good)
+    del doctored["obs_phase"]
+    expect_serving_failure("missing obs phase", doctored, baseline)
+
+    doctored = copy.deepcopy(good)
+    doctored["obs_phase"]["traced_responses"] = 19
+    expect_serving_failure(
+        "traced request without a timeline", doctored, baseline
+    )
+
+    doctored = copy.deepcopy(good)
+    doctored["obs_phase"]["timeline_consistent"] = 18
+    expect_serving_failure(
+        "stage outran the end-to-end time", doctored, baseline
+    )
+
+    doctored = copy.deepcopy(good)
+    doctored["obs_phase"]["slow_recorded"] = 7
+    expect_serving_failure(
+        "threshold-0 slow log dropped records", doctored, baseline
+    )
+
+    doctored = copy.deepcopy(good)
+    doctored["obs"]["metrics"] = [
+        m
+        for m in doctored["obs"]["metrics"]
+        if m["name"] != "i3_slo_window_requests"
+    ]
+    expect_serving_failure("missing SLO window series", doctored, baseline)
+
+    doctored = copy.deepcopy(good)
+    for m in doctored["obs"]["metrics"]:
+        if m["name"] == "i3_slow_queries_total":
+            m["value"] = 0
+    expect_serving_failure(
+        "slow-query counter never moved", doctored, baseline
     )
 
 

@@ -11,7 +11,7 @@
 //           [--seed=42] [--k=10] [--qn=2] [--max-term=50]
 //           [--and-fraction=0.5] [--alpha=0.5] [--tenants=1]
 //           [--deadline-ms=0] [--space=minx,miny,maxx,maxy]
-//           [--connect-retries=20] [--json]
+//           [--connect-retries=20] [--json] [--trace]
 //
 // `--requests` is per connection. Terms are uniform ids in
 // [0, max-term); locations are uniform in `--space` (default the
@@ -20,11 +20,17 @@
 // from one process. Every response must be a well-formed ok/shed/error
 // frame; anything else (transport error, id mismatch) is a hard failure
 // and a nonzero exit.
+//
+// `--trace` sets the wire trace flag on every request and reports the
+// aggregated server-side span timeline next to the client-observed
+// latency: per-stage average time and share, plus the server-total vs
+// client-total gap (wire + client overhead the server cannot see).
 
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,6 +61,7 @@ struct Options {
   double space[4] = {0.0, 0.0, 100.0, 100.0};
   uint32_t connect_retries = 20;
   bool json = false;
+  bool trace = false;
 };
 
 struct WorkerStats {
@@ -66,6 +73,14 @@ struct WorkerStats {
   obs::HistogramSnapshot ok_latency_us;
   obs::HistogramSnapshot shed_latency_us;
 
+  /// --trace aggregation: responses that carried a timeline, the
+  /// server-reported totals, the client-observed wall time of those same
+  /// requests, and per-stage sums across all traced responses.
+  uint64_t traced = 0;
+  uint64_t server_total_ns = 0;
+  uint64_t client_total_ns = 0;
+  std::map<std::string, uint64_t> stage_ns;
+
   void MergeFrom(const WorkerStats& o) {
     ok += o.ok;
     degraded += o.degraded;
@@ -74,6 +89,10 @@ struct WorkerStats {
     mismatched += o.mismatched;
     ok_latency_us.MergeFrom(o.ok_latency_us);
     shed_latency_us.MergeFrom(o.shed_latency_us);
+    traced += o.traced;
+    server_total_ns += o.server_total_ns;
+    client_total_ns += o.client_total_ns;
+    for (const auto& [name, ns] : o.stage_ns) stage_ns[name] += ns;
   }
 };
 
@@ -121,6 +140,8 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       opt->connect_retries = static_cast<uint32_t>(std::atoi(v));
     } else if (std::strcmp(argv[i], "--json") == 0) {
       opt->json = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      opt->trace = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -148,6 +169,7 @@ net::Request RandomRequest(const Options& opt, Rng* rng, uint64_t id) {
   req.semantics = rng->Chance(opt.and_fraction) ? Semantics::kAnd
                                                 : Semantics::kOr;
   req.deadline_ms = opt.deadline_ms;
+  req.trace = opt.trace;
   req.x = rng->UniformDouble(opt.space[0], opt.space[2]);
   req.y = rng->UniformDouble(opt.space[1], opt.space[3]);
   req.alpha = opt.alpha;
@@ -194,6 +216,14 @@ void RunWorker(const Options& opt, uint32_t worker_id, WorkerStats* stats,
       ++stats->mismatched;
       continue;
     }
+    if (r.has_trace) {
+      ++stats->traced;
+      stats->server_total_ns += r.trace.total_ns;
+      stats->client_total_ns += us * 1000;
+      for (const auto& span : r.trace.spans) {
+        stats->stage_ns[span.name] += span.total_ns;
+      }
+    }
     switch (r.outcome) {
       case net::ResponseOutcome::kOk:
         ++stats->ok;
@@ -224,22 +254,45 @@ void PrintHuman(const Options& opt, const WorkerStats& total,
   std::printf("  error    %llu\n",
               static_cast<unsigned long long>(total.error));
   if (total.ok > 0) {
-    std::printf("  ok latency us    p50 %llu  p95 %llu  p99 %llu\n",
+    std::printf("  ok latency us    p50 %llu  p90 %llu  p99 %llu\n",
                 static_cast<unsigned long long>(
                     total.ok_latency_us.Quantile(0.5)),
                 static_cast<unsigned long long>(
-                    total.ok_latency_us.Quantile(0.95)),
+                    total.ok_latency_us.Quantile(0.9)),
                 static_cast<unsigned long long>(
                     total.ok_latency_us.Quantile(0.99)));
   }
   if (total.shed > 0) {
-    std::printf("  shed latency us  p50 %llu  p95 %llu  p99 %llu\n",
+    std::printf("  shed latency us  p50 %llu  p90 %llu  p99 %llu\n",
                 static_cast<unsigned long long>(
                     total.shed_latency_us.Quantile(0.5)),
                 static_cast<unsigned long long>(
-                    total.shed_latency_us.Quantile(0.95)),
+                    total.shed_latency_us.Quantile(0.9)),
                 static_cast<unsigned long long>(
                     total.shed_latency_us.Quantile(0.99)));
+  }
+  if (total.traced > 0) {
+    const double n = static_cast<double>(total.traced);
+    const double server_avg_us =
+        static_cast<double>(total.server_total_ns) / n / 1000.0;
+    const double client_avg_us =
+        static_cast<double>(total.client_total_ns) / n / 1000.0;
+    std::printf("  traced   %llu responses\n",
+                static_cast<unsigned long long>(total.traced));
+    std::printf("  server stages (avg us/request, share of server "
+                "total):\n");
+    for (const auto& [name, ns] : total.stage_ns) {
+      std::printf("    %-22s %10.1f  %5.1f%%\n", name.c_str(),
+                  static_cast<double>(ns) / n / 1000.0,
+                  total.server_total_ns > 0
+                      ? 100.0 * static_cast<double>(ns) /
+                            static_cast<double>(total.server_total_ns)
+                      : 0.0);
+    }
+    std::printf("  server total avg %.1f us, client-observed avg %.1f us "
+                "(gap %.1f us = wire + client)\n",
+                server_avg_us, client_avg_us,
+                client_avg_us - server_avg_us);
   }
 }
 
@@ -250,9 +303,9 @@ void PrintJson(const Options& opt, const WorkerStats& total,
       "\"seed\": %llu, \"elapsed_s\": %.4f, \"qps\": %.1f, "
       "\"ok\": %llu, \"degraded\": %llu, \"shed\": %llu, "
       "\"error\": %llu, \"mismatched\": %llu, "
-      "\"ok_latency_us\": {\"p50\": %llu, \"p95\": %llu, \"p99\": %llu}, "
-      "\"shed_latency_us\": {\"p50\": %llu, \"p95\": %llu, "
-      "\"p99\": %llu}}\n",
+      "\"ok_latency_us\": {\"p50\": %llu, \"p90\": %llu, \"p99\": %llu}, "
+      "\"shed_latency_us\": {\"p50\": %llu, \"p90\": %llu, "
+      "\"p99\": %llu}",
       opt.connections, opt.requests,
       static_cast<unsigned long long>(opt.seed), elapsed_s, qps,
       static_cast<unsigned long long>(total.ok),
@@ -261,13 +314,28 @@ void PrintJson(const Options& opt, const WorkerStats& total,
       static_cast<unsigned long long>(total.error),
       static_cast<unsigned long long>(total.mismatched),
       static_cast<unsigned long long>(total.ok_latency_us.Quantile(0.5)),
-      static_cast<unsigned long long>(total.ok_latency_us.Quantile(0.95)),
+      static_cast<unsigned long long>(total.ok_latency_us.Quantile(0.9)),
       static_cast<unsigned long long>(total.ok_latency_us.Quantile(0.99)),
       static_cast<unsigned long long>(total.shed_latency_us.Quantile(0.5)),
-      static_cast<unsigned long long>(
-          total.shed_latency_us.Quantile(0.95)),
+      static_cast<unsigned long long>(total.shed_latency_us.Quantile(0.9)),
       static_cast<unsigned long long>(
           total.shed_latency_us.Quantile(0.99)));
+  if (total.traced > 0) {
+    std::printf(
+        ", \"trace\": {\"responses\": %llu, \"server_total_ns\": %llu, "
+        "\"client_total_ns\": %llu, \"stages_ns\": {",
+        static_cast<unsigned long long>(total.traced),
+        static_cast<unsigned long long>(total.server_total_ns),
+        static_cast<unsigned long long>(total.client_total_ns));
+    bool first = true;
+    for (const auto& [name, ns] : total.stage_ns) {
+      std::printf("%s\"%s\": %llu", first ? "" : ", ", name.c_str(),
+                  static_cast<unsigned long long>(ns));
+      first = false;
+    }
+    std::printf("}}");
+  }
+  std::printf("}\n");
 }
 
 }  // namespace
