@@ -22,17 +22,31 @@
 // log, and the i3_slow_queries_total / i3_net_traced_requests_total /
 // i3_slo_window_* series to exist and move in the "obs" snapshot.
 //
+// Replication phase: the same workload against a server whose one shard
+// is a 2-replica ReplicaSet, with the corpus inserted through the
+// replicated write path. Four wire checksums must all be equal --
+// all-healthy cold, warm (result cache), primary-killed cold (every
+// query fails over), and post-recovery cold -- proving failover and
+// online recovery are invisible at the byte level. A full scrub sweep
+// runs with queries in flight to measure scrub overhead (recorded, not
+// gated) and to move the i3_scrub_* / i3_failover_total /
+// i3_replica_recoveries_total series the CI gate requires.
+//
 // Flags (on top of the shared bench flags): --smoke (tiny config for CI),
 // --json=PATH (default BENCH_serving.json), --reps=N.
 
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "i3/replica_ops.h"
+#include "model/replica_set.h"
 #include "model/sharded_index.h"
 #include "net/client.h"
 #include "net/protocol.h"
@@ -272,6 +286,191 @@ ObsPhaseResult MeasureObservability(ShardedIndex* index,
   return out;
 }
 
+struct ReplicaPhaseResult {
+  /// Wire checksums (order+score-sensitive fold); the gate requires all
+  /// four equal.
+  uint64_t baseline_checksum = 0;   ///< all replicas healthy, cache off
+  uint64_t warm_checksum = 0;       ///< all healthy, result-cache hits
+  uint64_t failover_checksum = 0;   ///< primary killed, cache off
+  uint64_t recovered_checksum = 0;  ///< after online recovery, cache off
+  uint64_t failovers = 0;           ///< reads served by a non-primary
+  uint64_t recoveries = 0;
+  uint64_t scrub_pages_verified = 0;
+  /// Wall time of the online snapshot + catch-up recovery.
+  double recover_ms = 0.0;
+  /// p99 of the cold pass with all replicas healthy vs failed-over
+  /// (recorded, not gated -- CI timing noise).
+  double baseline_p99_us = 0.0;
+  double failover_p99_us = 0.0;
+  /// Cold-pass qps without / with a concurrent full scrub sweep.
+  double qps_quiet = 0.0;
+  double qps_scrubbing = 0.0;
+};
+
+/// One cold (cache-bypassing) wire pass; returns the checksum fold and
+/// fills `p99_us`/`qps` when non-null.
+uint64_t ColdWirePass(net::Client* client, const std::vector<Query>& queries,
+                      double alpha, double* p99_us, double* qps) {
+  uint64_t fold = 1469598103934665603ull;
+  obs::HistogramSnapshot us;
+  Timer timer;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    net::Request req = ToRequest(queries[i], i, alpha);
+    req.no_cache = true;
+    const uint64_t q0 = obs::NowNanos();
+    auto wire = client->Call(req);
+    us.Record((obs::NowNanos() - q0) / 1000);
+    if (!wire.ok() ||
+        wire.ValueOrDie().outcome != net::ResponseOutcome::kOk ||
+        wire.ValueOrDie().degraded) {
+      std::fprintf(stderr, "replica-phase wire search failed%s\n",
+                   wire.ok() && wire.ValueOrDie().degraded ? " (degraded)"
+                                                           : "");
+      std::abort();
+    }
+    FoldChecksum(&fold, net::ResultChecksum(wire.ValueOrDie().results));
+  }
+  const double secs = timer.ElapsedMillis() / 1e3;
+  if (p99_us != nullptr) {
+    *p99_us = static_cast<double>(us.Quantile(0.99));
+  }
+  if (qps != nullptr && secs > 0) {
+    *qps = static_cast<double>(queries.size()) / secs;
+  }
+  return fold;
+}
+
+/// Replication phase: 2-replica shard, corpus inserted through the
+/// replicated write path; checksum equality across healthy / warm /
+/// failed-over / recovered serving, plus scrub overhead.
+ReplicaPhaseResult MeasureReplication(const Dataset& ds,
+                                      const BenchConfig& cfg,
+                                      const std::vector<Query>& queries,
+                                      double alpha) {
+  ReplicaPhaseResult out;
+  I3Options opt;
+  opt.space = ds.space;
+  opt.signature_bits = cfg.eta;
+  opt.buffer_pool.capacity_pages = cfg.pool_pages;
+  opt.head_pool_pages = cfg.head_pool_pages;
+  opt.cell_cache_bytes = cfg.cell_cache_mb << 20;
+  ReplicaSetOptions ropt;
+  ropt.replication_factor = 2;
+  auto set = ReplicaSet::Create(
+      [&opt](uint32_t) { return std::make_unique<I3Index>(opt); },
+      MakeI3ReplicaOps([opt](uint32_t) { return opt; }), ropt);
+  if (!set.ok()) {
+    std::fprintf(stderr, "replica-phase set failed: %s\n",
+                 set.status().ToString().c_str());
+    std::abort();
+  }
+  std::vector<std::unique_ptr<SpatialKeywordIndex>> shards;
+  shards.push_back(set.MoveValue());
+  ShardedIndex index(std::move(shards));
+  for (const auto& d : ds.docs) {
+    auto st = index.Insert(d);
+    if (!st.ok()) {
+      std::fprintf(stderr, "replicated insert failed: %s\n",
+                   st.ToString().c_str());
+      std::abort();
+    }
+  }
+  ReplicaSet* rset = index.replica_set(0);
+
+  net::ServerOptions sopts;
+  sopts.worker_threads = 2;
+  sopts.result_cache_entries = cfg.result_cache_entries;
+  net::Server server(&index, sopts);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "replica-phase server failed to start\n");
+    std::abort();
+  }
+  net::ClientOptions copts;
+  copts.port = server.port();
+  copts.recv_timeout_ms = 30000;
+  auto client = net::Client::Connect(copts);
+  if (!client.ok()) {
+    std::fprintf(stderr, "replica-phase connect failed\n");
+    std::abort();
+  }
+  net::Client* c = client.ValueOrDie().get();
+
+  // All-healthy cold baseline, then a warm (result-cache) pass.
+  out.baseline_checksum =
+      ColdWirePass(c, queries, alpha, &out.baseline_p99_us, nullptr);
+  for (int pass = 0; pass < 2; ++pass) {
+    uint64_t fold = 1469598103934665603ull;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto wire = c->Call(ToRequest(queries[i], i, alpha));
+      if (!wire.ok() ||
+          wire.ValueOrDie().outcome != net::ResponseOutcome::kOk) {
+        std::fprintf(stderr, "replica-phase warm search failed\n");
+        std::abort();
+      }
+      FoldChecksum(&fold, net::ResultChecksum(wire.ValueOrDie().results));
+    }
+    out.warm_checksum = fold;
+  }
+
+  // Kill the primary: every query must fail over to replica 1 and still
+  // serve the identical bytes.
+  if (auto st = rset->KillReplica(0); !st.ok()) {
+    std::fprintf(stderr, "KillReplica failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  index.ClearCache();
+  out.failover_checksum =
+      ColdWirePass(c, queries, alpha, &out.failover_p99_us, nullptr);
+
+  // Online recovery (snapshot + catch-up) while the set keeps serving,
+  // then the recovered primary serves the same bytes again.
+  Timer recover_timer;
+  if (auto st = rset->RecoverReplica(0); !st.ok()) {
+    std::fprintf(stderr, "RecoverReplica failed: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
+  out.recover_ms = recover_timer.ElapsedMillis();
+  index.ClearCache();
+  out.recovered_checksum = ColdWirePass(c, queries, alpha, nullptr, nullptr);
+
+  // Scrub overhead: cold query passes with and without a concurrent
+  // full CRC sweep. One throwaway pass first so both measurements run
+  // at the same (lower-level-cache) warmth.
+  ColdWirePass(c, queries, alpha, nullptr, nullptr);
+  ColdWirePass(c, queries, alpha, nullptr, &out.qps_quiet);
+  std::atomic<bool> scrub_done{false};
+  // The bench built the replicas itself, so the downcast is safe.
+  const uint64_t data_pages =
+      static_cast<I3Index*>(rset->replica(0))->DataPageCount();
+  std::thread scrubber([&rset, &scrub_done, data_pages]() {
+    const uint64_t pages = rset->GetStatus().scrub_pages_verified;
+    uint64_t verified = pages;
+    // Sweep until every page of both replicas was verified at least once
+    // more (the tick size is ReplicaSetOptions::scrub_pages_per_tick).
+    while (verified < pages + 2 * data_pages) {
+      if (auto st = rset->ScrubTick(); !st.ok()) {
+        std::fprintf(stderr, "ScrubTick failed: %s\n",
+                     st.ToString().c_str());
+        std::abort();
+      }
+      verified = rset->GetStatus().scrub_pages_verified;
+    }
+    scrub_done.store(true);
+  });
+  while (!scrub_done.load()) {
+    ColdWirePass(c, queries, alpha, nullptr, &out.qps_scrubbing);
+  }
+  scrubber.join();
+
+  const ReplicaSetStatus status = rset->GetStatus();
+  out.failovers = status.failovers;
+  out.recoveries = status.recoveries;
+  out.scrub_pages_verified = status.scrub_pages_verified;
+  server.Stop();
+  return out;
+}
+
 int Main(int argc, char** argv) {
   BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
   bool smoke = false;
@@ -338,6 +537,12 @@ int Main(int argc, char** argv) {
                 /*seed=*/42),
       cfg.default_alpha);
 
+  const ReplicaPhaseResult replica_phase = MeasureReplication(
+      ds, cfg,
+      qgen.Freq(cfg.default_qn, num_queries, /*k=*/10, Semantics::kOr,
+                /*seed=*/42),
+      cfg.default_alpha);
+
   PrintRule(5, 12);
   PrintRow({"semantics", "qps", "p50us", "p99us", "wire==direct"}, 12);
   PrintRule(5, 12);
@@ -357,6 +562,17 @@ int Main(int argc, char** argv) {
               " consistent), %" PRIu64 " slow-log records\n",
               obs_phase.traced_responses, obs_phase.sent,
               obs_phase.timeline_consistent, obs_phase.slow_recorded);
+  const bool replica_identical =
+      replica_phase.baseline_checksum == replica_phase.warm_checksum &&
+      replica_phase.baseline_checksum == replica_phase.failover_checksum &&
+      replica_phase.baseline_checksum == replica_phase.recovered_checksum;
+  std::printf("replica phase: checksums %s, %" PRIu64 " failovers, "
+              "%" PRIu64 " recoveries (%.1fms), %" PRIu64
+              " pages scrubbed, qps %.0f quiet / %.0f scrubbing\n",
+              replica_identical ? "identical" : "DIVERGED",
+              replica_phase.failovers, replica_phase.recoveries,
+              replica_phase.recover_ms, replica_phase.scrub_pages_verified,
+              replica_phase.qps_quiet, replica_phase.qps_scrubbing);
 
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
@@ -401,6 +617,23 @@ int Main(int argc, char** argv) {
                ", \"slow_recorded\": %" PRIu64 "},\n",
                obs_phase.sent, obs_phase.traced_responses,
                obs_phase.timeline_consistent, obs_phase.slow_recorded);
+  std::fprintf(f,
+               "  \"replica_phase\": {\"baseline_checksum\": %" PRIu64
+               ", \"warm_checksum\": %" PRIu64
+               ", \"failover_checksum\": %" PRIu64
+               ", \"recovered_checksum\": %" PRIu64
+               ", \"failovers\": %" PRIu64 ", \"recoveries\": %" PRIu64
+               ", \"scrub_pages_verified\": %" PRIu64
+               ", \"recover_ms\": %.1f, \"baseline_p99_us\": %.0f, "
+               "\"failover_p99_us\": %.0f, \"qps_quiet\": %.0f, "
+               "\"qps_scrubbing\": %.0f},\n",
+               replica_phase.baseline_checksum, replica_phase.warm_checksum,
+               replica_phase.failover_checksum,
+               replica_phase.recovered_checksum, replica_phase.failovers,
+               replica_phase.recoveries, replica_phase.scrub_pages_verified,
+               replica_phase.recover_ms, replica_phase.baseline_p99_us,
+               replica_phase.failover_p99_us, replica_phase.qps_quiet,
+               replica_phase.qps_scrubbing);
   // Process-wide metrics snapshot: includes the serving families
   // (i3_net_requests_total, i3_requests_shed_total, i3_request_latency_us,
   // ...) the CI gate requires to exist and move.

@@ -15,6 +15,7 @@
 //   spatialkw_cli serve  <index-prefix> [--port=N] [--workers=N]
 //                        [--batch=N] [--rate=R] [--burst=B]
 //                        [--max-queue=N] [--slow-threshold-us=N]
+//                        [--replicas=N] [--scrub-interval-ms=N]
 //
 // `serve` loads the index and answers the binary query protocol
 // (src/net/protocol.h) over TCP, plus `GET /metrics`, `/statusz`,
@@ -22,7 +23,15 @@
 // default) picks an ephemeral port, printed as "serving on port N" for
 // scripts (tools/loadgen) to scrape. --rate/--burst set the default
 // per-tenant admission budget (requests/second and bucket size; 0 =
-// unlimited); --slow-threshold-us sets the slow-query-log bar. The
+// unlimited); --slow-threshold-us sets the slow-query-log bar.
+// --replicas=N loads N byte-identical copies of the index behind a
+// ReplicaSet (model/replica_set.h): reads fail over transparently and a
+// killed copy is rebuilt online from a peer snapshot.
+// --scrub-interval-ms=N starts the set's background maintenance thread at
+// that cadence (paced CRC scrub + heal-from-peer + auto-recovery);
+// --scrub-interval-ms without --replicas>=2 still scrubs, but detected
+// damage has no peer to heal from. /healthz reports the per-replica
+// picture. The
 // process serves until SIGINT or SIGTERM; SIGUSR1 dumps a JSON metrics
 // snapshot to stdout without stopping, and a clean shutdown prints a
 // final snapshot.
@@ -55,6 +64,8 @@
 #include "common/deadline.h"
 #include "common/timer.h"
 #include "i3/i3_index.h"
+#include "i3/replica_ops.h"
+#include "model/replica_set.h"
 #include "model/sharded_index.h"
 #include "net/server.h"
 #include "obs/export.h"
@@ -80,10 +91,11 @@ struct GlobalOptions {
 };
 GlobalOptions g_opts;
 
-/// Loads <prefix>.i3 honoring --fault-profile (the persisted index is
-/// re-homed onto an injecting in-memory backing; the checksum layer above
-/// it catches injected payload corruption).
-Result<std::unique_ptr<I3Index>> LoadIndex(const std::string& prefix) {
+/// Options every loaded index gets, honoring the global cache-sizing and
+/// --fault-profile flags (the persisted index is re-homed onto an
+/// injecting in-memory backing; the checksum layer above it catches
+/// injected payload corruption).
+Result<I3Options> BuildLoadOptions() {
   I3Options opt;
   if (g_opts.pool_pages >= 0) {
     opt.buffer_pool.capacity_pages =
@@ -101,7 +113,14 @@ Result<std::unique_ptr<I3Index>> LoadIndex(const std::string& prefix) {
           std::make_unique<InMemoryPageFile>(page_size), profile);
     };
   }
-  return I3Index::LoadFrom(prefix + ".i3", opt);
+  return opt;
+}
+
+/// Loads <prefix>.i3 under BuildLoadOptions().
+Result<std::unique_ptr<I3Index>> LoadIndex(const std::string& prefix) {
+  auto opt = BuildLoadOptions();
+  if (!opt.ok()) return opt.status();
+  return I3Index::LoadFrom(prefix + ".i3", opt.ValueOrDie());
 }
 
 struct RawDoc {
@@ -356,6 +375,8 @@ int CmdServe(int argc, char** argv) {
   if (argc < 3) return Fail("serve needs <index-prefix>");
   const std::string prefix = argv[2];
   net::ServerOptions sopts;
+  uint32_t replicas = 1;
+  uint32_t scrub_interval_ms = 0;
   for (int i = 3; i < argc; ++i) {
     if (std::strncmp(argv[i], "--port=", 7) == 0) {
       sopts.port = static_cast<uint16_t>(std::atoi(argv[i] + 7));
@@ -375,21 +396,60 @@ int CmdServe(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--slow-threshold-us=", 20) == 0) {
       sopts.slow_threshold_us =
           static_cast<uint64_t>(std::atoll(argv[i] + 20));
+    } else if (std::strncmp(argv[i], "--replicas=", 11) == 0) {
+      replicas = static_cast<uint32_t>(std::atoi(argv[i] + 11));
+    } else if (std::strncmp(argv[i], "--scrub-interval-ms=", 20) == 0) {
+      scrub_interval_ms = static_cast<uint32_t>(std::atoi(argv[i] + 20));
     } else {
       return Fail(std::string("unknown serve flag: ") + argv[i]);
     }
   }
+  if (replicas < 1) return Fail("--replicas must be >= 1");
 
-  auto res = LoadIndex(prefix);
-  if (!res.ok()) return Fail(res.status().ToString());
   // The server runs over the sharded fan-out layer; a loaded single index
   // is a one-shard instance of it (same results, same degradation
   // contract).
   std::vector<std::unique_ptr<SpatialKeywordIndex>> shards;
-  shards.push_back(res.MoveValue());
+  if (replicas > 1 || scrub_interval_ms > 0) {
+    // Replicated serve: the one shard is a ReplicaSet of N independent
+    // loads of the same persisted index (each re-homed onto its own
+    // backing by LoadFrom, so replicas share no storage).
+    ReplicaSetOptions ropt;
+    ropt.replication_factor = replicas;
+    ropt.maintenance_interval_ms = scrub_interval_ms;
+    ropt.auto_recover = scrub_interval_ms > 0;
+    std::string load_error;
+    auto set = ReplicaSet::Create(
+        [&prefix, &load_error](uint32_t) -> std::unique_ptr<I3Index> {
+          auto res = LoadIndex(prefix);
+          if (!res.ok()) {
+            load_error = res.status().ToString();
+            return nullptr;
+          }
+          return res.MoveValue();
+        },
+        MakeI3ReplicaOps([](uint32_t) {
+          auto opt = BuildLoadOptions();
+          return opt.ok() ? opt.ValueOrDie() : I3Options{};
+        }),
+        ropt);
+    if (!set.ok()) {
+      return Fail(load_error.empty() ? set.status().ToString()
+                                     : load_error);
+    }
+    shards.push_back(set.MoveValue());
+  } else {
+    auto res = LoadIndex(prefix);
+    if (!res.ok()) return Fail(res.status().ToString());
+    shards.push_back(res.MoveValue());
+  }
   ShardedIndex index(std::move(shards));
   std::printf("loaded %s.i3: %llu documents\n", prefix.c_str(),
               static_cast<unsigned long long>(index.DocumentCount()));
+  if (replicas > 1 || scrub_interval_ms > 0) {
+    std::printf("replication: %u replica(s), scrub interval %u ms\n",
+                replicas, scrub_interval_ms);
+  }
 
   net::Server server(&index, sopts);
   auto st = server.Start();

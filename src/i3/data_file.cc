@@ -302,6 +302,37 @@ Result<std::vector<SpatialTuple>> DataFile::TakeSource(PageId id,
   return taken;
 }
 
+Status DataFile::VerifyPage(PageId id) {
+  if (id >= PageCount()) {
+    return Status::OutOfRange("verify of unallocated page " +
+                              std::to_string(id));
+  }
+  std::vector<uint8_t> buf(page_size());
+  return file_->ReadPage(id, buf.data(), IoCategory::kI3DataFile);
+}
+
+Result<std::vector<uint8_t>> DataFile::ReadPageBytes(PageId id) {
+  if (id >= PageCount()) {
+    return Status::OutOfRange("read of unallocated page " +
+                              std::to_string(id));
+  }
+  std::vector<uint8_t> buf(page_size());
+  I3_RETURN_NOT_OK(pool_.ReadPage(id, buf.data(), IoCategory::kI3DataFile));
+  return buf;
+}
+
+Status DataFile::WritePageBytes(PageId id,
+                                const std::vector<uint8_t>& bytes) {
+  if (id >= PageCount()) {
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(id));
+  }
+  if (bytes.size() != page_size()) {
+    return Status::InvalidArgument("page bytes must be exactly one page");
+  }
+  return pool_.WritePage(id, bytes.data(), IoCategory::kI3DataFile);
+}
+
 Status DataFile::InsertAll(PageId id, SourceId source,
                            const std::vector<SpatialTuple>& tuples) {
   auto page_res = Read(id);

@@ -332,6 +332,30 @@ class DataFile {
     return n;
   }
 
+  /// \brief Checksum-verifying *device* read of page `id`, bypassing the
+  /// buffer pool: the bytes come straight from the file stack (whose
+  /// checksummed wrapper rejects damaged payloads with Corruption), so
+  /// latent at-rest damage is detected even while a clean cached frame
+  /// exists. One charged read. The scrubber's probe.
+  Status VerifyPage(PageId id);
+
+  /// \brief Raw logical bytes of page `id`, read through the pool (the
+  /// device path verifies the stored checksum). One charged read. The
+  /// heal *source*: replicas are byte-identical, so a healthy peer's page
+  /// bytes are exactly what the damaged copy should hold.
+  Result<std::vector<uint8_t>> ReadPageBytes(PageId id);
+
+  /// \brief Writes raw logical page bytes through the pool: the checksum
+  /// layer re-stamps the page, the write-through bumps the page epoch
+  /// (invalidating decoded-cell entries) and clears any quarantine. The
+  /// heal *sink* only -- the free-space map is untouched because a heal
+  /// replaces a page with its byte-identical peer copy.
+  Status WritePageBytes(PageId id, const std::vector<uint8_t>& bytes);
+
+  /// Pages currently quarantined by the pool (last device read returned
+  /// Corruption and no verified read/write-through has cleared it).
+  size_t QuarantinedPages() const { return pool_.quarantined_count(); }
+
   /// \brief Encodes and writes `page` to `id` (one charged write); updates
   /// the free-space map.
   Status Write(PageId id, const TuplePage& page);

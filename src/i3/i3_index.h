@@ -138,6 +138,28 @@ class I3Index final : public SpatialKeywordIndex {
   size_t SummaryNodeCount() const { return head_.NodeCount(); }
   /// Number of pages in the data file.
   PageId DataPageCount() const { return data_->PageCount(); }
+
+  // --- scrub/heal hooks (model/replica_set.h via i3/replica_ops.h) ---
+
+  /// Checksum-verifying device read of one data page, bypassing the
+  /// buffer pool; Corruption when the stored bytes are damaged. Safe
+  /// under concurrent readers (it touches only the file stack and its
+  /// internally synchronized I/O counters).
+  Status VerifyDataPage(PageId id) { return data_->VerifyPage(id); }
+  /// Raw logical bytes of one data page (heal source).
+  Result<std::vector<uint8_t>> ReadDataPageBytes(PageId id) {
+    return data_->ReadPageBytes(id);
+  }
+  /// Writes raw page bytes through (heal sink): re-stamps the checksum,
+  /// bumps the page epoch, clears quarantine. Requires writer exclusion
+  /// like every other mutation.
+  Status WriteDataPageBytes(PageId id, const std::vector<uint8_t>& bytes) {
+    return data_->WritePageBytes(id, bytes);
+  }
+  /// Data pages currently quarantined by the buffer pool.
+  uint64_t QuarantinedDataPages() const {
+    return data_->QuarantinedPages();
+  }
   /// Number of distinct keywords in the lookup table.
   size_t KeywordCount() const { return lookup_.size(); }
 

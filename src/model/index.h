@@ -20,6 +20,8 @@
 
 namespace i3 {
 
+class ReplicaSet;
+
 /// \brief Storage footprint of an index, broken down by component (the rows
 /// of the paper's Table 5).
 struct IndexSizeInfo {
@@ -109,6 +111,12 @@ class SpatialKeywordIndex {
   /// \brief Drops any cached pages (cold-cache reset); default no-op for
   /// purely in-memory implementations.
   virtual void ClearCache() {}
+
+  /// \brief Checked downcast for replication-aware wrappers: a ReplicaSet
+  /// (model/replica_set.h) returns itself, everything else returns null.
+  /// Lets ShardedIndex discover failover/scrub capabilities behind the
+  /// common interface without RTTI on the query path.
+  virtual ReplicaSet* AsReplicaSet() { return nullptr; }
 };
 
 }  // namespace i3

@@ -49,6 +49,7 @@ ShardedIndex::ShardedIndex(
     auto s = std::make_unique<Shard>();
     s->serialize_queries = !index->SupportsConcurrentSearch();
     s->index = std::move(index);
+    s->replica_set = s->index->AsReplicaSet();
     shards_.push_back(std::move(s));
   }
   if (options_.search_threads > 0) {
@@ -66,7 +67,22 @@ ShardedIndex::ShardedIndex(
       "Queries answered with a partial top-k after shard failures.");
   shard_stage_names_.reserve(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
-    shard_stage_names_.push_back("shard" + std::to_string(i));
+    // One stage name per (shard, serving replica): the primary keeps the
+    // bare "shardN" so unreplicated traces look unchanged, and a failover
+    // renames the stage to "shardN.rR" -- /tracez then shows which
+    // replica answered without a separate annotation.
+    const uint32_t replicas = shards_[i]->replica_set != nullptr
+                                  ? shards_[i]->replica_set
+                                        ->replication_factor()
+                                  : 1;
+    std::vector<std::string> names;
+    names.reserve(replicas);
+    names.push_back("shard" + std::to_string(i));
+    for (uint32_t r = 1; r < replicas; ++r) {
+      names.push_back("shard" + std::to_string(i) + ".r" +
+                      std::to_string(r));
+    }
+    shard_stage_names_.push_back(std::move(names));
     shards_[i]->latency_us = reg.GetHistogram(
         "i3_shard_search_latency_us", "Per-shard local top-k latency.",
         {{"shard", std::to_string(i)}});
@@ -135,12 +151,20 @@ Status ShardedIndex::Update(const SpatialDocument& old_doc,
   return shards_[to]->index->Insert(new_doc);
 }
 
-Result<std::vector<ScoredDoc>> ShardedIndex::SearchShard(const Shard& s,
-                                                         const Query& q,
-                                                         double alpha) const {
+Result<std::vector<ScoredDoc>> ShardedIndex::SearchShard(
+    const Shard& s, const Query& q, double alpha,
+    ReplicaSearchReport* report) const {
+  *report = {};
   std::shared_lock lock(s.mutex);
   const uint64_t start_ns = obs::NowNanos();
   Result<std::vector<ScoredDoc>> res = [&] {
+    // A replicated shard handles its own retry: a failed (or
+    // deadline-blown) primary read is re-issued to a healthy follower
+    // before this fan-out ever sees an error, so degradation only
+    // surfaces when every replica of the shard is down.
+    if (s.replica_set != nullptr) {
+      return s.replica_set->SearchFailover(q, alpha, report);
+    }
     if (s.serialize_queries) {
       std::lock_guard<std::mutex> query_lock(s.query_mutex);
       return s.index->Search(q, alpha);
@@ -179,15 +203,17 @@ Result<std::vector<ScoredDoc>> ShardedIndex::SearchSequential(
       continue;
     }
     const uint64_t t0 = trace != nullptr ? obs::NowNanos() : 0;
-    auto res = SearchShard(*shards_[i], q, alpha);
+    ReplicaSearchReport report;
+    auto res = SearchShard(*shards_[i], q, alpha, &report);
     if (trace != nullptr) {
-      trace->AddStage(shard_stage_names_[i], obs::NowNanos() - t0);
+      trace->AddStage(StageName(i, report), obs::NowNanos() - t0);
     }
     if (!res.ok()) {
       if (outcome == nullptr) return res.status();  // strict (SearchMany)
       outcome->RecordFailure(i, res.status());
       continue;
     }
+    if (outcome != nullptr) outcome->RecordServed(i, report);
     per_shard[i] = res.MoveValue();
   }
   if (outcome != nullptr) {
@@ -218,6 +244,7 @@ Result<std::vector<ScoredDoc>> ShardedIndex::Search(const Query& q,
   if (trace != nullptr) {
     trace->Annotate("shards", shards_.size());
     trace->Annotate("failed_shards", outcome.failed);
+    if (outcome.failovers > 0) trace->Annotate("failovers", outcome.failovers);
     if (degraded) trace->Annotate("degraded", 1);
     if (result.ok()) trace->Annotate("results", result.ValueOrDie().size());
     if (trace != request_trace)
@@ -228,6 +255,8 @@ Result<std::vector<ScoredDoc>> ShardedIndex::Search(const Query& q,
   view.Set("failed_shards", outcome.failed);
   view.Set("failed_shard_mask", outcome.failed_mask);
   view.Set("degraded", degraded ? 1 : 0);
+  view.Set("failovers", outcome.failovers);
+  view.Set("served_replica_by_shard", outcome.served_replica_nibbles);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     last_search_stats_ = view;
@@ -245,11 +274,12 @@ Result<std::vector<ScoredDoc>> ShardedIndex::SearchFanOut(
   std::vector<Result<std::vector<ScoredDoc>>> results(
       shards_.size(),
       Result<std::vector<ScoredDoc>>(std::vector<ScoredDoc>{}));
-  // Per-shard wall times are captured in a preallocated slot per shard (no
-  // shared trace mutation from the workers) and folded into the trace
-  // after the barrier.
+  // Per-shard wall times and replica reports are captured in preallocated
+  // slots per shard (no shared trace mutation from the workers) and folded
+  // into the trace after the barrier.
   std::vector<uint64_t> shard_ns;
   if (trace != nullptr) shard_ns.assign(shards_.size(), 0);
+  std::vector<ReplicaSearchReport> reports(shards_.size());
   // The fan-out workers share one Query; a request-scoped span sink is a
   // single-writer structure, so shards must not write it concurrently.
   // The parallel path detaches it (per-shard wall times below still reach
@@ -259,12 +289,12 @@ Result<std::vector<ScoredDoc>> ShardedIndex::SearchFanOut(
   q_shard.control.trace = nullptr;
   pool_->ParallelFor(shards_.size(), [&](size_t i) {
     const uint64_t t0 = trace != nullptr ? obs::NowNanos() : 0;
-    results[i] = SearchShard(*shards_[i], q_shard, alpha);
+    results[i] = SearchShard(*shards_[i], q_shard, alpha, &reports[i]);
     if (trace != nullptr) shard_ns[i] = obs::NowNanos() - t0;
   });
   if (trace != nullptr) {
     for (size_t i = 0; i < shards_.size(); ++i) {
-      trace->AddStage(shard_stage_names_[i], shard_ns[i]);
+      trace->AddStage(StageName(i, reports[i]), shard_ns[i]);
     }
   }
   // Failure isolation: a failing shard (storage fault, deadline overrun)
@@ -278,6 +308,7 @@ Result<std::vector<ScoredDoc>> ShardedIndex::SearchFanOut(
       outcome->RecordFailure(i, results[i].status());
       continue;
     }
+    outcome->RecordServed(i, reports[i]);
     per_shard[i] = results[i].MoveValue();
   }
   if (outcome->failed == shards_.size()) return outcome->first_error;
@@ -337,13 +368,17 @@ std::vector<ShardedIndex::BatchItemResult> ShardedIndex::SearchBatch(
     BatchItemResult& r = out[i];
     r.search_ns = elapsed_ns;
     r.failed_shards = outcome.failed;
+    r.failovers = outcome.failovers;
     if (!res.ok()) {
       r.status = res.status();
       return;
     }
     r.results = res.MoveValue();
     r.degraded = outcome.failed > 0;
-    if (r.degraded) degraded_metric_->Increment(1);
+    if (r.degraded) {
+      r.first_error = outcome.first_error;
+      degraded_metric_->Increment(1);
+    }
   };
   if (pool_ == nullptr || items.size() <= 1) {
     for (size_t i = 0; i < items.size(); ++i) run_one(i);
@@ -355,6 +390,17 @@ std::vector<ShardedIndex::BatchItemResult> ShardedIndex::SearchBatch(
     for (const BatchItemResult& r : out) {
       if (r.degraded) ++degraded_queries_;
     }
+  }
+  return out;
+}
+
+std::vector<ReplicaSetStatus> ShardedIndex::ShardReplicaStatuses() const {
+  std::vector<ReplicaSetStatus> out;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i]->replica_set == nullptr) continue;
+    ReplicaSetStatus st = shards_[i]->replica_set->GetStatus();
+    st.shard = static_cast<uint32_t>(i);
+    out.push_back(std::move(st));
   }
   return out;
 }

@@ -35,6 +35,17 @@
 // flag must accompany the result. When every shard fails, the first shard's
 // (by shard order, deterministically) error is returned, matching the
 // sequential path and the unsharded index.
+//
+// Replication (DESIGN.md §15): a shard built as a ReplicaSet
+// (model/replica_set.h) promotes degradation to transparent retry -- a
+// failed or deadline-blown primary read is re-issued to a healthy follower
+// *inside* the shard sweep, before the merge, so the query completes with
+// byte-identical results and `degraded` becomes the last resort (every
+// replica of a shard down). The fan-out records which attempt served each
+// shard: LastSearchStats() adds {failovers, served_replica_by_shard} (the
+// latter nibble-packed, 4 bits per shard for the first 16 shards) and the
+// trace stage for a failed-over shard is named "shardN.rR" instead of
+// "shardN", so /tracez shows failover per shard.
 
 #ifndef I3_MODEL_SHARDED_INDEX_H_
 #define I3_MODEL_SHARDED_INDEX_H_
@@ -48,6 +59,7 @@
 
 #include "common/thread_pool.h"
 #include "model/index.h"
+#include "model/replica_set.h"
 #include "obs/trace.h"
 
 namespace i3 {
@@ -129,6 +141,12 @@ class ShardedIndex final : public SpatialKeywordIndex {
     /// Some -- but not all -- shards failed; see the degradation contract.
     bool degraded = false;
     uint32_t failed_shards = 0;
+    /// Shards served by a non-primary replica after the primary failed.
+    uint32_t failovers = 0;
+    /// Error of the lowest-indexed failing shard when `degraded` (OK
+    /// otherwise): what a require_complete refusal surfaces as the typed
+    /// error instead of the partial result.
+    Status first_error;
     /// Wall time this item spent inside the index search, always
     /// measured (one clock pair per item): the serving layer attributes
     /// "search" time for slow-query records without a full trace.
@@ -190,9 +208,21 @@ class ShardedIndex final : public SpatialKeywordIndex {
   /// caller's problem for anything but stats reads.
   SpatialKeywordIndex* shard(uint32_t i) { return shards_[i]->index.get(); }
 
+  /// Shard `i`'s ReplicaSet, or nullptr for an unreplicated shard.
+  ReplicaSet* replica_set(uint32_t i) { return shards_[i]->replica_set; }
+
+  /// \brief Replica health/progress of every replicated shard, with the
+  /// ReplicaSetStatus::shard field rewritten to the *outer* shard index
+  /// (one ReplicaSet per shard; renders in /healthz). Empty when no shard
+  /// is replicated.
+  std::vector<ReplicaSetStatus> ShardReplicaStatuses() const;
+
  private:
   struct Shard {
     std::unique_ptr<SpatialKeywordIndex> index;
+    /// `index->AsReplicaSet()`, cached at construction so the query path
+    /// routes through SearchFailover without a per-query virtual probe.
+    ReplicaSet* replica_set = nullptr;
     /// Writers exclusive, searches/stats shared.
     mutable std::shared_mutex mutex;
     /// Search serialization for non-reader-safe implementations.
@@ -209,6 +239,11 @@ class ShardedIndex final : public SpatialKeywordIndex {
     uint32_t failed = 0;
     /// Bit i set = shard i failed, for the first 64 shards.
     uint64_t failed_mask = 0;
+    /// Shards answered by a non-primary replica (replicated shards only).
+    uint32_t failovers = 0;
+    /// Replica that served shard i, nibble-packed: bits [4i, 4i+4) for
+    /// the first 16 shards (replicas above 15 saturate at 15).
+    uint64_t served_replica_nibbles = 0;
     /// Error of the lowest-indexed failing shard.
     Status first_error = Status::OK();
 
@@ -217,11 +252,24 @@ class ShardedIndex final : public SpatialKeywordIndex {
       ++failed;
       if (shard < 64) failed_mask |= uint64_t{1} << shard;
     }
+
+    void RecordServed(size_t shard, const ReplicaSearchReport& report) {
+      if (report.failed_over) ++failovers;
+      if (shard < 16) {
+        const uint64_t nibble =
+            report.served_replica < 15 ? report.served_replica : 15;
+        served_replica_nibbles |= nibble << (4 * shard);
+      }
+    }
   };
 
-  /// One shard's local top-k under the shard's shared lock.
+  /// One shard's local top-k under the shard's shared lock. A ReplicaSet
+  /// shard routes through SearchFailover; `report` (never null) records
+  /// which replica served (all zeros for unreplicated shards).
   Result<std::vector<ScoredDoc>> SearchShard(const Shard& s, const Query& q,
-                                             double alpha) const;
+                                             double alpha,
+                                             ReplicaSearchReport* report)
+      const;
   /// Sequential fan-out + merge on the calling thread. When `trace` is
   /// non-null, one stage per shard ("shard0", ...) is added so stragglers
   /// are individually visible. With a null `outcome` the sweep is strict
@@ -251,8 +299,18 @@ class ShardedIndex final : public SpatialKeywordIndex {
   SearchStatsView last_search_stats_;
   uint64_t degraded_queries_ = 0;
 
-  /// Stable "shard0", "shard1", ... stage names for fan-out traces.
-  std::vector<std::string> shard_stage_names_;
+  /// Stable fan-out trace stage names, [shard][served replica]:
+  /// "shard3" when the primary answered, "shard3.r1" after a failover.
+  std::vector<std::vector<std::string>> shard_stage_names_;
+  /// Stage name for shard `i` served by `report`'s replica.
+  const std::string& StageName(size_t i,
+                               const ReplicaSearchReport& report) const {
+    const auto& names = shard_stage_names_[i];
+    const size_t r = report.served_replica < names.size()
+                         ? report.served_replica
+                         : names.size() - 1;
+    return names[r];
+  }
   /// Merged-query latency, cached at construction. Index 0 = AND, 1 = OR.
   obs::Histogram* search_latency_us_[2];
   /// `i3_degraded_queries_total`, cached at construction.

@@ -77,6 +77,10 @@ std::string StatuszJson(const ServerStatus& s) {
      << ", \"requests_ok\": " << s.requests_ok
      << ", \"requests_shed\": " << s.requests_shed
      << ", \"requests_error\": " << s.requests_error << "},\n"
+     << "  \"replication\": {\"replicated_shards\": " << s.replicated_shards
+     << ", \"failovers\": " << s.failovers
+     << ", \"recoveries\": " << s.recoveries
+     << ", \"scrub_pages_healed\": " << s.scrub_pages_healed << "},\n"
      << "  \"slo\": " << s.slo_json << "\n}";
   return os.str();
 }
@@ -127,11 +131,41 @@ std::string CachezJson(const obs::MetricsSnapshot& snapshot,
   return os.str();
 }
 
-std::string HealthzJson(bool ok, uint64_t uptime_s) {
+std::string HealthzJson(bool ok, uint64_t uptime_s,
+                        const std::vector<ReplicaSetStatus>& shards) {
   std::ostringstream os;
   os << "{\"status\": \"" << (ok ? "ok" : "stopping")
-     << "\", \"uptime_s\": " << uptime_s << "}";
+     << "\", \"uptime_s\": " << uptime_s << ", \"shards\": [";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ReplicaSetStatus& s = shards[i];
+    if (i != 0) os << ", ";
+    os << "{\"shard\": " << s.shard
+       << ", \"replicated\": " << (s.replicated ? "true" : "false")
+       << ", \"log_head\": " << s.log_head
+       << ", \"failovers\": " << s.failovers
+       << ", \"recoveries\": " << s.recoveries
+       << ", \"scrub\": {\"pages_verified\": " << s.scrub_pages_verified
+       << ", \"corrupt_found\": " << s.scrub_corrupt_found
+       << ", \"pages_healed\": " << s.scrub_pages_healed << "}"
+       << ", \"replicas\": [";
+    for (size_t r = 0; r < s.replicas.size(); ++r) {
+      const ReplicaStatus& rep = s.replicas[r];
+      if (r != 0) os << ", ";
+      os << "{\"replica\": " << r << ", \"state\": \""
+         << ReplicaStateName(rep.state) << "\", \"watermark\": "
+         << rep.watermark << ", \"lag\": " << rep.lag
+         << ", \"quarantined_pages\": " << rep.quarantined_pages
+         << ", \"read_failures\": " << rep.read_failures
+         << ", \"write_failures\": " << rep.write_failures << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
   return os.str();
+}
+
+std::string HealthzJson(bool ok, uint64_t uptime_s) {
+  return HealthzJson(ok, uptime_s, {});
 }
 
 std::string HttpOk(const std::string& content_type, const std::string& body) {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "model/replica_set.h"
 #include "obs/metrics.h"
 #include "obs/slow_log.h"
 #include "obs/trace.h"
@@ -46,6 +47,13 @@ struct ServerStatus {
   uint64_t requests_shed = 0;
   uint64_t requests_error = 0;
 
+  /// Replication summary (all zero when no shard is replicated); the
+  /// per-replica detail lives on /healthz.
+  uint32_t replicated_shards = 0;
+  uint64_t failovers = 0;
+  uint64_t recoveries = 0;
+  uint64_t scrub_pages_healed = 0;
+
   /// Pre-rendered per-tenant SLO windows (SloTracker::ToJson), spliced
   /// in verbatim as the "slo" member.
   std::string slo_json;
@@ -63,6 +71,15 @@ std::string TracezJson(double sample_rate,
 std::string CachezJson(const obs::MetricsSnapshot& snapshot,
                        const std::vector<size_t>& result_cache_stripes);
 
+/// \brief /healthz. Beyond ok/stopping, renders per-shard replica health
+/// for every replicated shard (ShardedIndex::ShardReplicaStatuses):
+/// replica states and watermarks/lag, quarantined-page counts, scrub
+/// progress, and failover/recovery totals -- strict JSON, so probes can
+/// alert on "any replica not healthy" without scraping /metrics.
+std::string HealthzJson(bool ok, uint64_t uptime_s,
+                        const std::vector<ReplicaSetStatus>& shards);
+
+/// Unreplicated form (identical to passing no shards).
 std::string HealthzJson(bool ok, uint64_t uptime_s);
 
 /// \brief One-shot HTTP/1.1 responses with the conformance headers every

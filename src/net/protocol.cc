@@ -140,10 +140,12 @@ void EncodeRequest(const Request& req, std::string* out) {
   PutU32(&payload, req.k);
   PutU8(&payload, req.semantics == Semantics::kAnd ? 0 : 1);
   // Flags byte: bit 0 = no_cache (result-cache opt-out), bit 1 = trace
-  // ("trace me": the response carries a span timeline). Bits 2..7 stay
-  // reserved and must be zero.
+  // ("trace me": the response carries a span timeline), bit 2 =
+  // require_complete (refuse degraded responses with a typed error).
+  // Bits 3..7 stay reserved and must be zero.
   PutU8(&payload, static_cast<uint8_t>((req.no_cache ? 1 : 0) |
-                                       (req.trace ? 2 : 0)));
+                                       (req.trace ? 2 : 0) |
+                                       (req.require_complete ? 4 : 0)));
   PutU32(&payload, req.deadline_ms);
   PutF64(&payload, req.x);
   PutF64(&payload, req.y);
@@ -262,13 +264,15 @@ Result<Request> DecodeRequest(const uint8_t* payload, size_t len) {
     return Malformed("truncated request");
   }
   if (semantics > 1) return Malformed("bad semantics");
-  // Flags byte: bit 0 (no_cache) and bit 1 (trace) are the only defined
-  // flags; any other bit is damage, not a feature. Rejecting the rest
-  // keeps decode(payload) canonical: whatever decodes re-encodes
-  // byte-identically (asserted by the protocol fuzz tests).
-  if ((reserved & ~uint8_t{3}) != 0) return Malformed("reserved flags set");
+  // Flags byte: bit 0 (no_cache), bit 1 (trace), and bit 2
+  // (require_complete) are the only defined flags; any other bit is
+  // damage, not a feature. Rejecting the rest keeps decode(payload)
+  // canonical: whatever decodes re-encodes byte-identically (asserted by
+  // the protocol fuzz tests).
+  if ((reserved & ~uint8_t{7}) != 0) return Malformed("reserved flags set");
   req.no_cache = (reserved & 1) != 0;
   req.trace = (reserved & 2) != 0;
+  req.require_complete = (reserved & 4) != 0;
   req.semantics = semantics == 0 ? Semantics::kAnd : Semantics::kOr;
   if (req.type == MessageType::kSearch) {
     if (req.k == 0 || req.k > kMaxK) return Malformed("k out of range");

@@ -109,6 +109,13 @@ struct Request {
   /// byte-identical to the untraced request (tracing never changes the
   /// answer, only appends the timeline).
   bool trace = false;
+  /// All-or-nothing (wire flags bit 2): a response that would come back
+  /// degraded (some shards failed with every replica down) is refused
+  /// with the failing shard's typed error instead of a partial top-k.
+  /// For clients that must not silently miss documents -- a partial
+  /// answer is correct for the surviving shards but incomplete, and this
+  /// flag says incomplete is worse than failing.
+  bool require_complete = false;
   std::vector<TermId> terms;
 
   /// \brief The library query this request describes. Deadline/cancel

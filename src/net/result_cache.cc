@@ -46,12 +46,15 @@ std::string ResultCache::KeyOf(const Request& req) {
   // zero here by construction (bypassing requests never reach KeyOf).
   // trace is observability, not identity: a traced request shares the
   // cache line of its untraced twin (the hit shows up in its timeline).
+  // require_complete is a refusal policy, not identity: only complete
+  // responses are cached, so a cached answer satisfies both settings.
   Request canon = req;
   canon.request_id = 0;
   canon.tenant = 0;
   canon.deadline_ms = 0;
   canon.no_cache = false;
   canon.trace = false;
+  canon.require_complete = false;
   std::string key;
   EncodeRequest(canon, &key);
   return key;

@@ -562,6 +562,12 @@ bool Server::ConsumeHttp(Connection* conn) {
     s.requests_ok = requests_ok();
     s.requests_shed = requests_shed();
     s.requests_error = requests_error();
+    for (const auto& rs : index_->ShardReplicaStatuses()) {
+      s.replicated_shards += 1;
+      s.failovers += rs.failovers;
+      s.recoveries += rs.recoveries;
+      s.scrub_pages_healed += rs.scrub_pages_healed;
+    }
     s.slo_json = slo_.ToJson(now_ns);
     http = HttpOk("application/json", StatuszJson(s));
   } else if (path == "/tracez") {
@@ -575,7 +581,9 @@ bool Server::ConsumeHttp(Connection* conn) {
   } else if (path == "/healthz") {
     const bool healthy = running_.load(std::memory_order_acquire) &&
                          !stopping_.load(std::memory_order_acquire);
-    http = HttpOk("application/json", HealthzJson(healthy, uptime_s));
+    http = HttpOk("application/json",
+                  HealthzJson(healthy, uptime_s,
+                              index_->ShardReplicaStatuses()));
   } else {
     http = HttpNotFound();
   }
@@ -792,7 +800,16 @@ void Server::RunWorker() {
       const auto& r = results[i];
       Response resp;
       resp.request_id = taken[i].request_id;
-      if (r.status.ok()) {
+      if (r.status.ok() && r.degraded &&
+          taken[i].request.require_complete) {
+        // All-or-nothing: the client said a partial top-k is worse than
+        // failing, so surface the failing shard's own error instead.
+        Status refusal(r.first_error.ok() ? StatusCode::kResourceExhausted
+                                          : r.first_error.code(),
+                       "incomplete result (require_complete): " +
+                           r.first_error.message());
+        resp = ErrorResponse(taken[i].request_id, refusal);
+      } else if (r.status.ok()) {
         resp.outcome = ResponseOutcome::kOk;
         resp.degraded = r.degraded;
         resp.results = r.results;

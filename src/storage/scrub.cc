@@ -1,0 +1,32 @@
+#include "storage/scrub.h"
+
+namespace i3 {
+
+ScrubCursor::ScrubCursor(uint32_t pages_per_tick)
+    : pages_per_tick_(pages_per_tick == 0 ? 1 : pages_per_tick) {}
+
+std::vector<uint64_t> ScrubCursor::NextBatch(uint64_t page_count) {
+  std::vector<uint64_t> batch;
+  if (page_count == 0) return batch;
+  // A shrunk or restarted file can leave the cursor past the end; fold it
+  // back in rather than stalling until the file regrows.
+  if (position_ >= page_count) {
+    position_ = 0;
+    ++sweeps_;
+  }
+  const uint64_t n =
+      pages_per_tick_ < page_count ? pages_per_tick_ : page_count;
+  batch.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    batch.push_back(position_);
+    ++position_;
+    if (position_ >= page_count) {
+      position_ = 0;
+      ++sweeps_;
+      break;  // one wrap per tick: a tiny file is not verified twice
+    }
+  }
+  return batch;
+}
+
+}  // namespace i3

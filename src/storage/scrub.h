@@ -1,0 +1,53 @@
+// Paced background scrub cursor (DESIGN.md §15).
+//
+// A scrubber's job is to find latent page damage before a query does:
+// walk every page of a file, force a checksum-verifying device read, and
+// hand damaged pages to a healer. The cursor here is the walking state
+// machine only -- it decides *which* pages to verify next and how many
+// per tick, staying agnostic of the storage stack it runs over (the
+// ReplicaSet in src/model/ supplies the verify/heal callbacks). Keeping
+// it a plain value type makes the pacing logic unit-testable without an
+// index and lets each replica carry its own independent cursor.
+//
+// Pacing contract: NextBatch(page_count) returns at most pages_per_tick
+// page ids, advancing a wrapping position. The page count is re-read
+// every tick because files grow while the scrubber runs; a batch never
+// names a page at or beyond the count it was given. A full pass over the
+// file (position wraps to 0) increments sweeps_completed().
+
+#ifndef I3_STORAGE_SCRUB_H_
+#define I3_STORAGE_SCRUB_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace i3 {
+
+/// \brief Wrapping, paced page-walk state for one scrubbed file.
+class ScrubCursor {
+ public:
+  /// `pages_per_tick` == 0 is pinned to 1 (a tick must make progress).
+  explicit ScrubCursor(uint32_t pages_per_tick);
+
+  /// \brief The next page ids to verify given the file's current page
+  /// count. Empty when the file has no pages. Advances the cursor.
+  std::vector<uint64_t> NextBatch(uint64_t page_count);
+
+  /// Next page the cursor will hand out (wraps at the page count seen at
+  /// batch time).
+  uint64_t position() const { return position_; }
+
+  /// Completed full passes over the file.
+  uint64_t sweeps_completed() const { return sweeps_; }
+
+  uint32_t pages_per_tick() const { return pages_per_tick_; }
+
+ private:
+  uint32_t pages_per_tick_;
+  uint64_t position_ = 0;
+  uint64_t sweeps_ = 0;
+};
+
+}  // namespace i3
+
+#endif  // I3_STORAGE_SCRUB_H_

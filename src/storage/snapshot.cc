@@ -1,0 +1,110 @@
+#include "storage/snapshot.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "storage/checksum.h"
+
+namespace i3 {
+
+namespace {
+
+/// "I3SM" little-endian + format version.
+constexpr uint32_t kSnapshotMetaMagic = 0x4D533349u;
+constexpr uint32_t kSnapshotMetaVersion = 1;
+
+std::string MetaPathOf(const std::string& snapshot_path) {
+  return snapshot_path + ".meta";
+}
+
+/// Streams the payload file through CRC32C; returns the masked CRC and
+/// byte count. IOError when the file cannot be read.
+Status CrcOfFile(const std::string& path, uint32_t* crc_out,
+                 uint64_t* bytes_out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open snapshot payload: " + path);
+  uint32_t crc = 0;
+  uint64_t total = 0;
+  std::vector<char> buf(64 * 1024);
+  while (in) {
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    const std::streamsize n = in.gcount();
+    if (n <= 0) break;
+    crc = Crc32c(buf.data(), static_cast<size_t>(n), crc);
+    total += static_cast<uint64_t>(n);
+  }
+  if (in.bad()) return Status::IOError("snapshot payload read failed");
+  *crc_out = MaskCrc(crc);
+  *bytes_out = total;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteSnapshotMeta(const std::string& snapshot_path,
+                         uint64_t watermark) {
+  uint32_t crc = 0;
+  uint64_t bytes = 0;
+  I3_RETURN_NOT_OK(CrcOfFile(snapshot_path, &crc, &bytes));
+  std::ofstream out(MetaPathOf(snapshot_path),
+                    std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot write snapshot meta for " + snapshot_path);
+  }
+  // Fixed little-endian layout: magic, version, watermark, bytes, crc.
+  uint8_t rec[4 + 4 + 8 + 8 + 4];
+  std::memcpy(rec + 0, &kSnapshotMetaMagic, 4);
+  std::memcpy(rec + 4, &kSnapshotMetaVersion, 4);
+  std::memcpy(rec + 8, &watermark, 8);
+  std::memcpy(rec + 16, &bytes, 8);
+  std::memcpy(rec + 24, &crc, 4);
+  out.write(reinterpret_cast<const char*>(rec), sizeof(rec));
+  out.flush();
+  if (!out) return Status::IOError("snapshot meta write failed");
+  return Status::OK();
+}
+
+Result<SnapshotMeta> VerifySnapshot(const std::string& snapshot_path) {
+  std::ifstream in(MetaPathOf(snapshot_path), std::ios::binary);
+  if (!in) {
+    return Status::IOError("snapshot meta missing for " + snapshot_path);
+  }
+  uint8_t rec[4 + 4 + 8 + 8 + 4];
+  in.read(reinterpret_cast<char*>(rec), sizeof(rec));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(rec))) {
+    return Status::Corruption("snapshot meta truncated");
+  }
+  uint32_t magic = 0, version = 0;
+  SnapshotMeta meta;
+  std::memcpy(&magic, rec + 0, 4);
+  std::memcpy(&version, rec + 4, 4);
+  std::memcpy(&meta.watermark, rec + 8, 8);
+  std::memcpy(&meta.payload_bytes, rec + 16, 8);
+  std::memcpy(&meta.payload_crc, rec + 24, 4);
+  if (magic != kSnapshotMetaMagic) {
+    return Status::Corruption("snapshot meta bad magic");
+  }
+  if (version != kSnapshotMetaVersion) {
+    return Status::Corruption("snapshot meta bad version");
+  }
+  uint32_t crc = 0;
+  uint64_t bytes = 0;
+  I3_RETURN_NOT_OK(CrcOfFile(snapshot_path, &crc, &bytes));
+  if (bytes != meta.payload_bytes) {
+    return Status::Corruption("snapshot payload length mismatch");
+  }
+  if (crc != meta.payload_crc) {
+    return Status::Corruption("snapshot payload checksum mismatch");
+  }
+  return meta;
+}
+
+void RemoveSnapshot(const std::string& snapshot_path) {
+  std::remove(snapshot_path.c_str());
+  std::remove(MetaPathOf(snapshot_path).c_str());
+}
+
+}  // namespace i3

@@ -1,0 +1,58 @@
+// Consistent-snapshot envelope for replica recovery (DESIGN.md §15).
+//
+// A snapshot is an opaque index serialization written by the index's own
+// persister (i3/i3_persist.cc) at a captured replication watermark. This
+// header adds the storage-level envelope around that payload: a sidecar
+// meta file (`<snapshot>.meta`) carrying a magic, the watermark, the
+// payload length, and a CRC32C of the payload bytes. The reader verifies
+// all four before an install is allowed to begin, so a snapshot that was
+// torn mid-write, truncated, or damaged at rest fails *cleanly* -- the
+// recovering replica keeps its failed state and retries from another
+// source -- instead of installing garbage that a later query trips over.
+//
+// The CRC covers the payload file as written; the page-level CRC32C of
+// the checksummed page file (storage/checksummed_page_file.h) already
+// guards the *source* reads that produced the payload, so a snapshot
+// whose source returned corrupt pages never gets this far -- SaveTo
+// surfaces the Corruption and the writer never stamps a meta file.
+
+#ifndef I3_STORAGE_SNAPSHOT_H_
+#define I3_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace i3 {
+
+/// \brief The verified contents of a snapshot meta file.
+struct SnapshotMeta {
+  /// Replication watermark (ops applied) the payload is consistent at.
+  uint64_t watermark = 0;
+  /// Payload file length in bytes at stamp time.
+  uint64_t payload_bytes = 0;
+  /// Masked CRC32C of the payload file.
+  uint32_t payload_crc = 0;
+};
+
+/// \brief Stamps `snapshot_path` with a meta file (`<snapshot_path>.meta`):
+/// reads the payload back, computes its CRC32C, and records it with
+/// `watermark`. Call after the index serializer has fully written the
+/// payload. IOError when either file cannot be written/read.
+Status WriteSnapshotMeta(const std::string& snapshot_path,
+                         uint64_t watermark);
+
+/// \brief Verifies `snapshot_path` against its meta file: magic, length,
+/// and payload CRC must all match. Returns the meta on success; Corruption
+/// when the payload or meta is damaged, IOError when either file is
+/// missing/unreadable. Recovery must not install a payload this rejects.
+Result<SnapshotMeta> VerifySnapshot(const std::string& snapshot_path);
+
+/// \brief Removes the snapshot payload and its meta file (best effort:
+/// missing files are not an error -- cleanup must be idempotent).
+void RemoveSnapshot(const std::string& snapshot_path);
+
+}  // namespace i3
+
+#endif  // I3_STORAGE_SNAPSHOT_H_

@@ -238,6 +238,55 @@ class JsonChecker {
 bool IsValidJson(const std::string& s) { return JsonChecker(s).Valid(); }
 
 // ---------------------------------------------------------------------------
+// HealthzJson as a pure function: the replica-aware shape.
+
+TEST(HealthzJsonTest, UnreplicatedFormStaysMinimal) {
+  const std::string ok = HealthzJson(true, 12);
+  EXPECT_TRUE(IsValidJson(ok)) << ok;
+  EXPECT_NE(ok.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(ok.find("\"uptime_s\": 12"), std::string::npos);
+  EXPECT_NE(ok.find("\"shards\": []"), std::string::npos);
+
+  const std::string stopping = HealthzJson(false, 99);
+  EXPECT_TRUE(IsValidJson(stopping)) << stopping;
+  EXPECT_NE(stopping.find("\"status\": \"stopping\""), std::string::npos);
+}
+
+TEST(HealthzJsonTest, RendersPerShardReplicaHealth) {
+  ReplicaSetStatus shard;
+  shard.shard = 3;
+  shard.replicated = true;
+  shard.log_head = 1234;
+  shard.scrub_pages_verified = 500;
+  shard.scrub_corrupt_found = 2;
+  shard.scrub_pages_healed = 2;
+  shard.failovers = 7;
+  shard.recoveries = 1;
+  ReplicaStatus healthy;
+  healthy.state = ReplicaState::kHealthy;
+  healthy.watermark = 1234;
+  ReplicaStatus behind;
+  behind.state = ReplicaState::kRecovering;
+  behind.watermark = 1200;
+  behind.lag = 34;
+  behind.quarantined_pages = 1;
+  behind.read_failures = 4;
+  shard.replicas = {healthy, behind};
+
+  const std::string body = HealthzJson(true, 60, {shard});
+  EXPECT_TRUE(IsValidJson(body)) << body;
+  for (const char* key :
+       {"\"shard\": 3", "\"replicated\": true", "\"log_head\": 1234",
+        "\"failovers\": 7", "\"recoveries\": 1",
+        "\"scrub\": {\"pages_verified\": 500", "\"corrupt_found\": 2",
+        "\"pages_healed\": 2", "\"state\": \"healthy\"",
+        "\"state\": \"recovering\"", "\"watermark\": 1200", "\"lag\": 34",
+        "\"quarantined_pages\": 1", "\"read_failures\": 4"}) {
+    EXPECT_NE(body.find(key), std::string::npos) << key << " in " << body;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Minimal HTTP/1.1 response parsing for conformance checks.
 
 struct HttpResponse {
@@ -621,7 +670,8 @@ TEST_F(IntrospectionTest, EndpointsServeValidJsonUnderTraffic) {
   for (const char* key :
        {"\"build\"", "\"config\"", "\"live\"", "\"slo\"",
         "\"window_seconds\"", "\"protocol_version\"", "\"documents\"",
-        "\"requests_ok\"", "\"uptime_s\""}) {
+        "\"requests_ok\"", "\"uptime_s\"", "\"replication\"",
+        "\"replicated_shards\""}) {
     EXPECT_NE(statusz.body.find(key), std::string::npos) << key;
   }
   EXPECT_NE(statusz.body.find("\"tenant\": 0"), std::string::npos)
@@ -644,9 +694,11 @@ TEST_F(IntrospectionTest, EndpointsServeValidJsonUnderTraffic) {
     EXPECT_NE(cachez.body.find(key), std::string::npos) << key;
   }
 
-  // /healthz says ok while running.
+  // /healthz says ok while running; no shard here is replicated, so the
+  // per-shard section is present but empty.
   const HttpResponse healthz = ParseHttp(Get("/healthz"));
   EXPECT_NE(healthz.body.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(healthz.body.find("\"shards\": []"), std::string::npos);
 }
 
 // Conformance of the /metrics handler and the 404 fallback: exact

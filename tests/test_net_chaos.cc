@@ -268,6 +268,68 @@ TEST(NetChaosTest, HardShardFailureSetsDegradedFlagOnWire) {
             ResultChecksum(full.ValueOrDie().results));
 }
 
+// Wire flag bit 2 (require_complete): a client that cannot tolerate a
+// silently-partial top-k gets the failing shard's typed error instead of
+// a degraded response. Complete answers are unaffected by the flag.
+TEST(NetChaosTest, RequireCompleteRefusesDegradedWithTypedError) {
+  ServingChaosRig rig;
+  InitRig(&rig, /*corpus_seed=*/25);
+  Query q;
+  q.location = {50, 50};
+  q.terms = {0};
+  q.k = 300;
+  q.semantics = Semantics::kOr;
+  q.Normalize();
+  auto client = Connect(*rig.server);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // no_cache everywhere: this test is about what the *index* answers (a
+  // cached complete response legitimately satisfies require_complete and
+  // would short-circuit the refusal under test).
+  Request strict = SearchRequest(q, 1);
+  strict.require_complete = true;
+  strict.no_cache = true;
+  rig.index->ClearCache();
+  auto full = client.ValueOrDie()->Call(strict);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  ASSERT_EQ(full.ValueOrDie().outcome, ResponseOutcome::kOk);
+  EXPECT_FALSE(full.ValueOrDie().degraded);
+
+  rig.injectors[1]->set_fail_all(true);
+  rig.index->ClearCache();
+
+  // Without the flag: ok + degraded partial, as ever.
+  Request lax = SearchRequest(q, 2);
+  lax.no_cache = true;
+  auto partial = client.ValueOrDie()->Call(lax);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  ASSERT_EQ(partial.ValueOrDie().outcome, ResponseOutcome::kOk);
+  EXPECT_TRUE(partial.ValueOrDie().degraded);
+
+  // With the flag: a clean typed error carrying the shard's own failure
+  // code, not a partial result and not a torn connection.
+  strict.request_id = 3;
+  auto refused = client.ValueOrDie()->Call(strict);
+  ASSERT_TRUE(refused.ok()) << refused.status().ToString();
+  EXPECT_EQ(refused.ValueOrDie().outcome, ResponseOutcome::kError);
+  EXPECT_EQ(refused.ValueOrDie().code, StatusCode::kIOError);
+  EXPECT_NE(refused.ValueOrDie().message.find("incomplete result"),
+            std::string::npos)
+      << refused.ValueOrDie().message;
+  EXPECT_TRUE(refused.ValueOrDie().results.empty());
+
+  // Healed: the strict request serves the full answer again.
+  rig.injectors[1]->Heal();
+  rig.index->ClearCache();
+  strict.request_id = 4;
+  auto healed = client.ValueOrDie()->Call(strict);
+  ASSERT_TRUE(healed.ok());
+  ASSERT_EQ(healed.ValueOrDie().outcome, ResponseOutcome::kOk);
+  EXPECT_FALSE(healed.ValueOrDie().degraded);
+  EXPECT_EQ(ResultChecksum(healed.ValueOrDie().results),
+            ResultChecksum(full.ValueOrDie().results));
+}
+
 // Every shard failing hard is a clean error frame (there is no partial
 // answer to serve) -- and the connection still serves after healing.
 TEST(NetChaosTest, TotalShardFailureIsACleanErrorFrame) {

@@ -42,6 +42,7 @@ Request MakeSearchRequest() {
   req.alpha = 0.75;
   req.no_cache = true;
   req.trace = true;
+  req.require_complete = true;
   req.terms = {3, 1, 4, 15, 92};
   return req;
 }
@@ -71,6 +72,7 @@ Request RandomRequest(Rng* rng) {
   req.deadline_ms = static_cast<uint32_t>(rng->UniformInt(0, 100000));
   req.no_cache = rng->Chance(0.25);
   req.trace = rng->Chance(0.25);
+  req.require_complete = rng->Chance(0.25);
   if (req.type == MessageType::kSearch) {
     req.k = static_cast<uint32_t>(rng->UniformInt(1, kMaxK));
     req.semantics = rng->Chance(0.5) ? Semantics::kAnd : Semantics::kOr;
@@ -135,6 +137,7 @@ void ExpectRequestEq(const Request& a, const Request& b) {
   EXPECT_EQ(a.deadline_ms, b.deadline_ms);
   EXPECT_EQ(a.no_cache, b.no_cache);
   EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.require_complete, b.require_complete);
   if (a.type == MessageType::kSearch) {
     EXPECT_EQ(a.k, b.k);
     EXPECT_EQ(a.semantics, b.semantics);
@@ -393,8 +396,8 @@ TEST(NetProtocolTest, FieldRangeViolationsReject) {
       {16, {0, 0, 0, 0}, "k == 0"},
       {16, {0xff, 0xff, 0, 0}, "k > kMaxK"},
       {20, {2}, "semantics out of range"},
-      {21, {4}, "reserved flag bit 2 set"},
-      {21, {0xfc}, "all reserved flag bits set"},
+      {21, {8}, "reserved flag bit 3 set"},
+      {21, {0xf8}, "all reserved flag bits set"},
       {26, nan_bytes, "NaN x"},
       {34, nan_bytes, "NaN y"},
       {42, nan_bytes, "NaN alpha"},

@@ -49,7 +49,17 @@ The serving stack has its own gate: ``--serving-candidate`` takes a
     threshold-0 slow-query log failed to capture every request;
   * an observability metric series is missing or never moved:
     ``i3_net_traced_requests_total``, ``i3_slow_queries_total``, and the
-    per-tenant rolling-window gauge ``i3_slo_window_requests``.
+    per-tenant rolling-window gauge ``i3_slo_window_requests``;
+  * the replication phase ("replica_phase") is missing, any of its four
+    wire checksums (all-healthy cold, warm, primary-killed failover,
+    post-recovery) differs from the others -- failover and online
+    recovery must be byte-invisible -- or the phase never failed over,
+    never recovered, or never scrubbed a page;
+  * a replication metric series is missing or never moved:
+    ``i3_failover_total``, ``i3_replica_recoveries_total``,
+    ``i3_scrub_pages_total``, and the ``i3_replica_healthy`` gauge
+    (``i3_scrub_corrupt_total`` / ``i3_scrub_healed_total`` need only
+    exist -- the bench plants no corruption).
 
 Timing figures (qps, percentiles) are deliberately NOT gated: CI runners
 are too noisy. Checksums, outcome counts, and page counts are
@@ -434,7 +444,87 @@ def check_serving(serving, baseline):
         lambda m: m["value"] > 0,
         "non-zero rolling-window SLO request gauge",
     )
+
+    check_replica_phase(serving, by_name)
     print(f"  serving metrics OK: {len(serving['obs']['metrics'])} series")
+
+
+def check_replica_phase(serving, by_name):
+    """Gates the replication phase of a ``bench_serving --smoke`` run."""
+    rp = serving.get("replica_phase", {})
+    if not rp:
+        raise GateFailure(
+            "serving candidate has no 'replica_phase' section; "
+            "bench_serving must exercise the replicated shard"
+        )
+    checksums = {
+        k: rp.get(k)
+        for k in (
+            "baseline_checksum",
+            "warm_checksum",
+            "failover_checksum",
+            "recovered_checksum",
+        )
+    }
+    missing = [k for k, v in checksums.items() if v is None]
+    if missing:
+        raise GateFailure(f"replica phase is missing {missing}")
+    if len(set(checksums.values())) != 1:
+        raise GateFailure(
+            f"replica phase checksums diverged: {checksums} -- failover "
+            "or recovery changed an answer"
+        )
+    if rp.get("failovers", 0) <= 0:
+        raise GateFailure(
+            "replica phase recorded no failovers: killing the primary "
+            "never re-routed a read"
+        )
+    if rp.get("recoveries", 0) <= 0:
+        raise GateFailure(
+            "replica phase recorded no recoveries: the killed replica "
+            "never rejoined"
+        )
+    if rp.get("scrub_pages_verified", 0) <= 0:
+        raise GateFailure(
+            "replica phase verified no pages: the scrubber never ran"
+        )
+    print(
+        f"  serving replica phase: checksums identical "
+        f"({rp['baseline_checksum']}), {rp['failovers']} failovers, "
+        f"{rp['recoveries']} recoveries in {rp.get('recover_ms', 0):.0f}ms, "
+        f"{rp['scrub_pages_verified']} pages scrubbed"
+    )
+    require_metric(
+        by_name,
+        "i3_failover_total",
+        lambda m: m["value"] > 0,
+        "non-zero failover counter",
+    )
+    require_metric(
+        by_name,
+        "i3_replica_recoveries_total",
+        lambda m: m["value"] > 0,
+        "non-zero replica-recovery counter",
+    )
+    require_metric(
+        by_name,
+        "i3_scrub_pages_total",
+        lambda m: m["value"] > 0,
+        "non-zero scrubbed-pages counter",
+    )
+    require_metric(
+        by_name,
+        "i3_replica_healthy",
+        lambda m: m["value"] > 0,
+        "non-zero healthy-replica gauge",
+    )
+    # The bench plants no corruption, so these only need to exist.
+    require_metric(
+        by_name, "i3_scrub_corrupt_total", lambda m: True, "series present"
+    )
+    require_metric(
+        by_name, "i3_scrub_healed_total", lambda m: True, "series present"
+    )
 
 
 def run_gate(candidate, baseline, max_regress):
@@ -627,6 +717,16 @@ def serving_self_test(baseline):
             "timeline_consistent": 20,
             "slow_recorded": 20,
         },
+        "replica_phase": {
+            "baseline_checksum": 777,
+            "warm_checksum": 777,
+            "failover_checksum": 777,
+            "recovered_checksum": 777,
+            "failovers": 20,
+            "recoveries": 1,
+            "scrub_pages_verified": 1600,
+            "recover_ms": 40.0,
+        },
         "obs": {
             "metrics": [
                 {
@@ -676,6 +776,42 @@ def serving_self_test(baseline):
                     "type": "gauge",
                     "value": 20,
                     "labels": {"tenant": "0"},
+                },
+                {
+                    "name": "i3_failover_total",
+                    "type": "counter",
+                    "value": 20,
+                    "labels": {"shard": "0"},
+                },
+                {
+                    "name": "i3_replica_recoveries_total",
+                    "type": "counter",
+                    "value": 1,
+                    "labels": {"shard": "0"},
+                },
+                {
+                    "name": "i3_scrub_pages_total",
+                    "type": "counter",
+                    "value": 1600,
+                    "labels": {"shard": "0"},
+                },
+                {
+                    "name": "i3_scrub_corrupt_total",
+                    "type": "counter",
+                    "value": 0,
+                    "labels": {"shard": "0"},
+                },
+                {
+                    "name": "i3_scrub_healed_total",
+                    "type": "counter",
+                    "value": 0,
+                    "labels": {"shard": "0"},
+                },
+                {
+                    "name": "i3_replica_healthy",
+                    "type": "gauge",
+                    "value": 2,
+                    "labels": {"shard": "0"},
                 },
             ]
         },
@@ -775,6 +911,57 @@ def serving_self_test(baseline):
     expect_serving_failure(
         "slow-query counter never moved", doctored, baseline
     )
+
+    doctored = copy.deepcopy(good)
+    del doctored["replica_phase"]
+    expect_serving_failure("missing replica phase", doctored, baseline)
+
+    doctored = copy.deepcopy(good)
+    doctored["replica_phase"]["failover_checksum"] = 778
+    expect_serving_failure(
+        "failover served different bytes", doctored, baseline
+    )
+
+    doctored = copy.deepcopy(good)
+    doctored["replica_phase"]["recovered_checksum"] = 779
+    expect_serving_failure(
+        "recovered replica served different bytes", doctored, baseline
+    )
+
+    doctored = copy.deepcopy(good)
+    doctored["replica_phase"]["failovers"] = 0
+    expect_serving_failure(
+        "killed primary never failed over", doctored, baseline
+    )
+
+    doctored = copy.deepcopy(good)
+    doctored["replica_phase"]["scrub_pages_verified"] = 0
+    expect_serving_failure("scrubber never ran", doctored, baseline)
+
+    doctored = copy.deepcopy(good)
+    doctored["obs"]["metrics"] = [
+        m
+        for m in doctored["obs"]["metrics"]
+        if m["name"] != "i3_failover_total"
+    ]
+    expect_serving_failure("missing failover metric series", doctored,
+                           baseline)
+
+    doctored = copy.deepcopy(good)
+    for m in doctored["obs"]["metrics"]:
+        if m["name"] == "i3_scrub_pages_total":
+            m["value"] = 0
+    expect_serving_failure(
+        "scrub-pages counter never moved", doctored, baseline
+    )
+
+    doctored = copy.deepcopy(good)
+    doctored["obs"]["metrics"] = [
+        m
+        for m in doctored["obs"]["metrics"]
+        if m["name"] != "i3_scrub_healed_total"
+    ]
+    expect_serving_failure("missing scrub-healed series", doctored, baseline)
 
 
 def main():

@@ -12,6 +12,7 @@
 //           [--and-fraction=0.5] [--alpha=0.5] [--tenants=1]
 //           [--deadline-ms=0] [--space=minx,miny,maxx,maxy]
 //           [--connect-retries=20] [--json] [--trace]
+//           [--require-complete]
 //
 // `--requests` is per connection. Terms are uniform ids in
 // [0, max-term); locations are uniform in `--space` (default the
@@ -20,6 +21,12 @@
 // from one process. Every response must be a well-formed ok/shed/error
 // frame; anything else (transport error, id mismatch) is a hard failure
 // and a nonzero exit.
+//
+// `--require-complete` sets wire flag bit 2 on every request: the server
+// refuses to serve a silently-partial (degraded) top-k and returns the
+// failing shard's typed error instead. loadgen then treats any degraded
+// ok-response as a hard failure (nonzero exit) -- with the flag set the
+// server should never produce one, so seeing it means the contract broke.
 //
 // `--trace` sets the wire trace flag on every request and reports the
 // aggregated server-side span timeline next to the client-observed
@@ -62,6 +69,7 @@ struct Options {
   uint32_t connect_retries = 20;
   bool json = false;
   bool trace = false;
+  bool require_complete = false;
 };
 
 struct WorkerStats {
@@ -142,6 +150,8 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       opt->json = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       opt->trace = true;
+    } else if (std::strcmp(argv[i], "--require-complete") == 0) {
+      opt->require_complete = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -170,6 +180,7 @@ net::Request RandomRequest(const Options& opt, Rng* rng, uint64_t id) {
                                                 : Semantics::kOr;
   req.deadline_ms = opt.deadline_ms;
   req.trace = opt.trace;
+  req.require_complete = opt.require_complete;
   req.x = rng->UniformDouble(opt.space[0], opt.space[2]);
   req.y = rng->UniformDouble(opt.space[1], opt.space[3]);
   req.alpha = opt.alpha;
@@ -371,5 +382,12 @@ int main(int argc, char** argv) {
   }
   if (hard_failure.load()) return 1;
   if (total.mismatched > 0) return 1;
+  if (opt.require_complete && total.degraded > 0) {
+    std::fprintf(stderr,
+                 "loadgen: %llu degraded response(s) despite "
+                 "--require-complete\n",
+                 static_cast<unsigned long long>(total.degraded));
+    return 1;
+  }
   return 0;
 }
